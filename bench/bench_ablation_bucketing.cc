@@ -1,0 +1,61 @@
+// Ablation A1 (DESIGN.md): does the paper's variance-controlled
+// bucketing beat equi-count bucketing at equal memory? Both variants use
+// the same bucket count per tag (hence identical storage); only the
+// split rule differs.
+
+#include <cstdio>
+
+#include "bench_util/metrics.h"
+#include "bench_util/runner.h"
+#include "common/strings.h"
+#include "estimator/estimator.h"
+
+namespace {
+
+using namespace xee;
+using bench_util::ErrorAccumulator;
+
+double MeanError(const workload::Workload& w,
+                 const estimator::Estimator& est) {
+  ErrorAccumulator acc;
+  for (const auto* list : {&w.simple, &w.branch}) {
+    for (const auto& wq : *list) {
+      auto r = est.Estimate(wq.query);
+      if (r.ok()) acc.Add(r.value(), wq.true_count);
+    }
+  }
+  return acc.Mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = bench_util::BenchConfig::FromArgs(argc, argv);
+  bench_util::PrintHeader(
+      "Ablation A1: variance-controlled vs equi-count p-histogram buckets "
+      "(equal memory)");
+  for (const auto& ds : bench_util::MakeDatasets(config)) {
+    workload::Workload w = bench_util::MakeWorkload(ds.doc, config);
+    std::printf("\n[%s]\n%10s %14s %14s %14s\n", ds.name.c_str(), "p-var",
+                "memory", "variance-ctl", "equi-count");
+    for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+      estimator::SynopsisOptions opt;
+      opt.p_variance = v;
+      opt.build_order = false;
+      estimator::Synopsis var_syn = estimator::Synopsis::Build(ds.doc, opt);
+      opt.equi_count_p_buckets = true;
+      estimator::Synopsis eq_syn = estimator::Synopsis::Build(ds.doc, opt);
+
+      estimator::Estimator var_est(var_syn), eq_est(eq_syn);
+      std::printf("%10.1f %14s %14.4f %14.4f\n", v,
+                  HumanBytes(var_syn.PHistogramBytes()).c_str(),
+                  MeanError(w, var_est), MeanError(w, eq_est));
+    }
+  }
+  std::printf(
+      "\nexpected: variance control wins dramatically on skewed frequency "
+      "distributions (SSPlays: LINE dwarfs everything) and is comparable "
+      "elsewhere; equi-count can edge it out when frequencies are nearly "
+      "uniform\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation A2 (DESIGN.md): path-id join to fixpoint vs the classic
+// two-pass (bottom-up + top-down) semi-join reducer. For tree queries
+// the two produce identical candidate lists (acyclic full-reducer), so
+// the interesting dimension is cost: containment tests and wall time.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util/metrics.h"
+#include "bench_util/runner.h"
+#include "estimator/estimator.h"
+
+int main(int argc, char** argv) {
+  using namespace xee;
+  auto config = bench_util::BenchConfig::FromArgs(argc, argv);
+  bench_util::PrintHeader(
+      "Ablation A2: path-id join fixpoint vs two-pass reduction");
+  std::printf("%-10s %10s | %14s %10s | %14s %10s | %10s\n", "Dataset",
+              "queries", "fixpoint-cmp", "time", "two-pass-cmp", "time",
+              "max|diff|");
+  for (const auto& ds : bench_util::MakeDatasets(config)) {
+    workload::Workload w = bench_util::MakeWorkload(ds.doc, config);
+    estimator::SynopsisOptions opt;
+    opt.build_order = false;
+    estimator::Synopsis syn = estimator::Synopsis::Build(ds.doc, opt);
+
+    estimator::Estimator fix(syn), two(syn);
+    two.set_join_to_fixpoint(false);
+
+    std::vector<double> fix_out, two_out;
+    double fix_s = bench_util::TimeSeconds([&] {
+      for (const auto* list : {&w.simple, &w.branch}) {
+        for (const auto& wq : *list) {
+          auto r = fix.Estimate(wq.query);
+          fix_out.push_back(r.ok() ? r.value() : -1);
+        }
+      }
+    });
+    double two_s = bench_util::TimeSeconds([&] {
+      for (const auto* list : {&w.simple, &w.branch}) {
+        for (const auto& wq : *list) {
+          auto r = two.Estimate(wq.query);
+          two_out.push_back(r.ok() ? r.value() : -1);
+        }
+      }
+    });
+    double max_diff = 0;
+    for (size_t i = 0; i < fix_out.size(); ++i) {
+      max_diff = std::max(max_diff, std::abs(fix_out[i] - two_out[i]));
+    }
+    std::printf("%-10s %10zu | %14zu %9.3fs | %14zu %9.3fs | %10.2e\n",
+                ds.name.c_str(), fix_out.size(), fix.containment_tests(),
+                fix_s, two.containment_tests(), two_s, max_diff);
+  }
+  std::printf(
+      "\nexpected: identical estimates (max|diff| ~ 0) — the two-pass "
+      "reducer is a full reducer for tree queries. Containment-test "
+      "counts differ by dataset: the fixpoint loop exits early on "
+      "already-clean lists, while the two-pass variant always sweeps "
+      "every edge twice in both directions.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces paper Figure 10: estimation error of queries WITHOUT order
+// axes (simple / branch / all) as a function of p-histogram memory,
+// obtained by sweeping the p-histogram intra-bucket variance.
+//
+// Paper shape: error decreases as memory grows (variance shrinks); at
+// variance 0 simple queries are exact and branch error is < 7%.
+
+#include <cstdio>
+
+#include "bench_util/metrics.h"
+#include "bench_util/runner.h"
+#include "common/strings.h"
+#include "estimator/estimator.h"
+
+namespace {
+
+using namespace xee;
+using bench_util::ErrorAccumulator;
+
+void RunDataset(const bench_util::DatasetRun& ds,
+                const bench_util::BenchConfig& config) {
+  workload::Workload w = bench_util::MakeWorkload(ds.doc, config);
+  std::printf("\n[%s] workload: %zu simple, %zu branch\n", ds.name.c_str(),
+              w.simple.size(), w.branch.size());
+  std::printf("%10s %14s %10s %10s %10s\n", "p-var", "p-histo", "simple",
+              "branch", "all");
+
+  for (double v : {16.0, 12.0, 8.0, 4.0, 2.0, 1.0, 0.0}) {
+    estimator::SynopsisOptions opt;
+    opt.p_variance = v;
+    opt.build_order = false;
+    estimator::Synopsis syn = estimator::Synopsis::Build(ds.doc, opt);
+    estimator::Estimator est(syn);
+
+    ErrorAccumulator simple, branch, all;
+    for (const auto* list : {&w.simple, &w.branch}) {
+      for (const auto& wq : *list) {
+        auto r = est.Estimate(wq.query);
+        if (!r.ok()) continue;
+        (list == &w.simple ? simple : branch).Add(r.value(), wq.true_count);
+        all.Add(r.value(), wq.true_count);
+      }
+    }
+    std::printf("%10.1f %14s %9.4f %10.4f %10.4f\n", v,
+                HumanBytes(syn.PHistogramBytes()).c_str(), simple.Mean(),
+                branch.Mean(), all.Mean());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = bench_util::BenchConfig::FromArgs(argc, argv);
+  bench_util::PrintHeader(
+      "Figure 10: estimation error of queries without order axes vs "
+      "p-histogram memory");
+  for (const auto& ds : bench_util::MakeDatasets(config)) {
+    RunDataset(ds, config);
+  }
+  return 0;
+}

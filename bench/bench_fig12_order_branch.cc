@@ -1,0 +1,23 @@
+// Reproduces paper Figure 12: estimation error of queries WITH order
+// axes whose target node lies in a BRANCH part, as a function of
+// o-histogram memory (o-variance sweep), at p-histogram variances
+// {0, 1, 5, 10}.
+//
+// Paper shape: error < 10% at o-variance 2 when p-variance is 0, < 6% at
+// o-variance 0; curves flatten at high p-variance (inaccurate path
+// frequencies cap what better order data can add).
+
+#include "order_error_common.h"
+
+int main(int argc, char** argv) {
+  using namespace xee;
+  auto config = bench_util::BenchConfig::FromArgs(argc, argv);
+  bench_util::PrintHeader(
+      "Figure 12: estimation error of order queries (branch-part targets) "
+      "vs o-histogram memory");
+  std::printf("cells are: avg-relative-error / o-histogram size\n");
+  for (const auto& ds : bench_util::MakeDatasets(config)) {
+    benchx::RunOrderErrorDataset(ds, config, /*trunk_targets=*/false);
+  }
+  return 0;
+}

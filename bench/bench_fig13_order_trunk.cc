@@ -1,0 +1,23 @@
+// Reproduces paper Figure 13: estimation error of queries WITH order
+// axes whose target node lies in a the TRUNK part, as a function of
+// o-histogram memory (o-variance sweep), at p-histogram variances
+// {0, 1, 5, 10}.
+//
+// Paper shape: accurate already at low p-variance even with coarse
+// o-histograms, because Eq. 5 clamps by the (accurate) no-order
+// estimate; lower error than Figure 12 at low p-variance.
+
+#include "order_error_common.h"
+
+int main(int argc, char** argv) {
+  using namespace xee;
+  auto config = bench_util::BenchConfig::FromArgs(argc, argv);
+  bench_util::PrintHeader(
+      "Figure 13: estimation error of order queries (trunk-part targets) "
+      "vs o-histogram memory");
+  std::printf("cells are: avg-relative-error / o-histogram size\n");
+  for (const auto& ds : bench_util::MakeDatasets(config)) {
+    benchx::RunOrderErrorDataset(ds, config, /*trunk_targets=*/true);
+  }
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Ablation A3 (DESIGN.md): google-benchmark microbenchmarks of the hot
+// query-time primitives — path-id containment, pid decode via the binary
+// tree, p-histogram lookup, path-id join, and end-to-end estimation.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/datagen.h"
+#include "encoding/containment.h"
+#include "encoding/labeling.h"
+#include "estimator/estimator.h"
+#include "pidtree/pid_binary_tree.h"
+#include "xpath/parser.h"
+
+namespace {
+
+using namespace xee;
+
+struct XMarkFixture {
+  XMarkFixture() {
+    datagen::GenOptions opt;
+    opt.scale = 0.1;
+    doc = datagen::GenerateXMark(opt);
+    labeling = encoding::LabelDocument(doc);
+    tree = std::make_unique<pidtree::PathIdBinaryTree>(labeling);
+    synopsis = std::make_unique<estimator::Synopsis>(
+        estimator::Synopsis::Build(doc, estimator::SynopsisOptions{}));
+    estimator = std::make_unique<estimator::Estimator>(*synopsis);
+  }
+  xml::Document doc;
+  encoding::Labeling labeling;
+  std::unique_ptr<pidtree::PathIdBinaryTree> tree;
+  std::unique_ptr<estimator::Synopsis> synopsis;
+  std::unique_ptr<estimator::Estimator> estimator;
+};
+
+XMarkFixture& Fixture() {
+  static XMarkFixture* f = new XMarkFixture();
+  return *f;
+}
+
+void BM_PidCovers(benchmark::State& state) {
+  auto& f = Fixture();
+  const auto& pids = f.labeling.distinct_pids;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = pids[i % pids.size()];
+    const auto& b = pids[(i * 7 + 3) % pids.size()];
+    benchmark::DoNotOptimize(a.Covers(b));
+    ++i;
+  }
+}
+BENCHMARK(BM_PidCovers);
+
+void BM_PidPairCompatible(benchmark::State& state) {
+  auto& f = Fixture();
+  const auto& pids = f.labeling.distinct_pids;
+  const xml::TagId item = *f.doc.FindTag("item");
+  const xml::TagId name = *f.doc.FindTag("name");
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = pids[i % pids.size()];
+    const auto& b = pids[(i * 13 + 5) % pids.size()];
+    benchmark::DoNotOptimize(encoding::PidPairCompatible(
+        f.labeling.table, item, a, name, b,
+        encoding::AxisKind::kDescendant));
+    ++i;
+  }
+}
+BENCHMARK(BM_PidPairCompatible);
+
+void BM_PidTreeLookup(benchmark::State& state) {
+  auto& f = Fixture();
+  const size_t n = f.tree->LeafCount();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.tree->Lookup(static_cast<encoding::PidRef>(i % n + 1)));
+    ++i;
+  }
+}
+BENCHMARK(BM_PidTreeLookup);
+
+void BM_PidTreeFind(benchmark::State& state) {
+  auto& f = Fixture();
+  const auto& pids = f.labeling.distinct_pids;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.tree->Find(pids[i % pids.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PidTreeFind);
+
+void BM_PHistogramLookup(benchmark::State& state) {
+  auto& f = Fixture();
+  const xml::TagId item = *f.doc.FindTag("item");
+  const auto& h = f.synopsis->PHisto(item);
+  const auto& pids = h.PidsInOrder();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Frequency(pids[i % pids.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PHistogramLookup);
+
+void BM_EstimateSimple(benchmark::State& state) {
+  auto& f = Fixture();
+  auto q = xpath::ParseXPath("//item/description/parlist/listitem").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.estimator->Estimate(q));
+  }
+}
+BENCHMARK(BM_EstimateSimple);
+
+void BM_EstimateBranch(benchmark::State& state) {
+  auto& f = Fixture();
+  auto q =
+      xpath::ParseXPath("//open_auction[/bidder/increase]/annotation/author")
+          .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.estimator->Estimate(q));
+  }
+}
+BENCHMARK(BM_EstimateBranch);
+
+void BM_EstimateOrder(benchmark::State& state) {
+  auto& f = Fixture();
+  auto q = xpath::ParseXPath(
+               "//person[/name/following-sibling::emailaddress]")
+               .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.estimator->Estimate(q));
+  }
+}
+BENCHMARK(BM_EstimateOrder);
+
+void BM_SynopsisBuild(benchmark::State& state) {
+  auto& f = Fixture();
+  estimator::SynopsisOptions opt;
+  opt.p_variance = static_cast<double>(state.range(0));
+  opt.o_variance = opt.p_variance;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator::Synopsis::Build(f.doc, opt));
+  }
+}
+BENCHMARK(BM_SynopsisBuild)->Arg(0)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Reproduces paper Table 1: characteristics of the datasets (size,
+// number of distinct element tags, number of elements).
+//
+// Paper values (full-size originals):
+//   SSPlays 7.5 MB, 21 tags, 179,690 elements
+//   DBLP   65.2 MB, 31 tags, 1,711,542 elements
+//   XMark  20.4 MB, 74 tags, 319,815 elements
+// The built-in generators default to scaled-down documents; pass
+// --scale=4 (SSPlays), 16 (DBLP), 6 (XMark) to approach paper sizes.
+
+#include <cstdio>
+
+#include "bench_util/runner.h"
+#include "common/strings.h"
+#include "xml/doc_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace xee;
+  auto config = bench_util::BenchConfig::FromArgs(argc, argv);
+  bench_util::PrintHeader("Table 1: characteristics of datasets");
+  std::printf("%-10s %12s %18s %12s %10s %10s\n", "Dataset", "Size",
+              "#(Distinct Eles)", "#(Eles)", "MaxDepth", "AvgFanout");
+  for (const auto& ds : bench_util::MakeDatasets(config)) {
+    xml::DocStats s = xml::ComputeDocStats(ds.doc);
+    std::printf("%-10s %12s %18zu %12zu %10zu %10.2f\n", ds.name.c_str(),
+                HumanBytes(s.serialized_bytes).c_str(), s.distinct_elements,
+                s.element_count, s.max_depth, s.avg_fanout);
+  }
+  std::printf(
+      "\npaper (full scale): SSPlays 7.5MB/21/179690, DBLP 65.2MB/31/"
+      "1711542, XMark 20.4MB/74/319815\n");
+  return 0;
+}

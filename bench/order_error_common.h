@@ -1,0 +1,51 @@
+// Shared implementation for the Figure 12 / Figure 13 reproductions:
+// order-axis estimation error sweeps over (p-variance, o-variance),
+// split by target position (branch part vs trunk part).
+
+#ifndef XEE_BENCH_ORDER_ERROR_COMMON_H_
+#define XEE_BENCH_ORDER_ERROR_COMMON_H_
+
+#include <cstdio>
+
+#include "bench_util/metrics.h"
+#include "bench_util/runner.h"
+#include "common/strings.h"
+#include "estimator/estimator.h"
+
+namespace xee::benchx {
+
+inline void RunOrderErrorDataset(const bench_util::DatasetRun& ds,
+                                 const bench_util::BenchConfig& config,
+                                 bool trunk_targets) {
+  using bench_util::ErrorAccumulator;
+  workload::Workload w = bench_util::MakeWorkload(ds.doc, config);
+  const auto& queries =
+      trunk_targets ? w.order_trunk_target : w.order_branch_target;
+  std::printf("\n[%s] %zu order queries (target in %s part)\n",
+              ds.name.c_str(), queries.size(),
+              trunk_targets ? "trunk" : "branch");
+  std::printf("%8s | %s\n", "",
+              "o-var:   0        1        2        4        8");
+  for (double pv : {0.0, 1.0, 5.0, 10.0}) {
+    std::printf("p-var %4.0f |", pv);
+    for (double ov : {0.0, 1.0, 2.0, 4.0, 8.0}) {
+      estimator::SynopsisOptions opt;
+      opt.p_variance = pv;
+      opt.o_variance = ov;
+      estimator::Synopsis syn = estimator::Synopsis::Build(ds.doc, opt);
+      estimator::Estimator est(syn);
+      ErrorAccumulator acc;
+      for (const auto& wq : queries) {
+        auto r = est.Estimate(wq.query);
+        if (r.ok()) acc.Add(r.value(), wq.true_count);
+      }
+      std::printf(" %6.4f/%s", acc.Mean(),
+                  HumanBytes(syn.OHistogramBytes()).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace xee::benchx
+
+#endif  // XEE_BENCH_ORDER_ERROR_COMMON_H_

@@ -1,0 +1,80 @@
+// Persisted-synopsis workflow: a loader process builds the synopsis from
+// the document once and writes it to disk; a (simulated) optimizer
+// process later loads the blob and estimates queries without ever seeing
+// the document. Demonstrates Synopsis::Serialize()/Deserialize().
+//
+// Run:  ./build/examples/persisted_synopsis [/tmp/xmark.synopsis]
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "xee.h"
+
+namespace {
+
+int LoaderProcess(const std::string& path) {
+  xee::datagen::GenOptions gen;
+  gen.scale = 0.5;
+  xee::xml::Document doc = xee::datagen::GenerateXMark(gen);
+
+  xee::estimator::Synopsis synopsis =
+      xee::estimator::Synopsis::Build(doc, {});
+  std::string blob = synopsis.Serialize();
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  std::printf(
+      "[loader]    document: %zu elements -> synopsis blob: %s "
+      "(in-memory summary %s)\n",
+      doc.NodeCount(), xee::HumanBytes(blob.size()).c_str(),
+      xee::HumanBytes(synopsis.PathSummaryBytes() +
+                      synopsis.OHistogramBytes())
+          .c_str());
+  return 0;
+}
+
+int OptimizerProcess(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto synopsis = xee::estimator::Synopsis::Deserialize(buf.str());
+  if (!synopsis.ok()) {
+    std::fprintf(stderr, "bad synopsis: %s\n",
+                 synopsis.status().ToString().c_str());
+    return 1;
+  }
+  xee::estimator::Estimator estimator(synopsis.value());
+  std::printf("[optimizer] loaded synopsis: %zu tags, %zu distinct pids\n",
+              synopsis.value().TagCount(),
+              synopsis.value().DistinctPidCount());
+  for (const char* text : {
+           "//item/name",
+           "//open_auction[/bidder]/reserve",
+           "//person[/address/following-sibling::profile]",
+           "//closed_auction/annotation/description//text",
+       }) {
+    auto q = xee::xpath::ParseXPath(text).value();
+    auto r = estimator.Estimate(q);
+    std::printf("[optimizer] %-55s -> %.1f\n", text,
+                r.ok() ? r.value() : -1.0);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "/tmp/xee_xmark.synopsis";
+  int rc = LoaderProcess(path);
+  if (rc != 0) return rc;
+  return OptimizerProcess(path);
+}

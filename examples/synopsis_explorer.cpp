@@ -1,0 +1,154 @@
+// Interactive synopsis inspector: generate one of the built-in datasets
+// (or read an XML file), print its path encoding, path-id structures and
+// histogram statistics, and optionally estimate queries.
+//
+// Usage:
+//   synopsis_explorer <ssplays|dblp|xmark|path/to/file.xml>
+//       [--scale=<f>] [--pvar=<f>] [--ovar=<f>] [--paths]
+//       [--query=<xpath>]...
+//
+// Examples:
+//   ./build/examples/synopsis_explorer ssplays --paths
+//   ./build/examples/synopsis_explorer xmark --query="//item/name"
+//   ./build/examples/synopsis_explorer xmark
+//       --query="//person[/address/following-sibling::profile]"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "xee.h"
+
+namespace {
+
+bool LoadInput(const std::string& source, double scale,
+               xee::xml::Document* doc) {
+  xee::datagen::GenOptions gen;
+  gen.scale = scale;
+  auto generated = xee::datagen::GenerateByName(source, gen);
+  if (generated.ok()) {
+    *doc = std::move(generated).value();
+    return true;
+  }
+  std::ifstream in(source);
+  if (!in) {
+    std::fprintf(stderr,
+                 "'%s' is neither a built-in dataset (ssplays, dblp, "
+                 "xmark) nor a readable file\n",
+                 source.c_str());
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  auto parsed = xee::xml::ParseXml(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error in %s: %s\n", source.c_str(),
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  *doc = std::move(parsed).value();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <dataset|file.xml> [--scale=] [--pvar=] "
+                         "[--ovar=] [--paths] [--query=...]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string source = argv[1];
+  double scale = 0.5, pvar = 0, ovar = 0;
+  bool show_paths = false;
+  std::vector<std::string> queries;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--pvar=", 7) == 0) {
+      pvar = atof(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--ovar=", 7) == 0) {
+      ovar = atof(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--paths") == 0) {
+      show_paths = true;
+    } else if (std::strncmp(argv[i], "--query=", 8) == 0) {
+      queries.emplace_back(argv[i] + 8);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  xee::xml::Document doc;
+  if (!LoadInput(source, scale, &doc)) return 1;
+
+  xee::xml::DocStats stats = xee::xml::ComputeDocStats(doc);
+  std::printf("document: %s\n", stats.ToString().c_str());
+
+  xee::encoding::Labeling labeling = xee::encoding::LabelDocument(doc);
+  std::printf(
+      "paths: %zu distinct root-to-leaf paths, pid width %zu bits "
+      "(%zu bytes), %zu distinct pids\n",
+      labeling.table.PathCount(), labeling.PidBits(),
+      labeling.PidSizeBytes(), labeling.distinct_pids.size());
+  if (show_paths) {
+    for (uint32_t enc = 1; enc <= labeling.table.PathCount(); ++enc) {
+      std::printf("  %4u  %s\n", enc,
+                  labeling.table.PathString(enc, doc).c_str());
+    }
+  }
+
+  xee::pidtree::PathIdBinaryTree tree(labeling);
+  xee::pidtree::CollapsedPidTree collapsed(labeling);
+  std::printf(
+      "pid structures: raw table %s | binary tree %s (%zu nodes) | "
+      "collapsed %s (%zu nodes)\n",
+      xee::HumanBytes(labeling.PidTableSizeBytes()).c_str(),
+      xee::HumanBytes(tree.SizeBytes()).c_str(), tree.NodeCount(),
+      xee::HumanBytes(collapsed.SizeBytes()).c_str(), collapsed.NodeCount());
+
+  xee::estimator::SynopsisOptions opt;
+  opt.p_variance = pvar;
+  opt.o_variance = ovar;
+  xee::estimator::BuildProfile profile;
+  xee::estimator::Synopsis synopsis =
+      xee::estimator::Synopsis::Build(doc, opt, &profile);
+  std::printf(
+      "synopsis (p-var %.1f, o-var %.1f): encoding %s + pid tree %s + "
+      "p-histograms %s + o-histograms %s\n",
+      pvar, ovar, xee::HumanBytes(synopsis.EncodingTableBytes()).c_str(),
+      xee::HumanBytes(synopsis.PidTreeBytes()).c_str(),
+      xee::HumanBytes(synopsis.PHistogramBytes()).c_str(),
+      xee::HumanBytes(synopsis.OHistogramBytes()).c_str());
+  std::printf(
+      "build: collect paths %.3fs, p-histo %.4fs, collect order %.3fs, "
+      "o-histo %.4fs\n",
+      profile.collect_path_s, profile.p_histogram_s,
+      profile.collect_order_s, profile.o_histogram_s);
+
+  if (!queries.empty()) {
+    xee::estimator::Estimator estimator(synopsis);
+    xee::eval::ExactEvaluator evaluator(doc);
+    std::printf("\n%-52s %12s %10s\n", "query", "estimate", "exact");
+    for (const std::string& text : queries) {
+      auto q = xee::xpath::ParseXPath(text);
+      if (!q.ok()) {
+        std::printf("%-52s %s\n", text.c_str(),
+                    q.status().ToString().c_str());
+        continue;
+      }
+      auto est = estimator.Estimate(q.value());
+      auto exact = evaluator.Count(q.value());
+      std::printf("%-52s %12.2f %10s\n", text.c_str(),
+                  est.ok() ? est.value() : -1.0,
+                  exact.ok() ? std::to_string(exact.value()).c_str()
+                             : exact.status().ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+#ifndef XEE_BENCH_UTIL_METRICS_H_
+#define XEE_BENCH_UTIL_METRICS_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace xee::bench_util {
+
+/// Relative estimation error |est - act| / act (act > 0; negative
+/// queries are removed from workloads).
+inline double RelativeError(double estimate, uint64_t actual) {
+  XEE_CHECK(actual > 0);
+  return std::abs(estimate - static_cast<double>(actual)) /
+         static_cast<double>(actual);
+}
+
+/// Streaming mean of relative errors.
+class ErrorAccumulator {
+ public:
+  void Add(double estimate, uint64_t actual) {
+    sum_ += RelativeError(estimate, actual);
+    ++n_;
+  }
+  void Merge(const ErrorAccumulator& o) {
+    sum_ += o.sum_;
+    n_ += o.n_;
+  }
+  size_t count() const { return n_; }
+  double Mean() const { return n_ == 0 ? 0 : sum_ / static_cast<double>(n_); }
+
+ private:
+  double sum_ = 0;
+  size_t n_ = 0;
+};
+
+}  // namespace xee::bench_util
+
+#endif  // XEE_BENCH_UTIL_METRICS_H_

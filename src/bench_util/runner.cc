@@ -1,0 +1,80 @@
+#include "bench_util/runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+
+namespace xee::bench_util {
+
+BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
+  BenchConfig c;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      c.scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--queries=", 10) == 0) {
+      c.queries = static_cast<size_t>(std::atoll(arg + 10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      c.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--dataset=", 10) == 0) {
+      c.datasets = {std::string(arg + 10)};
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (known: --scale= --queries= --seed= "
+                   "--dataset=)\n",
+                   arg);
+      std::exit(2);
+    }
+  }
+  return c;
+}
+
+std::vector<DatasetRun> MakeDatasets(const BenchConfig& config) {
+  std::vector<DatasetRun> out;
+  for (const std::string& name : config.datasets) {
+    datagen::GenOptions opt;
+    opt.scale = config.scale;
+    opt.seed = config.seed;
+    auto doc = datagen::GenerateByName(name, opt);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "dataset %s: %s\n", name.c_str(),
+                   doc.status().ToString().c_str());
+      std::exit(2);
+    }
+    out.push_back(DatasetRun{name, std::move(doc).value()});
+  }
+  return out;
+}
+
+workload::Workload MakeWorkload(const xml::Document& doc,
+                                const BenchConfig& config) {
+  workload::WorkloadOptions opt;
+  opt.seed = config.seed;
+  opt.simple_count = config.queries;
+  opt.branch_count = config.queries;
+  return workload::GenerateWorkload(doc, opt);
+}
+
+void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n");
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+double TimeSeconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace xee::bench_util

@@ -1,0 +1,56 @@
+#ifndef XEE_BENCH_UTIL_RUNNER_H_
+#define XEE_BENCH_UTIL_RUNNER_H_
+
+#include <string>
+#include <vector>
+#include <functional>
+
+#include "datagen/datagen.h"
+#include "workload/workload.h"
+#include "xml/tree.h"
+
+namespace xee::bench_util {
+
+/// Command-line configuration shared by the experiment binaries.
+///
+/// Flags (all optional):
+///   --scale=<f>    dataset size multiplier (default 1.0; the paper's
+///                  originals are roughly scale 4-16)
+///   --queries=<n>  queries generated per class before filtering
+///                  (default 800; the paper uses 4000)
+///   --seed=<n>     RNG seed for data and workload (default 42)
+///   --dataset=<s>  restrict to one dataset (ssplays | dblp | xmark)
+struct BenchConfig {
+  double scale = 1.0;
+  size_t queries = 800;
+  uint64_t seed = 42;
+  std::vector<std::string> datasets = {"ssplays", "dblp", "xmark"};
+
+  static BenchConfig FromArgs(int argc, char** argv);
+};
+
+/// One dataset instance with its generated workload (lazily built).
+struct DatasetRun {
+  std::string name;
+  xml::Document doc;
+};
+
+/// Generates the configured datasets.
+std::vector<DatasetRun> MakeDatasets(const BenchConfig& config);
+
+/// Generates the Section 7 workload for one dataset under `config`.
+workload::Workload MakeWorkload(const xml::Document& doc,
+                                const BenchConfig& config);
+
+/// Prints a line of '-' of the given width.
+void PrintRule(int width = 78);
+
+/// Prints a section header for a table/figure reproduction.
+void PrintHeader(const std::string& title);
+
+/// Wall-clock helper: seconds elapsed running `fn`.
+double TimeSeconds(const std::function<void()>& fn);
+
+}  // namespace xee::bench_util
+
+#endif  // XEE_BENCH_UTIL_RUNNER_H_

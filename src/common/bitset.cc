@@ -1,0 +1,104 @@
+#include "common/bitset.h"
+
+#include <bit>
+
+namespace xee {
+
+PathIdBits PathIdBits::FromBitString(const std::string& bits) {
+  PathIdBits r(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    XEE_CHECK(bits[i] == '0' || bits[i] == '1');
+    if (bits[i] == '1') r.Set(i + 1);
+  }
+  return r;
+}
+
+void PathIdBits::OrWith(const PathIdBits& other) {
+  XEE_CHECK(num_bits_ == other.num_bits_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+}
+
+bool PathIdBits::IsZero() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+size_t PathIdBits::PopCount() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+bool PathIdBits::Covers(const PathIdBits& other) const {
+  XEE_CHECK(num_bits_ == other.num_bits_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if ((words_[w] & other.words_[w]) != other.words_[w]) return false;
+  }
+  return true;
+}
+
+void PathIdBits::ForEachSetBit(const std::function<void(size_t)>& fn) const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      fn(w * 64 + static_cast<size_t>(bit) + 1);
+      word &= word - 1;
+    }
+  }
+}
+
+std::vector<uint32_t> PathIdBits::SetBits() const {
+  std::vector<uint32_t> out;
+  out.reserve(PopCount());
+  ForEachSetBit([&out](size_t i) { out.push_back(static_cast<uint32_t>(i)); });
+  return out;
+}
+
+std::string PathIdBits::ToBitString() const {
+  std::string s(num_bits_, '0');
+  ForEachSetBit([&s](size_t i) { s[i - 1] = '1'; });
+  return s;
+}
+
+PathIdBits operator&(const PathIdBits& a, const PathIdBits& b) {
+  XEE_CHECK(a.num_bits_ == b.num_bits_);
+  PathIdBits r(a.num_bits_);
+  for (size_t w = 0; w < r.words_.size(); ++w) {
+    r.words_[w] = a.words_[w] & b.words_[w];
+  }
+  return r;
+}
+
+bool operator<(const PathIdBits& a, const PathIdBits& b) {
+  if (a.num_bits_ != b.num_bits_) return a.num_bits_ < b.num_bits_;
+  return a.words_ < b.words_;
+}
+
+bool PathIdBits::LexLess(const PathIdBits& a, const PathIdBits& b) {
+  XEE_CHECK(a.num_bits_ == b.num_bits_);
+  for (size_t w = 0; w < a.words_.size(); ++w) {
+    uint64_t diff = a.words_[w] ^ b.words_[w];
+    if (diff != 0) {
+      // The lowest differing bit is the earliest position in the paper's
+      // left-to-right bit string; '0' there sorts first.
+      int p = std::countr_zero(diff);
+      return ((a.words_[w] >> p) & 1) == 0;
+    }
+  }
+  return false;  // equal
+}
+
+size_t PathIdBits::Hash::operator()(const PathIdBits& b) const {
+  // FNV-1a over the words; path-id sets are small so this is plenty.
+  uint64_t h = 1469598103934665603ull;
+  for (uint64_t w : b.words_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h ^ b.num_bits_);
+}
+
+}  // namespace xee

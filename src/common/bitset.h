@@ -1,0 +1,101 @@
+#ifndef XEE_COMMON_BITSET_H_
+#define XEE_COMMON_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace xee {
+
+/// A fixed-width dynamic bit sequence used to represent path ids.
+///
+/// Bit positions are 1-based, matching the paper: bit `i` corresponds to
+/// the root-to-leaf path whose encoding-table integer is `i`, and the
+/// "leftmost" bit of the paper's bit strings is bit 1. Width is the number
+/// of distinct root-to-leaf paths in the document and is identical for all
+/// ids of one document; binary operations require equal widths.
+class PathIdBits {
+ public:
+  /// Constructs an all-zero id of `num_bits` bits (num_bits may be 0).
+  explicit PathIdBits(size_t num_bits = 0)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  /// Parses a string of '0'/'1' characters, leftmost character = bit 1.
+  static PathIdBits FromBitString(const std::string& bits);
+
+  size_t num_bits() const { return num_bits_; }
+
+  /// Sets 1-based bit `i` to 1.
+  void Set(size_t i) {
+    XEE_CHECK(i >= 1 && i <= num_bits_);
+    words_[(i - 1) >> 6] |= uint64_t{1} << ((i - 1) & 63);
+  }
+
+  /// Returns the value of 1-based bit `i`.
+  bool Test(size_t i) const {
+    XEE_CHECK(i >= 1 && i <= num_bits_);
+    return (words_[(i - 1) >> 6] >> ((i - 1) & 63)) & 1;
+  }
+
+  /// In-place bit-or with `other` (equal widths required).
+  void OrWith(const PathIdBits& other);
+
+  /// Returns true iff no bit is set.
+  bool IsZero() const;
+
+  /// Number of set bits.
+  size_t PopCount() const;
+
+  /// True iff every set bit of `other` is also set here (subset-or-equal).
+  /// This is the paper's `(PidX & PidY) == PidY`.
+  bool Covers(const PathIdBits& other) const;
+
+  /// The paper's strict containment: Covers(other) and *this != other.
+  bool Contains(const PathIdBits& other) const {
+    return Covers(other) && !(*this == other);
+  }
+
+  /// Calls `fn(i)` for each set bit position i in increasing order.
+  void ForEachSetBit(const std::function<void(size_t)>& fn) const;
+
+  /// Returns the set bit positions in increasing order.
+  std::vector<uint32_t> SetBits() const;
+
+  /// Renders as a '0'/'1' string with bit 1 leftmost (paper notation).
+  std::string ToBitString() const;
+
+  friend PathIdBits operator|(const PathIdBits& a, const PathIdBits& b) {
+    PathIdBits r = a;
+    r.OrWith(b);
+    return r;
+  }
+  friend PathIdBits operator&(const PathIdBits& a, const PathIdBits& b);
+
+  friend bool operator==(const PathIdBits& a, const PathIdBits& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+  /// Lexicographic-by-word order; total order suitable for std::map keys.
+  friend bool operator<(const PathIdBits& a, const PathIdBits& b);
+
+  /// Bit-string lexicographic order (bit 1 compared first, '0' < '1').
+  /// This is the order of trie leaves in the path-id binary tree, so path
+  /// id integers are assigned in this order (paper Section 6, Figure 6).
+  static bool LexLess(const PathIdBits& a, const PathIdBits& b);
+
+  /// Hash functor for unordered containers keyed by PathIdBits.
+  struct Hash {
+    size_t operator()(const PathIdBits& b) const;
+  };
+
+ private:
+  size_t num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace xee
+
+#endif  // XEE_COMMON_BITSET_H_

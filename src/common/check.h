@@ -1,0 +1,33 @@
+#ifndef XEE_COMMON_CHECK_H_
+#define XEE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Internal invariant-checking macros.
+///
+/// XEE_CHECK aborts the process with a source location when an invariant
+/// that must hold regardless of build mode is violated. Library code uses
+/// these for programmer errors only; recoverable conditions (bad input
+/// documents, malformed queries) are reported through xee::Status instead.
+
+#define XEE_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "XEE_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define XEE_CHECK_MSG(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "XEE_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, (msg));                      \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // XEE_COMMON_CHECK_H_

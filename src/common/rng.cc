@@ -1,0 +1,90 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace xee {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t lo, uint64_t hi) {
+  XEE_CHECK(lo <= hi);
+  const uint64_t span = hi - lo + 1;
+  if (span == 0) return Next();  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t v = Next();
+  while (v >= limit) v = Next();
+  return lo + v % span;
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return UniformDouble() < p;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  XEE_CHECK(n >= 1);
+  if (n == 1) return 1;
+  if (s <= 0) return UniformInt(1, n);
+  // Inverse-CDF on the (unnormalized) harmonic weights. n is small in all
+  // of our uses (tens to hundreds), so the linear scan is fine.
+  double total = 0;
+  for (uint64_t k = 1; k <= n; ++k) total += std::pow(static_cast<double>(k), -s);
+  double u = UniformDouble() * total;
+  double acc = 0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    acc += std::pow(static_cast<double>(k), -s);
+    if (u < acc) return k;
+  }
+  return n;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    XEE_CHECK(w >= 0);
+    total += w;
+  }
+  XEE_CHECK(total > 0);
+  double u = UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace xee

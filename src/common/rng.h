@@ -1,0 +1,52 @@
+#ifndef XEE_COMMON_RNG_H_
+#define XEE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace xee {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Every stochastic component in the library (data generators, workload
+/// generator) takes an explicit Rng so that datasets and experiments are
+/// reproducible from a seed; nothing reads global entropy.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield identical streams.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  uint64_t UniformInt(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [1, n] with exponent `s` (s=0 is uniform).
+  /// Used to model skewed tag/sibling frequencies in the data generators.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Picks a uniformly random element index of a non-empty size.
+  size_t Index(size_t size) {
+    XEE_CHECK(size > 0);
+    return static_cast<size_t>(UniformInt(0, size - 1));
+  }
+
+  /// Samples an index according to non-negative `weights` (not all zero).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace xee
+
+#endif  // XEE_COMMON_RNG_H_

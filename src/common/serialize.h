@@ -1,0 +1,77 @@
+#ifndef XEE_COMMON_SERIALIZE_H_
+#define XEE_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xee {
+
+/// Append-only little-endian binary encoder used by synopsis
+/// serialization. All integers are fixed-width; strings and blobs are
+/// length-prefixed with u32.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  const std::string& data() const& { return out_; }
+  std::string data() && { return std::move(out_); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  std::string out_;
+};
+
+/// Bounds-checked decoder matching BinaryWriter. All getters return an
+/// error Status on truncation instead of reading out of bounds.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Status GetU8(uint8_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetDouble(double* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetString(std::string* s) {
+    uint32_t len = 0;
+    Status st = GetU32(&len);
+    if (!st.ok()) return st;
+    if (len > Remaining()) return Truncated();
+    *s = std::string(data_.substr(pos_, len));
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  size_t Remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status GetRaw(void* p, size_t n) {
+    if (n > Remaining()) return Truncated();
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+  static Status Truncated() {
+    return Status(StatusCode::kParseError, "truncated binary data");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xee
+
+#endif  // XEE_COMMON_SERIALIZE_H_

@@ -1,0 +1,90 @@
+#ifndef XEE_COMMON_STATUS_H_
+#define XEE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace xee {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< Caller passed something structurally wrong.
+  kParseError,       ///< Malformed XML or XPath input.
+  kNotFound,         ///< Lookup key absent (tag, path id, ...).
+  kUnsupported,      ///< Valid input outside the implemented fragment.
+  kInternal,         ///< Invariant violation surfaced as a status.
+};
+
+/// Returns a short lowercase name for `code` (e.g. "parse-error").
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight success-or-error value. Library entry points that can fail
+/// on user input return Status (or Result<T>); exceptions are not used.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs an error status; `code` must not be kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    XEE_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "ok" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// error result aborts (programmer error).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a success result holding `value`.
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Constructs an error result; `status` must be an error.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT
+    XEE_CHECK(!std::get<Status>(v_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// Returns the error status, or OK when this result holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(v_);
+  }
+
+  const T& value() const& {
+    XEE_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    XEE_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    XEE_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(v_));
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace xee
+
+#endif  // XEE_COMMON_STATUS_H_

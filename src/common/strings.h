@@ -1,0 +1,27 @@
+#ifndef XEE_COMMON_STRINGS_H_
+#define XEE_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xee {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a byte count as "123 B" / "1.2 KB" / "3.4 MB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace xee
+
+#endif  // XEE_COMMON_STRINGS_H_

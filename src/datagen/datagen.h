@@ -1,0 +1,58 @@
+#ifndef XEE_DATAGEN_DATAGEN_H_
+#define XEE_DATAGEN_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/tree.h"
+
+namespace xee::datagen {
+
+/// Options shared by all dataset generators.
+struct GenOptions {
+  /// PRNG seed; identical seeds produce identical documents.
+  uint64_t seed = 42;
+
+  /// Size multiplier. scale=1.0 targets the library's default document
+  /// sizes (tens of thousands of elements, so the full experiment suite
+  /// runs in minutes); the paper's originals correspond to roughly
+  /// scale 4 (SSPlays), 16 (DBLP) and 6 (XMark).
+  double scale = 1.0;
+
+  /// Attach short text snippets to leaf elements (affects serialized
+  /// size only; the estimator ignores text).
+  bool with_text = true;
+};
+
+/// Generates a Shakespeare-plays-shaped document (substitute for the
+/// paper's SSPlays dataset [1]): a PLAYS collection of PLAY elements with
+/// the classic ACT/SCENE/SPEECH/SPEAKER/LINE structure. Regular and deep;
+/// ~21 distinct tags and ~40 distinct root-to-leaf paths, matching the
+/// characteristics in the paper's Tables 1 and 3. Returned finalized.
+xml::Document GenerateSsPlays(const GenOptions& options);
+
+/// Generates a DBLP-shaped bibliography (substitute for [2]): a flat and
+/// very wide tree of publication records. ~31 distinct tags, ~87 distinct
+/// root-to-leaf paths, extreme sibling fan-out under the root — the
+/// property the paper uses to explain DBLP's order-information blow-up.
+xml::Document GenerateDblp(const GenOptions& options);
+
+/// Generates an XMark-shaped auction site document (substitute for [3]):
+/// regions/items, people, open and closed auctions, with recursive
+/// parlist/listitem description trees. ~74 distinct tags and several
+/// hundred distinct root-to-leaf paths, yielding long path ids.
+xml::Document GenerateXMark(const GenOptions& options);
+
+/// Names of the built-in datasets: {"ssplays", "dblp", "xmark"}.
+std::vector<std::string> DatasetNames();
+
+/// Generates a dataset by name (case-sensitive); kNotFound for unknown
+/// names.
+Result<xml::Document> GenerateByName(const std::string& name,
+                                     const GenOptions& options);
+
+}  // namespace xee::datagen
+
+#endif  // XEE_DATAGEN_DATAGEN_H_

@@ -1,0 +1,171 @@
+#include <algorithm>
+
+#include "common/rng.h"
+#include "datagen/datagen.h"
+#include "datagen/text_pool.h"
+
+namespace xee::datagen {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+/// Attaches `text` to `node` only when `with_text`. The text argument is
+/// always evaluated, so the caller's RNG stream — and thus the generated
+/// tree shape — does not depend on the flag.
+void MaybeText(xml::Document& doc, xml::NodeId node, bool with_text,
+               const std::string& text) {
+  if (with_text) doc.AppendText(node, text);
+}
+
+void AddLeaf(Document& doc, NodeId parent, const char* tag, Rng& rng,
+             bool with_text, int words = 3) {
+  NodeId n = doc.AppendChild(parent, tag);
+  MaybeText(doc, n, with_text, RandomWords(rng, words));
+}
+
+void AddAuthors(Document& doc, NodeId rec, Rng& rng, bool with_text,
+                uint64_t lo, uint64_t hi) {
+  uint64_t n = rng.UniformInt(lo, hi);
+  for (uint64_t i = 0; i < n; ++i) {
+    NodeId a = doc.AppendChild(rec, "author");
+    MaybeText(doc, a, with_text, RandomName(rng));
+  }
+}
+
+void AddCommonTail(Document& doc, NodeId rec, Rng& rng, bool with_text) {
+  if (rng.Bernoulli(0.7)) AddLeaf(doc, rec, "pages", rng, with_text, 1);
+  if (rng.Bernoulli(0.6)) AddLeaf(doc, rec, "ee", rng, with_text, 1);
+  if (rng.Bernoulli(0.5)) AddLeaf(doc, rec, "url", rng, with_text, 1);
+  uint64_t cites = rng.Bernoulli(0.15) ? rng.UniformInt(1, 5) : 0;
+  for (uint64_t i = 0; i < cites; ++i) {
+    AddLeaf(doc, rec, "cite", rng, with_text, 1);
+  }
+  if (rng.Bernoulli(0.05)) AddLeaf(doc, rec, "note", rng, with_text, 4);
+}
+
+void GenArticle(Document& doc, NodeId root, Rng& rng, bool with_text) {
+  NodeId rec = doc.AppendChild(root, "article");
+  AddAuthors(doc, rec, rng, with_text, 1, 5);
+  AddLeaf(doc, rec, "title", rng, with_text, 6);
+  AddLeaf(doc, rec, "journal", rng, with_text, 3);
+  if (rng.Bernoulli(0.8)) AddLeaf(doc, rec, "volume", rng, with_text, 1);
+  if (rng.Bernoulli(0.6)) AddLeaf(doc, rec, "number", rng, with_text, 1);
+  if (rng.Bernoulli(0.2)) AddLeaf(doc, rec, "month", rng, with_text, 1);
+  NodeId y = doc.AppendChild(rec, "year");
+  MaybeText(doc, y, with_text, RandomYear(rng));
+  AddCommonTail(doc, rec, rng, with_text);
+}
+
+void GenInproceedings(Document& doc, NodeId root, Rng& rng, bool with_text) {
+  NodeId rec = doc.AppendChild(root, "inproceedings");
+  AddAuthors(doc, rec, rng, with_text, 1, 4);
+  AddLeaf(doc, rec, "title", rng, with_text, 6);
+  AddLeaf(doc, rec, "booktitle", rng, with_text, 3);
+  NodeId y = doc.AppendChild(rec, "year");
+  MaybeText(doc, y, with_text, RandomYear(rng));
+  if (rng.Bernoulli(0.5)) AddLeaf(doc, rec, "crossref", rng, with_text, 1);
+  AddCommonTail(doc, rec, rng, with_text);
+}
+
+void GenProceedings(Document& doc, NodeId root, Rng& rng, bool with_text) {
+  NodeId rec = doc.AppendChild(root, "proceedings");
+  uint64_t editors = rng.UniformInt(1, 3);
+  for (uint64_t i = 0; i < editors; ++i) {
+    NodeId e = doc.AppendChild(rec, "editor");
+    MaybeText(doc, e, with_text, RandomName(rng));
+  }
+  AddLeaf(doc, rec, "title", rng, with_text, 6);
+  AddLeaf(doc, rec, "booktitle", rng, with_text, 3);
+  if (rng.Bernoulli(0.7)) AddLeaf(doc, rec, "series", rng, with_text, 2);
+  if (rng.Bernoulli(0.7)) AddLeaf(doc, rec, "volume", rng, with_text, 1);
+  AddLeaf(doc, rec, "publisher", rng, with_text, 2);
+  if (rng.Bernoulli(0.8)) AddLeaf(doc, rec, "isbn", rng, with_text, 1);
+  NodeId y = doc.AppendChild(rec, "year");
+  MaybeText(doc, y, with_text, RandomYear(rng));
+  AddCommonTail(doc, rec, rng, with_text);
+}
+
+void GenBook(Document& doc, NodeId root, Rng& rng, bool with_text) {
+  NodeId rec = doc.AppendChild(root, "book");
+  AddAuthors(doc, rec, rng, with_text, 1, 3);
+  AddLeaf(doc, rec, "title", rng, with_text, 5);
+  AddLeaf(doc, rec, "publisher", rng, with_text, 2);
+  if (rng.Bernoulli(0.8)) AddLeaf(doc, rec, "isbn", rng, with_text, 1);
+  NodeId y = doc.AppendChild(rec, "year");
+  MaybeText(doc, y, with_text, RandomYear(rng));
+  AddCommonTail(doc, rec, rng, with_text);
+}
+
+void GenIncollection(Document& doc, NodeId root, Rng& rng, bool with_text) {
+  NodeId rec = doc.AppendChild(root, "incollection");
+  AddAuthors(doc, rec, rng, with_text, 1, 4);
+  AddLeaf(doc, rec, "title", rng, with_text, 6);
+  AddLeaf(doc, rec, "booktitle", rng, with_text, 3);
+  if (rng.Bernoulli(0.6)) AddLeaf(doc, rec, "chapter", rng, with_text, 1);
+  NodeId y = doc.AppendChild(rec, "year");
+  MaybeText(doc, y, with_text, RandomYear(rng));
+  AddCommonTail(doc, rec, rng, with_text);
+}
+
+void GenThesis(Document& doc, NodeId root, Rng& rng, bool with_text,
+               bool phd) {
+  NodeId rec = doc.AppendChild(root, phd ? "phdthesis" : "mastersthesis");
+  AddAuthors(doc, rec, rng, with_text, 1, 1);
+  AddLeaf(doc, rec, "title", rng, with_text, 7);
+  AddLeaf(doc, rec, "school", rng, with_text, 3);
+  NodeId y = doc.AppendChild(rec, "year");
+  MaybeText(doc, y, with_text, RandomYear(rng));
+  if (rng.Bernoulli(0.3)) AddLeaf(doc, rec, "month", rng, with_text, 1);
+}
+
+void GenWww(Document& doc, NodeId root, Rng& rng, bool with_text) {
+  NodeId rec = doc.AppendChild(root, "www");
+  AddAuthors(doc, rec, rng, with_text, 1, 2);
+  AddLeaf(doc, rec, "title", rng, with_text, 4);
+  AddLeaf(doc, rec, "url", rng, with_text, 1);
+}
+
+}  // namespace
+
+xml::Document GenerateDblp(const GenOptions& options) {
+  Rng rng(options.seed ^ 0xD13A5EED);
+  Document doc;
+  NodeId root = doc.CreateRoot("dblp");
+  int records = std::max(1, static_cast<int>(11000 * options.scale));
+  // Record-type mix loosely follows real DBLP proportions.
+  const std::vector<double> mix = {0.38, 0.42, 0.04, 0.02, 0.04,
+                                   0.03, 0.02, 0.05};
+  for (int i = 0; i < records; ++i) {
+    switch (rng.WeightedIndex(mix)) {
+      case 0:
+        GenArticle(doc, root, rng, options.with_text);
+        break;
+      case 1:
+        GenInproceedings(doc, root, rng, options.with_text);
+        break;
+      case 2:
+        GenProceedings(doc, root, rng, options.with_text);
+        break;
+      case 3:
+        GenBook(doc, root, rng, options.with_text);
+        break;
+      case 4:
+        GenIncollection(doc, root, rng, options.with_text);
+        break;
+      case 5:
+        GenThesis(doc, root, rng, options.with_text, /*phd=*/true);
+        break;
+      case 6:
+        GenThesis(doc, root, rng, options.with_text, /*phd=*/false);
+        break;
+      default:
+        GenWww(doc, root, rng, options.with_text);
+        break;
+    }
+  }
+  doc.Finalize();
+  return doc;
+}
+
+}  // namespace xee::datagen

@@ -1,0 +1,15 @@
+#include "datagen/datagen.h"
+
+namespace xee::datagen {
+
+std::vector<std::string> DatasetNames() { return {"ssplays", "dblp", "xmark"}; }
+
+Result<xml::Document> GenerateByName(const std::string& name,
+                                     const GenOptions& options) {
+  if (name == "ssplays") return GenerateSsPlays(options);
+  if (name == "dblp") return GenerateDblp(options);
+  if (name == "xmark") return GenerateXMark(options);
+  return Status(StatusCode::kNotFound, "unknown dataset: " + name);
+}
+
+}  // namespace xee::datagen

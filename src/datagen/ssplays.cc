@@ -1,0 +1,145 @@
+#include <algorithm>
+
+#include "common/rng.h"
+#include "datagen/datagen.h"
+#include "datagen/text_pool.h"
+
+namespace xee::datagen {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+/// Attaches `text` to `node` only when `with_text`. The text argument is
+/// always evaluated, so the caller's RNG stream — and thus the generated
+/// tree shape — does not depend on the flag.
+void MaybeText(xml::Document& doc, xml::NodeId node, bool with_text,
+               const std::string& text) {
+  if (with_text) doc.AppendText(node, text);
+}
+
+/// One SPEECH: SPEAKER (occasionally two), LINEs, sometimes a STAGEDIR
+/// interleaved at the end.
+void GenSpeech(Document& doc, NodeId scene, Rng& rng, bool with_text) {
+  NodeId speech = doc.AppendChild(scene, "SPEECH");
+  NodeId speaker = doc.AppendChild(speech, "SPEAKER");
+  MaybeText(doc, speaker, with_text, RandomName(rng));
+  if (rng.Bernoulli(0.05)) {
+    NodeId speaker2 = doc.AppendChild(speech, "SPEAKER");
+    MaybeText(doc, speaker2, with_text, RandomName(rng));
+  }
+  uint64_t lines = rng.UniformInt(1, 8);
+  for (uint64_t i = 0; i < lines; ++i) {
+    NodeId line = doc.AppendChild(speech, "LINE");
+    MaybeText(doc, line, with_text, RandomWords(rng, 6));
+  }
+  if (rng.Bernoulli(0.1)) {
+    NodeId dir = doc.AppendChild(speech, "STAGEDIR");
+    MaybeText(doc, dir, with_text, RandomWords(rng, 3));
+  }
+}
+
+void GenScene(Document& doc, NodeId act, Rng& rng, bool with_text) {
+  NodeId scene = doc.AppendChild(act, "SCENE");
+  NodeId title = doc.AppendChild(scene, "TITLE");
+  MaybeText(doc, title, with_text, RandomWords(rng, 4));
+  if (rng.Bernoulli(0.8)) {
+    NodeId dir = doc.AppendChild(scene, "STAGEDIR");
+    MaybeText(doc, dir, with_text, RandomWords(rng, 5));
+  }
+  uint64_t speeches = rng.UniformInt(15, 35);
+  for (uint64_t i = 0; i < speeches; ++i) {
+    GenSpeech(doc, scene, rng, with_text);
+    // Occasional stage direction between speeches: exercises sibling
+    // order between SPEECH and STAGEDIR.
+    if (rng.Bernoulli(0.08)) {
+      NodeId dir = doc.AppendChild(scene, "STAGEDIR");
+      MaybeText(doc, dir, with_text, RandomWords(rng, 4));
+    }
+  }
+}
+
+void GenPlay(Document& doc, NodeId root, Rng& rng, bool with_text) {
+  NodeId play = doc.AppendChild(root, "PLAY");
+  NodeId title = doc.AppendChild(play, "TITLE");
+  MaybeText(doc, title, with_text, RandomWords(rng, 3));
+
+  // Front matter.
+  NodeId fm = doc.AppendChild(play, "FM");
+  uint64_t ps = rng.UniformInt(2, 4);
+  for (uint64_t i = 0; i < ps; ++i) {
+    NodeId p = doc.AppendChild(fm, "P");
+    MaybeText(doc, p, with_text, RandomWords(rng, 8));
+  }
+
+  // Dramatis personae.
+  NodeId personae = doc.AppendChild(play, "PERSONAE");
+  NodeId ptitle = doc.AppendChild(personae, "TITLE");
+  MaybeText(doc, ptitle, with_text, "Dramatis Personae");
+  uint64_t personas = rng.UniformInt(8, 20);
+  for (uint64_t i = 0; i < personas; ++i) {
+    NodeId persona = doc.AppendChild(personae, "PERSONA");
+    MaybeText(doc, persona, with_text, RandomName(rng));
+  }
+  uint64_t groups = rng.UniformInt(0, 3);
+  for (uint64_t g = 0; g < groups; ++g) {
+    NodeId group = doc.AppendChild(personae, "PGROUP");
+    uint64_t members = rng.UniformInt(2, 4);
+    for (uint64_t m = 0; m < members; ++m) {
+      NodeId persona = doc.AppendChild(group, "PERSONA");
+      MaybeText(doc, persona, with_text, RandomName(rng));
+    }
+    NodeId desc = doc.AppendChild(group, "GRPDESCR");
+    MaybeText(doc, desc, with_text, RandomWords(rng, 4));
+  }
+
+  NodeId scndescr = doc.AppendChild(play, "SCNDESCR");
+  MaybeText(doc, scndescr, with_text, RandomWords(rng, 6));
+  NodeId subt = doc.AppendChild(play, "PLAYSUBT");
+  MaybeText(doc, subt, with_text, RandomWords(rng, 3));
+
+  // Optional induction (gives a distinct path family).
+  if (rng.Bernoulli(0.15)) {
+    NodeId induct = doc.AppendChild(play, "INDUCT");
+    NodeId ititle = doc.AppendChild(induct, "TITLE");
+    MaybeText(doc, ititle, with_text, "Induction");
+    GenSpeech(doc, induct, rng, with_text);
+    GenSpeech(doc, induct, rng, with_text);
+  }
+
+  for (int a = 0; a < 5; ++a) {
+    NodeId act = doc.AppendChild(play, "ACT");
+    NodeId atitle = doc.AppendChild(act, "TITLE");
+    MaybeText(doc, atitle, with_text, RandomWords(rng, 2));
+    if (a == 0 && rng.Bernoulli(0.2)) {
+      NodeId prologue = doc.AppendChild(act, "PROLOGUE");
+      NodeId prtitle = doc.AppendChild(prologue, "TITLE");
+      MaybeText(doc, prtitle, with_text, "Prologue");
+      GenSpeech(doc, prologue, rng, with_text);
+    }
+    uint64_t scenes = rng.UniformInt(3, 7);
+    for (uint64_t s = 0; s < scenes; ++s) GenScene(doc, act, rng, with_text);
+    if (a == 4 && rng.Bernoulli(0.2)) {
+      NodeId epilogue = doc.AppendChild(act, "EPILOGUE");
+      NodeId eptitle = doc.AppendChild(epilogue, "TITLE");
+      MaybeText(doc, eptitle, with_text, "Epilogue");
+      GenSpeech(doc, epilogue, rng, with_text);
+    }
+  }
+}
+
+}  // namespace
+
+xml::Document GenerateSsPlays(const GenOptions& options) {
+  Rng rng(options.seed ^ 0x55AA55AA);
+  Document doc;
+  NodeId root = doc.CreateRoot("PLAYS");
+  int plays = std::max(1, static_cast<int>(13 * options.scale));
+  for (int i = 0; i < plays; ++i) {
+    GenPlay(doc, root, rng, options.with_text);
+  }
+  doc.Finalize();
+  return doc;
+}
+
+}  // namespace xee::datagen

@@ -1,0 +1,58 @@
+#include "datagen/text_pool.h"
+
+#include "common/strings.h"
+
+namespace xee::datagen {
+namespace {
+
+constexpr const char* kWords[] = {
+    "the",    "quality", "of",      "mercy",  "is",      "not",
+    "strained", "it",    "droppeth", "as",    "gentle",  "rain",
+    "from",   "heaven",  "upon",    "place",  "beneath", "twice",
+    "blest",  "him",     "that",    "gives",  "and",     "takes",
+    "mightiest", "in",   "throned", "monarch", "better", "than",
+    "crown",  "sceptre", "shows",   "force",  "temporal", "power",
+};
+
+constexpr const char* kFirstNames[] = {
+    "Corin",  "Amira", "Jun",    "Lena",  "Tomas", "Priya",
+    "Evander", "Sofia", "Niklas", "Wei",  "Aldo",  "Marta",
+};
+
+constexpr const char* kLastNames[] = {
+    "Blake", "Okafor", "Tanaka", "Silva",  "Novak",  "Iyer",
+    "Keller", "Moreau", "Lindh", "Zhang",  "Rossi",  "Haugen",
+};
+
+}  // namespace
+
+std::string RandomWords(Rng& rng, int words) {
+  std::string out;
+  constexpr size_t kN = sizeof(kWords) / sizeof(kWords[0]);
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += kWords[rng.Index(kN)];
+  }
+  return out;
+}
+
+std::string RandomName(Rng& rng) {
+  constexpr size_t kF = sizeof(kFirstNames) / sizeof(kFirstNames[0]);
+  constexpr size_t kL = sizeof(kLastNames) / sizeof(kLastNames[0]);
+  std::string out = kFirstNames[rng.Index(kF)];
+  out += ' ';
+  out += kLastNames[rng.Index(kL)];
+  return out;
+}
+
+std::string RandomYear(Rng& rng) {
+  return StrFormat("%llu", (unsigned long long)rng.UniformInt(1950, 2005));
+}
+
+std::string RandomNumber(Rng& rng, int lo, int hi) {
+  return StrFormat("%llu", (unsigned long long)rng.UniformInt(
+                               static_cast<uint64_t>(lo),
+                               static_cast<uint64_t>(hi)));
+}
+
+}  // namespace xee::datagen

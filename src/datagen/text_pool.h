@@ -1,0 +1,25 @@
+#ifndef XEE_DATAGEN_TEXT_POOL_H_
+#define XEE_DATAGEN_TEXT_POOL_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace xee::datagen {
+
+/// Produces short deterministic filler text for leaf elements: `words`
+/// words drawn from a fixed lexicon.
+std::string RandomWords(Rng& rng, int words);
+
+/// A deterministic pseudo-name like "Corin Blake".
+std::string RandomName(Rng& rng);
+
+/// A deterministic 4-digit year in [1950, 2005].
+std::string RandomYear(Rng& rng);
+
+/// A deterministic small integer rendered as text.
+std::string RandomNumber(Rng& rng, int lo, int hi);
+
+}  // namespace xee::datagen
+
+#endif  // XEE_DATAGEN_TEXT_POOL_H_

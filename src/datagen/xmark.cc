@@ -1,0 +1,217 @@
+#include <algorithm>
+
+#include "common/rng.h"
+#include "datagen/datagen.h"
+#include "datagen/text_pool.h"
+
+namespace xee::datagen {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+/// Attaches `text` to `node` only when `with_text`. The text argument is
+/// always evaluated, so the caller's RNG stream — and thus the generated
+/// tree shape — does not depend on the flag.
+void MaybeText(xml::Document& doc, xml::NodeId node, bool with_text,
+               const std::string& text) {
+  if (with_text) doc.AppendText(node, text);
+}
+
+void AddLeaf(Document& doc, NodeId parent, const char* tag, Rng& rng,
+             bool with_text, int words = 2) {
+  NodeId n = doc.AppendChild(parent, tag);
+  MaybeText(doc, n, with_text, RandomWords(rng, words));
+}
+
+/// description := text | parlist; parlist := listitem+ where each
+/// listitem recurses. This is XMark's recursive structure; depth is
+/// bounded like xmlgen's output.
+void GenDescriptionContent(Document& doc, NodeId parent, Rng& rng,
+                           bool with_text, int depth) {
+  // xmlgen emits text ~70% of the time and rarely nests parlists more
+  // than two levels deep.
+  if (depth >= 2 || rng.Bernoulli(0.7)) {
+    AddLeaf(doc, parent, "text", rng, with_text, 8);
+    return;
+  }
+  NodeId parlist = doc.AppendChild(parent, "parlist");
+  uint64_t items = rng.UniformInt(1, 3);
+  for (uint64_t i = 0; i < items; ++i) {
+    NodeId listitem = doc.AppendChild(parlist, "listitem");
+    GenDescriptionContent(doc, listitem, rng, with_text, depth + 1);
+  }
+}
+
+void GenDescription(Document& doc, NodeId parent, Rng& rng, bool with_text) {
+  NodeId desc = doc.AppendChild(parent, "description");
+  GenDescriptionContent(doc, desc, rng, with_text, 0);
+}
+
+void GenItem(Document& doc, NodeId region, Rng& rng, bool with_text) {
+  NodeId item = doc.AppendChild(region, "item");
+  AddLeaf(doc, item, "location", rng, with_text, 1);
+  AddLeaf(doc, item, "quantity", rng, with_text, 1);
+  AddLeaf(doc, item, "name", rng, with_text, 2);
+  NodeId payment = doc.AppendChild(item, "payment");
+  MaybeText(doc, payment, with_text, "Creditcard");
+  GenDescription(doc, item, rng, with_text);
+  if (rng.Bernoulli(0.8)) AddLeaf(doc, item, "shipping", rng, with_text, 3);
+  uint64_t cats = rng.UniformInt(1, 3);
+  for (uint64_t i = 0; i < cats; ++i) {
+    doc.AppendChild(item, "incategory");
+  }
+  if (rng.Bernoulli(0.4)) {
+    NodeId mailbox = doc.AppendChild(item, "mailbox");
+    uint64_t mails = rng.UniformInt(1, 3);
+    for (uint64_t i = 0; i < mails; ++i) {
+      NodeId mail = doc.AppendChild(mailbox, "mail");
+      AddLeaf(doc, mail, "from", rng, with_text, 2);
+      AddLeaf(doc, mail, "to", rng, with_text, 2);
+      AddLeaf(doc, mail, "date", rng, with_text, 1);
+      AddLeaf(doc, mail, "text", rng, with_text, 8);
+    }
+  }
+}
+
+void GenPerson(Document& doc, NodeId people, Rng& rng, bool with_text) {
+  NodeId person = doc.AppendChild(people, "person");
+  NodeId name = doc.AppendChild(person, "name");
+  MaybeText(doc, name, with_text, RandomName(rng));
+  AddLeaf(doc, person, "emailaddress", rng, with_text, 1);
+  if (rng.Bernoulli(0.4)) AddLeaf(doc, person, "phone", rng, with_text, 1);
+  if (rng.Bernoulli(0.5)) {
+    NodeId address = doc.AppendChild(person, "address");
+    AddLeaf(doc, address, "street", rng, with_text, 2);
+    AddLeaf(doc, address, "city", rng, with_text, 1);
+    AddLeaf(doc, address, "country", rng, with_text, 1);
+    AddLeaf(doc, address, "zipcode", rng, with_text, 1);
+  }
+  if (rng.Bernoulli(0.3)) AddLeaf(doc, person, "homepage", rng, with_text, 1);
+  if (rng.Bernoulli(0.5)) {
+    AddLeaf(doc, person, "creditcard", rng, with_text, 1);
+  }
+  if (rng.Bernoulli(0.7)) {
+    NodeId profile = doc.AppendChild(person, "profile");
+    uint64_t interests = rng.UniformInt(0, 3);
+    for (uint64_t i = 0; i < interests; ++i) {
+      doc.AppendChild(profile, "interest");
+    }
+    if (rng.Bernoulli(0.6)) {
+      AddLeaf(doc, profile, "education", rng, with_text, 1);
+    }
+    if (rng.Bernoulli(0.5)) AddLeaf(doc, profile, "gender", rng, with_text, 1);
+    AddLeaf(doc, profile, "business", rng, with_text, 1);
+    if (rng.Bernoulli(0.6)) AddLeaf(doc, profile, "age", rng, with_text, 1);
+  }
+  if (rng.Bernoulli(0.4)) {
+    NodeId watches = doc.AppendChild(person, "watches");
+    uint64_t n = rng.UniformInt(1, 3);
+    for (uint64_t i = 0; i < n; ++i) doc.AppendChild(watches, "watch");
+  }
+}
+
+void GenOpenAuction(Document& doc, NodeId parent, Rng& rng, bool with_text) {
+  NodeId auction = doc.AppendChild(parent, "open_auction");
+  AddLeaf(doc, auction, "initial", rng, with_text, 1);
+  if (rng.Bernoulli(0.4)) AddLeaf(doc, auction, "reserve", rng, with_text, 1);
+  uint64_t bidders = rng.UniformInt(0, 4);
+  for (uint64_t i = 0; i < bidders; ++i) {
+    NodeId bidder = doc.AppendChild(auction, "bidder");
+    AddLeaf(doc, bidder, "date", rng, with_text, 1);
+    AddLeaf(doc, bidder, "time", rng, with_text, 1);
+    doc.AppendChild(bidder, "personref");
+    AddLeaf(doc, bidder, "increase", rng, with_text, 1);
+  }
+  AddLeaf(doc, auction, "current", rng, with_text, 1);
+  if (rng.Bernoulli(0.3)) doc.AppendChild(auction, "privacy");
+  doc.AppendChild(auction, "itemref");
+  doc.AppendChild(auction, "seller");
+  NodeId annotation = doc.AppendChild(auction, "annotation");
+  AddLeaf(doc, annotation, "author", rng, with_text, 2);
+  GenDescription(doc, annotation, rng, with_text);
+  AddLeaf(doc, annotation, "happiness", rng, with_text, 1);
+  AddLeaf(doc, auction, "quantity", rng, with_text, 1);
+  AddLeaf(doc, auction, "type", rng, with_text, 1);
+  NodeId interval = doc.AppendChild(auction, "interval");
+  AddLeaf(doc, interval, "start", rng, with_text, 1);
+  AddLeaf(doc, interval, "end", rng, with_text, 1);
+}
+
+void GenClosedAuction(Document& doc, NodeId parent, Rng& rng,
+                      bool with_text) {
+  NodeId auction = doc.AppendChild(parent, "closed_auction");
+  doc.AppendChild(auction, "seller");
+  doc.AppendChild(auction, "buyer");
+  doc.AppendChild(auction, "itemref");
+  AddLeaf(doc, auction, "price", rng, with_text, 1);
+  AddLeaf(doc, auction, "date", rng, with_text, 1);
+  AddLeaf(doc, auction, "quantity", rng, with_text, 1);
+  AddLeaf(doc, auction, "type", rng, with_text, 1);
+  if (rng.Bernoulli(0.6)) {
+    NodeId annotation = doc.AppendChild(auction, "annotation");
+    AddLeaf(doc, annotation, "author", rng, with_text, 2);
+    GenDescription(doc, annotation, rng, with_text);
+    AddLeaf(doc, annotation, "happiness", rng, with_text, 1);
+  }
+}
+
+}  // namespace
+
+xml::Document GenerateXMark(const GenOptions& options) {
+  Rng rng(options.seed ^ 0x3A11C7E5);
+  Document doc;
+  NodeId site = doc.CreateRoot("site");
+
+  const double s = options.scale;
+  const int items_per_region = std::max(1, static_cast<int>(160 * s));
+  const int categories = std::max(1, static_cast<int>(60 * s));
+  const int persons = std::max(1, static_cast<int>(640 * s));
+  const int open_auctions = std::max(1, static_cast<int>(300 * s));
+  const int closed_auctions = std::max(1, static_cast<int>(240 * s));
+
+  NodeId regions = doc.AppendChild(site, "regions");
+  for (const char* region_name :
+       {"africa", "asia", "australia", "europe", "namerica", "samerica"}) {
+    NodeId region = doc.AppendChild(regions, region_name);
+    // Regions are intentionally uneven (as in xmlgen): skew the count.
+    int count = std::max(
+        1, static_cast<int>(items_per_region *
+                            (0.3 + 1.4 * rng.UniformDouble())));
+    for (int i = 0; i < count; ++i) {
+      GenItem(doc, region, rng, options.with_text);
+    }
+  }
+
+  NodeId cats = doc.AppendChild(site, "categories");
+  for (int i = 0; i < categories; ++i) {
+    NodeId category = doc.AppendChild(cats, "category");
+    AddLeaf(doc, category, "name", rng, options.with_text, 2);
+    GenDescription(doc, category, rng, options.with_text);
+  }
+
+  NodeId catgraph = doc.AppendChild(site, "catgraph");
+  for (int i = 0; i < categories; ++i) {
+    doc.AppendChild(catgraph, "edge");
+  }
+
+  NodeId people = doc.AppendChild(site, "people");
+  for (int i = 0; i < persons; ++i) {
+    GenPerson(doc, people, rng, options.with_text);
+  }
+
+  NodeId open = doc.AppendChild(site, "open_auctions");
+  for (int i = 0; i < open_auctions; ++i) {
+    GenOpenAuction(doc, open, rng, options.with_text);
+  }
+
+  NodeId closed = doc.AppendChild(site, "closed_auctions");
+  for (int i = 0; i < closed_auctions; ++i) {
+    GenClosedAuction(doc, closed, rng, options.with_text);
+  }
+
+  doc.Finalize();
+  return doc;
+}
+
+}  // namespace xee::datagen

@@ -1,0 +1,22 @@
+#include "encoding/containment.h"
+
+namespace xee::encoding {
+
+bool PidPairCompatible(const EncodingTable& table, xml::TagId tag_above,
+                       const PathIdBits& pid_above, xml::TagId tag_below,
+                       const PathIdBits& pid_below, AxisKind axis) {
+  if (!pid_above.Covers(pid_below)) return false;
+  const bool immediate = axis == AxisKind::kChild;
+  // Common paths of the two ids are exactly the set bits of pid_below.
+  bool found = false;
+  pid_below.ForEachSetBit([&](size_t enc) {
+    if (found) return;
+    if (table.TagBelowOnPath(static_cast<uint32_t>(enc), tag_above, tag_below,
+                             immediate)) {
+      found = true;
+    }
+  });
+  return found;
+}
+
+}  // namespace xee::encoding

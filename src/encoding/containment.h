@@ -1,0 +1,30 @@
+#ifndef XEE_ENCODING_CONTAINMENT_H_
+#define XEE_ENCODING_CONTAINMENT_H_
+
+#include "common/bitset.h"
+#include "encoding/encoding_table.h"
+
+namespace xee::encoding {
+
+/// Structural axis between two adjacent query nodes.
+enum class AxisKind {
+  kChild,       ///< '/'  — parent-child
+  kDescendant,  ///< '//' — ancestor-descendant
+};
+
+/// Path-id containment test used by the path-id join (paper Section 2).
+///
+/// Returns true iff nodes labeled (`tag_above`, `pid_above`) can have a
+/// (`tag_below`, `pid_below`) node below them via `axis`:
+///   1. pid_above covers pid_below — every path through the lower node
+///      also passes through the upper one (Cases 1 and 2 of Section 2);
+///   2. on at least one common root-to-leaf path (= set bits of
+///      pid_below), tag_below occurs below tag_above (immediately below
+///      for the child axis), verified against the encoding table.
+bool PidPairCompatible(const EncodingTable& table, xml::TagId tag_above,
+                       const PathIdBits& pid_above, xml::TagId tag_below,
+                       const PathIdBits& pid_below, AxisKind axis);
+
+}  // namespace xee::encoding
+
+#endif  // XEE_ENCODING_CONTAINMENT_H_

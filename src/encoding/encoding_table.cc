@@ -1,0 +1,102 @@
+#include "encoding/encoding_table.h"
+
+namespace xee::encoding {
+
+uint32_t EncodingTable::GetOrAssign(const TagPath& path) {
+  XEE_CHECK(!path.empty());
+  auto [it, inserted] =
+      by_path_.emplace(path, static_cast<uint32_t>(paths_.size() + 1));
+  if (inserted) paths_.push_back(path);
+  return it->second;
+}
+
+uint32_t EncodingTable::Find(const TagPath& path) const {
+  auto it = by_path_.find(path);
+  return it == by_path_.end() ? 0 : it->second;
+}
+
+std::string EncodingTable::PathString(uint32_t enc,
+                                      const xml::Document& doc) const {
+  const TagPath& p = Path(enc);
+  std::string out;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (i > 0) out += '/';
+    out += doc.TagNameOf(p[i]);
+  }
+  return out;
+}
+
+bool EncodingTable::PathHasTag(uint32_t enc, xml::TagId t) const {
+  if (t == kWildcardTag) return true;
+  for (xml::TagId x : Path(enc)) {
+    if (x == t) return true;
+  }
+  return false;
+}
+
+bool EncodingTable::TagBelowOnPath(uint32_t enc, xml::TagId above,
+                                   xml::TagId below, bool immediate) const {
+  const TagPath& p = Path(enc);
+  if (above == kWildcardTag && below == kWildcardTag) return p.size() >= 2;
+  if (above == kWildcardTag) {
+    // Any occurrence of `below` strictly below the root position works.
+    for (size_t i = 1; i < p.size(); ++i) {
+      if (p[i] == below) return true;
+    }
+    return false;
+  }
+  if (below == kWildcardTag) {
+    // Any occurrence of `above` with something beneath it.
+    for (size_t i = 0; i + 1 < p.size(); ++i) {
+      if (p[i] == above) return true;
+    }
+    return false;
+  }
+  if (immediate) {
+    for (size_t i = 0; i + 1 < p.size(); ++i) {
+      if (p[i] == above && p[i + 1] == below) return true;
+    }
+    return false;
+  }
+  // Any occurrence of `above` strictly above any occurrence of `below`.
+  bool seen_above = false;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (seen_above && p[i] == below) return true;
+    if (p[i] == above) seen_above = true;
+  }
+  return false;
+}
+
+std::vector<TagPath> EncodingTable::ChainsBelow(uint32_t enc,
+                                                xml::TagId above,
+                                                xml::TagId target) const {
+  const TagPath& p = Path(enc);
+  std::vector<TagPath> chains;
+  for (size_t i = 0; i + 1 < p.size(); ++i) {
+    if (p[i] != above) continue;
+    // Chains start at position i+1 and end at any later occurrence of
+    // `target`.
+    for (size_t j = i + 1; j < p.size(); ++j) {
+      if (p[j] != target) continue;
+      TagPath chain(p.begin() + static_cast<ptrdiff_t>(i + 1),
+                    p.begin() + static_cast<ptrdiff_t>(j + 1));
+      bool dup = false;
+      for (const TagPath& c : chains) {
+        if (c == chain) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) chains.push_back(std::move(chain));
+    }
+  }
+  return chains;
+}
+
+size_t EncodingTable::SizeBytes() const {
+  size_t bytes = 0;
+  for (const TagPath& p : paths_) bytes += p.size() * 1 + 2;
+  return bytes;
+}
+
+}  // namespace xee::encoding

@@ -1,0 +1,83 @@
+#ifndef XEE_ENCODING_ENCODING_TABLE_H_
+#define XEE_ENCODING_ENCODING_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace xee::encoding {
+
+/// A root-to-leaf path: the sequence of element tags from the document
+/// root (inclusive) down to a leaf element (inclusive).
+using TagPath = std::vector<xml::TagId>;
+
+/// Sentinel tag matching any element tag ("*" name tests). Accepted by
+/// the tag-relationship tests below; never stored in paths.
+inline constexpr xml::TagId kWildcardTag = UINT32_MAX;
+
+/// The encoding table of the path encoding scheme (paper Section 2,
+/// following [8]): assigns each distinct root-to-leaf tag path an integer
+/// encoding 1..N in order of first appearance in document order. Path ids
+/// are N-bit sequences whose bit `i` corresponds to the path encoded `i`.
+///
+/// Besides the path <-> integer mapping, this table answers the
+/// tag-relationship questions the estimator asks during the path-id join
+/// ("on path e, does tag Y occur (immediately) below tag X?") and the
+/// chain-decoding question used to rewrite `following`/`preceding` axes
+/// into sibling axes (Example 5.3).
+class EncodingTable {
+ public:
+  EncodingTable() = default;
+
+  /// Returns the encoding of `path`, assigning the next integer if unseen.
+  uint32_t GetOrAssign(const TagPath& path);
+
+  /// Returns the encoding of `path`, or 0 if the path was never assigned.
+  uint32_t Find(const TagPath& path) const;
+
+  /// Number of distinct root-to-leaf paths (= path-id width in bits).
+  size_t PathCount() const { return paths_.size(); }
+
+  /// The path with encoding `enc` (1-based).
+  const TagPath& Path(uint32_t enc) const {
+    XEE_CHECK(enc >= 1 && enc <= paths_.size());
+    return paths_[enc - 1];
+  }
+
+  /// Renders path `enc` as "Root/A/B/D" using `doc` for tag names.
+  std::string PathString(uint32_t enc, const xml::Document& doc) const;
+
+  // --- Tag relationship tests (used by the path-id join) ---------------
+
+  /// True iff tag `t` occurs anywhere on path `enc`.
+  bool PathHasTag(uint32_t enc, xml::TagId t) const;
+
+  /// True iff on path `enc` some occurrence of `below` lies strictly below
+  /// some occurrence of `above`. With `immediate`, `below` must be the
+  /// direct child (adjacent position) of `above`.
+  bool TagBelowOnPath(uint32_t enc, xml::TagId above, xml::TagId below,
+                      bool immediate) const;
+
+  /// All distinct tag chains `(c1, ..., ck)` on path `enc` such that some
+  /// occurrence of `above` is immediately followed by c1, and ck == target
+  /// occurs at the end of the chain (chains from a child of `above` down
+  /// to an occurrence of `target`). Used to rewrite `following::target`
+  /// under junction `above` into following-sibling::c1/c2/.../target.
+  std::vector<TagPath> ChainsBelow(uint32_t enc, xml::TagId above,
+                                   xml::TagId target) const;
+
+  /// Modeled storage footprint: per path, one tag reference per step plus
+  /// a 2-byte encoding integer (paper Table 3 "EncTab").
+  size_t SizeBytes() const;
+
+ private:
+  std::vector<TagPath> paths_;          // index = encoding - 1
+  std::map<TagPath, uint32_t> by_path_;  // path -> encoding
+};
+
+}  // namespace xee::encoding
+
+#endif  // XEE_ENCODING_ENCODING_TABLE_H_

@@ -1,0 +1,57 @@
+#ifndef XEE_ENCODING_LABELING_H_
+#define XEE_ENCODING_LABELING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "encoding/encoding_table.h"
+#include "xml/tree.h"
+
+namespace xee::encoding {
+
+/// A 1-based index into the document's table of distinct path ids; the
+/// integers attached to the path-id binary tree's leaves. Pid refs are
+/// assigned in bit-string lexicographic order of the id (so ref order is
+/// trie-leaf order), and 0 is reserved as "none".
+using PidRef = uint32_t;
+
+/// The complete path labeling of one document (paper Section 2):
+/// encoding table, per-node path ids, and the distinct path-id table.
+struct Labeling {
+  EncodingTable table;
+
+  /// Path id of every node, indexed by NodeId.
+  std::vector<PathIdBits> node_pids;
+
+  /// PidRef of every node, indexed by NodeId (1-based into distinct_pids).
+  std::vector<PidRef> node_pid_refs;
+
+  /// The distinct path ids, sorted by PathIdBits::LexLess;
+  /// `distinct_pids[ref - 1]` is the id for PidRef `ref`.
+  std::vector<PathIdBits> distinct_pids;
+
+  /// Width of every path id in bits (= number of distinct paths).
+  size_t PidBits() const { return table.PathCount(); }
+  /// Bytes per stored path id (paper Table 3 "Pid Size").
+  size_t PidSizeBytes() const { return (PidBits() + 7) / 8; }
+  /// Bytes of the raw path-id table (paper Table 3 "PidTab").
+  size_t PidTableSizeBytes() const {
+    return distinct_pids.size() * PidSizeBytes();
+  }
+
+  /// The path id for `ref` (1-based).
+  const PathIdBits& Pid(PidRef ref) const {
+    XEE_CHECK(ref >= 1 && ref <= distinct_pids.size());
+    return distinct_pids[ref - 1];
+  }
+};
+
+/// Labels every element of `doc`: enumerates distinct root-to-leaf paths
+/// in document order, assigns each leaf the single-bit id of its path, and
+/// each interior node the bit-or of its children's ids (Section 2).
+Labeling LabelDocument(const xml::Document& doc);
+
+}  // namespace xee::encoding
+
+#endif  // XEE_ENCODING_LABELING_H_

@@ -1,0 +1,464 @@
+#include "estimator/estimator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "encoding/containment.h"
+#include "stats/path_order.h"
+
+namespace xee::estimator {
+namespace {
+
+using xpath::OrderConstraint;
+using xpath::OrderKind;
+using xpath::Query;
+using xpath::RootMode;
+using xpath::StructAxis;
+
+encoding::AxisKind ToAxisKind(StructAxis axis) {
+  return axis == StructAxis::kChild ? encoding::AxisKind::kChild
+                                    : encoding::AxisKind::kDescendant;
+}
+
+/// True iff `node` is a strict descendant of `anc` in the query tree.
+bool IsQueryDescendant(const Query& q, int anc, int node) {
+  for (int n = q.nodes[node].parent; n != -1; n = q.nodes[n].parent) {
+    if (n == anc) return true;
+  }
+  return false;
+}
+
+/// Propagates a node mask downwards: any descendant of a marked node
+/// becomes marked. Parents precede children in index order.
+void PropagateDown(const Query& q, std::vector<bool>* mask) {
+  for (size_t i = 0; i < q.nodes.size(); ++i) {
+    int p = q.nodes[i].parent;
+    if (p >= 0 && (*mask)[p]) (*mask)[i] = true;
+  }
+}
+
+}  // namespace
+
+Result<double> Estimator::Estimate(const Query& query) const {
+  Status s = query.Validate();
+  if (!s.ok()) return s;
+  std::vector<xml::TagId> tags;
+  if (!ResolveTags(query, &tags)) return 0.0;
+
+  // Value predicates (extension): estimate the structure-only query and
+  // scale by the per-node text selectivities under independence. Built
+  // without value statistics, filters are ignored (factor 1).
+  {
+    bool any_filter = false;
+    for (const auto& n : query.nodes) any_filter |= n.value_filter.has_value();
+    if (any_filter) {
+      double factor = 1;
+      if (const stats::ValueStats* vs = syn_.value_stats()) {
+        for (size_t i = 0; i < query.nodes.size(); ++i) {
+          if (!query.nodes[i].value_filter.has_value()) continue;
+          factor *= tags[i] == encoding::kWildcardTag
+                        ? vs->GlobalSelectivity(*query.nodes[i].value_filter)
+                        : vs->Selectivity(tags[i],
+                                          *query.nodes[i].value_filter);
+        }
+      }
+      if (factor <= 0) return 0.0;
+      Query structural = query;
+      for (auto& n : structural.nodes) n.value_filter.reset();
+      Result<double> base = Estimate(structural);
+      if (!base.ok()) return base;
+      return base.value() * factor;
+    }
+  }
+
+  if (query.orders.empty()) return EstimateNoOrder(query);
+  if (query.orders.size() > 1) {
+    // Extension beyond the paper (which evaluates one order axis per
+    // query): assume constraints filter independently and compose the
+    // per-constraint ratios S_arrow(Q | c_i) / S(Q).
+    Query base = query;
+    base.orders.clear();
+    const double s_q = EstimateNoOrder(base);
+    if (s_q <= 0) return 0.0;
+    double result = s_q;
+    for (const OrderConstraint& c : query.orders) {
+      Query one = query;
+      one.orders = {c};
+      Result<double> r = Estimate(one);
+      if (!r.ok()) return r;
+      result *= r.value() / s_q;
+    }
+    return std::max(0.0, result);
+  }
+  // Order estimation needs concrete tags for the path-order tables (the
+  // constraint endpoints) and, for the following/preceding chain
+  // rewrite, the junction.
+  {
+    const OrderConstraint& oc = query.orders[0];
+    for (int n : {oc.before, oc.after}) {
+      if (query.nodes[n].tag == "*") {
+        return Status(StatusCode::kUnsupported,
+                      "wildcard steps cannot carry order constraints");
+      }
+    }
+    const int junction = query.nodes[oc.before].parent;
+    if (oc.kind == OrderKind::kDocument &&
+        query.nodes[junction].tag == "*") {
+      return Status(StatusCode::kUnsupported,
+                    "following/preceding under a wildcard junction is not "
+                    "supported");
+    }
+  }
+  if (!syn_.has_order()) {
+    return Status(StatusCode::kUnsupported,
+                  "synopsis was built without order statistics");
+  }
+  const OrderConstraint& c = query.orders[0];
+  if (c.kind == OrderKind::kSibling) {
+    return EstimateSiblingOrder(query);
+  }
+  return EstimateDocOrder(query);
+}
+
+bool Estimator::ResolveTags(const Query& q,
+                            std::vector<xml::TagId>* tags) const {
+  tags->clear();
+  tags->reserve(q.nodes.size());
+  for (const auto& n : q.nodes) {
+    if (n.tag == "*") {
+      tags->push_back(encoding::kWildcardTag);
+      continue;
+    }
+    auto id = syn_.FindTag(n.tag);
+    if (!id.has_value()) return false;
+    tags->push_back(*id);
+  }
+  return true;
+}
+
+bool Estimator::PathJoin(const Query& q, const std::vector<xml::TagId>& tags,
+                         std::vector<CandList>* cands) const {
+  cands->assign(q.nodes.size(), CandList{});
+  for (size_t i = 0; i < q.nodes.size(); ++i) {
+    CandList& list = (*cands)[i];
+    if (tags[i] == encoding::kWildcardTag) {
+      // "*" candidates: one entry per (tag, pid) pair, keeping the tag
+      // so the join can test relationships per concrete tag.
+      for (size_t t = 0; t < syn_.TagCount(); ++t) {
+        const xml::TagId tag = static_cast<xml::TagId>(t);
+        const histogram::PHistogram& h = syn_.PHisto(tag);
+        for (encoding::PidRef pid : h.PidsInOrder()) {
+          list.push_back(Cand{tag, pid, h.Frequency(pid)});
+        }
+      }
+      continue;
+    }
+    const histogram::PHistogram& h = syn_.PHisto(tags[i]);
+    list.reserve(h.PidsInOrder().size());
+    for (encoding::PidRef pid : h.PidsInOrder()) {
+      list.push_back(Cand{tags[i], pid, h.Frequency(pid)});
+    }
+  }
+
+  // An absolute first step must be the document root: same tag, and the
+  // root's path id (the id covering every path).
+  if (q.root_mode == RootMode::kAbsolute) {
+    if (tags[0] != syn_.root_tag() && tags[0] != encoding::kWildcardTag) {
+      return false;
+    }
+    CandList& list = (*cands)[0];
+    std::erase_if(list,
+                  [this](const Cand& c) { return c.pid != syn_.root_pid(); });
+  }
+
+  auto compatible = [this](const Cand& parent, const Cand& child,
+                           StructAxis axis) {
+    ++containment_tests_;
+    return encoding::PidPairCompatible(
+        syn_.table(), parent.tag, syn_.PidBits(parent.pid), child.tag,
+        syn_.PidBits(child.pid), ToAxisKind(axis));
+  };
+
+  // Semi-join reduction over every query edge; a sweep filters both
+  // endpoint lists. Returns true if something was removed.
+  auto sweep_edge = [&](size_t i) {
+    const int p = q.nodes[i].parent;
+    const StructAxis axis = q.nodes[i].axis;
+    CandList& pl = (*cands)[p];
+    CandList& cl = (*cands)[i];
+    const size_t before = pl.size() + cl.size();
+    std::erase_if(pl, [&](const Cand& pc) {
+      return std::none_of(cl.begin(), cl.end(), [&](const Cand& cc) {
+        return compatible(pc, cc, axis);
+      });
+    });
+    std::erase_if(cl, [&](const Cand& cc) {
+      return std::none_of(pl.begin(), pl.end(), [&](const Cand& pc) {
+        return compatible(pc, cc, axis);
+      });
+    });
+    return pl.size() + cl.size() != before;
+  };
+
+  if (join_to_fixpoint_) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 1; i < q.nodes.size(); ++i) {
+        changed |= sweep_edge(i);
+      }
+    }
+  } else {
+    // Single bottom-up then top-down pass (ablation A2): the classic
+    // two-pass semi-join reducer.
+    for (size_t i = q.nodes.size(); i-- > 1;) sweep_edge(i);
+    for (size_t i = 1; i < q.nodes.size(); ++i) sweep_edge(i);
+  }
+
+  for (const CandList& l : *cands) {
+    if (l.empty()) return false;
+  }
+  return true;
+}
+
+double Estimator::FreqSum(const CandList& l) {
+  double s = 0;
+  for (const Cand& c : l) s += c.freq;
+  return s;
+}
+
+double Estimator::EstimateNoOrder(const Query& q) const {
+  std::vector<xml::TagId> tags;
+  if (!ResolveTags(q, &tags)) return 0;
+  std::vector<CandList> join;
+  if (!PathJoin(q, tags, &join)) return 0;
+  return NodeSelectivity(q, tags, join, q.target);
+}
+
+double Estimator::NodeSelectivity(const Query& q,
+                                  const std::vector<xml::TagId>& tags,
+                                  const std::vector<CandList>& join,
+                                  int node) const {
+  const std::vector<int> spine = q.SpineOf(node);
+
+  // Deepest spine node strictly above `node` with off-spine branches.
+  int ni = -1;
+  int ni_spine_child = -1;
+  for (size_t i = 0; i + 1 < spine.size(); ++i) {
+    const int sn = spine[i];
+    const int next = spine[i + 1];
+    if (q.nodes[sn].children.size() > 1) {
+      ni = sn;
+      ni_spine_child = next;
+    }
+  }
+  // Trunk target (no branching strictly above): Theorem 4.1 — the joined
+  // frequency sum is the selectivity.
+  if (ni == -1) return FreqSum(join[node]);
+
+  // Branch target: Eq. 2. Q' drops the off-spine branches at ni; the
+  // selectivity of ni itself is computed recursively (it is strictly
+  // higher up, so this terminates).
+  std::vector<bool> keep(q.nodes.size(), true);
+  {
+    std::vector<bool> off(q.nodes.size(), false);
+    for (int child : q.nodes[ni].children) {
+      if (child != ni_spine_child) off[child] = true;
+    }
+    PropagateDown(q, &off);
+    for (size_t i = 0; i < q.nodes.size(); ++i) keep[i] = !off[i];
+  }
+
+  std::vector<int> map;
+  Query qp = q.SubQuery(keep, &map);
+  qp.orders.clear();
+  qp.target = map[node];
+  XEE_CHECK(map[node] >= 0 && map[ni] >= 0);
+
+  std::vector<xml::TagId> tags_p;
+  if (!ResolveTags(qp, &tags_p)) return 0;
+  std::vector<CandList> join_p;
+  if (!PathJoin(qp, tags_p, &join_p)) return 0;
+
+  const double s_q_ni = NodeSelectivity(q, tags, join, ni);
+  const double s_qp_ni = NodeSelectivity(qp, tags_p, join_p, map[ni]);
+  const double s_qp_n = NodeSelectivity(qp, tags_p, join_p, map[node]);
+  if (s_qp_ni <= 0) return 0;
+  return s_qp_n * s_q_ni / s_qp_ni;
+}
+
+double Estimator::OrderCellSum(const Query& q_prime, int x_in_prime,
+                               const std::string& other_tag_name,
+                               bool x_is_after) const {
+  std::vector<xml::TagId> tags;
+  if (!ResolveTags(q_prime, &tags)) return 0;
+  auto other = syn_.FindTag(other_tag_name);
+  if (!other.has_value()) return 0;
+  std::vector<CandList> join;
+  if (!PathJoin(q_prime, tags, &join)) return 0;
+
+  const histogram::OHistogram& oh = syn_.OHisto(tags[x_in_prime]);
+  const stats::OrderRegion region =
+      x_is_after ? stats::OrderRegion::kAfter : stats::OrderRegion::kBefore;
+  double sum = 0;
+  for (const Cand& c : join[x_in_prime]) {
+    sum += oh.Get(region, *other, c.pid);
+  }
+  return sum;
+}
+
+double Estimator::EstimateSiblingOrder(const Query& q) const {
+  const OrderConstraint& c = q.orders[0];
+  const int a = c.before;
+  const int b = c.after;
+
+  Query no_order = q;
+  no_order.orders.clear();
+
+  // Evaluates one sibling endpoint x (the other endpoint's branch is
+  // truncated to its head to form Q'). Returns the three quantities of
+  // Eq. 3: the o-histogram sum S_arrowQ'(x), the plain estimates
+  // S_Q'(x) and S_arrowQ(x).
+  struct Side {
+    double s_oh = 0;     // S_arrowQ'(x), exact w.r.t. the order tables
+    double s_qp = 0;     // S_Q'(x)
+    double s_arrow = 0;  // Eq. 3 estimate of S_arrowQ(x)
+  };
+  auto eval_side = [&](int x, int other, bool x_is_after) {
+    Side side;
+    // Q': truncate the other endpoint's branch to its head node.
+    std::vector<bool> keep(q.nodes.size(), true);
+    {
+      std::vector<bool> off(q.nodes.size(), false);
+      for (int child : q.nodes[other].children) off[child] = true;
+      PropagateDown(q, &off);
+      for (size_t i = 0; i < q.nodes.size(); ++i) keep[i] = !off[i];
+    }
+    std::vector<int> map;
+    Query qp = no_order.SubQuery(keep, &map);
+    XEE_CHECK(map[x] >= 0);
+    qp.target = map[x];
+    side.s_oh = OrderCellSum(qp, map[x], q.nodes[other].tag, x_is_after);
+    side.s_qp = EstimateNoOrder(qp);
+
+    Query qx = no_order;
+    qx.target = x;
+    const double s_q_x = EstimateNoOrder(qx);
+    side.s_arrow = side.s_qp > 0 ? side.s_oh * s_q_x / side.s_qp : 0;
+    return side;
+  };
+
+  const int t = q.target;
+  if (t == b) return eval_side(b, a, /*x_is_after=*/true).s_arrow;
+  if (t == a) return eval_side(a, b, /*x_is_after=*/false).s_arrow;
+
+  if (IsQueryDescendant(q, b, t)) {
+    // Eq. 4: scale the no-order estimate by the order ratio of b.
+    const Side side = eval_side(b, a, /*x_is_after=*/true);
+    Query qt = no_order;
+    qt.target = t;
+    const double s_q_t = EstimateNoOrder(qt);
+    return side.s_qp > 0 ? s_q_t * side.s_oh / side.s_qp : 0;
+  }
+  if (IsQueryDescendant(q, a, t)) {
+    const Side side = eval_side(a, b, /*x_is_after=*/false);
+    Query qt = no_order;
+    qt.target = t;
+    const double s_q_t = EstimateNoOrder(qt);
+    return side.s_qp > 0 ? s_q_t * side.s_oh / side.s_qp : 0;
+  }
+
+  // Trunk target: Eq. 5.
+  const Side sa = eval_side(a, b, /*x_is_after=*/false);
+  const Side sb = eval_side(b, a, /*x_is_after=*/true);
+  Query qt = no_order;
+  qt.target = t;
+  const double s_q_t = EstimateNoOrder(qt);
+  return std::min(s_q_t, std::min(sa.s_arrow, sb.s_arrow));
+}
+
+Result<double> Estimator::EstimateDocOrder(const Query& q) const {
+  const OrderConstraint& c = q.orders[0];
+  // The rewrite targets the endpoint attached via the descendant axis
+  // (created by a following::/preceding:: step). If both endpoints are
+  // child-attached, the document-order constraint between siblings is
+  // the sibling constraint.
+  int d;
+  if (q.nodes[c.after].axis == StructAxis::kDescendant) {
+    d = c.after;
+  } else if (q.nodes[c.before].axis == StructAxis::kDescendant) {
+    d = c.before;
+  } else {
+    Query sib = q;
+    sib.orders[0].kind = OrderKind::kSibling;
+    return EstimateSiblingOrder(sib);
+  }
+  const int ctx = d == c.after ? c.before : c.after;
+  const int junction = q.nodes[d].parent;
+  XEE_CHECK(junction >= 0);
+  if (q.nodes[ctx].axis != StructAxis::kChild) {
+    return Status(StatusCode::kUnsupported,
+                  "document-order context step must be child-attached");
+  }
+
+  std::vector<xml::TagId> tags;
+  if (!ResolveTags(q, &tags)) return 0.0;
+  std::vector<CandList> join;
+  if (!PathJoin(q, tags, &join)) return 0.0;
+
+  // Decode the surviving pids of d into tag chains below the junction
+  // (Example 5.3).
+  std::set<encoding::TagPath> chains;
+  for (const Cand& cand : join[d]) {
+    syn_.PidBits(cand.pid).ForEachSetBit([&](size_t enc) {
+      for (encoding::TagPath& chain : syn_.table().ChainsBelow(
+               static_cast<uint32_t>(enc), tags[junction], tags[d])) {
+        chains.insert(std::move(chain));
+      }
+    });
+  }
+  if (chains.empty()) return 0.0;
+
+  const bool target_in_d = q.target == d || IsQueryDescendant(q, d, q.target);
+  double total = 0;
+  for (const encoding::TagPath& chain : chains) {
+    // Rebuild the query with d replaced by an explicit child chain and a
+    // sibling constraint between ctx and the chain head.
+    Query rw;
+    rw.root_mode = q.root_mode;
+    std::vector<int> map(q.nodes.size(), -1);
+    int head = -1;
+    for (size_t i = 0; i < q.nodes.size(); ++i) {
+      if (static_cast<int>(i) == d) {
+        int cur = map[junction];
+        for (size_t s = 0; s < chain.size(); ++s) {
+          cur = rw.AddNode(syn_.TagName(chain[s]), StructAxis::kChild, cur);
+          if (s == 0) head = cur;
+        }
+        map[i] = cur;
+      } else {
+        const auto& n = q.nodes[i];
+        map[i] = rw.AddNode(n.tag, n.axis,
+                            n.parent == -1 ? -1 : map[n.parent]);
+      }
+    }
+    OrderConstraint sc;
+    sc.kind = OrderKind::kSibling;
+    sc.before = d == c.after ? map[ctx] : head;
+    sc.after = d == c.after ? head : map[ctx];
+    rw.orders.push_back(sc);
+    rw.target = map[q.target];
+    XEE_CHECK(rw.target >= 0);
+    total += EstimateSiblingOrder(rw);
+  }
+
+  if (target_in_d) return total;
+  // Target elsewhere: the chains partition d's possibilities, so the sum
+  // bounds the union; clamp by the no-order estimate.
+  Query qt = q;
+  qt.orders.clear();
+  return std::min(EstimateNoOrder(qt), total);
+}
+
+}  // namespace xee::estimator

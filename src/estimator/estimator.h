@@ -1,0 +1,92 @@
+#ifndef XEE_ESTIMATOR_ESTIMATOR_H_
+#define XEE_ESTIMATOR_ESTIMATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "estimator/synopsis.h"
+#include "xpath/query.h"
+
+namespace xee::estimator {
+
+/// Selectivity estimator for XPath expressions with and without order
+/// axes (paper Sections 4 and 5), driven entirely by a Synopsis.
+///
+/// Supported queries: trees of child/descendant name-test steps (with
+/// "*" wildcards) and branches, plus order constraints (sibling or
+/// scoped document order). One order constraint is the paper's query
+/// class (Eqs. 3-5); several constraints compose their correction
+/// ratios under an independence assumption (extension, DESIGN.md §5b).
+/// Queries mentioning tags absent from the document estimate to 0;
+/// wildcards on order-constraint endpoints return kUnsupported.
+class Estimator {
+ public:
+  /// The synopsis must outlive the estimator.
+  explicit Estimator(const Synopsis& synopsis) : syn_(synopsis) {}
+  /// Binding a temporary synopsis would dangle.
+  explicit Estimator(Synopsis&&) = delete;
+
+  /// Estimates the selectivity (result cardinality) of `query.target`.
+  Result<double> Estimate(const xpath::Query& query) const;
+
+  /// Number of (pid x pid) containment tests performed by path joins
+  /// since construction; exposed for the join ablation bench.
+  size_t containment_tests() const { return containment_tests_; }
+
+  /// When false (default is true), the path join runs a single
+  /// leaf-to-root then root-to-leaf pass instead of iterating to a
+  /// fixpoint. Ablation A2 in DESIGN.md.
+  void set_join_to_fixpoint(bool v) { join_to_fixpoint_ = v; }
+
+ private:
+  /// One surviving candidate: the element tag it stands for (equal to
+  /// the query node's tag except under "*" name tests, where one list
+  /// mixes tags), its path id, and its summarized frequency.
+  struct Cand {
+    xml::TagId tag;
+    encoding::PidRef pid;
+    double freq;
+  };
+  using CandList = std::vector<Cand>;
+
+  /// Per-query resolved tag ids; nullopt when some tag is unknown.
+  bool ResolveTags(const xpath::Query& q, std::vector<xml::TagId>* tags) const;
+
+  /// Runs the path-id join of Section 4. Returns false when some node's
+  /// candidate list becomes empty (estimate 0).
+  bool PathJoin(const xpath::Query& q, const std::vector<xml::TagId>& tags,
+                std::vector<CandList>* cands) const;
+
+  static double FreqSum(const CandList& l);
+
+  /// Selectivity of `q.target` ignoring order constraints (Theorem 4.1 +
+  /// Eq. 2 generalized to arbitrary branch trees, see DESIGN.md §2).
+  double EstimateNoOrder(const xpath::Query& q) const;
+
+  /// Recursive branch-part estimation given a completed join on `q`.
+  double NodeSelectivity(const xpath::Query& q,
+                         const std::vector<xml::TagId>& tags,
+                         const std::vector<CandList>& join, int node) const;
+
+  /// Queries with exactly one sibling-order constraint (Eqs. 3-5).
+  double EstimateSiblingOrder(const xpath::Query& q) const;
+
+  /// Queries with one document-order constraint: rewrite into
+  /// sibling-order queries via the encoding table (Section 5,
+  /// Example 5.3) and combine.
+  Result<double> EstimateDocOrder(const xpath::Query& q) const;
+
+  /// The o-histogram-backed selectivity S_arrowQ'(x) of a sibling
+  /// endpoint x: sum of order cells over x's pids surviving the join on
+  /// q_prime (x's branch kept whole, the other branch truncated).
+  double OrderCellSum(const xpath::Query& q_prime, int x_in_prime,
+                      const std::string& other_tag_name, bool x_is_after) const;
+
+  const Synopsis& syn_;
+  bool join_to_fixpoint_ = true;
+  mutable size_t containment_tests_ = 0;
+};
+
+}  // namespace xee::estimator
+
+#endif  // XEE_ESTIMATOR_ESTIMATOR_H_

@@ -1,0 +1,151 @@
+#include "histogram/o_histogram.h"
+
+#include <cmath>
+
+namespace xee::histogram {
+namespace {
+
+/// Incremental mean/variance accumulator over cell values.
+struct Welford {
+  double sum = 0;
+  double sum_sq = 0;
+  size_t n = 0;
+
+  void Add(double v) {
+    sum += v;
+    sum_sq += v * v;
+    ++n;
+  }
+  double Mean() const { return n == 0 ? 0 : sum / static_cast<double>(n); }
+  /// Mean squared deviation (the paper's variance is its square root).
+  double Msd() const {
+    if (n == 0) return 0;
+    double m = Mean();
+    return std::max(0.0, sum_sq / static_cast<double>(n) - m * m);
+  }
+};
+
+}  // namespace
+
+OHistogram OHistogram::Build(const stats::PathOrderTable& table,
+                             const std::vector<uint32_t>& row_of_tag,
+                             const std::vector<encoding::PidRef>& col_order,
+                             double variance_threshold) {
+  XEE_CHECK(variance_threshold >= 0);
+  OHistogram h;
+  h.row_of_tag_ = row_of_tag;
+  for (uint32_t c = 0; c < col_order.size(); ++c) {
+    h.col_of_.emplace(col_order[c], c);
+  }
+  if (table.rows().empty() || col_order.empty()) return h;
+
+  const size_t tag_count = row_of_tag.size();
+  const size_t num_rows = 2 * tag_count;
+  const size_t num_cols = col_order.size();
+
+  // Materialize the dense grid (rows x cols) of frequencies.
+  std::vector<std::vector<double>> grid(num_rows,
+                                        std::vector<double>(num_cols, 0));
+  std::vector<std::vector<bool>> nonempty(num_rows,
+                                          std::vector<bool>(num_cols, false));
+  for (const auto& [key, cells] : table.rows()) {
+    size_t row = (key.region == stats::OrderRegion::kAfter ? tag_count : 0) +
+                 row_of_tag[key.other_tag];
+    for (const auto& [pid, count] : cells) {
+      auto col = h.col_of_.find(pid);
+      XEE_CHECK_MSG(col != h.col_of_.end(),
+                    "path-order pid missing from p-histogram column order");
+      grid[row][col->second] = static_cast<double>(count);
+      nonempty[row][col->second] = true;
+    }
+  }
+
+  std::vector<std::vector<bool>> owned(num_rows,
+                                       std::vector<bool>(num_cols, false));
+  const double v2 = variance_threshold * variance_threshold;
+  const double eps = 1e-12;
+
+  for (size_t r = 0; r < num_rows; ++r) {
+    // A box never crosses the boundary between the before and after
+    // regions.
+    const size_t region_end = r < tag_count ? tag_count : num_rows;
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (!nonempty[r][c] || owned[r][c]) continue;
+
+      // Step 2a: extend the seed cell to a run of cells to the right.
+      Welford acc;
+      acc.Add(grid[r][c]);
+      size_t c2 = c;
+      while (c2 + 1 < num_cols && nonempty[r][c2 + 1] && !owned[r][c2 + 1]) {
+        Welford trial = acc;
+        trial.Add(grid[r][c2 + 1]);
+        if (trial.Msd() > v2 + eps) break;
+        acc = trial;
+        ++c2;
+      }
+
+      // Step 2b: extend the run downwards row by row within the region.
+      size_t r2 = r;
+      while (r2 + 1 < region_end) {
+        const size_t cand = r2 + 1;
+        bool any_nonempty = false;
+        bool blocked = false;
+        Welford trial = acc;
+        for (size_t cc = c; cc <= c2; ++cc) {
+          if (owned[cand][cc]) {
+            blocked = true;
+            break;
+          }
+          if (nonempty[cand][cc]) any_nonempty = true;
+          trial.Add(grid[cand][cc]);
+        }
+        if (blocked || !any_nonempty) break;
+        if (trial.Msd() > v2 + eps) break;
+        acc = trial;
+        r2 = cand;
+      }
+
+      for (size_t rr = r; rr <= r2; ++rr) {
+        for (size_t cc = c; cc <= c2; ++cc) owned[rr][cc] = true;
+      }
+      h.buckets_.push_back(Bucket{static_cast<uint32_t>(c),
+                                  static_cast<uint32_t>(r),
+                                  static_cast<uint32_t>(c2),
+                                  static_cast<uint32_t>(r2), acc.Mean()});
+    }
+  }
+  return h;
+}
+
+OHistogram OHistogram::FromBuckets(
+    std::vector<Bucket> buckets, const std::vector<uint32_t>& row_of_tag,
+    const std::vector<encoding::PidRef>& col_order) {
+  OHistogram h;
+  h.buckets_ = std::move(buckets);
+  h.row_of_tag_ = row_of_tag;
+  for (uint32_t c = 0; c < col_order.size(); ++c) {
+    h.col_of_.emplace(col_order[c], c);
+  }
+  return h;
+}
+
+double OHistogram::Get(stats::OrderRegion region, xml::TagId other,
+                       encoding::PidRef pid) const {
+  if (other >= row_of_tag_.size()) return 0;
+  auto col_it = col_of_.find(pid);
+  if (col_it == col_of_.end()) return 0;
+  const uint32_t col = col_it->second;
+  const uint32_t row =
+      (region == stats::OrderRegion::kAfter
+           ? static_cast<uint32_t>(row_of_tag_.size())
+           : 0) +
+      row_of_tag_[other];
+  for (const Bucket& b : buckets_) {
+    if (b.x1 <= col && col <= b.x2 && b.y1 <= row && row <= b.y2) {
+      return b.avg_freq;
+    }
+  }
+  return 0;
+}
+
+}  // namespace xee::histogram

@@ -1,0 +1,68 @@
+#ifndef XEE_HISTOGRAM_O_HISTOGRAM_H_
+#define XEE_HISTOGRAM_O_HISTOGRAM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/path_order.h"
+
+namespace xee::histogram {
+
+/// The o-histogram of paper Section 6 for one element tag X: summarizes
+/// X's path-order table with rectangular buckets (x.start, y.start,
+/// x.end, y.end, average frequency) over a grid whose columns are X's
+/// path ids in p-histogram order and whose rows are (region, other tag)
+/// pairs — the "+element" (before) block followed by the "element+"
+/// (after) block, tags in alphabetic order within each block.
+///
+/// Construction (Algorithm 2) scans non-empty cells row-wise; each seed
+/// cell is extended rightwards to a run (stopping at empty or owned
+/// cells) and then downwards row by row (stopping at an all-empty span,
+/// an owned cell, or the region boundary), keeping the intra-box standard
+/// deviation over *all* covered cells — zeros included — within the
+/// threshold.
+class OHistogram {
+ public:
+  struct Bucket {
+    uint32_t x1, y1, x2, y2;  // inclusive column/row bounds
+    double avg_freq;
+  };
+
+  /// Builds the o-histogram for one tag.
+  ///
+  /// `row_of_tag[t]` is the alphabetic rank of tag t among all document
+  /// tags (shared across all o-histograms of a document); rows for the
+  /// kAfter region live at rank + row_of_tag.size().
+  /// `col_order` is the tag's pid column order (PHistogram::PidsInOrder).
+  static OHistogram Build(const stats::PathOrderTable& table,
+                          const std::vector<uint32_t>& row_of_tag,
+                          const std::vector<encoding::PidRef>& col_order,
+                          double variance_threshold);
+
+  /// Reassembles a histogram from stored buckets (deserialization).
+  static OHistogram FromBuckets(std::vector<Bucket> buckets,
+                                const std::vector<uint32_t>& row_of_tag,
+                                const std::vector<encoding::PidRef>& col_order);
+
+  /// Summarized cell value g(pid, other): the covering bucket's average
+  /// frequency, or 0 when no bucket covers the cell.
+  double Get(stats::OrderRegion region, xml::TagId other,
+             encoding::PidRef pid) const;
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  size_t BucketCount() const { return buckets_.size(); }
+
+  /// Modeled footprint: four 2-byte coordinates plus a 4-byte average
+  /// per bucket.
+  size_t SizeBytes() const { return buckets_.size() * 12; }
+
+ private:
+  std::vector<Bucket> buckets_;
+  std::vector<uint32_t> row_of_tag_;  // alphabetic rank per TagId
+  std::unordered_map<encoding::PidRef, uint32_t> col_of_;
+};
+
+}  // namespace xee::histogram
+
+#endif  // XEE_HISTOGRAM_O_HISTOGRAM_H_

@@ -1,0 +1,116 @@
+#include "histogram/p_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xee::histogram {
+
+PHistogram PHistogram::Build(const std::vector<stats::PidFreq>& pid_freqs,
+                             double variance_threshold) {
+  XEE_CHECK(variance_threshold >= 0);
+  PHistogram h;
+  if (pid_freqs.empty()) return h;
+
+  // Step 1 of Algorithm 1: sort by frequency (ties by pid for
+  // determinism).
+  std::vector<stats::PidFreq> sorted = pid_freqs;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const stats::PidFreq& a, const stats::PidFreq& b) {
+              if (a.freq != b.freq) return a.freq < b.freq;
+              return a.pid < b.pid;
+            });
+
+  // Step 2-3: greedily grow buckets while the intra-bucket standard
+  // deviation stays within the threshold. Running sums give O(1) checks.
+  const double v2 = variance_threshold * variance_threshold;
+  Bucket cur;
+  double sum = 0, sum_sq = 0;
+  auto flush = [&] {
+    if (cur.pids.empty()) return;
+    cur.avg_freq = sum / static_cast<double>(cur.pids.size());
+    h.buckets_.push_back(std::move(cur));
+    cur = Bucket{};
+    sum = sum_sq = 0;
+  };
+  for (const stats::PidFreq& pf : sorted) {
+    const double f = static_cast<double>(pf.freq);
+    const double k = static_cast<double>(cur.pids.size() + 1);
+    const double nsum = sum + f;
+    const double nsum_sq = sum_sq + f * f;
+    const double mean = nsum / k;
+    // Mean squared deviation = E[f^2] - mean^2 (clamped for rounding).
+    const double msd = std::max(0.0, nsum_sq / k - mean * mean);
+    if (!cur.pids.empty() && msd > v2 + 1e-12) flush();
+    cur.pids.push_back(pf.pid);
+    sum += f;
+    sum_sq += f * f;
+  }
+  flush();
+
+  for (uint32_t b = 0; b < h.buckets_.size(); ++b) {
+    for (encoding::PidRef pid : h.buckets_[b].pids) {
+      h.pid_order_.push_back(pid);
+      h.bucket_of_.emplace(pid, b);
+    }
+  }
+  return h;
+}
+
+PHistogram PHistogram::BuildEquiCount(
+    const std::vector<stats::PidFreq>& pid_freqs, size_t bucket_count) {
+  PHistogram h;
+  if (pid_freqs.empty()) return h;
+  if (bucket_count < 1) bucket_count = 1;
+  if (bucket_count > pid_freqs.size()) bucket_count = pid_freqs.size();
+
+  std::vector<stats::PidFreq> sorted = pid_freqs;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const stats::PidFreq& a, const stats::PidFreq& b) {
+              if (a.freq != b.freq) return a.freq < b.freq;
+              return a.pid < b.pid;
+            });
+
+  const size_t n = sorted.size();
+  size_t start = 0;
+  for (size_t b = 0; b < bucket_count; ++b) {
+    const size_t end = (b + 1) * n / bucket_count;
+    Bucket bucket;
+    double sum = 0;
+    for (size_t i = start; i < end; ++i) {
+      bucket.pids.push_back(sorted[i].pid);
+      sum += static_cast<double>(sorted[i].freq);
+    }
+    if (!bucket.pids.empty()) {
+      bucket.avg_freq = sum / static_cast<double>(bucket.pids.size());
+      h.buckets_.push_back(std::move(bucket));
+    }
+    start = end;
+  }
+  for (uint32_t b = 0; b < h.buckets_.size(); ++b) {
+    for (encoding::PidRef pid : h.buckets_[b].pids) {
+      h.pid_order_.push_back(pid);
+      h.bucket_of_.emplace(pid, b);
+    }
+  }
+  return h;
+}
+
+PHistogram PHistogram::FromBuckets(std::vector<Bucket> buckets) {
+  PHistogram h;
+  h.buckets_ = std::move(buckets);
+  for (uint32_t b = 0; b < h.buckets_.size(); ++b) {
+    for (encoding::PidRef pid : h.buckets_[b].pids) {
+      h.pid_order_.push_back(pid);
+      h.bucket_of_.emplace(pid, b);
+    }
+  }
+  return h;
+}
+
+double PHistogram::Frequency(encoding::PidRef pid) const {
+  auto it = bucket_of_.find(pid);
+  if (it == bucket_of_.end()) return 0;
+  return buckets_[it->second].avg_freq;
+}
+
+}  // namespace xee::histogram

@@ -1,0 +1,76 @@
+#ifndef XEE_HISTOGRAM_P_HISTOGRAM_H_
+#define XEE_HISTOGRAM_P_HISTOGRAM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/pathid_frequency.h"
+
+namespace xee::histogram {
+
+/// The p-histogram of paper Section 6 for one element tag: summarizes the
+/// tag's pathId-frequency list in buckets holding a set of path ids and
+/// one average frequency. Construction (Algorithm 1) sorts entries by
+/// frequency and greedily grows each bucket while the intra-bucket
+/// frequency "variance" (the paper's definition is the standard
+/// deviation, sqrt(sum (f_i - avg)^2 / k)) stays within a threshold v.
+///
+/// With v = 0 every bucket holds entries of one identical frequency, so
+/// lookups are exact.
+class PHistogram {
+ public:
+  struct Bucket {
+    std::vector<encoding::PidRef> pids;
+    double avg_freq = 0;
+  };
+
+  /// Builds the histogram for a tag's (pid, freq) list (may be empty).
+  static PHistogram Build(const std::vector<stats::PidFreq>& pid_freqs,
+                          double variance_threshold);
+
+  /// Ablation baseline (DESIGN.md A1): frequency-sorted equi-count
+  /// buckets of ~`bucket_count` buckets, instead of variance-controlled
+  /// ones. Same storage model, so memory matches Build() output with the
+  /// same bucket count.
+  static PHistogram BuildEquiCount(const std::vector<stats::PidFreq>& pid_freqs,
+                                   size_t bucket_count);
+
+  /// Reassembles a histogram from stored buckets (deserialization); the
+  /// buckets must partition the tag's pids.
+  static PHistogram FromBuckets(std::vector<Bucket> buckets);
+
+  /// The summarized frequency of `pid`: the containing bucket's average,
+  /// or 0 when the tag never carries this pid.
+  double Frequency(encoding::PidRef pid) const;
+
+  /// True iff `pid` occurs in some bucket.
+  bool HasPid(encoding::PidRef pid) const {
+    return bucket_of_.find(pid) != bucket_of_.end();
+  }
+
+  /// All pids of this tag, concatenated in bucket order. This ordering
+  /// (ascending bucket average) is the column order the o-histogram uses
+  /// ("path ids order in p-histogram", Algorithm 2).
+  const std::vector<encoding::PidRef>& PidsInOrder() const {
+    return pid_order_;
+  }
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  size_t BucketCount() const { return buckets_.size(); }
+
+  /// Modeled footprint: 2 bytes per stored pid reference, plus 6 bytes
+  /// per bucket (4-byte average frequency + 2-byte entry count).
+  size_t SizeBytes() const {
+    return pid_order_.size() * 2 + buckets_.size() * 6;
+  }
+
+ private:
+  std::vector<Bucket> buckets_;
+  std::vector<encoding::PidRef> pid_order_;
+  std::unordered_map<encoding::PidRef, uint32_t> bucket_of_;
+};
+
+}  // namespace xee::histogram
+
+#endif  // XEE_HISTOGRAM_P_HISTOGRAM_H_

@@ -1,0 +1,213 @@
+#include "join/structural_join.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "encoding/containment.h"
+
+namespace xee::join {
+namespace {
+
+using encoding::PidRef;
+using xml::NodeId;
+using xpath::Query;
+using xpath::RootMode;
+using xpath::StructAxis;
+
+}  // namespace
+
+StructuralJoinExecutor::StructuralJoinExecutor(const xml::Document& doc)
+    : doc_(doc), labeling_(encoding::LabelDocument(doc)) {
+  XEE_CHECK_MSG(doc.finalized(), "document must be finalized");
+  by_tag_.resize(doc.TagCount());
+  for (NodeId n = 0; n < doc.NodeCount(); ++n) {
+    by_tag_[doc.Tag(n)].push_back(n);
+  }
+  auto by_preorder = [&doc](NodeId a, NodeId b) {
+    return doc.PreorderIndex(a) < doc.PreorderIndex(b);
+  };
+  for (auto& list : by_tag_) {
+    std::sort(list.begin(), list.end(), by_preorder);
+  }
+  all_nodes_.resize(doc.NodeCount());
+  for (NodeId n = 0; n < doc.NodeCount(); ++n) all_nodes_[n] = n;
+  std::sort(all_nodes_.begin(), all_nodes_.end(), by_preorder);
+}
+
+Result<std::vector<NodeId>> StructuralJoinExecutor::Execute(
+    const Query& q, const ExecOptions& options, ExecStats* stats) const {
+  Status st = q.Validate();
+  if (!st.ok()) return st;
+  if (!q.orders.empty()) {
+    return Status(StatusCode::kUnsupported,
+                  "structural join executor handles non-order queries; "
+                  "use ExactEvaluator for order axes");
+  }
+
+  ExecStats local;
+  ExecStats& s = stats != nullptr ? *stats : local;
+  s = ExecStats{};
+
+  // Resolve tags; unknown tag => empty result. kWildcardTag for "*".
+  std::vector<xml::TagId> tags(q.size());
+  for (size_t i = 0; i < q.size(); ++i) {
+    if (q.nodes[i].tag == "*") {
+      tags[i] = encoding::kWildcardTag;
+      continue;
+    }
+    auto t = doc_.FindTag(q.nodes[i].tag);
+    if (!t.has_value()) return std::vector<NodeId>{};
+    tags[i] = *t;
+  }
+
+  // Initial candidate lists (pre-order sorted).
+  std::vector<std::vector<NodeId>> lists(q.size());
+  for (size_t i = 0; i < q.size(); ++i) {
+    lists[i] = tags[i] == encoding::kWildcardTag ? all_nodes_
+                                                 : by_tag_[tags[i]];
+    if (q.nodes[i].value_filter.has_value()) {
+      std::erase_if(lists[i], [&](NodeId n) {
+        return doc_.Text(n) != *q.nodes[i].value_filter;
+      });
+    }
+    if (i == 0 && q.root_mode == RootMode::kAbsolute) {
+      std::erase_if(lists[0],
+                    [this](NodeId n) { return n != doc_.root(); });
+    }
+    s.candidates_initial += lists[i].size();
+  }
+
+  // Optional path-id pruning ([8]): run the pid-level semi-join over the
+  // distinct pids present in each candidate list, then drop elements
+  // whose pid did not survive.
+  if (options.use_pid_pruning) {
+    std::vector<std::set<PidRef>> pids(q.size());
+    for (size_t i = 0; i < q.size(); ++i) {
+      for (NodeId n : lists[i]) pids[i].insert(labeling_.node_pid_refs[n]);
+    }
+    auto compatible = [&](xml::TagId tp, PidRef pp, xml::TagId tc, PidRef pc,
+                          StructAxis axis) {
+      return encoding::PidPairCompatible(
+          labeling_.table, tp, labeling_.Pid(pp), tc, labeling_.Pid(pc),
+          axis == StructAxis::kChild ? encoding::AxisKind::kChild
+                                     : encoding::AxisKind::kDescendant);
+    };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 1; i < q.size(); ++i) {
+        const int p = q.nodes[i].parent;
+        const StructAxis axis = q.nodes[i].axis;
+        for (auto it = pids[p].begin(); it != pids[p].end();) {
+          bool any = false;
+          for (PidRef pc : pids[i]) {
+            if (compatible(tags[p], *it, tags[i], pc, axis)) {
+              any = true;
+              break;
+            }
+          }
+          if (any) {
+            ++it;
+          } else {
+            it = pids[p].erase(it);
+            changed = true;
+          }
+        }
+        for (auto it = pids[i].begin(); it != pids[i].end();) {
+          bool any = false;
+          for (PidRef pp : pids[p]) {
+            if (compatible(tags[p], pp, tags[i], *it, axis)) {
+              any = true;
+              break;
+            }
+          }
+          if (any) {
+            ++it;
+          } else {
+            it = pids[i].erase(it);
+            changed = true;
+          }
+        }
+      }
+    }
+    for (size_t i = 0; i < q.size(); ++i) {
+      std::erase_if(lists[i], [&](NodeId n) {
+        return pids[i].find(labeling_.node_pid_refs[n]) == pids[i].end();
+      });
+      if (lists[i].empty()) return std::vector<NodeId>{};
+    }
+  }
+  for (size_t i = 0; i < q.size(); ++i) {
+    s.candidates_pruned += lists[i].size();
+  }
+
+  // Membership masks for O(1) parent checks.
+  auto make_mask = [this](const std::vector<NodeId>& list) {
+    std::vector<uint8_t> mask(doc_.NodeCount(), 0);
+    for (NodeId n : list) mask[n] = 1;
+    return mask;
+  };
+
+  // Does `list` (pre-order sorted) contain a strict descendant of p?
+  auto has_descendant_in = [&](const std::vector<NodeId>& list, NodeId p) {
+    const uint32_t begin = doc_.PreorderIndex(p);
+    const uint32_t end = doc_.SubtreeEnd(p);
+    ++s.join_checks;
+    auto it = std::upper_bound(list.begin(), list.end(), begin,
+                               [this](uint32_t pos, NodeId n) {
+                                 return pos < doc_.PreorderIndex(n);
+                               });
+    return it != list.end() && doc_.PreorderIndex(*it) < end;
+  };
+
+  // Bottom-up semi-join: filter each parent list by its child lists.
+  for (size_t i = q.size(); i-- > 1;) {
+    const int p = q.nodes[i].parent;
+    if (q.nodes[i].axis == StructAxis::kChild) {
+      // Parents of surviving children.
+      std::unordered_set<NodeId> parents;
+      for (NodeId c : lists[i]) {
+        if (doc_.Parent(c) != xml::kNullNode) parents.insert(doc_.Parent(c));
+      }
+      std::erase_if(lists[p], [&](NodeId n) {
+        ++s.join_checks;
+        return parents.find(n) == parents.end();
+      });
+    } else {
+      std::erase_if(lists[p],
+                    [&](NodeId n) { return !has_descendant_in(lists[i], n); });
+    }
+    if (lists[p].empty()) return std::vector<NodeId>{};
+  }
+
+  // Top-down semi-join: filter each child list by its (already reduced)
+  // parent list.
+  std::vector<std::vector<uint8_t>> masks(q.size());
+  masks[0] = make_mask(lists[0]);
+  for (size_t i = 1; i < q.size(); ++i) {
+    const int p = q.nodes[i].parent;
+    if (q.nodes[i].axis == StructAxis::kChild) {
+      std::erase_if(lists[i], [&](NodeId n) {
+        ++s.join_checks;
+        NodeId parent = doc_.Parent(n);
+        return parent == xml::kNullNode || !masks[p][parent];
+      });
+    } else {
+      std::erase_if(lists[i], [&](NodeId n) {
+        for (NodeId a = doc_.Parent(n); a != xml::kNullNode;
+             a = doc_.Parent(a)) {
+          ++s.join_checks;
+          if (masks[p][a]) return false;
+        }
+        return true;
+      });
+    }
+    if (lists[i].empty()) return std::vector<NodeId>{};
+    masks[i] = make_mask(lists[i]);
+  }
+
+  return lists[q.target];
+}
+
+}  // namespace xee::join

@@ -1,0 +1,61 @@
+#ifndef XEE_JOIN_STRUCTURAL_JOIN_H_
+#define XEE_JOIN_STRUCTURAL_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "encoding/labeling.h"
+#include "xml/tree.h"
+#include "xpath/query.h"
+
+namespace xee::join {
+
+/// Execution options.
+struct ExecOptions {
+  /// Run the path-id join first and drop candidate elements whose path
+  /// id cannot contribute (the optimization of [8], "A Path-Based
+  /// Labeling Scheme for Efficient Structural Join", on which the
+  /// paper's estimator builds).
+  bool use_pid_pruning = true;
+};
+
+/// Work counters for one execution, for the pruning ablation bench.
+struct ExecStats {
+  /// Sum of candidate-list sizes before/after path-id pruning.
+  size_t candidates_initial = 0;
+  size_t candidates_pruned = 0;
+  /// Element-level membership/interval checks in the join passes.
+  size_t join_checks = 0;
+};
+
+/// Twig-query executor over the interval labeling: per-step candidate
+/// lists are reduced by a bottom-up then top-down structural semi-join
+/// (a full reducer for tree queries), optionally after path-id pruning.
+///
+/// Supports the estimator's non-order fragment (child/descendant axes,
+/// branches, wildcards, absolute/anywhere roots); queries with order
+/// constraints return kUnsupported — use eval::ExactEvaluator for those.
+/// For supported queries the result set equals ExactEvaluator::Matches
+/// (the two are independent implementations and cross-checked in tests).
+class StructuralJoinExecutor {
+ public:
+  /// Builds tag indexes and the path labeling; `doc` must be finalized
+  /// and outlive the executor.
+  explicit StructuralJoinExecutor(const xml::Document& doc);
+
+  /// Distinct elements bound to `q.target`, in document order.
+  Result<std::vector<xml::NodeId>> Execute(const xpath::Query& q,
+                                           const ExecOptions& options = {},
+                                           ExecStats* stats = nullptr) const;
+
+ private:
+  const xml::Document& doc_;
+  encoding::Labeling labeling_;
+  std::vector<std::vector<xml::NodeId>> by_tag_;  // sorted by pre-order
+  std::vector<xml::NodeId> all_nodes_;            // for "*" steps
+};
+
+}  // namespace xee::join
+
+#endif  // XEE_JOIN_STRUCTURAL_JOIN_H_

@@ -1,0 +1,66 @@
+#ifndef XEE_MARKOV_MARKOV_ESTIMATOR_H_
+#define XEE_MARKOV_MARKOV_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/tree.h"
+#include "xpath/query.h"
+
+namespace xee::markov {
+
+/// Construction knobs.
+struct MarkovOptions {
+  /// Window length: frequencies of every downward tag path of length up
+  /// to k are stored; longer chains are estimated by Markov chaining.
+  /// Must be >= 2.
+  size_t k = 2;
+};
+
+/// Third related-work baseline: the Markov path-frequency estimator of
+/// [11] (McHugh & Widom, Lore) as summarized in the paper's Section 8 —
+/// "stores the frequencies of all paths with length up to k, which are
+/// aggregated to estimate the node frequency of longer paths".
+///
+/// Faithful to the family's documented limitation ("these Markov-based
+/// solutions are limited to simple path queries"): only child-axis
+/// chains with the default (last-step) target are supported; descendant
+/// axes, branches, wildcards, order axes and value predicates return
+/// kUnsupported.
+class MarkovEstimator {
+ public:
+  static MarkovEstimator Build(const xml::Document& doc,
+                               const MarkovOptions& options = {});
+
+  /// Estimated selectivity of the chain's last step. Exact for chains of
+  /// length <= k; longer chains chain conditional frequencies:
+  ///   f(t1..tk) * prod_i f(t_i..t_{i+k-1}) / f(t_i..t_{i+k-2}).
+  Result<double> Estimate(const xpath::Query& q) const;
+
+  /// Raw frequency of a downward tag-name path (length <= k), 0 if
+  /// unseen. Exposed for tests and exploration.
+  uint64_t PathFrequency(const std::vector<std::string>& tags) const;
+
+  /// Modeled footprint: one 1-byte tag ref per gram position plus a
+  /// 4-byte count per stored gram.
+  size_t SizeBytes() const;
+
+  size_t k() const { return k_; }
+
+ private:
+  /// Encodes a tag-id window as a byte string key.
+  static std::string Key(const std::vector<xml::TagId>& window);
+
+  size_t k_ = 2;
+  std::vector<std::string> tag_names_;
+  xml::TagId root_tag_ = 0;
+  std::unordered_map<std::string, uint64_t> grams_;
+  size_t gram_bytes_ = 0;
+};
+
+}  // namespace xee::markov
+
+#endif  // XEE_MARKOV_MARKOV_ESTIMATOR_H_

@@ -1,0 +1,188 @@
+#include "pidtree/collapsed_pid_tree.h"
+
+namespace xee::pidtree {
+namespace {
+
+/// Bit values `from..to` (1-based, inclusive) of `bits` as a byte-per-bit
+/// vector.
+std::vector<uint8_t> Slice(const PathIdBits& bits, size_t from, size_t to) {
+  std::vector<uint8_t> out;
+  for (size_t b = from; b <= to; ++b) out.push_back(bits.Test(b) ? 1 : 0);
+  return out;
+}
+
+}  // namespace
+
+CollapsedPidTree::CollapsedPidTree(const std::vector<PathIdBits>& pids) {
+  XEE_CHECK(!pids.empty());
+  num_bits_ = pids[0].num_bits();
+  leaf_count_ = pids.size();
+  for (size_t i = 1; i < pids.size(); ++i) {
+    XEE_CHECK(PathIdBits::LexLess(pids[i - 1], pids[i]));
+  }
+
+  // Side descriptor used during recursive construction; nodes_ indices
+  // are assigned as branching points are discovered.
+  struct SideDesc {
+    int32_t child = -1;
+    std::vector<uint8_t> run;
+    bool tail_ones = false;
+  };
+
+  // Recursive lambda: describe pids[lo, hi) below shared bit prefix
+  // [1, pos].
+  auto build = [&](auto&& self, size_t lo, size_t hi,
+                   size_t pos) -> SideDesc {
+    SideDesc side;
+    if (hi - lo == 1) {
+      // Single pid: store the run up to the shorter homogeneous tail.
+      const PathIdBits& p = pids[lo];
+      size_t last_one = 0, last_zero = 0;
+      for (size_t b = pos + 1; b <= num_bits_; ++b) {
+        if (p.Test(b)) {
+          last_one = b;
+        } else {
+          last_zero = b;
+        }
+      }
+      if (last_one <= last_zero) {
+        side.tail_ones = false;  // all-0 tail after the last 1
+        if (last_one > pos) side.run = Slice(p, pos + 1, last_one);
+      } else {
+        side.tail_ones = true;  // all-1 tail after the last 0
+        if (last_zero > pos) side.run = Slice(p, pos + 1, last_zero);
+      }
+      return side;
+    }
+    // Divergence bit: first position where the range's min and max pids
+    // differ (all of the range shares the prefix before it).
+    size_t d = pos + 1;
+    while (pids[lo].Test(d) == pids[hi - 1].Test(d)) ++d;
+    XEE_CHECK(d <= num_bits_);
+    if (d > pos + 1) side.run = Slice(pids[lo], pos + 1, d - 1);
+    // Split: first index whose bit d is 1.
+    size_t split = lo;
+    while (!pids[split].Test(d)) ++split;
+    XEE_CHECK(split > lo && split < hi);
+
+    const int32_t node_idx = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    side.child = node_idx;
+    SideDesc left = self(self, lo, split, d);
+    SideDesc right = self(self, split, hi, d);
+    Node& node = nodes_[node_idx];
+    node.sep = static_cast<uint32_t>(split);  // max ref of the left side
+    node.left = left.child;
+    node.left_run = std::move(left.run);
+    node.left_pruned = !left.tail_ones;
+    node.right = right.child;
+    node.right_run = std::move(right.run);
+    node.right_pruned = !right.tail_ones;
+    return side;
+  };
+
+  SideDesc top = build(build, 0, pids.size(), 0);
+  // The top side is stored as a pseudo-node 'wrapping' the real root so
+  // Lookup/Find have one uniform loop: a node with sep = leaf_count_
+  // whose left side is the whole tree. (Every ref is <= sep.)
+  Node wrapper;
+  wrapper.sep = static_cast<uint32_t>(leaf_count_);
+  wrapper.left = top.child;
+  wrapper.left_run = std::move(top.run);
+  wrapper.left_pruned = !top.tail_ones;
+  nodes_.insert(nodes_.begin(), Node{});
+  // Inserting at the front shifted every index by one.
+  for (Node& n : nodes_) {
+    if (n.left >= 0) n.left += 1;
+    if (n.right >= 0) n.right += 1;
+  }
+  if (wrapper.left >= 0) wrapper.left += 1;
+  nodes_[0] = std::move(wrapper);
+}
+
+PathIdBits CollapsedPidTree::Lookup(encoding::PidRef ref) const {
+  XEE_CHECK(ref >= 1 && ref <= leaf_count_);
+  PathIdBits out(num_bits_);
+  size_t pos = 0;  // bits emitted so far
+  int32_t cur = 0;
+  bool first = true;
+  while (true) {
+    const Node& node = nodes_[cur];
+    bool go_right;
+    if (first) {
+      go_right = false;  // wrapper: everything is on the left
+      first = false;
+    } else {
+      ++pos;  // the node's own branching bit
+      go_right = ref > node.sep;
+      if (go_right) out.Set(pos);
+    }
+    const auto& run = go_right ? node.right_run : node.left_run;
+    for (uint8_t bit : run) {
+      ++pos;
+      if (bit) out.Set(pos);
+    }
+    const int32_t child = go_right ? node.right : node.left;
+    if (child < 0) {
+      const bool tail_ones =
+          go_right ? !node.right_pruned : !node.left_pruned;
+      if (tail_ones) {
+        for (size_t b = pos + 1; b <= num_bits_; ++b) out.Set(b);
+      }
+      return out;
+    }
+    cur = child;
+  }
+}
+
+encoding::PidRef CollapsedPidTree::Find(const PathIdBits& bits) const {
+  if (bits.num_bits() != num_bits_) return 0;
+  size_t pos = 0;
+  int32_t cur = 0;
+  bool first = true;
+  uint32_t lo = 1, hi = static_cast<uint32_t>(leaf_count_);
+  while (true) {
+    const Node& node = nodes_[cur];
+    bool go_right;
+    if (first) {
+      go_right = false;
+      first = false;
+    } else {
+      ++pos;
+      go_right = bits.Test(pos);
+      if (go_right) {
+        lo = node.sep + 1;
+      } else {
+        hi = node.sep;
+      }
+      if (lo > hi) return 0;
+    }
+    const auto& run = go_right ? node.right_run : node.left_run;
+    for (uint8_t bit : run) {
+      ++pos;
+      if (bits.Test(pos) != (bit != 0)) return 0;
+    }
+    const int32_t child = go_right ? node.right : node.left;
+    if (child < 0) {
+      const bool tail_ones =
+          go_right ? !node.right_pruned : !node.left_pruned;
+      for (size_t b = pos + 1; b <= num_bits_; ++b) {
+        if (bits.Test(b) != tail_ones) return 0;
+      }
+      return lo == hi ? lo : 0;
+    }
+    cur = child;
+  }
+}
+
+size_t CollapsedPidTree::SizeBytes() const {
+  size_t bytes = 0;
+  for (const Node& n : nodes_) {
+    bytes += 8;  // 2-byte integer + two 3-byte child refs
+    if (!n.left_run.empty()) bytes += 1 + (n.left_run.size() + 7) / 8;
+    if (!n.right_run.empty()) bytes += 1 + (n.right_run.size() + 7) / 8;
+  }
+  return bytes;
+}
+
+}  // namespace xee::pidtree

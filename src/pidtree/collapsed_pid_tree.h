@@ -1,0 +1,66 @@
+#ifndef XEE_PIDTREE_COLLAPSED_PID_TREE_H_
+#define XEE_PIDTREE_COLLAPSED_PID_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "encoding/labeling.h"
+
+namespace xee::pidtree {
+
+/// Extension of the paper's path-id binary tree (DESIGN.md §6 notes):
+/// a path-compressed (radix) variant. Besides removing pure 0/1 chains
+/// like the paper's structure, every remaining single-child chain is
+/// collapsed into one edge that stores the skipped bit run explicitly.
+///
+/// Rationale: the per-bit nodes of the paper's structure make mixed-bit
+/// chains expensive; the byte sizes the paper reports for its binary
+/// tree are only reachable when such chains are collapsed. This variant
+/// reproduces that behaviour; bench_table3 reports both structures.
+class CollapsedPidTree {
+ public:
+  /// Builds over `pids`: non-empty, equal widths, distinct, sorted by
+  /// PathIdBits::LexLess (a Labeling's `distinct_pids`).
+  explicit CollapsedPidTree(const std::vector<PathIdBits>& pids);
+
+  explicit CollapsedPidTree(const encoding::Labeling& labeling)
+      : CollapsedPidTree(labeling.distinct_pids) {}
+
+  size_t num_bits() const { return num_bits_; }
+  size_t LeafCount() const { return leaf_count_; }
+
+  /// Reconstructs the bit sequence of path id `ref` (1..LeafCount()).
+  PathIdBits Lookup(encoding::PidRef ref) const;
+
+  /// Returns the PidRef whose bit sequence is `bits`, or 0 if absent.
+  encoding::PidRef Find(const PathIdBits& bits) const;
+
+  size_t NodeCount() const { return nodes_.size(); }
+
+  /// Modeled footprint: 8 bytes per node (integer + 2 child refs) plus,
+  /// per edge with a collapsed run, 1 length byte and the run's bits
+  /// rounded up to whole bytes.
+  size_t SizeBytes() const;
+
+ private:
+  struct Node {
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t sep = 0;
+    bool left_pruned = false;   // pure-0 tail below the left edge
+    bool right_pruned = false;  // pure-1 tail below the right edge
+    // Bits skipped AFTER taking the left/right edge (the edge's own bit
+    // is implicit), in order.
+    std::vector<uint8_t> left_run;
+    std::vector<uint8_t> right_run;
+  };
+
+  size_t num_bits_ = 0;
+  size_t leaf_count_ = 0;
+  std::vector<Node> nodes_;  // nodes_[0] = root
+};
+
+}  // namespace xee::pidtree
+
+#endif  // XEE_PIDTREE_COLLAPSED_PID_TREE_H_

@@ -1,0 +1,176 @@
+#include "pidtree/pid_binary_tree.h"
+
+#include <utility>
+
+namespace xee::pidtree {
+
+PathIdBinaryTree::PathIdBinaryTree(const std::vector<PathIdBits>& pids) {
+  XEE_CHECK(!pids.empty());
+  num_bits_ = pids[0].num_bits();
+  leaf_count_ = pids.size();
+  XEE_CHECK(num_bits_ >= 1);
+
+  // --- Insert every pid into the trie. ---
+  nodes_.emplace_back();  // root
+  for (size_t i = 0; i < pids.size(); ++i) {
+    XEE_CHECK(pids[i].num_bits() == num_bits_);
+    if (i > 0) XEE_CHECK(PathIdBits::LexLess(pids[i - 1], pids[i]));
+    int32_t cur = 0;
+    for (size_t bit = 1; bit <= num_bits_; ++bit) {
+      int32_t& child = pids[i].Test(bit) ? nodes_[cur].right : nodes_[cur].left;
+      if (child < 0) {
+        child = static_cast<int32_t>(nodes_.size());
+        int32_t saved = child;  // nodes_ may reallocate
+        nodes_.emplace_back();
+        cur = saved;
+      } else {
+        cur = child;
+      }
+    }
+  }
+  uncompressed_node_count_ = nodes_.size();
+
+  // --- Assign separators (pre-compression): post-order computation of
+  // [min,max] leaf integers per subtree, with leaves numbered 1..K in
+  // in-order (= insertion/lex) order. ---
+  std::vector<std::pair<uint32_t, uint32_t>> range(
+      nodes_.size(), {0, 0});  // [min,max] leaf ids in subtree
+  {
+    uint32_t next_leaf = 0;
+    // Iterative post-order: stack of (node, state 0=descend-left,
+    // 1=descend-right, 2=finish).
+    std::vector<std::pair<int32_t, int>> stack;
+    stack.emplace_back(0, 0);
+    while (!stack.empty()) {
+      auto& [n, state] = stack.back();
+      Node& node = nodes_[n];
+      if (state == 0) {
+        state = 1;
+        if (node.left >= 0) stack.emplace_back(node.left, 0);
+      } else if (state == 1) {
+        state = 2;
+        if (node.right >= 0) stack.emplace_back(node.right, 0);
+      } else {
+        if (node.left < 0 && node.right < 0) {
+          uint32_t id = ++next_leaf;
+          range[n] = {id, id};
+          node.sep = id;  // a leaf carries its own integer
+        } else {
+          uint32_t lo = node.left >= 0 ? range[node.left].first
+                                       : range[node.right].first;
+          uint32_t hi = node.right >= 0 ? range[node.right].second
+                                        : range[node.left].second;
+          range[n] = {lo, hi};
+          node.sep = node.left >= 0 ? range[node.left].second
+                                    : range[node.right].first - 1;
+        }
+        stack.pop_back();
+      }
+    }
+    XEE_CHECK(next_leaf == leaf_count_);
+  }
+
+  // --- Compression: prune pure-left left subtrees and pure-right right
+  // subtrees (a bare leaf is pure in both senses). ---
+  for (Node& node : nodes_) {
+    if (node.left >= 0 && IsPureChain(node.left, /*left=*/true)) {
+      node.left = -1;
+      node.left_pruned = true;
+    }
+    if (node.right >= 0 && IsPureChain(node.right, /*left=*/false)) {
+      node.right = -1;
+      node.right_pruned = true;
+    }
+  }
+
+  // --- Count reachable nodes after compression. ---
+  {
+    size_t count = 0;
+    std::vector<int32_t> stack = {0};
+    while (!stack.empty()) {
+      int32_t n = stack.back();
+      stack.pop_back();
+      ++count;
+      if (nodes_[n].left >= 0) stack.push_back(nodes_[n].left);
+      if (nodes_[n].right >= 0) stack.push_back(nodes_[n].right);
+    }
+    kept_node_count_ = count;
+  }
+}
+
+bool PathIdBinaryTree::IsPureChain(int32_t n, bool left) const {
+  while (true) {
+    const Node& node = nodes_[n];
+    if (node.left < 0 && node.right < 0) return true;  // leaf
+    int32_t next = left ? node.left : node.right;
+    int32_t other = left ? node.right : node.left;
+    if (next < 0 || other >= 0) return false;
+    n = next;
+  }
+}
+
+PathIdBits PathIdBinaryTree::Lookup(encoding::PidRef ref) const {
+  XEE_CHECK(ref >= 1 && ref <= leaf_count_);
+  PathIdBits out(num_bits_);
+  int32_t cur = 0;
+  for (size_t bit = 1; bit <= num_bits_; ++bit) {
+    const Node& node = nodes_[cur];
+    bool go_right = ref > node.sep;
+    if (go_right) {
+      if (node.right < 0) {
+        // Pruned pure-right chain: remaining bits are all 1.
+        XEE_CHECK(node.right_pruned);
+        for (size_t b = bit; b <= num_bits_; ++b) out.Set(b);
+        return out;
+      }
+      out.Set(bit);
+      cur = node.right;
+    } else {
+      if (node.left < 0) {
+        // Pruned pure-left chain: remaining bits are all 0.
+        XEE_CHECK(node.left_pruned);
+        return out;
+      }
+      cur = node.left;
+    }
+  }
+  return out;
+}
+
+encoding::PidRef PathIdBinaryTree::Find(const PathIdBits& bits) const {
+  if (bits.num_bits() != num_bits_) return 0;
+  int32_t cur = 0;
+  uint32_t lo = 1;
+  uint32_t hi = static_cast<uint32_t>(leaf_count_);
+  for (size_t bit = 1; bit <= num_bits_; ++bit) {
+    const Node& node = nodes_[cur];
+    if (bits.Test(bit)) {
+      if (node.right < 0) {
+        if (!node.right_pruned) return 0;
+        // Remaining bits must all be 1; the leaf is the subtree maximum.
+        for (size_t b = bit; b <= num_bits_; ++b) {
+          if (!bits.Test(b)) return 0;
+        }
+        return hi;
+      }
+      lo = node.sep + 1;
+      cur = node.right;
+    } else {
+      if (node.left < 0) {
+        if (!node.left_pruned) return 0;
+        // Remaining bits must all be 0; the leaf is the left maximum.
+        for (size_t b = bit; b <= num_bits_; ++b) {
+          if (bits.Test(b)) return 0;
+        }
+        return node.sep;
+      }
+      hi = node.sep;
+      cur = node.left;
+    }
+  }
+  // All bits consumed on kept nodes: cannot happen, since leaf children
+  // are always pruned; kept for defensiveness.
+  return lo == hi ? lo : 0;
+}
+
+}  // namespace xee::pidtree

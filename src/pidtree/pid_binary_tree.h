@@ -1,0 +1,84 @@
+#ifndef XEE_PIDTREE_PID_BINARY_TREE_H_
+#define XEE_PIDTREE_PID_BINARY_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "encoding/labeling.h"
+
+namespace xee::pidtree {
+
+/// The path-id binary tree of paper Section 6: a bit-trie over the
+/// distinct path ids of a document, used to store the (path-id integer ->
+/// bit sequence) mapping more compactly than the raw path-id table.
+///
+/// * Left/right edges encode bit values 0/1; bit 1 (the paper's leftmost
+///   bit) is the edge out of the trie root.
+/// * Trie leaves, left to right, are the distinct path ids in bit-string
+///   lexicographic order; the integer attached to leaf `i` is the PidRef
+///   `i` (1-based), matching `encoding::Labeling::distinct_pids`.
+/// * Each internal node carries the largest leaf integer of its left
+///   subtree (or, with an empty left subtree, one less than the smallest
+///   integer of its right subtree), enabling navigation by integer.
+/// * Compression: a left (right) subtree containing only left (right)
+///   edges represents a run of 0 (1) bits and is removed together with
+///   its incoming edge; navigation reconstructs the run.
+class PathIdBinaryTree {
+ public:
+  /// Builds the tree over `pids`, which must be non-empty, of equal
+  /// widths, distinct, and sorted by PathIdBits::LexLess — exactly the
+  /// `distinct_pids` of a Labeling.
+  explicit PathIdBinaryTree(const std::vector<PathIdBits>& pids);
+
+  /// Convenience: builds over `labeling.distinct_pids`.
+  explicit PathIdBinaryTree(const encoding::Labeling& labeling)
+      : PathIdBinaryTree(labeling.distinct_pids) {}
+
+  /// Width of every path id in bits.
+  size_t num_bits() const { return num_bits_; }
+  /// Number of distinct path ids indexed.
+  size_t LeafCount() const { return leaf_count_; }
+
+  /// Reconstructs the bit sequence of path id `ref` (1..LeafCount()).
+  PathIdBits Lookup(encoding::PidRef ref) const;
+
+  /// Returns the PidRef whose bit sequence is `bits`, or 0 if absent.
+  encoding::PidRef Find(const PathIdBits& bits) const;
+
+  /// Number of nodes kept after compression (including the trie root).
+  size_t NodeCount() const { return kept_node_count_; }
+  /// Number of nodes before compression (for savings reporting).
+  size_t UncompressedNodeCount() const { return uncompressed_node_count_; }
+
+  /// Modeled storage footprint: 8 bytes per kept node (2-byte integer +
+  /// two 3-byte child references).
+  size_t SizeBytes() const { return kept_node_count_ * 8; }
+  /// Footprint without the pure-chain compression, same cost model.
+  size_t UncompressedSizeBytes() const {
+    return uncompressed_node_count_ * 8;
+  }
+
+ private:
+  struct Node {
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t sep = 0;  // largest leaf integer in the (original) left subtree
+    bool left_pruned = false;
+    bool right_pruned = false;
+  };
+
+  // Returns true iff the subtree at `n` contains only `left` (bit==0) or
+  // only `right` (bit==1) edges; used by the compression pass.
+  bool IsPureChain(int32_t n, bool left) const;
+
+  size_t num_bits_ = 0;
+  size_t leaf_count_ = 0;
+  size_t uncompressed_node_count_ = 0;
+  size_t kept_node_count_ = 0;
+  std::vector<Node> nodes_;  // nodes_[0] is the trie root (depth 0)
+};
+
+}  // namespace xee::pidtree
+
+#endif  // XEE_PIDTREE_PID_BINARY_TREE_H_

@@ -1,0 +1,76 @@
+#ifndef XEE_POSHIST_POSITION_HISTOGRAM_H_
+#define XEE_POSHIST_POSITION_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/tree.h"
+#include "xpath/query.h"
+
+namespace xee::poshist {
+
+/// Construction knobs.
+struct PositionHistogramOptions {
+  /// Grid resolution: the (start, end) plane is cut into grid x grid
+  /// buckets. Memory grows with the number of non-empty cells.
+  size_t grid = 16;
+};
+
+/// Second related-work baseline (paper Section 8, [16] Wu, Patel,
+/// Jagadish, EDBT'02): a two-dimensional *position histogram* per
+/// element tag over the interval-labeling plane (start = pre-order
+/// position, end = subtree end). Ancestor-descendant pair counts between
+/// two tags are estimated from cell-pair geometry ("position histogram
+/// join"); query selectivities compose the pairwise factors under
+/// independence, exactly in the spirit of the original.
+///
+/// Faithful to the original's documented weakness: only *containment* is
+/// captured, so the child axis is treated like the descendant axis
+/// ("this approach cannot distinguish between parent-child and
+/// ancestor-descendant relationships", paper Section 8). Order axes are
+/// unsupported.
+class PositionHistogramEstimator {
+ public:
+  static PositionHistogramEstimator Build(
+      const xml::Document& doc, const PositionHistogramOptions& options = {});
+
+  /// Estimated selectivity of `q.target`; kUnsupported for order
+  /// constraints.
+  Result<double> Estimate(const xpath::Query& q) const;
+
+  /// Expected number of (ancestor, descendant) pairs between two tags —
+  /// the primitive the original system exposes.
+  double PairCount(const std::string& ancestor_tag,
+                   const std::string& descendant_tag) const;
+
+  /// Modeled footprint: 6 bytes per non-empty cell (two 1-byte cell
+  /// coordinates + 4-byte count).
+  size_t SizeBytes() const;
+
+ private:
+  struct Cell {
+    uint32_t i;  // start / cell_width
+    uint32_t j;  // end / cell_width
+    uint64_t count;
+  };
+  struct TagHistogram {
+    std::vector<Cell> cells;
+    uint64_t total = 0;
+  };
+
+  int FindTag(const std::string& name) const;
+  /// Expected pairs via the cell-domination geometry.
+  double Pairs(int anc_tag, int desc_tag) const;
+
+  size_t grid_ = 16;
+  std::vector<std::string> tag_names_;
+  std::vector<TagHistogram> tags_;
+  int root_tag_ = 0;
+};
+
+}  // namespace xee::poshist
+
+#endif  // XEE_POSHIST_POSITION_HISTOGRAM_H_

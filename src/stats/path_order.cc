@@ -1,0 +1,80 @@
+#include "stats/path_order.h"
+
+namespace xee::stats {
+
+uint64_t PathOrderTable::Get(OrderRegion region, xml::TagId other,
+                             encoding::PidRef pid) const {
+  auto row = rows_.find(OrderRowKey{region, other});
+  if (row == rows_.end()) return 0;
+  auto cell = row->second.find(pid);
+  return cell == row->second.end() ? 0 : cell->second;
+}
+
+void PathOrderTable::Add(OrderRegion region, xml::TagId other,
+                         encoding::PidRef pid, uint64_t delta) {
+  rows_[OrderRowKey{region, other}][pid] += delta;
+}
+
+size_t PathOrderTable::CellCount() const {
+  size_t n = 0;
+  for (const auto& [key, cells] : rows_) n += cells.size();
+  return n;
+}
+
+OrderStats OrderStats::Build(const xml::Document& doc,
+                             const encoding::Labeling& labeling) {
+  OrderStats stats;
+  stats.tables_.resize(doc.TagCount());
+
+  // Scratch: per-tag counts of siblings in the currently-swept region,
+  // plus the compact list of tags present (count > 0).
+  std::vector<uint32_t> tag_count(doc.TagCount(), 0);
+  std::vector<xml::TagId> present;
+
+  auto sweep = [&](const std::vector<xml::NodeId>& children,
+                   OrderRegion region) {
+    // kBefore: for child i, distinct tags among siblings AFTER i.
+    // kAfter:  for child i, distinct tags among siblings BEFORE i.
+    // Sweep from the far end towards the near end, growing the multiset.
+    present.clear();
+    auto emit = [&](xml::NodeId child) {
+      xml::TagId x = doc.Tag(child);
+      encoding::PidRef pid = labeling.node_pid_refs[child];
+      for (xml::TagId y : present) {
+        stats.tables_[x].Add(region, y, pid, 1);
+      }
+    };
+    auto add = [&](xml::NodeId child) {
+      xml::TagId t = doc.Tag(child);
+      if (tag_count[t]++ == 0) present.push_back(t);
+    };
+    if (region == OrderRegion::kBefore) {
+      for (size_t i = children.size(); i-- > 0;) {
+        emit(children[i]);
+        add(children[i]);
+      }
+    } else {
+      for (size_t i = 0; i < children.size(); ++i) {
+        emit(children[i]);
+        add(children[i]);
+      }
+    }
+    for (xml::TagId t : present) tag_count[t] = 0;
+  };
+
+  for (xml::NodeId n = 0; n < doc.NodeCount(); ++n) {
+    const auto& children = doc.Children(n);
+    if (children.size() < 2) continue;
+    sweep(children, OrderRegion::kBefore);
+    sweep(children, OrderRegion::kAfter);
+  }
+  return stats;
+}
+
+size_t OrderStats::TotalCells() const {
+  size_t n = 0;
+  for (const auto& t : tables_) n += t.CellCount();
+  return n;
+}
+
+}  // namespace xee::stats

@@ -1,0 +1,32 @@
+#include "stats/pathid_frequency.h"
+
+#include <algorithm>
+#include <map>
+
+namespace xee::stats {
+
+PathIdFrequencyTable PathIdFrequencyTable::Build(
+    const xml::Document& doc, const encoding::Labeling& labeling) {
+  PathIdFrequencyTable t;
+  t.rows_.resize(doc.TagCount());
+  // Count per (tag, pid) with a per-tag ordered map, then flatten.
+  std::vector<std::map<encoding::PidRef, uint64_t>> counts(doc.TagCount());
+  for (xml::NodeId n = 0; n < doc.NodeCount(); ++n) {
+    counts[doc.Tag(n)][labeling.node_pid_refs[n]]++;
+  }
+  for (size_t tag = 0; tag < counts.size(); ++tag) {
+    t.rows_[tag].reserve(counts[tag].size());
+    for (const auto& [pid, freq] : counts[tag]) {
+      t.rows_[tag].push_back(PidFreq{pid, freq});
+    }
+  }
+  return t;
+}
+
+size_t PathIdFrequencyTable::EntryCount() const {
+  size_t n = 0;
+  for (const auto& row : rows_) n += row.size();
+  return n;
+}
+
+}  // namespace xee::stats

@@ -1,0 +1,49 @@
+#ifndef XEE_STATS_PATHID_FREQUENCY_H_
+#define XEE_STATS_PATHID_FREQUENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "encoding/labeling.h"
+#include "xml/tree.h"
+
+namespace xee::stats {
+
+/// One (path id, frequency) entry of the pathId-frequency table.
+struct PidFreq {
+  encoding::PidRef pid = 0;
+  uint64_t freq = 0;
+
+  friend bool operator==(const PidFreq&, const PidFreq&) = default;
+};
+
+/// The pathId-frequency table of paper Section 3: for each distinct
+/// element tag, the set of path ids its elements carry together with the
+/// number of elements per (tag, path id) pair. This is the raw statistic
+/// the p-histogram summarizes.
+class PathIdFrequencyTable {
+ public:
+  /// Builds the table in one pass over the labeled document.
+  static PathIdFrequencyTable Build(const xml::Document& doc,
+                                    const encoding::Labeling& labeling);
+
+  /// (pid, freq) entries of `tag`, sorted by pid ref; empty for tags
+  /// without elements (never the case for interned tags).
+  const std::vector<PidFreq>& ForTag(xml::TagId tag) const {
+    XEE_CHECK(tag < rows_.size());
+    return rows_[tag];
+  }
+
+  /// Number of tags (= Document::TagCount()).
+  size_t TagCount() const { return rows_.size(); }
+
+  /// Total number of (tag, pid) entries across all tags.
+  size_t EntryCount() const;
+
+ private:
+  std::vector<std::vector<PidFreq>> rows_;  // indexed by TagId
+};
+
+}  // namespace xee::stats
+
+#endif  // XEE_STATS_PATHID_FREQUENCY_H_

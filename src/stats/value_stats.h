@@ -1,0 +1,61 @@
+#ifndef XEE_STATS_VALUE_STATS_H_
+#define XEE_STATS_VALUE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace xee::stats {
+
+/// Per-tag text-value statistics supporting value predicates `[.="v"]`
+/// (extension; the paper's synopsis is structure-only and cites [13] for
+/// the value direction). For each tag, the `top_k` most frequent text
+/// values keep exact counts; the remaining values are summarized by
+/// their total count and distinct count (estimated uniformly).
+class ValueStats {
+ public:
+  struct TagValues {
+    /// Most frequent (value, count) pairs, descending by count.
+    std::vector<std::pair<std::string, uint64_t>> top;
+    uint64_t other_count = 0;     ///< elements with a non-top value
+    uint64_t other_distinct = 0;  ///< distinct non-top values
+    uint64_t total_elements = 0;  ///< all elements of the tag
+  };
+
+  /// Collects text values (whole-element text, as stored by the parser)
+  /// in one pass. Elements with empty text contribute to total_elements
+  /// only.
+  static ValueStats Build(const xml::Document& doc, size_t top_k);
+
+  /// Builds from already-summarized per-tag data (deserialization).
+  static ValueStats FromTagValues(std::vector<TagValues> tags);
+
+  /// P(an element of `tag` has text exactly `value`): exact for top
+  /// values; the uniform average over the summarized remainder
+  /// otherwise; 0 when the tag has no non-top values at all.
+  double Selectivity(xml::TagId tag, const std::string& value) const;
+
+  /// Probability aggregated over every tag, weighted by element counts
+  /// (used for value predicates on "*" steps).
+  double GlobalSelectivity(const std::string& value) const;
+
+  const TagValues& ForTag(xml::TagId tag) const {
+    XEE_CHECK(tag < tags_.size());
+    return tags_[tag];
+  }
+  size_t TagCount() const { return tags_.size(); }
+
+  /// Modeled footprint: stored value bytes + 8-byte counts, plus 24
+  /// bytes of aggregates per tag.
+  size_t SizeBytes() const;
+
+ private:
+  std::vector<TagValues> tags_;  // indexed by TagId
+};
+
+}  // namespace xee::stats
+
+#endif  // XEE_STATS_VALUE_STATS_H_

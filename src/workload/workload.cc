@@ -1,0 +1,250 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "encoding/labeling.h"
+#include "eval/exact_evaluator.h"
+#include "xpath/parser.h"
+
+namespace xee::workload {
+namespace {
+
+using encoding::TagPath;
+using xpath::OrderConstraint;
+using xpath::OrderKind;
+using xpath::Query;
+using xpath::RootMode;
+using xpath::StructAxis;
+
+/// Sorted random subsequence of {0, ..., n-1} of the given size that
+/// always includes index `forced_first` as its first element when
+/// `forced_first >= 0`.
+std::vector<size_t> RandomIndices(Rng& rng, size_t n, size_t size,
+                                  int forced_first) {
+  std::vector<size_t> pool;
+  size_t start = 0;
+  if (forced_first >= 0) start = static_cast<size_t>(forced_first) + 1;
+  for (size_t i = start; i < n; ++i) pool.push_back(i);
+  const size_t want = forced_first >= 0 ? size - 1 : size;
+  // Partial Fisher-Yates.
+  std::vector<size_t> picked;
+  for (size_t i = 0; i < want && !pool.empty(); ++i) {
+    size_t j = rng.Index(pool.size());
+    picked.push_back(pool[j]);
+    pool[j] = pool.back();
+    pool.pop_back();
+  }
+  std::sort(picked.begin(), picked.end());
+  if (forced_first >= 0) {
+    picked.insert(picked.begin(), static_cast<size_t>(forced_first));
+  }
+  return picked;
+}
+
+/// Appends a chain of steps for path positions `idx` of `path` under
+/// `parent` in `q` (parent = -1 starts the query). Adjacent path
+/// positions become '/', gaps become '//'. Returns the node ids added.
+std::vector<int> AppendChain(Query* q, const xml::Document& doc,
+                             const TagPath& path,
+                             const std::vector<size_t>& idx, int parent,
+                             size_t prev_pos) {
+  std::vector<int> nodes;
+  for (size_t k = 0; k < idx.size(); ++k) {
+    const bool adjacent = idx[k] == prev_pos + 1;
+    const StructAxis axis =
+        adjacent ? StructAxis::kChild : StructAxis::kDescendant;
+    parent = q->AddNode(doc.TagNameOf(path[idx[k]]), axis, parent);
+    nodes.push_back(parent);
+    prev_pos = idx[k];
+  }
+  return nodes;
+}
+
+class Generator {
+ public:
+  Generator(const xml::Document& doc, const WorkloadOptions& opt)
+      : doc_(doc),
+        opt_(opt),
+        rng_(opt.seed ^ 0x9E3779B9),
+        labeling_(encoding::LabelDocument(doc)),
+        eval_(doc) {}
+
+  Workload Run() {
+    Workload w;
+    GenerateSimple(&w);
+    GenerateBranchAndOrder(&w);
+    return w;
+  }
+
+ private:
+  const encoding::EncodingTable& table() const { return labeling_.table; }
+
+  /// Dedup + negative filter; returns true and fills `true_count` when
+  /// the query is fresh and positive.
+  bool Admit(const Query& q, std::set<std::string>* seen,
+             uint64_t* true_count) {
+    std::string key = q.ToString();
+    if (!seen->insert(key).second) return false;
+    auto r = eval_.Count(q);
+    if (!r.ok() || r.value() == 0) return false;
+    *true_count = r.value();
+    return true;
+  }
+
+  size_t PickSize(size_t limit) {
+    size_t lo = std::min(opt_.min_size, limit);
+    size_t hi = std::min(opt_.max_size, limit);
+    if (lo < 1) lo = 1;
+    if (hi < lo) hi = lo;
+    return static_cast<size_t>(rng_.UniformInt(lo, hi));
+  }
+
+  void GenerateSimple(Workload* w) {
+    std::set<std::string> seen;
+    const size_t paths = table().PathCount();
+    for (size_t i = 0; i < opt_.simple_count; ++i) {
+      const uint32_t enc = static_cast<uint32_t>(rng_.UniformInt(1, paths));
+      const TagPath& path = table().Path(enc);
+      const size_t size = PickSize(path.size());
+      std::vector<size_t> idx = RandomIndices(rng_, path.size(), size, -1);
+      if (idx.empty()) continue;
+
+      Query q;
+      q.root_mode = idx[0] == 0 ? RootMode::kAbsolute : RootMode::kAnywhere;
+      AppendChain(&q, doc_, path, idx, -1, idx[0] == 0 ? 0 : SIZE_MAX - 1);
+      q.target = static_cast<int>(q.size()) - 1;
+      uint64_t count = 0;
+      if (Admit(q, &seen, &count)) {
+        w->simple.push_back(WorkloadQuery{std::move(q), count});
+      }
+    }
+  }
+
+  void GenerateBranchAndOrder(Workload* w) {
+    std::set<std::string> seen_branch, seen_order;
+    const size_t paths = table().PathCount();
+    for (size_t i = 0; i < opt_.branch_count; ++i) {
+      // Pick two paths sharing a common prefix of length >= 2 (so the
+      // junction is below the root) whose continuations differ.
+      const uint32_t e1 = static_cast<uint32_t>(rng_.UniformInt(1, paths));
+      const uint32_t e2 = static_cast<uint32_t>(rng_.UniformInt(1, paths));
+      if (e1 == e2) continue;
+      const TagPath& p1 = table().Path(e1);
+      const TagPath& p2 = table().Path(e2);
+      size_t common = 0;
+      while (common < p1.size() && common < p2.size() &&
+             p1[common] == p2[common]) {
+        ++common;
+      }
+      if (common < 1 || common >= p1.size() || common >= p2.size()) continue;
+      // Junction position in the common prefix.
+      const size_t jpos = rng_.UniformInt(0, common - 1);
+
+      const size_t total = PickSize(opt_.max_size);
+      // Split the size budget: trunk gets ~1/3, branches the rest.
+      size_t trunk_size = std::max<size_t>(1, total / 3);
+      trunk_size = std::min(trunk_size, jpos + 1);
+      size_t branch_budget = total > trunk_size ? total - trunk_size : 2;
+      size_t b1_size =
+          std::max<size_t>(1, std::min(branch_budget / 2,
+                                       p1.size() - jpos - 1));
+      size_t b2_size = std::max<size_t>(
+          1, std::min(branch_budget - branch_budget / 2,
+                      p2.size() - jpos - 1));
+
+      // Trunk: subsequence of positions [0, jpos] ending at jpos.
+      std::vector<size_t> trunk_idx;
+      if (trunk_size > 1) {
+        trunk_idx = RandomIndices(rng_, jpos, trunk_size - 1, -1);
+      }
+      trunk_idx.push_back(jpos);
+
+      // Branch heads forced to be the tags immediately below the
+      // junction (child-attached), so sibling order axes apply.
+      std::vector<size_t> b1_idx = RandomIndices(
+          rng_, p1.size(), b1_size,
+          static_cast<int>(jpos + 1) /* forced head */);
+      std::vector<size_t> b2_idx =
+          RandomIndices(rng_, p2.size(), b2_size,
+                        static_cast<int>(jpos + 1));
+      // Identical single-node branches would collapse the pattern.
+      if (p1[b1_idx[0]] == p2[b2_idx[0]] && b1_idx.size() == 1 &&
+          b2_idx.size() == 1) {
+        continue;
+      }
+
+      Query q;
+      q.root_mode =
+          trunk_idx[0] == 0 ? RootMode::kAbsolute : RootMode::kAnywhere;
+      std::vector<int> trunk = AppendChain(
+          &q, doc_, p1, trunk_idx, -1, trunk_idx[0] == 0 ? 0 : SIZE_MAX - 1);
+      const int junction = trunk.back();
+      std::vector<int> b1 =
+          AppendChain(&q, doc_, p1, b1_idx, junction, jpos);
+      std::vector<int> b2 =
+          AppendChain(&q, doc_, p2, b2_idx, junction, jpos);
+
+      // Branch query: random target anywhere.
+      {
+        Query bq = q;
+        bq.target = static_cast<int>(rng_.Index(bq.size()));
+        uint64_t count = 0;
+        if (Admit(bq, &seen_branch, &count)) {
+          w->branch.push_back(WorkloadQuery{std::move(bq), count});
+        }
+      }
+
+      // Order query: fix the order between the sibling heads, in a
+      // random direction; targets in branch and in trunk.
+      {
+        Query oq = q;
+        OrderConstraint c;
+        c.kind = OrderKind::kSibling;
+        const bool b1_first = rng_.Bernoulli(0.5);
+        c.before = b1_first ? b1.front() : b2.front();
+        c.after = b1_first ? b2.front() : b1.front();
+        oq.orders.push_back(c);
+
+        // Target in a branch part.
+        {
+          Query obq = oq;
+          const std::vector<int>& side = rng_.Bernoulli(0.5) ? b1 : b2;
+          obq.target = side[rng_.Index(side.size())];
+          uint64_t count = 0;
+          if (Admit(obq, &seen_order, &count)) {
+            w->order_branch_target.push_back(
+                WorkloadQuery{std::move(obq), count});
+          }
+        }
+        // Target in the trunk part.
+        {
+          Query otq = oq;
+          otq.target = trunk[rng_.Index(trunk.size())];
+          uint64_t count = 0;
+          if (Admit(otq, &seen_order, &count)) {
+            w->order_trunk_target.push_back(
+                WorkloadQuery{std::move(otq), count});
+          }
+        }
+      }
+    }
+  }
+
+  const xml::Document& doc_;
+  WorkloadOptions opt_;
+  Rng rng_;
+  encoding::Labeling labeling_;
+  eval::ExactEvaluator eval_;
+};
+
+}  // namespace
+
+Workload GenerateWorkload(const xml::Document& doc,
+                          const WorkloadOptions& options) {
+  return Generator(doc, options).Run();
+}
+
+}  // namespace xee::workload

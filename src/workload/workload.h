@@ -1,0 +1,59 @@
+#ifndef XEE_WORKLOAD_WORKLOAD_H_
+#define XEE_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xml/tree.h"
+#include "xpath/query.h"
+
+namespace xee::workload {
+
+/// Workload generation knobs, following the protocol of paper Section 7:
+/// simple queries are random subsequences of root-to-leaf paths; branch
+/// queries merge two subsequences sharing a common prefix; order queries
+/// fix the order between the sibling branch heads of branch queries.
+/// Duplicates and negative queries (true count 0) are removed.
+struct WorkloadOptions {
+  uint64_t seed = 7;
+  /// Queries *generated* per class before dedup/negative removal (the
+  /// paper generates 4000 + 4000; the library defaults are scaled down).
+  size_t simple_count = 800;
+  size_t branch_count = 800;
+  /// Query size (node count) range, inclusive (paper: 3..12).
+  size_t min_size = 3;
+  size_t max_size = 12;
+};
+
+/// A generated query with its exact result count (ground truth).
+struct WorkloadQuery {
+  xpath::Query query;
+  uint64_t true_count = 0;
+};
+
+/// The per-dataset workload of Section 7 (Table 2), with order queries
+/// split by target position for Figures 12 and 13.
+struct Workload {
+  std::vector<WorkloadQuery> simple;
+  std::vector<WorkloadQuery> branch;
+  /// Sibling-order queries whose target lies in a branch part (Fig. 12).
+  std::vector<WorkloadQuery> order_branch_target;
+  /// Sibling-order queries whose target lies in the trunk (Fig. 13).
+  std::vector<WorkloadQuery> order_trunk_target;
+
+  size_t TotalWithoutOrder() const { return simple.size() + branch.size(); }
+  size_t TotalWithOrder() const {
+    return order_branch_target.size() + order_trunk_target.size();
+  }
+};
+
+/// Generates the workload for `doc` (must be finalized). Deterministic
+/// for a fixed (document, options) pair. Internally labels the document
+/// and evaluates candidate queries exactly, so cost is roughly
+/// (#queries) x O(|doc|).
+Workload GenerateWorkload(const xml::Document& doc,
+                          const WorkloadOptions& options);
+
+}  // namespace xee::workload
+
+#endif  // XEE_WORKLOAD_WORKLOAD_H_

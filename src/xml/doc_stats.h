@@ -1,0 +1,29 @@
+#ifndef XEE_XML_DOC_STATS_H_
+#define XEE_XML_DOC_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "xml/tree.h"
+
+namespace xee::xml {
+
+/// Summary characteristics of a document (the columns of the paper's
+/// Table 1, plus depth information used in discussion).
+struct DocStats {
+  size_t serialized_bytes = 0;   ///< size of the XML serialization
+  size_t distinct_elements = 0;  ///< number of distinct element tags
+  size_t element_count = 0;      ///< total number of element nodes
+  size_t max_depth = 0;          ///< deepest element (root = depth 0)
+  double avg_fanout = 0;         ///< mean children per non-leaf element
+
+  /// One-line rendering for reports.
+  std::string ToString() const;
+};
+
+/// Computes DocStats over `doc` (serializes once to measure bytes).
+DocStats ComputeDocStats(const Document& doc);
+
+}  // namespace xee::xml
+
+#endif  // XEE_XML_DOC_STATS_H_

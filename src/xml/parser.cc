@@ -1,0 +1,309 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/strings.h"
+
+namespace xee::xml {
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+/// Recursive-descent XML parser over a string_view. Tracks line numbers
+/// for error messages; builds directly into a Document.
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : in_(input), options_(options) {}
+
+  Result<Document> Parse() {
+    SkipProlog();
+    if (AtEnd()) return Error("no root element");
+    if (Peek() != '<') return Error("content before root element");
+    Status s = ParseElement(kNullNode);
+    if (!s.ok()) return s;
+    SkipMisc();
+    if (!AtEnd()) return Error("trailing content after root element");
+    doc_.Finalize();
+    return std::move(doc_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < in_.size() ? in_[pos_ + off] : '\0';
+  }
+  void Advance() {
+    if (in_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    Advance();
+    return true;
+  }
+  bool ConsumeSeq(std::string_view seq) {
+    if (in_.substr(pos_).substr(0, seq.size()) != seq) return false;
+    for (size_t i = 0; i < seq.size(); ++i) Advance();
+    return true;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status(StatusCode::kParseError,
+                  StrFormat("line %zu: %s", line_, msg.c_str()));
+  }
+
+  /// Skips the XML declaration, DOCTYPE, comments, PIs and whitespace
+  /// before the root element.
+  void SkipProlog() {
+    while (true) {
+      SkipWhitespace();
+      if (ConsumeSeq("<?")) {
+        SkipUntil("?>");
+      } else if (ConsumeSeq("<!--")) {
+        SkipUntil("-->");
+      } else if (ConsumeSeq("<!DOCTYPE")) {
+        SkipDoctype();
+      } else {
+        return;
+      }
+    }
+  }
+
+  /// Skips comments, PIs and whitespace after the root element.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (ConsumeSeq("<?")) {
+        SkipUntil("?>");
+      } else if (ConsumeSeq("<!--")) {
+        SkipUntil("-->");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    while (!AtEnd() && !ConsumeSeq(terminator)) Advance();
+  }
+
+  void SkipDoctype() {
+    // Already consumed "<!DOCTYPE". Skip to the matching '>', honoring an
+    // optional internal subset in [...].
+    int bracket_depth = 0;
+    while (!AtEnd()) {
+      char c = Peek();
+      Advance();
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == '>' && bracket_depth <= 0) {
+        return;
+      }
+    }
+  }
+
+  Status ParseName(std::string* out) {
+    if (AtEnd() || !IsNameStartChar(Peek())) return Error("expected a name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    *out = std::string(in_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  /// Decodes an entity reference starting after '&'. Appends to `out`.
+  Status ParseEntity(std::string* out) {
+    size_t amp_line = line_;
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != ';' && pos_ - start < 12) Advance();
+    if (AtEnd() || Peek() != ';') {
+      return Status(StatusCode::kParseError,
+                    StrFormat("line %zu: unterminated entity", amp_line));
+    }
+    std::string name(in_.substr(start, pos_ - start));
+    Advance();  // ';'
+    if (name == "lt") {
+      *out += '<';
+    } else if (name == "gt") {
+      *out += '>';
+    } else if (name == "amp") {
+      *out += '&';
+    } else if (name == "quot") {
+      *out += '"';
+    } else if (name == "apos") {
+      *out += '\'';
+    } else if (!name.empty() && name[0] == '#') {
+      int base = 10;
+      size_t digits_at = 1;
+      if (name.size() > 1 && (name[1] == 'x' || name[1] == 'X')) {
+        base = 16;
+        digits_at = 2;
+      }
+      char* end = nullptr;
+      long code = std::strtol(name.c_str() + digits_at, &end, base);
+      if (end == name.c_str() + digits_at || *end != '\0' || code <= 0) {
+        return Error("bad character reference &" + name + ";");
+      }
+      AppendUtf8(static_cast<uint32_t>(code), out);
+    } else {
+      // Unknown general entity (e.g. from a DTD we did not read): keep
+      // the reference literally rather than failing the whole parse.
+      *out += '&';
+      *out += name;
+      *out += ';';
+    }
+    return Status::Ok();
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status ParseAttributeValue(std::string* out) {
+    char quote = Peek();
+    if (quote != '"' && quote != '\'') return Error("expected quoted value");
+    Advance();
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        Advance();
+        Status s = ParseEntity(out);
+        if (!s.ok()) return s;
+      } else {
+        *out += Peek();
+        Advance();
+      }
+    }
+    if (!Consume(quote)) return Error("unterminated attribute value");
+    return Status::Ok();
+  }
+
+  /// Parses one element (assumes Peek() == '<' at a start tag).
+  Status ParseElement(NodeId parent) {
+    Advance();  // '<'
+    std::string tag;
+    Status s = ParseName(&tag);
+    if (!s.ok()) return s;
+
+    NodeId node = parent == kNullNode ? doc_.CreateRoot(tag)
+                                      : doc_.AppendChild(parent, tag);
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag <" + tag);
+      if (Peek() == '>' || Peek() == '/') break;
+      std::string attr_name;
+      s = ParseName(&attr_name);
+      if (!s.ok()) return s;
+      SkipWhitespace();
+      if (!Consume('=')) return Error("expected '=' after attribute name");
+      SkipWhitespace();
+      std::string attr_value;
+      s = ParseAttributeValue(&attr_value);
+      if (!s.ok()) return s;
+      if (options_.keep_attributes) {
+        doc_.AddAttribute(node, attr_name, attr_value);
+      }
+    }
+
+    if (ConsumeSeq("/>")) return Status::Ok();
+    if (!Consume('>')) return Error("expected '>' in start tag <" + tag);
+
+    // Content.
+    std::string text;
+    while (true) {
+      if (AtEnd()) return Error("missing end tag </" + tag + ">");
+      char c = Peek();
+      if (c == '<') {
+        if (ConsumeSeq("</")) {
+          std::string end_tag;
+          s = ParseName(&end_tag);
+          if (!s.ok()) return s;
+          SkipWhitespace();
+          if (!Consume('>')) return Error("malformed end tag </" + end_tag);
+          if (end_tag != tag) {
+            return Error("mismatched end tag </" + end_tag + ">, expected </" +
+                         tag + ">");
+          }
+          break;
+        } else if (ConsumeSeq("<!--")) {
+          SkipUntil("-->");
+        } else if (ConsumeSeq("<![CDATA[")) {
+          size_t start = pos_;
+          while (!AtEnd() && in_.substr(pos_, 3) != "]]>") Advance();
+          if (AtEnd()) return Error("unterminated CDATA section");
+          text.append(in_.substr(start, pos_ - start));
+          ConsumeSeq("]]>");
+        } else if (ConsumeSeq("<?")) {
+          SkipUntil("?>");
+        } else {
+          s = ParseElement(node);
+          if (!s.ok()) return s;
+        }
+      } else if (c == '&') {
+        Advance();
+        s = ParseEntity(&text);
+        if (!s.ok()) return s;
+      } else {
+        text += c;
+        Advance();
+      }
+    }
+    if (options_.keep_text) {
+      // Trim pure-indentation whitespace; keep mixed content verbatim.
+      bool all_space = true;
+      for (char c : text) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          all_space = false;
+          break;
+        }
+      }
+      if (!all_space) doc_.AppendText(node, text);
+    }
+    return Status::Ok();
+  }
+
+  std::string_view in_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  Document doc_;
+};
+
+}  // namespace
+
+Result<Document> ParseXml(std::string_view input, const ParseOptions& options) {
+  return Parser(input, options).Parse();
+}
+
+}  // namespace xee::xml

@@ -1,0 +1,33 @@
+#ifndef XEE_XML_PARSER_H_
+#define XEE_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/tree.h"
+
+namespace xee::xml {
+
+/// Options controlling what the parser materializes.
+struct ParseOptions {
+  /// Keep character data on nodes. Estimation ignores text, so turning
+  /// this off saves memory on large inputs.
+  bool keep_text = true;
+  /// Keep attributes on nodes.
+  bool keep_attributes = true;
+};
+
+/// Parses an XML document from `input` into an ordered tree.
+///
+/// Non-validating: accepts well-formed element structure with attributes,
+/// character data, CDATA sections, comments, processing instructions, an
+/// optional XML declaration and DOCTYPE (the internal subset is skipped),
+/// and the five predefined entities plus numeric character references.
+/// Returns a parse error (with line number) on mismatched tags, stray
+/// markup, or trailing content. The returned document is Finalize()d.
+Result<Document> ParseXml(std::string_view input,
+                          const ParseOptions& options = {});
+
+}  // namespace xee::xml
+
+#endif  // XEE_XML_PARSER_H_

@@ -1,0 +1,81 @@
+#include "xml/tree.h"
+
+namespace xee::xml {
+
+NodeId Document::CreateRoot(std::string_view tag) {
+  XEE_CHECK_MSG(nodes_.empty(), "root must be the first node");
+  Node n;
+  n.tag = InternTag(tag);
+  nodes_.push_back(std::move(n));
+  finalized_ = false;
+  return 0;
+}
+
+NodeId Document::AppendChild(NodeId parent, std::string_view tag) {
+  XEE_CHECK(parent < nodes_.size());
+  Node n;
+  n.tag = InternTag(tag);
+  n.parent = parent;
+  n.sibling_index = static_cast<uint32_t>(nodes_[parent].children.size());
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.push_back(id);
+  finalized_ = false;
+  return id;
+}
+
+void Document::AppendText(NodeId node, std::string_view text) {
+  At(node).text.append(text);
+}
+
+void Document::AddAttribute(NodeId node, std::string_view name,
+                            std::string_view value) {
+  At(node).attributes.push_back(
+      Attribute{std::string(name), std::string(value)});
+}
+
+void Document::Finalize() {
+  if (finalized_) return;
+  XEE_CHECK(!nodes_.empty());
+  // Iterative pre-order walk assigning [order_begin, order_end) intervals.
+  uint32_t counter = 0;
+  // Stack entries: (node, next child index to visit).
+  std::vector<std::pair<NodeId, size_t>> stack;
+  nodes_[0].order_begin = counter++;
+  stack.emplace_back(0, 0);
+  while (!stack.empty()) {
+    auto& [node, child_idx] = stack.back();
+    if (child_idx < nodes_[node].children.size()) {
+      NodeId child = nodes_[node].children[child_idx++];
+      nodes_[child].order_begin = counter++;
+      stack.emplace_back(child, 0);
+    } else {
+      nodes_[node].order_end = counter;
+      stack.pop_back();
+    }
+  }
+  finalized_ = true;
+}
+
+std::optional<TagId> Document::FindTag(std::string_view name) const {
+  auto it = tag_ids_.find(std::string(name));
+  if (it == tag_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Document::Depth(NodeId n) const {
+  size_t d = 0;
+  for (NodeId p = At(n).parent; p != kNullNode; p = At(p).parent) ++d;
+  return d;
+}
+
+TagId Document::InternTag(std::string_view name) {
+  auto it = tag_ids_.find(std::string(name));
+  if (it != tag_ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(tag_names_.size());
+  tag_names_.emplace_back(name);
+  tag_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+}  // namespace xee::xml

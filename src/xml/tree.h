@@ -1,0 +1,165 @@
+#ifndef XEE_XML_TREE_H_
+#define XEE_XML_TREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace xee::xml {
+
+/// Index of a node inside its Document's arena.
+using NodeId = uint32_t;
+/// Interned element-tag identifier, dense in [0, Document::TagCount()).
+using TagId = uint32_t;
+
+/// Sentinel for "no node" (e.g. the root's parent).
+inline constexpr NodeId kNullNode = UINT32_MAX;
+
+/// One attribute of an element node.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// An ordered, in-memory XML tree.
+///
+/// Nodes live in an arena owned by the Document and are addressed by
+/// NodeId. The tree is *ordered*: the order of a node's `children` vector
+/// is sibling (document) order, which is what the paper's order axes are
+/// defined over. Tags are interned to dense TagIds.
+///
+/// Construction contract: create the root first, then grow with
+/// AppendChild. Call Finalize() once the shape is complete; it computes
+/// pre/post-order intervals enabling O(1) document-order and ancestorship
+/// tests. Structural mutation after Finalize() clears the finalized
+/// state (order predicates then XEE_CHECK until Finalize() runs again).
+class Document {
+ public:
+  Document() = default;
+
+  // Arena-owning; copying would be an accident at our sizes.
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  /// Creates the root element. Must be the first node created.
+  NodeId CreateRoot(std::string_view tag);
+
+  /// Appends a new last child with tag `tag` under `parent`.
+  NodeId AppendChild(NodeId parent, std::string_view tag);
+
+  /// Appends text content to a node (concatenated across calls).
+  void AppendText(NodeId node, std::string_view text);
+
+  /// Adds an attribute to a node.
+  void AddAttribute(NodeId node, std::string_view name,
+                    std::string_view value);
+
+  /// Computes pre-order intervals; idempotent. Must be called before
+  /// IsBefore / IsAncestorOf / PreorderIndex.
+  void Finalize();
+
+  /// True once Finalize() has run on the current shape.
+  bool finalized() const { return finalized_; }
+
+  // --- Shape accessors -----------------------------------------------
+
+  /// Root node; requires a non-empty document.
+  NodeId root() const {
+    XEE_CHECK(!nodes_.empty());
+    return 0;
+  }
+  bool empty() const { return nodes_.empty(); }
+  size_t NodeCount() const { return nodes_.size(); }
+
+  NodeId Parent(NodeId n) const { return At(n).parent; }
+  const std::vector<NodeId>& Children(NodeId n) const {
+    return At(n).children;
+  }
+  TagId Tag(NodeId n) const { return At(n).tag; }
+  const std::string& TagName(NodeId n) const { return tag_names_[At(n).tag]; }
+  const std::string& Text(NodeId n) const { return At(n).text; }
+  const std::vector<Attribute>& Attributes(NodeId n) const {
+    return At(n).attributes;
+  }
+  /// 0-based position of `n` among its parent's children (0 for the root).
+  size_t SiblingIndex(NodeId n) const { return At(n).sibling_index; }
+
+  // --- Tag interning --------------------------------------------------
+
+  /// Number of distinct element tags seen so far.
+  size_t TagCount() const { return tag_names_.size(); }
+  /// Name of an interned tag.
+  const std::string& TagNameOf(TagId t) const {
+    XEE_CHECK(t < tag_names_.size());
+    return tag_names_[t];
+  }
+  /// Id of `name`, or nullopt if the tag never occurs in the document.
+  std::optional<TagId> FindTag(std::string_view name) const;
+
+  // --- Order / structure predicates (require Finalize()) --------------
+
+  /// Position of `n` in a pre-order walk (root = 0).
+  uint32_t PreorderIndex(NodeId n) const {
+    XEE_CHECK(finalized_);
+    return At(n).order_begin;
+  }
+  /// One past the pre-order position of `n`'s last descendant; the
+  /// subtree of `n` spans [PreorderIndex(n), SubtreeEnd(n)).
+  uint32_t SubtreeEnd(NodeId n) const {
+    XEE_CHECK(finalized_);
+    return At(n).order_end;
+  }
+  /// True iff `a` starts before `b` in document order (a != b allowed).
+  bool IsBefore(NodeId a, NodeId b) const {
+    XEE_CHECK(finalized_);
+    return At(a).order_begin < At(b).order_begin;
+  }
+  /// True iff `a` is a proper ancestor of `b`.
+  bool IsAncestorOf(NodeId a, NodeId b) const {
+    XEE_CHECK(finalized_);
+    return At(a).order_begin < At(b).order_begin &&
+           At(b).order_end <= At(a).order_end;
+  }
+
+  /// Depth of `n` (root = 0).
+  size_t Depth(NodeId n) const;
+
+ private:
+  struct Node {
+    TagId tag = 0;
+    NodeId parent = kNullNode;
+    uint32_t sibling_index = 0;
+    uint32_t order_begin = 0;  // pre-order index
+    uint32_t order_end = 0;    // 1 + pre-order index of last descendant
+    std::vector<NodeId> children;
+    std::string text;
+    std::vector<Attribute> attributes;
+  };
+
+  const Node& At(NodeId n) const {
+    XEE_CHECK(n < nodes_.size());
+    return nodes_[n];
+  }
+  Node& At(NodeId n) {
+    XEE_CHECK(n < nodes_.size());
+    return nodes_[n];
+  }
+
+  TagId InternTag(std::string_view name);
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> tag_names_;
+  std::unordered_map<std::string, TagId> tag_ids_;
+  bool finalized_ = false;
+};
+
+}  // namespace xee::xml
+
+#endif  // XEE_XML_TREE_H_

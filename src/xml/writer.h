@@ -1,0 +1,30 @@
+#ifndef XEE_XML_WRITER_H_
+#define XEE_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/tree.h"
+
+namespace xee::xml {
+
+/// Serialization options.
+struct WriteOptions {
+  /// Indent nested elements by two spaces per depth; text-bearing
+  /// elements are kept on one line.
+  bool pretty = false;
+  /// Emit an XML declaration header.
+  bool declaration = true;
+};
+
+/// Serializes `doc` (rooted at its root) back to XML text. Text and
+/// attribute values are entity-escaped, so Parse(Write(doc)) round-trips
+/// structure, tags, attributes and non-whitespace text.
+std::string WriteXml(const Document& doc, const WriteOptions& options = {});
+
+/// Returns the serialized byte size without materializing the string
+/// content beyond a running counter (used for Table 1 "size" numbers).
+size_t SerializedSize(const Document& doc, const WriteOptions& options = {});
+
+}  // namespace xee::xml
+
+#endif  // XEE_XML_WRITER_H_

@@ -1,0 +1,41 @@
+#ifndef XEE_XPATH_PARSER_H_
+#define XEE_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/query.h"
+
+namespace xee::xpath {
+
+/// Parses an XPath expression of the paper's fragment into a normalized
+/// Query.
+///
+/// Grammar (whitespace-free):
+///
+///   query     := ('/' | '//') chain
+///   chain     := step (('/' | '//') step)*
+///   step      := [axis '::'] name ['{t}'] predicate*
+///   axis      := 'child' | 'descendant' | 'following-sibling'
+///              | 'preceding-sibling' | 'following' | 'preceding'
+///   predicate := '[' ('/' | '//')? chain ']'
+///              | '[' '.="' text '"' ']'        (value predicate)
+///
+/// Order axes are normalized into OrderConstraints: a step
+/// `X/following-sibling::Y` makes Y another child of X's parent (the
+/// junction) with a sibling constraint X-before-Y;
+/// `X/following::Y` attaches Y to the junction via the descendant axis
+/// with a document-order constraint (the paper's Section 5 scoped
+/// semantics). Order-axis steps therefore require the context step to be
+/// child-attached to an explicit parent step.
+///
+/// The target defaults to the last step of the outermost chain; a single
+/// step may carry the marker `{t}` to designate a different target node
+/// (the paper estimates targets in trunk and branch parts). A value
+/// predicate constrains the step's text content (extension; the paper's
+/// estimator is structure-only, value statistics follow [13]'s idea).
+Result<Query> ParseXPath(std::string_view input);
+
+}  // namespace xee::xpath
+
+#endif  // XEE_XPATH_PARSER_H_

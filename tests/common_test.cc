@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/bitset.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace xee {
+namespace {
+
+// --- PathIdBits -------------------------------------------------------
+
+TEST(PathIdBits, SetAndTest) {
+  PathIdBits b(10);
+  EXPECT_EQ(b.num_bits(), 10u);
+  EXPECT_TRUE(b.IsZero());
+  b.Set(1);
+  b.Set(10);
+  EXPECT_TRUE(b.Test(1));
+  EXPECT_FALSE(b.Test(2));
+  EXPECT_TRUE(b.Test(10));
+  EXPECT_EQ(b.PopCount(), 2u);
+  EXPECT_FALSE(b.IsZero());
+}
+
+TEST(PathIdBits, BitStringRoundTrip) {
+  const std::string s = "0010110001";
+  PathIdBits b = PathIdBits::FromBitString(s);
+  EXPECT_EQ(b.ToBitString(), s);
+  EXPECT_EQ(b.PopCount(), 4u);
+}
+
+TEST(PathIdBits, WideBitStringCrossesWordBoundary) {
+  std::string s(130, '0');
+  s[0] = s[63] = s[64] = s[129] = '1';
+  PathIdBits b = PathIdBits::FromBitString(s);
+  EXPECT_EQ(b.ToBitString(), s);
+  EXPECT_TRUE(b.Test(1));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(65));
+  EXPECT_TRUE(b.Test(130));
+  EXPECT_EQ(b.PopCount(), 4u);
+}
+
+TEST(PathIdBits, OrAndAnd) {
+  PathIdBits a = PathIdBits::FromBitString("1100");
+  PathIdBits b = PathIdBits::FromBitString("1010");
+  EXPECT_EQ((a | b).ToBitString(), "1110");
+  EXPECT_EQ((a & b).ToBitString(), "1000");
+}
+
+TEST(PathIdBits, PaperContainmentExamples) {
+  // Example 2.3: p3 (0011) contains p2 (0010).
+  PathIdBits p3 = PathIdBits::FromBitString("0011");
+  PathIdBits p2 = PathIdBits::FromBitString("0010");
+  EXPECT_TRUE(p3.Contains(p2));
+  EXPECT_FALSE(p2.Contains(p3));
+  // Containment is strict: a pid does not contain itself...
+  EXPECT_FALSE(p3.Contains(p3));
+  // ...but covers itself.
+  EXPECT_TRUE(p3.Covers(p3));
+}
+
+TEST(PathIdBits, CoversIsSubsetTest) {
+  PathIdBits p8 = PathIdBits::FromBitString("1100");
+  PathIdBits p6 = PathIdBits::FromBitString("1010");
+  EXPECT_FALSE(p8.Covers(p6));
+  EXPECT_FALSE(p6.Covers(p8));
+  PathIdBits p9 = PathIdBits::FromBitString("1111");
+  EXPECT_TRUE(p9.Covers(p8));
+  EXPECT_TRUE(p9.Covers(p6));
+}
+
+TEST(PathIdBits, ForEachSetBitAscending) {
+  PathIdBits b = PathIdBits::FromBitString("0101001");
+  std::vector<uint32_t> bits = b.SetBits();
+  EXPECT_EQ(bits, (std::vector<uint32_t>{2, 4, 7}));
+}
+
+TEST(PathIdBits, LexLessMatchesStringOrder) {
+  // Bit strings in increasing lexicographic order.
+  const std::vector<std::string> strings = {"0001", "0010", "0011", "0100",
+                                            "1000", "1010", "1011", "1100",
+                                            "1111"};
+  for (size_t i = 0; i < strings.size(); ++i) {
+    for (size_t j = 0; j < strings.size(); ++j) {
+      PathIdBits a = PathIdBits::FromBitString(strings[i]);
+      PathIdBits b = PathIdBits::FromBitString(strings[j]);
+      EXPECT_EQ(PathIdBits::LexLess(a, b), strings[i] < strings[j])
+          << strings[i] << " vs " << strings[j];
+    }
+  }
+}
+
+TEST(PathIdBits, LexLessWideRandom) {
+  Rng rng(7);
+  for (int round = 0; round < 200; ++round) {
+    std::string x(100, '0'), y(100, '0');
+    for (auto* s : {&x, &y}) {
+      for (char& c : *s) c = rng.Bernoulli(0.3) ? '1' : '0';
+    }
+    PathIdBits a = PathIdBits::FromBitString(x);
+    PathIdBits b = PathIdBits::FromBitString(y);
+    EXPECT_EQ(PathIdBits::LexLess(a, b), x < y);
+  }
+}
+
+TEST(PathIdBits, HashEqualForEqualValues) {
+  PathIdBits a = PathIdBits::FromBitString("0110");
+  PathIdBits b = PathIdBits::FromBitString("0110");
+  EXPECT_EQ(PathIdBits::Hash{}(a), PathIdBits::Hash{}(b));
+}
+
+// --- Rng ---------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(3, 17);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 17u);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0));
+    EXPECT_TRUE(rng.Bernoulli(1));
+  }
+}
+
+TEST(Rng, ZipfSkewsLow) {
+  Rng rng(11);
+  int low = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Zipf(100, 1.0) <= 10) ++low;
+  }
+  // With s=1 the first decile carries well over half the mass.
+  EXPECT_GT(low, trials / 2);
+}
+
+TEST(Rng, WeightedIndexRespectsZeros) {
+  Rng rng(13);
+  std::vector<double> w = {0, 1, 0, 3};
+  for (int i = 0; i < 200; ++i) {
+    size_t idx = rng.WeightedIndex(w);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+// --- Status / Result ----------------------------------------------------
+
+TEST(Status, OkAndError) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status e(StatusCode::kParseError, "bad");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.ToString(), "parse-error: bad");
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> v = 42;
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  Result<int> e = Status(StatusCode::kNotFound, "nope");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+// --- strings -------------------------------------------------------------
+
+TEST(Strings, SplitAndJoin) {
+  auto parts = SplitString("a/b//c", '/');
+  EXPECT_EQ(parts, (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(JoinStrings(parts, "/"), "a/b//c");
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.00 MB");
+}
+
+}  // namespace
+}  // namespace xee

@@ -1,0 +1,174 @@
+// Second coverage pass over remaining public surfaces: bench_util flag
+// parsing, dense pid universes in both pid trees, o-histogram
+// reassembly, wildcard queries at dataset scale, and small API edges.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util/metrics.h"
+#include "common/rng.h"
+#include "bench_util/runner.h"
+#include "datagen/datagen.h"
+#include "estimator/estimator.h"
+#include "eval/exact_evaluator.h"
+#include "histogram/o_histogram.h"
+#include "pidtree/collapsed_pid_tree.h"
+#include "pidtree/pid_binary_tree.h"
+#include "xml/doc_stats.h"
+#include "xpath/parser.h"
+
+namespace xee {
+namespace {
+
+// --- bench_util -----------------------------------------------------------
+
+TEST(BenchConfig, ParsesFlags) {
+  const char* argv[] = {"prog", "--scale=2.5", "--queries=123", "--seed=9",
+                        "--dataset=dblp"};
+  auto c = bench_util::BenchConfig::FromArgs(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(c.scale, 2.5);
+  EXPECT_EQ(c.queries, 123u);
+  EXPECT_EQ(c.seed, 9u);
+  EXPECT_EQ(c.datasets, (std::vector<std::string>{"dblp"}));
+}
+
+TEST(BenchConfig, Defaults) {
+  const char* argv[] = {"prog"};
+  auto c = bench_util::BenchConfig::FromArgs(1, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(c.scale, 1.0);
+  EXPECT_EQ(c.queries, 800u);
+  EXPECT_EQ(c.datasets.size(), 3u);
+}
+
+TEST(ErrorAccumulator, MeanAndMerge) {
+  bench_util::ErrorAccumulator a, b;
+  a.Add(15, 10);  // rel err 0.5
+  a.Add(10, 10);  // 0
+  b.Add(0, 10);   // 1
+  EXPECT_DOUBLE_EQ(a.Mean(), 0.25);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 0.5);
+  EXPECT_DOUBLE_EQ(bench_util::ErrorAccumulator{}.Mean(), 0);
+}
+
+// --- dense pid universes ---------------------------------------------------
+
+TEST(PidTrees, DensePidUniverseRoundTrips) {
+  // Every non-zero 6-bit pattern, in lexicographic order: worst case for
+  // compression, still lossless for both structures.
+  const size_t width = 6;
+  std::vector<std::string> patterns;
+  for (uint32_t v = 1; v < (1u << width); ++v) {
+    std::string s(width, '0');
+    for (size_t b = 0; b < width; ++b) {
+      if (v & (1u << b)) s[b] = '1';  // bit 1 = lowest -> leftmost
+    }
+    patterns.push_back(s);
+  }
+  std::sort(patterns.begin(), patterns.end());
+  std::vector<PathIdBits> pids;
+  for (const auto& p : patterns) pids.push_back(PathIdBits::FromBitString(p));
+
+  pidtree::PathIdBinaryTree per_bit(pids);
+  pidtree::CollapsedPidTree collapsed(pids);
+  ASSERT_EQ(per_bit.LeafCount(), patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const auto ref = static_cast<encoding::PidRef>(i + 1);
+    EXPECT_EQ(per_bit.Lookup(ref).ToBitString(), patterns[i]);
+    EXPECT_EQ(collapsed.Lookup(ref).ToBitString(), patterns[i]);
+    EXPECT_EQ(per_bit.Find(pids[i]), ref);
+    EXPECT_EQ(collapsed.Find(pids[i]), ref);
+  }
+  // The all-zero pattern is not a valid pid and must not be found.
+  EXPECT_EQ(per_bit.Find(PathIdBits(width)), 0u);
+  EXPECT_EQ(collapsed.Find(PathIdBits(width)), 0u);
+}
+
+// --- o-histogram reassembly -------------------------------------------
+
+TEST(OHistogramFromBuckets, LookupMatchesOriginal) {
+  std::vector<uint32_t> ranks = {0, 1, 2};
+  std::vector<encoding::PidRef> cols = {4, 7};
+  stats::PathOrderTable t;
+  t.Add(stats::OrderRegion::kBefore, 0, 4, 3);
+  t.Add(stats::OrderRegion::kAfter, 2, 7, 9);
+  auto h = histogram::OHistogram::Build(t, ranks, cols, 0);
+  auto h2 = histogram::OHistogram::FromBuckets(
+      std::vector<histogram::OHistogram::Bucket>(h.buckets().begin(),
+                                                 h.buckets().end()),
+      ranks, cols);
+  for (auto region :
+       {stats::OrderRegion::kBefore, stats::OrderRegion::kAfter}) {
+    for (xml::TagId tag = 0; tag < 3; ++tag) {
+      for (auto pid : cols) {
+        EXPECT_DOUBLE_EQ(h2.Get(region, tag, pid), h.Get(region, tag, pid));
+      }
+    }
+  }
+}
+
+// --- wildcard at dataset scale ---------------------------------------
+
+TEST(WildcardScale, StarChainsMatchExactOnSsplays) {
+  datagen::GenOptions gopt;
+  gopt.scale = 0.05;
+  xml::Document doc = datagen::GenerateSsPlays(gopt);
+  estimator::Synopsis syn =
+      estimator::Synopsis::Build(doc, estimator::SynopsisOptions{});
+  estimator::Estimator est(syn);
+  eval::ExactEvaluator eval(doc);
+  // SSPlays is recursion-free, so wildcard chains stay exact at v=0.
+  for (const char* text :
+       {"//*", "//ACT/*", "//SPEECH/*", "/PLAYS/*/*", "//*{t}/LINE"}) {
+    auto q = xpath::ParseXPath(text).value();
+    auto e = est.Estimate(q);
+    auto x = eval.Count(q);
+    ASSERT_TRUE(e.ok() && x.ok()) << text;
+    EXPECT_DOUBLE_EQ(e.value(), static_cast<double>(x.value())) << text;
+  }
+}
+
+// --- small API edges --------------------------------------------------
+
+TEST(DocStats, ToStringMentionsFields) {
+  xml::Document doc;
+  doc.CreateRoot("a");
+  doc.Finalize();
+  std::string s = xml::ComputeDocStats(doc).ToString();
+  EXPECT_NE(s.find("elements=1"), std::string::npos);
+  EXPECT_NE(s.find("distinct_tags=1"), std::string::npos);
+}
+
+TEST(QueryValidate, TargetRange) {
+  xpath::Query q;
+  q.AddNode("a", xpath::StructAxis::kChild, -1);
+  q.target = 5;
+  EXPECT_FALSE(q.Validate().ok());
+  q.target = 0;
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(EncodingTable, PathStringRendersTags) {
+  xml::Document doc;
+  auto r = doc.CreateRoot("x");
+  auto y = doc.AppendChild(r, "y");
+  doc.AppendChild(y, "z");
+  doc.Finalize();
+  encoding::Labeling lab = encoding::LabelDocument(doc);
+  EXPECT_EQ(lab.table.PathString(1, doc), "x/y/z");
+}
+
+}  // namespace
+}  // namespace xee

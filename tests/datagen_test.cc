@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/datagen.h"
+#include "encoding/labeling.h"
+#include "xml/doc_stats.h"
+
+namespace xee::datagen {
+namespace {
+
+xml::Document Gen(const std::string& name, double scale, uint64_t seed = 42) {
+  GenOptions opt;
+  opt.scale = scale;
+  opt.seed = seed;
+  return GenerateByName(name, opt).value();
+}
+
+TEST(Registry, NamesAndUnknown) {
+  EXPECT_EQ(DatasetNames(),
+            (std::vector<std::string>{"ssplays", "dblp", "xmark"}));
+  GenOptions opt;
+  auto r = GenerateByName("nope", opt);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+class DatasetShapeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetShapeTest, DeterministicForSeed) {
+  xml::Document a = Gen(GetParam(), 0.05);
+  xml::Document b = Gen(GetParam(), 0.05);
+  ASSERT_EQ(a.NodeCount(), b.NodeCount());
+  for (xml::NodeId n = 0; n < a.NodeCount(); ++n) {
+    EXPECT_EQ(a.TagName(n), b.TagName(n));
+    EXPECT_EQ(a.Parent(n), b.Parent(n));
+  }
+  xml::Document c = Gen(GetParam(), 0.05, /*seed=*/7);
+  EXPECT_NE(c.NodeCount(), 0u);
+}
+
+TEST_P(DatasetShapeTest, ScaleGrowsElementCount) {
+  // SSPlays quantizes to whole plays (scale 0.05 is one play), so
+  // compare sizes a factor of 8 apart with a loose growth bound.
+  size_t small = Gen(GetParam(), 0.05).NodeCount();
+  size_t large = Gen(GetParam(), 0.4).NodeCount();
+  EXPECT_GT(large, small * 2);
+}
+
+TEST_P(DatasetShapeTest, FinalizedWithStableTagUniverse) {
+  xml::Document doc = Gen(GetParam(), 0.05);
+  EXPECT_TRUE(doc.finalized());
+  // Tag universe is scale-independent (structure-driven).
+  xml::Document big = Gen(GetParam(), 0.2);
+  std::set<std::string> small_tags, big_tags;
+  for (size_t t = 0; t < doc.TagCount(); ++t) {
+    small_tags.insert(doc.TagNameOf(static_cast<xml::TagId>(t)));
+  }
+  for (size_t t = 0; t < big.TagCount(); ++t) {
+    big_tags.insert(big.TagNameOf(static_cast<xml::TagId>(t)));
+  }
+  for (const auto& tag : small_tags) {
+    EXPECT_TRUE(big_tags.count(tag)) << tag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetShapeTest,
+                         ::testing::Values("ssplays", "dblp", "xmark"));
+
+TEST(SsPlays, PaperCharacteristics) {
+  xml::Document doc = Gen("ssplays", 0.3);
+  xml::DocStats s = xml::ComputeDocStats(doc);
+  // ~21 distinct tags in the real dataset.
+  EXPECT_GE(s.distinct_elements, 15u);
+  EXPECT_LE(s.distinct_elements, 22u);
+  // Deep, regular: ACT/SCENE/SPEECH/LINE nesting.
+  EXPECT_GE(s.max_depth, 4u);
+  EXPECT_EQ(doc.TagName(doc.root()), "PLAYS");
+  EXPECT_TRUE(doc.FindTag("SPEECH").has_value());
+  EXPECT_TRUE(doc.FindTag("LINE").has_value());
+}
+
+TEST(Dblp, ShallowAndWide) {
+  xml::Document doc = Gen("dblp", 0.1);
+  xml::DocStats s = xml::ComputeDocStats(doc);
+  EXPECT_EQ(s.max_depth, 2u);  // dblp/record/field
+  EXPECT_GE(s.distinct_elements, 25u);
+  EXPECT_LE(s.distinct_elements, 31u);
+  // Root fan-out is enormous (the property behind Table 5's DBLP blow-up).
+  EXPECT_GT(doc.Children(doc.root()).size(), 1000u);
+}
+
+TEST(XMark, RecursiveDescriptions) {
+  xml::Document doc = Gen("xmark", 0.2);
+  xml::DocStats s = xml::ComputeDocStats(doc);
+  EXPECT_GE(s.distinct_elements, 60u);
+  EXPECT_LE(s.distinct_elements, 77u);
+  EXPECT_GE(s.max_depth, 8u);
+  // parlist recursion exists: some root-to-leaf path repeats "listitem".
+  encoding::Labeling lab = encoding::LabelDocument(doc);
+  auto listitem = doc.FindTag("listitem");
+  ASSERT_TRUE(listitem.has_value());
+  bool recursive = false;
+  for (uint32_t enc = 1; enc <= lab.table.PathCount() && !recursive; ++enc) {
+    int count = 0;
+    for (xml::TagId t : lab.table.Path(enc)) count += t == *listitem;
+    recursive = count >= 2;
+  }
+  EXPECT_TRUE(recursive);
+}
+
+TEST(XMark, DistinctPathCountLargest) {
+  encoding::Labeling ss = encoding::LabelDocument(Gen("ssplays", 0.2));
+  encoding::Labeling db = encoding::LabelDocument(Gen("dblp", 0.2));
+  encoding::Labeling xm = encoding::LabelDocument(Gen("xmark", 0.2));
+  // Paper Table 3 ordering: SSPlays < DBLP < XMark.
+  EXPECT_LT(ss.table.PathCount(), db.table.PathCount());
+  EXPECT_LT(db.table.PathCount(), xm.table.PathCount());
+}
+
+TEST(GenOptions, WithTextTogglesContent) {
+  GenOptions with;
+  with.scale = 0.02;
+  GenOptions without = with;
+  without.with_text = false;
+  xml::Document a = GenerateSsPlays(with);
+  xml::Document b = GenerateSsPlays(without);
+  size_t a_text = 0, b_text = 0;
+  for (xml::NodeId n = 0; n < a.NodeCount(); ++n) a_text += !a.Text(n).empty();
+  for (xml::NodeId n = 0; n < b.NodeCount(); ++n) b_text += !b.Text(n).empty();
+  EXPECT_GT(a_text, 0u);
+  EXPECT_EQ(b_text, 0u);
+  // Structure identical either way.
+  EXPECT_EQ(a.NodeCount(), b.NodeCount());
+}
+
+}  // namespace
+}  // namespace xee::datagen

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "eval/exact_evaluator.h"
+#include "paper_fixture.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace xee::eval {
+namespace {
+
+using xpath::ParseXPath;
+
+class PaperEvalTest : public ::testing::Test {
+ protected:
+  PaperEvalTest() : doc_(xee::testing::MakePaperDocument()), eval_(doc_) {}
+
+  uint64_t Count(const std::string& query) {
+    auto q = ParseXPath(query);
+    EXPECT_TRUE(q.ok()) << query << ": " << q.status().ToString();
+    auto r = eval_.Count(q.value());
+    EXPECT_TRUE(r.ok()) << query << ": " << r.status().ToString();
+    return r.ok() ? r.value() : UINT64_MAX;
+  }
+
+  xml::Document doc_;
+  ExactEvaluator eval_;
+};
+
+TEST_F(PaperEvalTest, SimpleChains) {
+  EXPECT_EQ(Count("//A"), 3u);
+  EXPECT_EQ(Count("//A/B"), 4u);
+  EXPECT_EQ(Count("//A/B/D"), 4u);
+  EXPECT_EQ(Count("//A//C"), 2u);
+  EXPECT_EQ(Count("//B/E"), 1u);
+  EXPECT_EQ(Count("//C/E"), 2u);
+  EXPECT_EQ(Count("//Root//E"), 3u);
+}
+
+TEST_F(PaperEvalTest, AbsoluteRoot) {
+  EXPECT_EQ(Count("/Root"), 1u);
+  EXPECT_EQ(Count("/Root/A"), 3u);
+  EXPECT_EQ(Count("/A"), 0u);
+  EXPECT_EQ(Count("/Root//D"), 4u);
+}
+
+TEST_F(PaperEvalTest, UnknownTag) {
+  EXPECT_EQ(Count("//Nope"), 0u);
+  EXPECT_EQ(Count("//A/Nope"), 0u);
+}
+
+TEST_F(PaperEvalTest, BranchQueries) {
+  // Q1 = //A[/C/F]/B/D: only A2 qualifies; its B/Ds: two B(p5) each
+  // with one D -> 2 D nodes.
+  EXPECT_EQ(Count("//A[/C/F]/B/D"), 2u);
+  EXPECT_EQ(Count("//A{t}[/C/F]/B/D"), 1u);
+  EXPECT_EQ(Count("//A[/C/F]/B{t}/D"), 2u);
+  // Q2 = //C[/E]/F target E: exactly one E (Example 4.3's true answer).
+  EXPECT_EQ(Count("//C[/E{t}]/F"), 1u);
+  EXPECT_EQ(Count("//C{t}[/E]/F"), 1u);
+}
+
+TEST_F(PaperEvalTest, TargetInTrunkMiddle) {
+  EXPECT_EQ(Count("//A{t}/B/E"), 1u);   // only A1
+  EXPECT_EQ(Count("//A/B{t}/E"), 1u);   // only B(p8)
+}
+
+TEST_F(PaperEvalTest, SiblingOrderConstraints) {
+  // C with a following sibling B: A2 (C between Bs) and A3 (C, B).
+  EXPECT_EQ(Count("//A[/C{t}/following-sibling::B]"), 2u);
+  EXPECT_EQ(Count("//A[/C/following-sibling::B{t}]"), 2u);
+  // B with a preceding C sibling: second B of A2 and B of A3.
+  EXPECT_EQ(Count("//A[/B{t}/preceding-sibling::C]"), 2u);
+  // Target D below the ordered B.
+  EXPECT_EQ(Count("//A[/C[/F]/following-sibling::B/D{t}]"), 1u);
+  EXPECT_EQ(Count("//A[/C[/F]/following-sibling::B{t}/D]"), 1u);
+  // Trunk target.
+  EXPECT_EQ(Count("//A{t}[/C/following-sibling::B]"), 2u);
+  EXPECT_EQ(Count("//A{t}[/C[/F]/following-sibling::B/D]"), 1u);
+}
+
+TEST_F(PaperEvalTest, SiblingOrderIsStrict) {
+  // No two F siblings exist.
+  EXPECT_EQ(Count("//C[/F/following-sibling::F]"), 0u);
+  // E and F are siblings under C(p3), E first.
+  EXPECT_EQ(Count("//C[/E/following-sibling::F{t}]"), 1u);
+  EXPECT_EQ(Count("//C[/F/following-sibling::E]"), 0u);
+}
+
+TEST_F(PaperEvalTest, DocumentOrderConstraints) {
+  // //A[/C/following::D]: D descendants of A after C's subtree:
+  // A2's second B/D and A3's B/D -> target D count 2, target A count 2.
+  EXPECT_EQ(Count("//A[/C/following::D{t}]"), 2u);
+  EXPECT_EQ(Count("//A{t}[/C/following::D]"), 2u);
+  // preceding: D before C's subtree under the same A: A2's first B/D.
+  EXPECT_EQ(Count("//A[/C/preceding::D{t}]"), 1u);
+  EXPECT_EQ(Count("//A{t}[/C/preceding::D]"), 1u);
+}
+
+TEST_F(PaperEvalTest, FollowingExcludesDescendants) {
+  // E after C within the same A: A2 has C(E,F) but those E are inside C,
+  // not following it. No other E after a C under the same A.
+  EXPECT_EQ(Count("//A[/C/following::E]"), 0u);
+}
+
+TEST_F(PaperEvalTest, MatchesReturnsDocumentOrder) {
+  auto q = ParseXPath("//A/B/D").value();
+  auto r = eval_.Matches(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 4u);
+  for (size_t i = 1; i < r.value().size(); ++i) {
+    EXPECT_TRUE(doc_.IsBefore(r.value()[i - 1], r.value()[i]));
+  }
+}
+
+TEST(EvalRecursion, RecursiveTags) {
+  auto parsed = xml::ParseXml(
+      "<a><a><b/></a><b/><c><a><b/></a></c></a>");
+  ASSERT_TRUE(parsed.ok());
+  ExactEvaluator eval(parsed.value());
+  auto count = [&](const char* s) {
+    return eval.Count(ParseXPath(s).value()).value();
+  };
+  EXPECT_EQ(count("//a"), 3u);
+  EXPECT_EQ(count("//a/b"), 3u);
+  EXPECT_EQ(count("//a//a"), 2u);
+  EXPECT_EQ(count("//a//a{t}//b"), 2u);
+  EXPECT_EQ(count("//a[/a]/b{t}"), 1u);  // outer a has a-child and b-child
+}
+
+TEST(EvalOrderChain, MultipleConstraintsSameKind) {
+  // x, then y after x, then z after y (two sibling constraints, one
+  // junction).
+  auto parsed = xml::ParseXml("<r><x/><y/><z/><p><x/><z/><y/></p></r>");
+  ASSERT_TRUE(parsed.ok());
+  ExactEvaluator eval(parsed.value());
+  auto q = ParseXPath(
+      "//r[/x/following-sibling::y/following-sibling::z{t}]");
+  ASSERT_TRUE(q.ok());
+  // Wrong junction: constraints chain y then z under r: r's children
+  // x,y,z qualify -> 1.
+  EXPECT_EQ(eval.Count(q.value()).value(), 1u);
+}
+
+TEST(EvalOrderChain, PinFastPathWideFanout) {
+  // A wide parent exercising the cached single-constraint fast path.
+  std::string xml = "<r>";
+  for (int i = 0; i < 200; ++i) {
+    xml += i % 2 == 0 ? "<x/>" : "<y/>";
+  }
+  xml += "</r>";
+  auto parsed = xml::ParseXml(xml);
+  ASSERT_TRUE(parsed.ok());
+  ExactEvaluator eval(parsed.value());
+  // y elements with a preceding x sibling: all 100.
+  EXPECT_EQ(eval.Count(ParseXPath("//r[/x/following-sibling::y{t}]").value())
+                .value(),
+            100u);
+  // x elements before some y: all x except the last one... the children
+  // alternate x,y so every x has a following y.
+  EXPECT_EQ(eval.Count(ParseXPath("//r[/x{t}/following-sibling::y]").value())
+                .value(),
+            100u);
+}
+
+}  // namespace
+}  // namespace xee::eval

@@ -1,0 +1,132 @@
+// Numeric verification of how histogram bucket averages propagate
+// through the estimation formulas (Theorem 4.1, Eqs. 2-3), with values
+// derived by hand on the paper's Figure 1 document.
+//
+// P-histograms at variance 1 on that document:
+//   A: {(p6,1),(p7,1),(p8,1)}      -> one bucket, avg 1
+//   B: {(p8,1),(p5,3)}             -> one bucket, avg 2 (sd = 1)
+//   C: {(p2,1),(p3,1)}             -> one bucket, avg 1
+//   D: {(p5,4)}                    -> one bucket, avg 4
+//   E: {(p4,1),(p2,2)}             -> one bucket, avg 1.5 (sd = 0.5)
+//   F: {(p1,1)}                    -> one bucket, avg 1
+//
+// B's path-order cells (pid p5): before B = 1, before C = 1, after B = 1,
+// after C = 2. With a loose o-variance, the "after" column merges the
+// after-B and after-C cells into one bucket with average 1.5.
+
+#include <gtest/gtest.h>
+
+#include "estimator/estimator.h"
+#include "paper_fixture.h"
+#include "xpath/parser.h"
+
+namespace xee::estimator {
+namespace {
+
+double Estimate(const Estimator& est, const std::string& text) {
+  auto q = xpath::ParseXPath(text);
+  EXPECT_TRUE(q.ok()) << text;
+  auto r = est.Estimate(q.value());
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? r.value() : -1;
+}
+
+class FormulaTest : public ::testing::Test {
+ protected:
+  Synopsis Build(double pv, double ov) {
+    SynopsisOptions opt;
+    opt.p_variance = pv;
+    opt.o_variance = ov;
+    return Synopsis::Build(doc_, opt);
+  }
+  xml::Document doc_ = xee::testing::MakePaperDocument();
+};
+
+TEST_F(FormulaTest, PHistogramBucketsAtVarianceOne) {
+  Synopsis syn = Build(1, 0);
+  auto tag = [&](const char* n) { return *syn.FindTag(n); };
+  // One bucket per tag, averages as derived above.
+  EXPECT_EQ(syn.PHisto(tag("B")).BucketCount(), 1u);
+  EXPECT_DOUBLE_EQ(syn.PHisto(tag("B")).Frequency(5), 2);
+  EXPECT_DOUBLE_EQ(syn.PHisto(tag("B")).Frequency(8), 2);
+  EXPECT_EQ(syn.PHisto(tag("E")).BucketCount(), 1u);
+  EXPECT_DOUBLE_EQ(syn.PHisto(tag("E")).Frequency(2), 1.5);
+  EXPECT_DOUBLE_EQ(syn.PHisto(tag("E")).Frequency(4), 1.5);
+  EXPECT_DOUBLE_EQ(syn.PHisto(tag("A")).Frequency(7), 1);
+  EXPECT_DOUBLE_EQ(syn.PHisto(tag("D")).Frequency(5), 4);
+}
+
+TEST_F(FormulaTest, SimpleChainPropagatesBucketAverages) {
+  Synopsis syn = Build(1, 0);
+  Estimator est(syn);
+  // //B/E: the join keeps only E(p4); its bucket average is 1.5
+  // (true count 1 — the error the coarser histogram buys).
+  EXPECT_DOUBLE_EQ(Estimate(est, "//B/E"), 1.5);
+  // //B/D: D(p5) survives with its exact frequency 4.
+  EXPECT_DOUBLE_EQ(Estimate(est, "//B/D"), 4);
+  // //A/B: B keeps both pids, each averaged to 2 -> 4 (coincidentally
+  // exact).
+  EXPECT_DOUBLE_EQ(Estimate(est, "//A/B"), 4);
+  // //A: 3 x avg 1.
+  EXPECT_DOUBLE_EQ(Estimate(est, "//A"), 3);
+}
+
+TEST_F(FormulaTest, BranchEquation2WithBuckets) {
+  Synopsis syn = Build(1, 0);
+  Estimator est(syn);
+  // Q = //C[/E]/F target E. Join on Q: C keeps p3 only; E keeps p2
+  // (bucket avg 1.5); F keeps p1.
+  // Q' = //C/E: C {p2,p3} avg 1 each -> f_Q'(C) = 2, f_Q'(E) = 1.5,
+  // f_Q(C) = 1. Eq. 2: 1.5 * 1/2 = 0.75.
+  EXPECT_DOUBLE_EQ(Estimate(est, "//C[/E{t}]/F"), 0.75);
+}
+
+TEST_F(FormulaTest, OHistogramMergesAfterCells) {
+  // Loose o-variance merges B's two "after" cells (1 and 2) into one
+  // bucket with average 1.5.
+  Synopsis syn = Build(0, 2);
+  auto b = *syn.FindTag("B");
+  auto c = *syn.FindTag("C");
+  EXPECT_DOUBLE_EQ(
+      syn.OHisto(b).Get(stats::OrderRegion::kAfter, c, 5), 1.5);
+  // The "before" cells (both 1) still read exactly.
+  EXPECT_DOUBLE_EQ(
+      syn.OHisto(b).Get(stats::OrderRegion::kBefore, c, 5), 1);
+}
+
+TEST_F(FormulaTest, Equation3WithCoarseOrderData) {
+  // Example 5.1 with o-variance 2: S_arrowQ'(B) becomes 1.5 instead of
+  // 2, so the final estimate is 1.5 * (4/3)/(8/3) = 0.75.
+  Synopsis syn = Build(0, 2);
+  Estimator est(syn);
+  EXPECT_NEAR(
+      Estimate(est, "//A[/C[/F]/following-sibling::B{t}/D]"), 0.75, 1e-9);
+  // At exact order data it is 1 (Example 5.1).
+  Synopsis exact = Build(0, 0);
+  Estimator est0(exact);
+  EXPECT_NEAR(
+      Estimate(est0, "//A[/C[/F]/following-sibling::B{t}/D]"), 1, 1e-9);
+}
+
+TEST_F(FormulaTest, Equation5MinClampsTrunkTarget) {
+  // Target A of //A[/C/folls::B]: S_Q(A) = 2 (after join), and the
+  // order-corrected sibling estimates are both >= 2 at exact tables, so
+  // the min is S_Q(A) itself.
+  Synopsis syn = Build(0, 0);
+  Estimator est(syn);
+  const double s = Estimate(est, "//A{t}[/C/following-sibling::B]");
+  const double s_noorder = Estimate(est, "//A{t}[/C]/B");
+  EXPECT_LE(s, s_noorder + 1e-9);
+  EXPECT_NEAR(s, 2, 1e-9);
+}
+
+TEST_F(FormulaTest, ZeroDenominatorsGiveZeroNotNan) {
+  Synopsis syn = Build(0, 0);
+  Estimator est(syn);
+  // No D ever follows an F among siblings; denominator paths collapse.
+  const double s = Estimate(est, "//C[/F/following-sibling::D]");
+  EXPECT_DOUBLE_EQ(s, 0);
+}
+
+}  // namespace
+}  // namespace xee::estimator

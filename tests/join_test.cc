@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "eval/exact_evaluator.h"
+#include "join/structural_join.h"
+#include "paper_fixture.h"
+#include "workload/workload.h"
+#include "xpath/parser.h"
+
+namespace xee::join {
+namespace {
+
+using xpath::ParseXPath;
+
+class PaperJoinTest : public ::testing::Test {
+ protected:
+  PaperJoinTest()
+      : doc_(xee::testing::MakePaperDocument()), exec_(doc_), eval_(doc_) {}
+
+  std::vector<xml::NodeId> Run(const std::string& text,
+                               const ExecOptions& opt = {},
+                               ExecStats* stats = nullptr) {
+    auto q = ParseXPath(text);
+    EXPECT_TRUE(q.ok()) << text;
+    auto r = exec_.Execute(q.value(), opt, stats);
+    EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+    return r.ok() ? r.value() : std::vector<xml::NodeId>{};
+  }
+
+  xml::Document doc_;
+  StructuralJoinExecutor exec_;
+  eval::ExactEvaluator eval_;
+};
+
+TEST_F(PaperJoinTest, SimpleChains) {
+  EXPECT_EQ(Run("//A").size(), 3u);
+  EXPECT_EQ(Run("//A/B/D").size(), 4u);
+  EXPECT_EQ(Run("//A//C").size(), 2u);
+  EXPECT_EQ(Run("/Root/A").size(), 3u);
+  EXPECT_EQ(Run("/A").size(), 0u);
+  EXPECT_EQ(Run("//Zzz").size(), 0u);
+}
+
+TEST_F(PaperJoinTest, BranchQueriesMatchEvaluator) {
+  for (const char* text :
+       {"//A[/C/F]/B/D", "//A{t}[/C/F]/B/D", "//C[/E{t}]/F",
+        "//A[/B]/C", "//A/*{t}[/E]", "//*{t}/D", "//A{t}/B/E"}) {
+    auto q = ParseXPath(text).value();
+    auto got = exec_.Execute(q);
+    auto expect = eval_.Matches(q);
+    ASSERT_TRUE(got.ok() && expect.ok()) << text;
+    EXPECT_EQ(got.value(), expect.value()) << text;
+  }
+}
+
+TEST_F(PaperJoinTest, ResultsInDocumentOrder) {
+  auto matches = Run("//A/B/D");
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_TRUE(doc_.IsBefore(matches[i - 1], matches[i]));
+  }
+}
+
+TEST_F(PaperJoinTest, PruningReducesCandidatesWithoutChangingResults) {
+  ExecOptions with, without;
+  without.use_pid_pruning = false;
+  ExecStats s_with, s_without;
+  auto a = Run("//A[/C/F]/B/D", with, &s_with);
+  auto b = Run("//A[/C/F]/B/D", without, &s_without);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(s_with.candidates_initial, s_without.candidates_initial);
+  // Without pruning, candidate lists enter the join at full size.
+  EXPECT_EQ(s_without.candidates_pruned, s_without.candidates_initial);
+  EXPECT_LT(s_with.candidates_pruned, s_with.candidates_initial);
+}
+
+TEST_F(PaperJoinTest, OrderQueriesUnsupported) {
+  auto q = ParseXPath("//A[/C/following-sibling::B]").value();
+  auto r = exec_.Execute(q);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+// Cross-validation on generated workloads: the structural-join executor
+// and the exact evaluator are independent implementations and must agree
+// on every non-order query.
+class JoinDatasetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(JoinDatasetTest, AgreesWithExactEvaluatorOnWorkload) {
+  datagen::GenOptions gopt;
+  gopt.scale = 0.05;
+  xml::Document doc = datagen::GenerateByName(GetParam(), gopt).value();
+  workload::WorkloadOptions wopt;
+  wopt.simple_count = 120;
+  wopt.branch_count = 120;
+  workload::Workload w = workload::GenerateWorkload(doc, wopt);
+
+  StructuralJoinExecutor exec(doc);
+  for (const auto* list : {&w.simple, &w.branch}) {
+    for (const auto& wq : *list) {
+      for (bool prune : {true, false}) {
+        ExecOptions opt;
+        opt.use_pid_pruning = prune;
+        auto r = exec.Execute(wq.query, opt);
+        ASSERT_TRUE(r.ok()) << wq.query.ToString();
+        EXPECT_EQ(r.value().size(), wq.true_count)
+            << wq.query.ToString() << " prune=" << prune;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, JoinDatasetTest,
+                         ::testing::Values("ssplays", "dblp", "xmark"));
+
+}  // namespace
+}  // namespace xee::join

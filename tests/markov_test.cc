@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "eval/exact_evaluator.h"
+#include "markov/markov_estimator.h"
+#include "paper_fixture.h"
+#include "xpath/parser.h"
+
+namespace xee::markov {
+namespace {
+
+using xpath::ParseXPath;
+
+double Estimate(const MarkovEstimator& m, const std::string& q) {
+  auto query = ParseXPath(q);
+  EXPECT_TRUE(query.ok()) << q;
+  auto r = m.Estimate(query.value());
+  EXPECT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+  return r.ok() ? r.value() : -1;
+}
+
+TEST(Markov, GramCountsOnPaperDocument) {
+  xml::Document doc = xee::testing::MakePaperDocument();
+  MarkovEstimator m = MarkovEstimator::Build(doc, {});
+  EXPECT_EQ(m.PathFrequency({"A"}), 3u);
+  EXPECT_EQ(m.PathFrequency({"B"}), 4u);
+  EXPECT_EQ(m.PathFrequency({"A", "B"}), 4u);
+  EXPECT_EQ(m.PathFrequency({"B", "D"}), 4u);
+  EXPECT_EQ(m.PathFrequency({"C", "E"}), 2u);
+  EXPECT_EQ(m.PathFrequency({"B", "F"}), 0u);
+  EXPECT_EQ(m.PathFrequency({"Nope"}), 0u);
+}
+
+TEST(Markov, ChainsWithinWindowAreExact) {
+  xml::Document doc = xee::testing::MakePaperDocument();
+  MarkovEstimator m = MarkovEstimator::Build(doc, {});
+  EXPECT_DOUBLE_EQ(Estimate(m, "//A/B"), 4);
+  EXPECT_DOUBLE_EQ(Estimate(m, "//C/E"), 2);
+  EXPECT_DOUBLE_EQ(Estimate(m, "//B/F"), 0);
+}
+
+TEST(Markov, LongerChainsUseConditionals) {
+  // k=2: est(//A/B/D) = f(A,B) * f(B,D)/f(B) = 4 * 4/4 = 4 (true 4).
+  xml::Document doc = xee::testing::MakePaperDocument();
+  MarkovEstimator m2 = MarkovEstimator::Build(doc, {});
+  EXPECT_DOUBLE_EQ(Estimate(m2, "//A/B/D"), 4);
+  // est(//A/B/E) = f(A,B) * f(B,E)/f(B) = 4 * 1/4 = 1 (true 1).
+  EXPECT_DOUBLE_EQ(Estimate(m2, "//A/B/E"), 1);
+  // With k=3 the same chains are exact lookups.
+  MarkovOptions o3;
+  o3.k = 3;
+  MarkovEstimator m3 = MarkovEstimator::Build(doc, o3);
+  EXPECT_DOUBLE_EQ(Estimate(m3, "//A/B/E"), 1);
+  // Root/A/B/D at k=3: f(Root,A,B) * f(A,B,D)/f(A,B) = 4 * 4/4.
+  EXPECT_DOUBLE_EQ(Estimate(m3, "/Root/A/B/D"), 4);
+}
+
+TEST(Markov, AbsoluteRootRestriction) {
+  xml::Document doc = xee::testing::MakePaperDocument();
+  MarkovEstimator m = MarkovEstimator::Build(doc, {});
+  EXPECT_DOUBLE_EQ(Estimate(m, "/Root/A"), 3);
+  EXPECT_DOUBLE_EQ(Estimate(m, "/A/B"), 0);
+}
+
+TEST(Markov, UnsupportedQueryClasses) {
+  xml::Document doc = xee::testing::MakePaperDocument();
+  MarkovEstimator m = MarkovEstimator::Build(doc, {});
+  for (const char* text :
+       {"//A//D", "//A[/B]/C", "//A/*", "//A{t}/B",
+        "//A[/C/following-sibling::B]", "//A/B[.=\"x\"]"}) {
+    auto q = ParseXPath(text);
+    ASSERT_TRUE(q.ok()) << text;
+    auto r = m.Estimate(q.value());
+    EXPECT_FALSE(r.ok()) << text;
+    EXPECT_EQ(r.status().code(), StatusCode::kUnsupported) << text;
+  }
+}
+
+TEST(Markov, LargerKNeverLessAccurateOnAverage) {
+  datagen::GenOptions gopt;
+  gopt.scale = 0.05;
+  xml::Document doc = datagen::GenerateSsPlays(gopt);
+  eval::ExactEvaluator eval(doc);
+  MarkovOptions o2, o4;
+  o2.k = 2;
+  o4.k = 4;
+  MarkovEstimator m2 = MarkovEstimator::Build(doc, o2);
+  MarkovEstimator m4 = MarkovEstimator::Build(doc, o4);
+  EXPECT_GT(m4.SizeBytes(), m2.SizeBytes());
+
+  // Long child chains where the Markov assumption bites.
+  double err2 = 0, err4 = 0;
+  int counted = 0;
+  for (const char* text :
+       {"//PLAY/ACT/SCENE/SPEECH/LINE", "//PLAY/ACT/SCENE/SPEECH/SPEAKER",
+        "//PLAYS/PLAY/ACT/SCENE/STAGEDIR",
+        "//PLAY/PERSONAE/PGROUP/PERSONA"}) {
+    auto q = ParseXPath(text).value();
+    auto exact = eval.Count(q);
+    ASSERT_TRUE(exact.ok());
+    if (exact.value() == 0) continue;
+    auto r2 = m2.Estimate(q);
+    auto r4 = m4.Estimate(q);
+    ASSERT_TRUE(r2.ok() && r4.ok()) << text;
+    err2 += std::abs(r2.value() - static_cast<double>(exact.value())) /
+            static_cast<double>(exact.value());
+    err4 += std::abs(r4.value() - static_cast<double>(exact.value())) /
+            static_cast<double>(exact.value());
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_LE(err4, err2 + 1e-9);
+}
+
+}  // namespace
+}  // namespace xee::markov

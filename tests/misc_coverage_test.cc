@@ -1,0 +1,129 @@
+// Coverage of smaller public surfaces: pretty-printed serialization,
+// o-histogram row adjacency, estimator counters, synopsis accessors, and
+// query printing of the extended syntax.
+
+#include <gtest/gtest.h>
+
+#include "estimator/estimator.h"
+#include "histogram/o_histogram.h"
+#include "paper_fixture.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xpath/parser.h"
+
+namespace xee {
+namespace {
+
+TEST(Writer, PrettyModeRoundTrips) {
+  xml::Document doc = xee::testing::MakePaperDocument();
+  xml::WriteOptions opt;
+  opt.pretty = true;
+  std::string pretty = xml::WriteXml(doc, opt);
+  // Indentation present and structure preserved on reparse.
+  EXPECT_NE(pretty.find("\n  <A>"), std::string::npos);
+  auto reparsed = xml::ParseXml(pretty);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().NodeCount(), doc.NodeCount());
+}
+
+TEST(Writer, DeclarationToggle) {
+  xml::Document doc;
+  doc.CreateRoot("a");
+  doc.Finalize();
+  xml::WriteOptions no_decl;
+  no_decl.declaration = false;
+  EXPECT_EQ(xml::WriteXml(doc, no_decl), "<a/>");
+  EXPECT_NE(xml::WriteXml(doc).find("<?xml"), std::string::npos);
+}
+
+TEST(Writer, SerializedSizeMatchesWrite) {
+  xml::Document doc = xee::testing::MakePaperDocument();
+  EXPECT_EQ(xml::SerializedSize(doc), xml::WriteXml(doc).size());
+}
+
+TEST(Tree, TextConcatenationAndAttributes) {
+  xml::Document doc;
+  auto r = doc.CreateRoot("a");
+  doc.AppendText(r, "one");
+  doc.AppendText(r, " two");
+  doc.AddAttribute(r, "k1", "v1");
+  doc.AddAttribute(r, "k2", "v2");
+  EXPECT_EQ(doc.Text(r), "one two");
+  ASSERT_EQ(doc.Attributes(r).size(), 2u);
+  EXPECT_EQ(doc.Attributes(r)[1].name, "k2");
+}
+
+TEST(OHistogram, AlphabeticalAdjacencyControlsMerging) {
+  // Tags ranked 0 and 2 with an empty rank-1 row between them must not
+  // merge even at a huge variance threshold; adjacent ranks 0 and 1 do.
+  std::vector<uint32_t> ranks = {0, 1, 2};
+  std::vector<encoding::PidRef> cols = {1};
+  {
+    stats::PathOrderTable t;
+    t.Add(stats::OrderRegion::kBefore, 0, 1, 5);
+    t.Add(stats::OrderRegion::kBefore, 2, 1, 5);
+    auto h = histogram::OHistogram::Build(t, ranks, cols, 1000);
+    EXPECT_EQ(h.BucketCount(), 2u);
+  }
+  {
+    stats::PathOrderTable t;
+    t.Add(stats::OrderRegion::kBefore, 0, 1, 5);
+    t.Add(stats::OrderRegion::kBefore, 1, 1, 5);
+    auto h = histogram::OHistogram::Build(t, ranks, cols, 1000);
+    EXPECT_EQ(h.BucketCount(), 1u);
+  }
+}
+
+TEST(Estimator, ContainmentTestCounterAdvances) {
+  xml::Document doc = xee::testing::MakePaperDocument();
+  estimator::Synopsis syn =
+      estimator::Synopsis::Build(doc, estimator::SynopsisOptions{});
+  estimator::Estimator est(syn);
+  EXPECT_EQ(est.containment_tests(), 0u);
+  auto q = xpath::ParseXPath("//A[/C/F]/B/D").value();
+  ASSERT_TRUE(est.Estimate(q).ok());
+  size_t after_one = est.containment_tests();
+  EXPECT_GT(after_one, 0u);
+  ASSERT_TRUE(est.Estimate(q).ok());
+  EXPECT_GT(est.containment_tests(), after_one);
+}
+
+TEST(Synopsis, AccessorsAndRootMetadata) {
+  xml::Document doc = xee::testing::MakePaperDocument();
+  estimator::Synopsis syn =
+      estimator::Synopsis::Build(doc, estimator::SynopsisOptions{});
+  EXPECT_EQ(syn.TagCount(), doc.TagCount());
+  EXPECT_EQ(syn.TagName(syn.root_tag()), "Root");
+  ASSERT_TRUE(syn.FindTag("B").has_value());
+  EXPECT_EQ(syn.TagName(*syn.FindTag("B")), "B");
+  EXPECT_FALSE(syn.FindTag("nope").has_value());
+  // Root pid is the all-ones id.
+  EXPECT_EQ(syn.PidBits(syn.root_pid()).PopCount(), syn.table().PathCount());
+  // Tree and cache agree.
+  for (encoding::PidRef ref = 1; ref <= syn.DistinctPidCount(); ++ref) {
+    EXPECT_EQ(syn.pid_tree().Lookup(ref), syn.PidBits(ref));
+  }
+}
+
+TEST(QueryPrint, WildcardAndDocumentOrderRendering) {
+  for (const char* s :
+       {"//*/B", "//A[/*]/B", "//A[/C/following::D]",
+        "//A[/C/preceding::D{t}]",
+        "//A[/B/following-sibling::C/following-sibling::B]"}) {
+    auto q = xpath::ParseXPath(s);
+    ASSERT_TRUE(q.ok()) << s;
+    auto q2 = xpath::ParseXPath(q.value().ToString());
+    ASSERT_TRUE(q2.ok()) << s << " -> " << q.value().ToString();
+    EXPECT_EQ(q.value().ToString(), q2.value().ToString()) << s;
+    EXPECT_EQ(q.value().orders.size(), q2.value().orders.size()) << s;
+  }
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "unsupported");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace xee

@@ -1,0 +1,56 @@
+#ifndef XEE_TESTS_PAPER_FIXTURE_H_
+#define XEE_TESTS_PAPER_FIXTURE_H_
+
+#include "xml/tree.h"
+
+namespace xee::testing {
+
+/// Reconstructs the running-example document of the paper's Figure 1.
+///
+///   Root(p9)
+///   ├── A(p8): B(p8): D(p5), E(p4)
+///   ├── A(p7): B(p5){D}, C(p3){E(p2), F(p1)}, B(p5){D}
+///   └── A(p6): C(p2){E(p2)}, B(p5){D}
+///
+/// Distinct root-to-leaf paths in document order:
+///   1: Root/A/B/D   2: Root/A/B/E   3: Root/A/C/E   4: Root/A/C/F
+///
+/// With this shape, the lexicographically sorted distinct path ids get
+/// PidRefs 1..9 that coincide exactly with the paper's p1..p9
+/// (p1=0001 ... p9=1111), and the pathId-frequency table matches the
+/// paper's Figure 2(a):
+///   Root {(p9,1)}  A {(p6,1)(p7,1)(p8,1)}  B {(p5,3)(p8,1)}
+///   C {(p2,1)(p3,1)}  D {(p5,4)}  E {(p2,2)(p4,1)}  F {(p1,1)}
+/// and B's path-order table matches Figure 2(b): one B(p5) before C,
+/// two B(p5) after C.
+inline xml::Document MakePaperDocument() {
+  xml::Document doc;
+  auto root = doc.CreateRoot("Root");
+
+  auto a1 = doc.AppendChild(root, "A");
+  auto b1 = doc.AppendChild(a1, "B");
+  doc.AppendChild(b1, "D");
+  doc.AppendChild(b1, "E");
+
+  auto a2 = doc.AppendChild(root, "A");
+  auto b2 = doc.AppendChild(a2, "B");
+  doc.AppendChild(b2, "D");
+  auto c2 = doc.AppendChild(a2, "C");
+  doc.AppendChild(c2, "E");
+  doc.AppendChild(c2, "F");
+  auto b3 = doc.AppendChild(a2, "B");
+  doc.AppendChild(b3, "D");
+
+  auto a3 = doc.AppendChild(root, "A");
+  auto c3 = doc.AppendChild(a3, "C");
+  doc.AppendChild(c3, "E");
+  auto b4 = doc.AppendChild(a3, "B");
+  doc.AppendChild(b4, "D");
+
+  doc.Finalize();
+  return doc;
+}
+
+}  // namespace xee::testing
+
+#endif  // XEE_TESTS_PAPER_FIXTURE_H_

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "datagen/datagen.h"
+#include "encoding/labeling.h"
+#include "paper_fixture.h"
+#include "pidtree/collapsed_pid_tree.h"
+#include "pidtree/pid_binary_tree.h"
+
+namespace xee::pidtree {
+namespace {
+
+using encoding::PidRef;
+
+std::vector<PathIdBits> FromStrings(const std::vector<std::string>& v) {
+  std::vector<PathIdBits> out;
+  out.reserve(v.size());
+  for (const auto& s : v) out.push_back(PathIdBits::FromBitString(s));
+  return out;
+}
+
+TEST(PathIdBinaryTree, PaperFigure6LookupRoundTrip) {
+  // The nine pids of Figure 1(c) in lexicographic order p1..p9.
+  const std::vector<std::string> pids = {"0001", "0010", "0011", "0100",
+                                         "1000", "1010", "1011", "1100",
+                                         "1111"};
+  PathIdBinaryTree tree(FromStrings(pids));
+  EXPECT_EQ(tree.LeafCount(), 9u);
+  EXPECT_EQ(tree.num_bits(), 4u);
+  for (size_t i = 0; i < pids.size(); ++i) {
+    EXPECT_EQ(tree.Lookup(static_cast<PidRef>(i + 1)).ToBitString(), pids[i])
+        << "p" << i + 1;
+    EXPECT_EQ(tree.Find(PathIdBits::FromBitString(pids[i])), i + 1);
+  }
+}
+
+TEST(PathIdBinaryTree, FindRejectsAbsentPids) {
+  const std::vector<std::string> pids = {"0001", "0010", "0011", "0100",
+                                         "1000", "1010", "1011", "1100",
+                                         "1111"};
+  PathIdBinaryTree tree(FromStrings(pids));
+  for (const char* absent : {"0000", "0101", "0110", "0111", "1001", "1101",
+                             "1110", "1010001"}) {
+    PathIdBits bits = PathIdBits::FromBitString(absent);
+    EXPECT_EQ(tree.Find(bits), 0u) << absent;
+  }
+}
+
+TEST(PathIdBinaryTree, CompressionShrinksTree) {
+  const std::vector<std::string> pids = {"0001", "0010", "0011", "0100",
+                                         "1000", "1010", "1011", "1100",
+                                         "1111"};
+  PathIdBinaryTree tree(FromStrings(pids));
+  EXPECT_LT(tree.NodeCount(), tree.UncompressedNodeCount());
+  EXPECT_LT(tree.SizeBytes(), tree.UncompressedSizeBytes());
+}
+
+TEST(PathIdBinaryTree, SinglePid) {
+  PathIdBinaryTree tree(FromStrings({"0100"}));
+  EXPECT_EQ(tree.LeafCount(), 1u);
+  EXPECT_EQ(tree.Lookup(1).ToBitString(), "0100");
+  EXPECT_EQ(tree.Find(PathIdBits::FromBitString("0100")), 1u);
+  EXPECT_EQ(tree.Find(PathIdBits::FromBitString("0010")), 0u);
+}
+
+TEST(PathIdBinaryTree, AllOnesAndAllZerosNeighbourhood) {
+  PathIdBinaryTree tree(FromStrings({"0001", "1111"}));
+  EXPECT_EQ(tree.Lookup(1).ToBitString(), "0001");
+  EXPECT_EQ(tree.Lookup(2).ToBitString(), "1111");
+  EXPECT_EQ(tree.Find(PathIdBits::FromBitString("1111")), 2u);
+}
+
+TEST(PathIdBinaryTree, WidePidsCrossWordBoundaries) {
+  Rng rng(99);
+  const size_t width = 150;
+  std::set<std::string> set;
+  while (set.size() < 40) {
+    std::string s(width, '0');
+    for (char& c : s) c = rng.Bernoulli(0.1) ? '1' : '0';
+    if (s.find('1') != std::string::npos) set.insert(s);
+  }
+  std::vector<std::string> sorted(set.begin(), set.end());
+  PathIdBinaryTree tree(FromStrings(sorted));
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(tree.Lookup(static_cast<PidRef>(i + 1)).ToBitString(),
+              sorted[i]);
+    EXPECT_EQ(tree.Find(PathIdBits::FromBitString(sorted[i])), i + 1);
+  }
+}
+
+TEST(PathIdBinaryTree, PaperDocumentLabelingRoundTrip) {
+  xml::Document doc = xee::testing::MakePaperDocument();
+  encoding::Labeling lab = encoding::LabelDocument(doc);
+  PathIdBinaryTree tree(lab);
+  ASSERT_EQ(tree.LeafCount(), lab.distinct_pids.size());
+  for (size_t i = 0; i < lab.distinct_pids.size(); ++i) {
+    EXPECT_EQ(tree.Lookup(static_cast<PidRef>(i + 1)), lab.distinct_pids[i]);
+  }
+}
+
+// --- CollapsedPidTree (path-compressed extension) ------------------------
+
+TEST(CollapsedPidTree, PaperPidsRoundTrip) {
+  const std::vector<std::string> pids = {"0001", "0010", "0011", "0100",
+                                         "1000", "1010", "1011", "1100",
+                                         "1111"};
+  CollapsedPidTree tree(FromStrings(pids));
+  EXPECT_EQ(tree.LeafCount(), 9u);
+  for (size_t i = 0; i < pids.size(); ++i) {
+    EXPECT_EQ(tree.Lookup(static_cast<PidRef>(i + 1)).ToBitString(), pids[i]);
+    EXPECT_EQ(tree.Find(PathIdBits::FromBitString(pids[i])), i + 1);
+  }
+  for (const char* absent : {"0000", "0101", "1001", "1110"}) {
+    EXPECT_EQ(tree.Find(PathIdBits::FromBitString(absent)), 0u) << absent;
+  }
+}
+
+TEST(CollapsedPidTree, SinglePidMixedTail) {
+  for (const char* pid : {"0100100", "1111111", "0000001", "1000000"}) {
+    CollapsedPidTree tree(FromStrings({pid}));
+    EXPECT_EQ(tree.Lookup(1).ToBitString(), pid);
+    EXPECT_EQ(tree.Find(PathIdBits::FromBitString(pid)), 1u);
+  }
+}
+
+TEST(CollapsedPidTree, LongSparsePidsMuchSmallerThanPerBitTree) {
+  // Sparse wide pids: the per-bit structure keeps mixed chains node per
+  // bit; the collapsed variant stores them as short runs.
+  Rng rng(3);
+  const size_t width = 400;
+  std::set<std::string> set;
+  while (set.size() < 120) {
+    std::string s(width, '0');
+    for (char& c : s) c = rng.Bernoulli(0.02) ? '1' : '0';
+    if (s.find('1') != std::string::npos) set.insert(s);
+  }
+  std::vector<std::string> sorted(set.begin(), set.end());
+  auto pids = FromStrings(sorted);
+  PathIdBinaryTree per_bit(pids);
+  CollapsedPidTree collapsed(pids);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(collapsed.Lookup(static_cast<PidRef>(i + 1)).ToBitString(),
+              sorted[i]);
+    EXPECT_EQ(collapsed.Find(pids[i]), i + 1);
+  }
+  EXPECT_LT(collapsed.SizeBytes(), per_bit.SizeBytes() / 2);
+}
+
+// Property check over every generated dataset: both trees reconstruct
+// all distinct pids and find each of them.
+class DatasetTreeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetTreeTest, RoundTripAndCompression) {
+  datagen::GenOptions opt;
+  opt.scale = 0.05;
+  auto doc = datagen::GenerateByName(GetParam(), opt);
+  ASSERT_TRUE(doc.ok());
+  encoding::Labeling lab = encoding::LabelDocument(doc.value());
+  PathIdBinaryTree tree(lab);
+  CollapsedPidTree collapsed(lab);
+  ASSERT_EQ(tree.LeafCount(), lab.distinct_pids.size());
+  ASSERT_EQ(collapsed.LeafCount(), lab.distinct_pids.size());
+  for (size_t i = 0; i < lab.distinct_pids.size(); ++i) {
+    const PidRef ref = static_cast<PidRef>(i + 1);
+    EXPECT_EQ(tree.Lookup(ref), lab.distinct_pids[i]);
+    EXPECT_EQ(tree.Find(lab.distinct_pids[i]), ref);
+    EXPECT_EQ(collapsed.Lookup(ref), lab.distinct_pids[i]);
+    EXPECT_EQ(collapsed.Find(lab.distinct_pids[i]), ref);
+  }
+  EXPECT_LE(tree.NodeCount(), tree.UncompressedNodeCount());
+  EXPECT_LE(collapsed.NodeCount(), tree.NodeCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetTreeTest,
+                         ::testing::Values("ssplays", "dblp", "xmark"));
+
+}  // namespace
+}  // namespace xee::pidtree

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "datagen/datagen.h"
+#include "estimator/estimator.h"
+#include "paper_fixture.h"
+#include "xpath/parser.h"
+
+namespace xee {
+namespace {
+
+// --- BinaryWriter / BinaryReader -----------------------------------------
+
+TEST(BinaryCodec, RoundTripsAllTypes) {
+  BinaryWriter w;
+  w.PutU8(7);
+  w.PutU32(123456);
+  w.PutU64(1ull << 40);
+  w.PutDouble(3.5);
+  w.PutString("hello");
+  w.PutString("");
+
+  BinaryReader r(w.data());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  double d;
+  std::string s1, s2;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  ASSERT_TRUE(r.GetString(&s1).ok());
+  ASSERT_TRUE(r.GetString(&s2).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 123456u);
+  EXPECT_EQ(u64, 1ull << 40);
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2, "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryCodec, TruncationIsAnError) {
+  BinaryWriter w;
+  w.PutU64(42);
+  BinaryReader r(std::string_view(w.data()).substr(0, 3));
+  uint64_t v;
+  EXPECT_FALSE(r.GetU64(&v).ok());
+  BinaryReader r2(w.data());
+  std::string s;
+  EXPECT_FALSE(r2.GetString(&s).ok());  // u32 length = 42 > remaining
+}
+
+// --- Synopsis serialization -----------------------------------------------
+
+using estimator::Estimator;
+using estimator::Synopsis;
+using estimator::SynopsisOptions;
+
+std::vector<std::string> PaperQueries() {
+  return {"//A//C",
+          "//A/B/D",
+          "//A[/C/F]/B/D",
+          "//C[/E{t}]/F",
+          "//A[/C[/F]/following-sibling::B{t}/D]",
+          "//A[/C/following::D{t}]",
+          "//A{t}[/C/following-sibling::B]"};
+}
+
+TEST(SynopsisSerialize, PaperDocumentRoundTrip) {
+  xml::Document doc = xee::testing::MakePaperDocument();
+  Synopsis original = Synopsis::Build(doc, SynopsisOptions{});
+  std::string blob = original.Serialize();
+  auto restored = Synopsis::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored.value().TagCount(), original.TagCount());
+  EXPECT_EQ(restored.value().DistinctPidCount(), original.DistinctPidCount());
+  EXPECT_EQ(restored.value().PathSummaryBytes(), original.PathSummaryBytes());
+  EXPECT_EQ(restored.value().OHistogramBytes(), original.OHistogramBytes());
+
+  Estimator before(original);
+  Estimator after(restored.value());
+  for (const std::string& text : PaperQueries()) {
+    auto q = xpath::ParseXPath(text).value();
+    EXPECT_DOUBLE_EQ(before.Estimate(q).value(), after.Estimate(q).value())
+        << text;
+  }
+}
+
+class SerializeDatasetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SerializeDatasetTest, EstimatesIdenticalAfterRoundTrip) {
+  datagen::GenOptions gopt;
+  gopt.scale = 0.05;
+  xml::Document doc = datagen::GenerateByName(GetParam(), gopt).value();
+  SynopsisOptions opt;
+  opt.p_variance = 2;
+  opt.o_variance = 2;
+  Synopsis original = Synopsis::Build(doc, opt);
+  auto restored = Synopsis::Deserialize(original.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // A small deterministic probe of all tag pairs.
+  Estimator before(original);
+  Estimator after(restored.value());
+  for (size_t a = 0; a < doc.TagCount(); a += 3) {
+    for (size_t b = 0; b < doc.TagCount(); b += 5) {
+      std::string text = "//" + doc.TagNameOf(static_cast<xml::TagId>(a)) +
+                         "//" + doc.TagNameOf(static_cast<xml::TagId>(b));
+      auto q = xpath::ParseXPath(text);
+      ASSERT_TRUE(q.ok());
+      EXPECT_DOUBLE_EQ(before.Estimate(q.value()).value(),
+                       after.Estimate(q.value()).value())
+          << text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, SerializeDatasetTest,
+                         ::testing::Values("ssplays", "dblp", "xmark"));
+
+TEST(SynopsisSerialize, NoOrderVariant) {
+  xml::Document doc = xee::testing::MakePaperDocument();
+  SynopsisOptions opt;
+  opt.build_order = false;
+  Synopsis original = Synopsis::Build(doc, opt);
+  auto restored = Synopsis::Deserialize(original.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored.value().has_order());
+}
+
+TEST(SynopsisSerialize, RejectsCorruptedBlobs) {
+  xml::Document doc = xee::testing::MakePaperDocument();
+  Synopsis original = Synopsis::Build(doc, SynopsisOptions{});
+  std::string blob = original.Serialize();
+
+  // Bad magic.
+  {
+    std::string bad = blob;
+    bad[0] = 'x';
+    EXPECT_FALSE(Synopsis::Deserialize(bad).ok());
+  }
+  // Truncations at every prefix length must error, never crash.
+  for (size_t len = 0; len < blob.size(); len += 7) {
+    auto r = Synopsis::Deserialize(std::string_view(blob).substr(0, len));
+    EXPECT_FALSE(r.ok()) << "prefix " << len;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(Synopsis::Deserialize(blob + "zz").ok());
+}
+
+TEST(SynopsisSerialize, RandomMutationsNeverCrash) {
+  xml::Document doc = xee::testing::MakePaperDocument();
+  Synopsis original = Synopsis::Build(doc, SynopsisOptions{});
+  const std::string blob = original.Serialize();
+  Rng rng(404);
+  for (int round = 0; round < 200; ++round) {
+    std::string bad = blob;
+    const size_t edits = 1 + rng.Index(3);
+    for (size_t e = 0; e < edits; ++e) {
+      bad[rng.Index(bad.size())] = static_cast<char>(rng.Next());
+    }
+    auto r = Synopsis::Deserialize(bad);  // may succeed, must not crash
+    if (r.ok()) {
+      Estimator est(r.value());
+      auto q = xpath::ParseXPath("//A/B").value();
+      (void)est.Estimate(q);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xee

@@ -1,0 +1,165 @@
+// Tests for the value-predicate extension `[.="v"]` (DESIGN.md §5b):
+// parser syntax, value statistics, estimator scaling, exact evaluation,
+// structural-join filtering, and serialization of the value section.
+
+#include <gtest/gtest.h>
+
+#include "estimator/estimator.h"
+#include "eval/exact_evaluator.h"
+#include "join/structural_join.h"
+#include "stats/value_stats.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+#include "xsketch/xsketch.h"
+
+namespace xee {
+namespace {
+
+using xpath::ParseXPath;
+
+/// A library with skewed genre values: 6 "fantasy", 3 "scifi", 1 each of
+/// "noir", "haiku", "opera".
+xml::Document MakeLibrary() {
+  const char* xml =
+      "<lib>"
+      "<book><genre>fantasy</genre><title>a</title></book>"
+      "<book><genre>fantasy</genre><title>b</title></book>"
+      "<book><genre>fantasy</genre><title>c</title></book>"
+      "<book><genre>fantasy</genre></book>"
+      "<book><genre>fantasy</genre></book>"
+      "<book><genre>fantasy</genre></book>"
+      "<book><genre>scifi</genre><title>d</title></book>"
+      "<book><genre>scifi</genre></book>"
+      "<book><genre>scifi</genre></book>"
+      "<book><genre>noir</genre></book>"
+      "<book><genre>haiku</genre></book>"
+      "<book><genre>opera</genre></book>"
+      "</lib>";
+  return xml::ParseXml(xml).value();
+}
+
+TEST(ValueParser, SyntaxAndRoundTrip) {
+  auto q = ParseXPath("//book/genre[.=\"fantasy\"]");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value().size(), 2u);
+  ASSERT_TRUE(q.value().nodes[1].value_filter.has_value());
+  EXPECT_EQ(*q.value().nodes[1].value_filter, "fantasy");
+  // Round trip through ToString.
+  auto q2 = ParseXPath(q.value().ToString());
+  ASSERT_TRUE(q2.ok()) << q.value().ToString();
+  EXPECT_EQ(*q2.value().nodes[1].value_filter, "fantasy");
+  // Mixed with a structural predicate.
+  auto q3 = ParseXPath("//book[/genre[.=\"scifi\"]]/title");
+  ASSERT_TRUE(q3.ok());
+  EXPECT_EQ(*q3.value().nodes[1].value_filter, "scifi");
+}
+
+TEST(ValueParser, RejectsMalformed) {
+  EXPECT_FALSE(ParseXPath("//a[.=\"unterminated]").ok());
+  EXPECT_FALSE(ParseXPath("//a[.=\"x\"").ok());
+  EXPECT_FALSE(ParseXPath("//a[.=\"x\"][.=\"y\"]").ok());
+}
+
+TEST(ValueStats, TopKAndTail) {
+  xml::Document doc = MakeLibrary();
+  stats::ValueStats vs = stats::ValueStats::Build(doc, /*top_k=*/2);
+  auto genre = *doc.FindTag("genre");
+  const auto& tv = vs.ForTag(genre);
+  ASSERT_EQ(tv.top.size(), 2u);
+  EXPECT_EQ(tv.top[0], (std::pair<std::string, uint64_t>{"fantasy", 6}));
+  EXPECT_EQ(tv.top[1], (std::pair<std::string, uint64_t>{"scifi", 3}));
+  EXPECT_EQ(tv.other_count, 3u);     // noir + haiku + opera
+  EXPECT_EQ(tv.other_distinct, 3u);
+  EXPECT_EQ(tv.total_elements, 12u);
+
+  // Exact for top values; tail averaged; zero when nothing remains.
+  EXPECT_DOUBLE_EQ(vs.Selectivity(genre, "fantasy"), 6.0 / 12);
+  EXPECT_DOUBLE_EQ(vs.Selectivity(genre, "noir"), 1.0 / 12);
+  EXPECT_DOUBLE_EQ(vs.Selectivity(genre, "unseen"), 1.0 / 12);
+  auto lib = *doc.FindTag("lib");
+  EXPECT_DOUBLE_EQ(vs.Selectivity(lib, "anything"), 0);
+}
+
+TEST(ValueEstimator, ScalesByValueSelectivity) {
+  xml::Document doc = MakeLibrary();
+  estimator::SynopsisOptions opt;
+  opt.value_top_k = 2;
+  estimator::Synopsis syn = estimator::Synopsis::Build(doc, opt);
+  estimator::Estimator est(syn);
+  eval::ExactEvaluator eval(doc);
+
+  auto check = [&](const char* text, double expected_est,
+                   uint64_t expected_exact) {
+    auto q = ParseXPath(text).value();
+    auto r = est.Estimate(q);
+    ASSERT_TRUE(r.ok()) << text;
+    EXPECT_NEAR(r.value(), expected_est, 1e-9) << text;
+    EXPECT_EQ(eval.Count(q).value(), expected_exact) << text;
+  };
+  // 12 genres x P(fantasy) = 6.
+  check("//book/genre[.=\"fantasy\"]", 6, 6);
+  // Tail value: averaged to 1.
+  check("//book/genre[.=\"noir\"]", 1, 1);
+  // Filter on a branch scales the target's estimate.
+  // S(//book[/genre=scifi]{t}) = 12 * 3/12 = 3 (exact too).
+  check("//book{t}[/genre[.=\"scifi\"]]", 3, 3);
+  // Unseen-but-plausible value estimates as an average tail value.
+  check("//book/genre[.=\"western\"]", 1, 0);
+}
+
+TEST(ValueEstimator, NoValueStatsMeansNeutralFactor) {
+  xml::Document doc = MakeLibrary();
+  estimator::SynopsisOptions opt;
+  opt.build_values = false;
+  estimator::Synopsis syn = estimator::Synopsis::Build(doc, opt);
+  estimator::Estimator est(syn);
+  auto q = ParseXPath("//book/genre[.=\"fantasy\"]").value();
+  auto r = est.Estimate(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 12);  // unfiltered structural estimate
+}
+
+TEST(ValueEvaluatorAndJoin, FilterExactly) {
+  xml::Document doc = MakeLibrary();
+  eval::ExactEvaluator eval(doc);
+  join::StructuralJoinExecutor exec(doc);
+  for (const char* text :
+       {"//book/genre[.=\"fantasy\"]", "//book{t}[/genre[.=\"scifi\"]]",
+        "//book[/genre[.=\"opera\"]]/title", "//*[.=\"haiku\"]"}) {
+    auto q = ParseXPath(text).value();
+    auto a = eval.Matches(q);
+    auto b = exec.Execute(q);
+    ASSERT_TRUE(a.ok() && b.ok()) << text;
+    EXPECT_EQ(a.value(), b.value()) << text;
+  }
+  EXPECT_EQ(eval.Count(ParseXPath("//*[.=\"haiku\"]").value()).value(), 1u);
+}
+
+TEST(ValueSerialization, RoundTripsValueSection) {
+  xml::Document doc = MakeLibrary();
+  estimator::SynopsisOptions opt;
+  opt.value_top_k = 2;
+  estimator::Synopsis syn = estimator::Synopsis::Build(doc, opt);
+  auto restored = estimator::Synopsis::Deserialize(syn.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_NE(restored.value().value_stats(), nullptr);
+  estimator::Estimator before(syn), after(restored.value());
+  for (const char* text : {"//book/genre[.=\"fantasy\"]",
+                           "//book{t}[/genre[.=\"noir\"]]"}) {
+    auto q = ParseXPath(text).value();
+    EXPECT_DOUBLE_EQ(before.Estimate(q).value(), after.Estimate(q).value())
+        << text;
+  }
+}
+
+TEST(ValueBaselines, StructureOnlyEstimatorsReject) {
+  xml::Document doc = MakeLibrary();
+  auto q = ParseXPath("//book/genre[.=\"fantasy\"]").value();
+  xsketch::XSketch sk = xsketch::XSketch::Build(doc, {});
+  auto r = sk.Estimate(q);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace xee

@@ -1,0 +1,114 @@
+// Tests for the "*" name-test extension (DESIGN.md extensions): parser,
+// exact evaluator, estimator and XSketch all accept wildcard steps.
+
+#include <gtest/gtest.h>
+
+#include "estimator/estimator.h"
+#include "eval/exact_evaluator.h"
+#include "paper_fixture.h"
+#include "xpath/parser.h"
+#include "xsketch/xsketch.h"
+
+namespace xee {
+namespace {
+
+using xpath::ParseXPath;
+
+class WildcardTest : public ::testing::Test {
+ protected:
+  WildcardTest()
+      : doc_(xee::testing::MakePaperDocument()),
+        eval_(doc_),
+        syn_(estimator::Synopsis::Build(doc_, {})),
+        est_(syn_) {}
+
+  uint64_t Exact(const std::string& q) {
+    return eval_.Count(ParseXPath(q).value()).value();
+  }
+  double Estimate(const std::string& q) {
+    auto r = est_.Estimate(ParseXPath(q).value());
+    EXPECT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+    return r.ok() ? r.value() : -1;
+  }
+
+  xml::Document doc_;
+  eval::ExactEvaluator eval_;
+  estimator::Synopsis syn_;
+  estimator::Estimator est_;
+};
+
+TEST_F(WildcardTest, ParserAcceptsStar) {
+  auto q = ParseXPath("//*/B[/*]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().nodes[0].tag, "*");
+  EXPECT_EQ(q.value().nodes[2].tag, "*");
+  // Round trip.
+  auto q2 = ParseXPath(q.value().ToString());
+  ASSERT_TRUE(q2.ok()) << q.value().ToString();
+}
+
+TEST_F(WildcardTest, ExactEvaluatorSemantics) {
+  // All 18 elements.
+  EXPECT_EQ(Exact("//*"), 18u);
+  // All non-root elements.
+  EXPECT_EQ(Exact("/Root//*"), 17u);
+  // Children of A: 4 B + 2 C.
+  EXPECT_EQ(Exact("//A/*"), 6u);
+  // Any grandchildren of Root = children of A's.
+  EXPECT_EQ(Exact("/Root/*/*"), 6u);
+  // Parents of D elements: the 4 B's.
+  EXPECT_EQ(Exact("//*{t}/D"), 4u);
+  // Elements with an E child somewhere below any A: B(p8), C(p3), C(p2).
+  EXPECT_EQ(Exact("//A/*{t}[/E]"), 3u);
+}
+
+TEST_F(WildcardTest, EstimatorSimpleChainsMatchExact) {
+  // Recursion-free document: Theorem 4.1 extends to wildcard chains.
+  for (const char* q : {"//*", "/Root//*", "//A/*", "/Root/*/*",
+                        "//*{t}/D", "//*/E"}) {
+    EXPECT_DOUBLE_EQ(Estimate(q), static_cast<double>(Exact(q))) << q;
+  }
+}
+
+TEST_F(WildcardTest, EstimatorBranchWithWildcard) {
+  double s = Estimate("//A/*{t}[/E]");
+  EXPECT_GT(s, 0);
+  EXPECT_LE(s, 6.0 + 1e-9);
+}
+
+TEST_F(WildcardTest, AbsoluteWildcardRoot) {
+  EXPECT_DOUBLE_EQ(Estimate("/*"), 1);
+  EXPECT_EQ(Exact("/*"), 1u);
+  EXPECT_DOUBLE_EQ(Estimate("/*/A"), 3);
+  EXPECT_EQ(Exact("/*/A"), 3u);
+}
+
+TEST_F(WildcardTest, OrderConstraintsOnWildcardUnsupported) {
+  auto q = ParseXPath("//A[/*/following-sibling::B]");
+  ASSERT_TRUE(q.ok());
+  auto r = est_.Estimate(q.value());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+  // The exact evaluator handles it fine: C or B before a B.
+  EXPECT_GT(eval_.Count(q.value()).value(), 0u);
+}
+
+TEST_F(WildcardTest, WildcardAwayFromConstraintIsEstimated) {
+  // Wildcard in the trunk while the constraint is concrete.
+  auto q = ParseXPath("//*[/C/following-sibling::B]");
+  ASSERT_TRUE(q.ok());
+  auto r = est_.Estimate(q.value());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r.value(), 0);
+}
+
+TEST_F(WildcardTest, XSketchAcceptsWildcards) {
+  xsketch::XSketch sk = xsketch::XSketch::Build(doc_, {});
+  auto q = ParseXPath("//A/*").value();
+  auto r = sk.Estimate(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 6.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace xee

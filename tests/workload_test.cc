@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/datagen.h"
+#include "eval/exact_evaluator.h"
+#include "workload/workload.h"
+#include "xpath/parser.h"
+
+namespace xee::workload {
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  WorkloadTest() {
+    datagen::GenOptions gopt;
+    gopt.scale = 0.03;
+    doc_ = datagen::GenerateByName(GetParam(), gopt).value();
+    WorkloadOptions wopt;
+    wopt.simple_count = 120;
+    wopt.branch_count = 120;
+    w_ = GenerateWorkload(doc_, wopt);
+  }
+
+  xml::Document doc_;
+  Workload w_;
+};
+
+TEST_P(WorkloadTest, ProducesAllClasses) {
+  EXPECT_GT(w_.simple.size(), 10u);
+  EXPECT_GT(w_.branch.size(), 5u);
+  EXPECT_GT(w_.order_branch_target.size(), 2u);
+  EXPECT_GT(w_.order_trunk_target.size(), 2u);
+}
+
+TEST_P(WorkloadTest, NoDuplicatesWithinClass) {
+  for (const auto* list : {&w_.simple, &w_.branch}) {
+    std::set<std::string> seen;
+    for (const auto& wq : *list) {
+      EXPECT_TRUE(seen.insert(wq.query.ToString()).second)
+          << wq.query.ToString();
+    }
+  }
+}
+
+TEST_P(WorkloadTest, AllQueriesPositiveAndTrueCountsCorrect) {
+  eval::ExactEvaluator eval(doc_);
+  auto check = [&](const std::vector<WorkloadQuery>& list) {
+    for (const auto& wq : list) {
+      EXPECT_GT(wq.true_count, 0u) << wq.query.ToString();
+      auto r = eval.Count(wq.query);
+      ASSERT_TRUE(r.ok()) << wq.query.ToString();
+      EXPECT_EQ(r.value(), wq.true_count) << wq.query.ToString();
+    }
+  };
+  check(w_.simple);
+  check(w_.branch);
+  check(w_.order_branch_target);
+  check(w_.order_trunk_target);
+}
+
+TEST_P(WorkloadTest, QueriesAreValidAndReparseable) {
+  for (const auto* list : {&w_.simple, &w_.branch, &w_.order_branch_target,
+                           &w_.order_trunk_target}) {
+    for (const auto& wq : *list) {
+      EXPECT_TRUE(wq.query.Validate().ok());
+      auto reparsed = xpath::ParseXPath(wq.query.ToString());
+      EXPECT_TRUE(reparsed.ok()) << wq.query.ToString();
+    }
+  }
+}
+
+TEST_P(WorkloadTest, SimpleQueriesAreChains) {
+  for (const auto& wq : w_.simple) {
+    for (const auto& n : wq.query.nodes) {
+      EXPECT_LE(n.children.size(), 1u);
+    }
+    EXPECT_TRUE(wq.query.orders.empty());
+    EXPECT_EQ(wq.query.target, static_cast<int>(wq.query.size()) - 1);
+  }
+}
+
+TEST_P(WorkloadTest, QuerySizesInRange) {
+  for (const auto* list : {&w_.simple, &w_.branch}) {
+    for (const auto& wq : *list) {
+      EXPECT_GE(wq.query.size(), 2u) << wq.query.ToString();
+      EXPECT_LE(wq.query.size(), 12u) << wq.query.ToString();
+    }
+  }
+}
+
+TEST_P(WorkloadTest, OrderQueriesHaveOneSiblingConstraint) {
+  for (const auto* list : {&w_.order_branch_target, &w_.order_trunk_target}) {
+    for (const auto& wq : *list) {
+      ASSERT_EQ(wq.query.orders.size(), 1u);
+      EXPECT_EQ(wq.query.orders[0].kind, xpath::OrderKind::kSibling);
+    }
+  }
+}
+
+TEST_P(WorkloadTest, OrderTargetPositions) {
+  auto in_branch_of = [](const xpath::Query& q, int endpoint, int t) {
+    if (t == endpoint) return true;
+    for (int n = q.nodes[t].parent; n != -1; n = q.nodes[n].parent) {
+      if (n == endpoint) return true;
+    }
+    return false;
+  };
+  for (const auto& wq : w_.order_branch_target) {
+    const auto& c = wq.query.orders[0];
+    EXPECT_TRUE(in_branch_of(wq.query, c.before, wq.query.target) ||
+                in_branch_of(wq.query, c.after, wq.query.target))
+        << wq.query.ToString();
+  }
+  for (const auto& wq : w_.order_trunk_target) {
+    const auto& c = wq.query.orders[0];
+    EXPECT_FALSE(in_branch_of(wq.query, c.before, wq.query.target) ||
+                 in_branch_of(wq.query, c.after, wq.query.target))
+        << wq.query.ToString();
+  }
+}
+
+TEST_P(WorkloadTest, DeterministicForSeed) {
+  WorkloadOptions wopt;
+  wopt.simple_count = 30;
+  wopt.branch_count = 30;
+  Workload a = GenerateWorkload(doc_, wopt);
+  Workload b = GenerateWorkload(doc_, wopt);
+  ASSERT_EQ(a.simple.size(), b.simple.size());
+  for (size_t i = 0; i < a.simple.size(); ++i) {
+    EXPECT_EQ(a.simple[i].query.ToString(), b.simple[i].query.ToString());
+  }
+  wopt.seed = 8;
+  Workload c = GenerateWorkload(doc_, wopt);
+  bool any_diff = a.simple.size() != c.simple.size();
+  for (size_t i = 0; !any_diff && i < a.simple.size(); ++i) {
+    any_diff = a.simple[i].query.ToString() != c.simple[i].query.ToString();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, WorkloadTest,
+                         ::testing::Values("ssplays", "dblp", "xmark"));
+
+}  // namespace
+}  // namespace xee::workload
