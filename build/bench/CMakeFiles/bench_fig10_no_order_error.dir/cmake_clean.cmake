@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_no_order_error.dir/bench_fig10_no_order_error.cc.o"
+  "CMakeFiles/bench_fig10_no_order_error.dir/bench_fig10_no_order_error.cc.o.d"
+  "bench_fig10_no_order_error"
+  "bench_fig10_no_order_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_no_order_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_vs_xsketch.dir/bench_fig11_vs_xsketch.cc.o"
+  "CMakeFiles/bench_fig11_vs_xsketch.dir/bench_fig11_vs_xsketch.cc.o.d"
+  "bench_fig11_vs_xsketch"
+  "bench_fig11_vs_xsketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_vs_xsketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_order_branch.dir/bench_fig12_order_branch.cc.o"
+  "CMakeFiles/bench_fig12_order_branch.dir/bench_fig12_order_branch.cc.o.d"
+  "bench_fig12_order_branch"
+  "bench_fig12_order_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_order_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

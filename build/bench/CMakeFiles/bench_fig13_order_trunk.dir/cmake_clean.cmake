@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_order_trunk.dir/bench_fig13_order_trunk.cc.o"
+  "CMakeFiles/bench_fig13_order_trunk.dir/bench_fig13_order_trunk.cc.o.d"
+  "bench_fig13_order_trunk"
+  "bench_fig13_order_trunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_order_trunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_pruning.dir/bench_join_pruning.cc.o"
+  "CMakeFiles/bench_join_pruning.dir/bench_join_pruning.cc.o.d"
+  "bench_join_pruning"
+  "bench_join_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_feedback.dir/optimizer_feedback.cpp.o"
+  "CMakeFiles/optimizer_feedback.dir/optimizer_feedback.cpp.o.d"
+  "optimizer_feedback"
+  "optimizer_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

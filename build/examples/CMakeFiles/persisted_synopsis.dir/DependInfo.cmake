@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/persisted_synopsis.cpp" "examples/CMakeFiles/persisted_synopsis.dir/persisted_synopsis.cpp.o" "gcc" "examples/CMakeFiles/persisted_synopsis.dir/persisted_synopsis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/estimator/CMakeFiles/xee_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/xee_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/xee_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xee_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsketch/CMakeFiles/xee_xsketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/pidtree/CMakeFiles/xee_pidtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/histogram/CMakeFiles/xee_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/xee_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/xee_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xee_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/xee_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xee_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

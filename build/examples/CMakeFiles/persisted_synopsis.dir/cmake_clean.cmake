@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persisted_synopsis.dir/persisted_synopsis.cpp.o"
+  "CMakeFiles/persisted_synopsis.dir/persisted_synopsis.cpp.o.d"
+  "persisted_synopsis"
+  "persisted_synopsis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persisted_synopsis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_orders.dir/temporal_orders.cpp.o"
+  "CMakeFiles/temporal_orders.dir/temporal_orders.cpp.o.d"
+  "temporal_orders"
+  "temporal_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

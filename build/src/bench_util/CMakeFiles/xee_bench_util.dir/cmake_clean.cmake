@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_bench_util.dir/runner.cc.o"
+  "CMakeFiles/xee_bench_util.dir/runner.cc.o.d"
+  "libxee_bench_util.a"
+  "libxee_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_common.dir/bitset.cc.o"
+  "CMakeFiles/xee_common.dir/bitset.cc.o.d"
+  "CMakeFiles/xee_common.dir/rng.cc.o"
+  "CMakeFiles/xee_common.dir/rng.cc.o.d"
+  "CMakeFiles/xee_common.dir/status.cc.o"
+  "CMakeFiles/xee_common.dir/status.cc.o.d"
+  "CMakeFiles/xee_common.dir/strings.cc.o"
+  "CMakeFiles/xee_common.dir/strings.cc.o.d"
+  "libxee_common.a"
+  "libxee_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

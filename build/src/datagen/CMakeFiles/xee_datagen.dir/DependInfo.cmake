@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dblp.cc" "src/datagen/CMakeFiles/xee_datagen.dir/dblp.cc.o" "gcc" "src/datagen/CMakeFiles/xee_datagen.dir/dblp.cc.o.d"
+  "/root/repo/src/datagen/registry.cc" "src/datagen/CMakeFiles/xee_datagen.dir/registry.cc.o" "gcc" "src/datagen/CMakeFiles/xee_datagen.dir/registry.cc.o.d"
+  "/root/repo/src/datagen/ssplays.cc" "src/datagen/CMakeFiles/xee_datagen.dir/ssplays.cc.o" "gcc" "src/datagen/CMakeFiles/xee_datagen.dir/ssplays.cc.o.d"
+  "/root/repo/src/datagen/text_pool.cc" "src/datagen/CMakeFiles/xee_datagen.dir/text_pool.cc.o" "gcc" "src/datagen/CMakeFiles/xee_datagen.dir/text_pool.cc.o.d"
+  "/root/repo/src/datagen/xmark.cc" "src/datagen/CMakeFiles/xee_datagen.dir/xmark.cc.o" "gcc" "src/datagen/CMakeFiles/xee_datagen.dir/xmark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xee_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xee_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_datagen.dir/dblp.cc.o"
+  "CMakeFiles/xee_datagen.dir/dblp.cc.o.d"
+  "CMakeFiles/xee_datagen.dir/registry.cc.o"
+  "CMakeFiles/xee_datagen.dir/registry.cc.o.d"
+  "CMakeFiles/xee_datagen.dir/ssplays.cc.o"
+  "CMakeFiles/xee_datagen.dir/ssplays.cc.o.d"
+  "CMakeFiles/xee_datagen.dir/text_pool.cc.o"
+  "CMakeFiles/xee_datagen.dir/text_pool.cc.o.d"
+  "CMakeFiles/xee_datagen.dir/xmark.cc.o"
+  "CMakeFiles/xee_datagen.dir/xmark.cc.o.d"
+  "libxee_datagen.a"
+  "libxee_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/containment.cc" "src/encoding/CMakeFiles/xee_encoding.dir/containment.cc.o" "gcc" "src/encoding/CMakeFiles/xee_encoding.dir/containment.cc.o.d"
+  "/root/repo/src/encoding/encoding_table.cc" "src/encoding/CMakeFiles/xee_encoding.dir/encoding_table.cc.o" "gcc" "src/encoding/CMakeFiles/xee_encoding.dir/encoding_table.cc.o.d"
+  "/root/repo/src/encoding/labeling.cc" "src/encoding/CMakeFiles/xee_encoding.dir/labeling.cc.o" "gcc" "src/encoding/CMakeFiles/xee_encoding.dir/labeling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xee_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xee_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

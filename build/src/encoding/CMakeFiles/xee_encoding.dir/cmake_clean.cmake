@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_encoding.dir/containment.cc.o"
+  "CMakeFiles/xee_encoding.dir/containment.cc.o.d"
+  "CMakeFiles/xee_encoding.dir/encoding_table.cc.o"
+  "CMakeFiles/xee_encoding.dir/encoding_table.cc.o.d"
+  "CMakeFiles/xee_encoding.dir/labeling.cc.o"
+  "CMakeFiles/xee_encoding.dir/labeling.cc.o.d"
+  "libxee_encoding.a"
+  "libxee_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

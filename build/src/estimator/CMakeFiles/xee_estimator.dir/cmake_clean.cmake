@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_estimator.dir/estimator.cc.o"
+  "CMakeFiles/xee_estimator.dir/estimator.cc.o.d"
+  "CMakeFiles/xee_estimator.dir/synopsis.cc.o"
+  "CMakeFiles/xee_estimator.dir/synopsis.cc.o.d"
+  "CMakeFiles/xee_estimator.dir/synopsis_serialize.cc.o"
+  "CMakeFiles/xee_estimator.dir/synopsis_serialize.cc.o.d"
+  "libxee_estimator.a"
+  "libxee_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_eval.dir/exact_evaluator.cc.o"
+  "CMakeFiles/xee_eval.dir/exact_evaluator.cc.o.d"
+  "libxee_eval.a"
+  "libxee_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_histogram.dir/o_histogram.cc.o"
+  "CMakeFiles/xee_histogram.dir/o_histogram.cc.o.d"
+  "CMakeFiles/xee_histogram.dir/p_histogram.cc.o"
+  "CMakeFiles/xee_histogram.dir/p_histogram.cc.o.d"
+  "libxee_histogram.a"
+  "libxee_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_join.dir/structural_join.cc.o"
+  "CMakeFiles/xee_join.dir/structural_join.cc.o.d"
+  "libxee_join.a"
+  "libxee_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

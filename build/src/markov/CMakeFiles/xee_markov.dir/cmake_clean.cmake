@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_markov.dir/markov_estimator.cc.o"
+  "CMakeFiles/xee_markov.dir/markov_estimator.cc.o.d"
+  "libxee_markov.a"
+  "libxee_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

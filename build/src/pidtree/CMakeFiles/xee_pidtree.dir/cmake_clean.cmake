@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_pidtree.dir/collapsed_pid_tree.cc.o"
+  "CMakeFiles/xee_pidtree.dir/collapsed_pid_tree.cc.o.d"
+  "CMakeFiles/xee_pidtree.dir/pid_binary_tree.cc.o"
+  "CMakeFiles/xee_pidtree.dir/pid_binary_tree.cc.o.d"
+  "libxee_pidtree.a"
+  "libxee_pidtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_pidtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

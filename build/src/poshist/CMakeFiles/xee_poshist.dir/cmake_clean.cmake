@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_poshist.dir/position_histogram.cc.o"
+  "CMakeFiles/xee_poshist.dir/position_histogram.cc.o.d"
+  "libxee_poshist.a"
+  "libxee_poshist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_poshist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

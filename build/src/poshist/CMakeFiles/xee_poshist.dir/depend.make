@@ -1,0 +1,2 @@
+# Empty dependencies file for xee_poshist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/path_order.cc" "src/stats/CMakeFiles/xee_stats.dir/path_order.cc.o" "gcc" "src/stats/CMakeFiles/xee_stats.dir/path_order.cc.o.d"
+  "/root/repo/src/stats/pathid_frequency.cc" "src/stats/CMakeFiles/xee_stats.dir/pathid_frequency.cc.o" "gcc" "src/stats/CMakeFiles/xee_stats.dir/pathid_frequency.cc.o.d"
+  "/root/repo/src/stats/value_stats.cc" "src/stats/CMakeFiles/xee_stats.dir/value_stats.cc.o" "gcc" "src/stats/CMakeFiles/xee_stats.dir/value_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xee_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xee_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/xee_encoding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_stats.dir/path_order.cc.o"
+  "CMakeFiles/xee_stats.dir/path_order.cc.o.d"
+  "CMakeFiles/xee_stats.dir/pathid_frequency.cc.o"
+  "CMakeFiles/xee_stats.dir/pathid_frequency.cc.o.d"
+  "CMakeFiles/xee_stats.dir/value_stats.cc.o"
+  "CMakeFiles/xee_stats.dir/value_stats.cc.o.d"
+  "libxee_stats.a"
+  "libxee_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

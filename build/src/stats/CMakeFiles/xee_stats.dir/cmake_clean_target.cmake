@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxee_stats.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_workload.dir/workload.cc.o"
+  "CMakeFiles/xee_workload.dir/workload.cc.o.d"
+  "libxee_workload.a"
+  "libxee_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_xml.dir/doc_stats.cc.o"
+  "CMakeFiles/xee_xml.dir/doc_stats.cc.o.d"
+  "CMakeFiles/xee_xml.dir/parser.cc.o"
+  "CMakeFiles/xee_xml.dir/parser.cc.o.d"
+  "CMakeFiles/xee_xml.dir/tree.cc.o"
+  "CMakeFiles/xee_xml.dir/tree.cc.o.d"
+  "CMakeFiles/xee_xml.dir/writer.cc.o"
+  "CMakeFiles/xee_xml.dir/writer.cc.o.d"
+  "libxee_xml.a"
+  "libxee_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_xpath.dir/parser.cc.o"
+  "CMakeFiles/xee_xpath.dir/parser.cc.o.d"
+  "CMakeFiles/xee_xpath.dir/query.cc.o"
+  "CMakeFiles/xee_xpath.dir/query.cc.o.d"
+  "libxee_xpath.a"
+  "libxee_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

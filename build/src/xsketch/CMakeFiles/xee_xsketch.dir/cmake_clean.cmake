@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xee_xsketch.dir/xsketch.cc.o"
+  "CMakeFiles/xee_xsketch.dir/xsketch.cc.o.d"
+  "libxee_xsketch.a"
+  "libxee_xsketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xee_xsketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage2_test.dir/coverage2_test.cc.o"
+  "CMakeFiles/coverage2_test.dir/coverage2_test.cc.o.d"
+  "coverage2_test"
+  "coverage2_test.pdb"
+  "coverage2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formulas_test.dir/formulas_test.cc.o"
+  "CMakeFiles/formulas_test.dir/formulas_test.cc.o.d"
+  "formulas_test"
+  "formulas_test.pdb"
+  "formulas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formulas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

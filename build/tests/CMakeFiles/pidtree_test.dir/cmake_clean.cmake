@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pidtree_test.dir/pidtree_test.cc.o"
+  "CMakeFiles/pidtree_test.dir/pidtree_test.cc.o.d"
+  "pidtree_test"
+  "pidtree_test.pdb"
+  "pidtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pidtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poshist_test.dir/poshist_test.cc.o"
+  "CMakeFiles/poshist_test.dir/poshist_test.cc.o.d"
+  "poshist_test"
+  "poshist_test.pdb"
+  "poshist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poshist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

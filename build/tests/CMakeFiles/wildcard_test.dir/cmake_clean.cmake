@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wildcard_test.dir/wildcard_test.cc.o"
+  "CMakeFiles/wildcard_test.dir/wildcard_test.cc.o.d"
+  "wildcard_test"
+  "wildcard_test.pdb"
+  "wildcard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wildcard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsketch_test.dir/xsketch_test.cc.o"
+  "CMakeFiles/xsketch_test.dir/xsketch_test.cc.o.d"
+  "xsketch_test"
+  "xsketch_test.pdb"
+  "xsketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
