@@ -1,0 +1,112 @@
+// Serving-layer throughput: queries/sec through EstimationService as a
+// function of worker-thread count (1/2/4/8) and plan-cache temperature
+// (cold = every query compiles, warm = plans cached), plus the
+// single-query latency win of a warm plan cache over the uncached
+// parse+join path. Each measurement is emitted as one JSON line so
+// future PRs can track the serving trajectory:
+//
+//   {"bench":"service_throughput","dataset":"xmark","mode":"warm",
+//    "threads":4,"queries":...,"seconds":...,"qps":...}
+//
+// Flags: the shared bench flags (--scale, --queries, --seed, --dataset).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/runner.h"
+#include "service/service.h"
+#include "workload/workload.h"
+
+namespace xee {
+namespace {
+
+std::vector<service::QueryRequest> WorkloadRequests(
+    const std::string& name, const workload::Workload& wl) {
+  std::vector<service::QueryRequest> reqs;
+  auto add = [&](const std::vector<workload::WorkloadQuery>& queries) {
+    for (const workload::WorkloadQuery& wq : queries) {
+      reqs.push_back(service::QueryRequest{name, wq.query.ToString()});
+    }
+  };
+  add(wl.simple);
+  add(wl.branch);
+  add(wl.order_branch_target);
+  add(wl.order_trunk_target);
+  return reqs;
+}
+
+void EmitRow(const std::string& dataset, const char* mode, size_t threads,
+             size_t queries, double seconds) {
+  std::printf(
+      "{\"bench\":\"service_throughput\",\"dataset\":\"%s\","
+      "\"mode\":\"%s\",\"threads\":%zu,\"queries\":%zu,"
+      "\"seconds\":%.6f,\"qps\":%.1f}\n",
+      dataset.c_str(), mode, threads, queries,
+      seconds, seconds > 0 ? static_cast<double>(queries) / seconds : 0.0);
+}
+
+void RunDataset(const bench_util::DatasetRun& run,
+                const bench_util::BenchConfig& config) {
+  bench_util::PrintHeader("Service throughput — " + run.name);
+
+  auto synopsis = std::make_shared<const estimator::Synopsis>(
+      estimator::Synopsis::Build(run.doc, {}));
+  workload::Workload wl = bench_util::MakeWorkload(run.doc, config);
+  std::vector<service::QueryRequest> reqs = WorkloadRequests(run.name, wl);
+  if (reqs.empty()) {
+    std::printf("no queries generated; skipping\n");
+    return;
+  }
+  std::printf("%zu workload queries\n\n", reqs.size());
+
+  // Latency: warm plan cache vs the uncached parse+join path, single
+  // thread, mean microseconds per query.
+  {
+    service::EstimationService svc({.threads = 1});
+    svc.registry().Register(run.name, synopsis);
+    auto run_all = [&] {
+      for (const service::QueryRequest& r : reqs) {
+        (void)svc.Estimate(r.synopsis, r.xpath);
+      }
+    };
+    const double cold_s = bench_util::TimeSeconds(run_all);
+    EmitRow(run.name, "cold", 1, reqs.size(), cold_s);
+    const double warm_s = bench_util::TimeSeconds(run_all);
+    EmitRow(run.name, "warm", 1, reqs.size(), warm_s);
+    std::printf(
+        "\nsingle-thread mean latency: cold %.1fus/query, warm %.1fus/query "
+        "(%.1fx)\n\n",
+        1e6 * cold_s / static_cast<double>(reqs.size()),
+        1e6 * warm_s / static_cast<double>(reqs.size()),
+        warm_s > 0 ? cold_s / warm_s : 0.0);
+  }
+
+  // Aggregate throughput vs worker-thread count, warm cache, batch API.
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    service::EstimationService svc({.threads = threads});
+    svc.registry().Register(run.name, synopsis);
+    (void)svc.EstimateBatch(reqs);  // warm the plan cache
+    // Enough repetitions to measure meaningfully at any thread count.
+    const size_t reps = 4;
+    const double secs = bench_util::TimeSeconds([&] {
+      for (size_t r = 0; r < reps; ++r) (void)svc.EstimateBatch(reqs);
+    });
+    EmitRow(run.name, "warm-batch", threads, reps * reqs.size(), secs);
+  }
+
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace xee
+
+int main(int argc, char** argv) {
+  xee::bench_util::BenchConfig config =
+      xee::bench_util::BenchConfig::FromArgs(argc, argv);
+  for (const xee::bench_util::DatasetRun& run :
+       xee::bench_util::MakeDatasets(config)) {
+    xee::RunDataset(run, config);
+  }
+  return 0;
+}

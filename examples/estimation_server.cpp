@@ -1,0 +1,149 @@
+// estimation_server: a line-protocol front end for the estimation
+// service layer. Builds one synopsis per generated dataset, registers
+// them in the service's synopsis registry, then answers requests from
+// stdin — the shape a query optimizer's selectivity oracle would take
+// as a sidecar process.
+//
+// Protocol (one request per line):
+//
+//   <synopsis-name> <xpath>     estimate the query against that synopsis
+//   .names                      list registered synopses
+//   .stats                      print service counters and latency
+//   .clear                      drop the compiled-plan cache
+//   .quit                       exit (EOF works too)
+//
+// Example session:
+//
+//   $ ./build/examples/estimation_server --scale=0.5
+//   > xmark //people//person/name
+//   12014.0  (exact-miss, 312.4us)
+//   > xmark //people//person/name
+//   12014.0  (exact-hit, 1.9us)
+//
+// Build & run:  cmake --build build && ./build/examples/estimation_server
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "xee.h"
+
+namespace {
+
+struct Flags {
+  double scale = 0.25;
+  size_t threads = 0;        // 0 = hardware concurrency
+  size_t cache_mb = 8;
+  std::string datasets = "xmark,dblp,ssplays";
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + std::strlen(prefix)
+                                       : nullptr;
+    };
+    if (const char* v = value("--scale=")) {
+      f.scale = std::atof(v);
+    } else if (const char* v = value("--threads=")) {
+      f.threads = static_cast<size_t>(std::atoi(v));
+    } else if (const char* v = value("--cache-mb=")) {
+      f.cache_mb = static_cast<size_t>(std::atoi(v));
+    } else if (const char* v = value("--datasets=")) {
+      f.datasets = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: estimation_server [--scale=f] [--threads=n] "
+                   "[--cache-mb=m] [--datasets=a,b,c]\n");
+      std::exit(2);
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+
+  xee::service::EstimationService service({
+      .plan_cache_bytes = flags.cache_mb << 20,
+      .threads = flags.threads,
+  });
+
+  for (const std::string& name : xee::SplitString(flags.datasets, ',')) {
+    if (name.empty()) continue;
+    xee::datagen::GenOptions gen;
+    gen.scale = flags.scale;
+    auto doc = xee::datagen::GenerateByName(name, gen);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "skipping %s: %s\n", name.c_str(),
+                   doc.status().ToString().c_str());
+      continue;
+    }
+    xee::estimator::Synopsis synopsis =
+        xee::estimator::Synopsis::Build(doc.value(), {});
+    std::printf("registered %-8s %7zu elements, synopsis %s\n", name.c_str(),
+                doc.value().NodeCount(),
+                xee::HumanBytes(synopsis.PathSummaryBytes()).c_str());
+    service.registry().Register(name, std::move(synopsis));
+  }
+  std::printf("serving on stdin with %zu worker threads — "
+              "\"<synopsis> <xpath>\", .names, .stats, .clear, .quit\n",
+              service.threads());
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ".quit") break;
+    if (line == ".names") {
+      for (const std::string& n : service.registry().Names()) {
+        std::printf("%s\n", n.c_str());
+      }
+      continue;
+    }
+    if (line == ".stats") {
+      std::fputs(service.Stats().ToString().c_str(), stdout);
+      continue;
+    }
+    if (line == ".clear") {
+      service.ClearPlanCache();
+      std::printf("plan cache cleared\n");
+      continue;
+    }
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      std::printf("error: expected \"<synopsis> <xpath>\"\n");
+      continue;
+    }
+    const std::string name = line.substr(0, space);
+    const std::string xpath = line.substr(space + 1);
+
+    const auto before = service.Stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    xee::Result<double> r = service.Estimate(name, xpath);
+    const double us =
+        1e-3 * static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+    const auto after = service.Stats();
+    const char* outcome = after.exact_hits > before.exact_hits
+                              ? "exact-hit"
+                          : after.canonical_hits > before.canonical_hits
+                              ? "canonical-hit"
+                              : "miss";
+    if (r.ok()) {
+      std::printf("%.1f  (%s, %.1fus)\n", r.value(), outcome, us);
+    } else {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+    }
+  }
+  return 0;
+}

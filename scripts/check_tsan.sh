@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive targets under ThreadSanitizer and
+# runs the service-layer tests, so data races in the serving path are
+# caught mechanically rather than by luck. Part of the tier-2 checks;
+# run from the repository root:
+#
+#   scripts/check_tsan.sh [extra ctest -R regex]
+#
+# Uses a dedicated build tree (build-tsan) so the regular build stays
+# sanitizer-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-ServiceTest|CanonicalTest|EstimatorTest}"
+
+cmake -B build-tsan -S . -DXEE_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$(nproc)" \
+  --target service_test canonical_test estimator_test
+(cd build-tsan && ctest -R "$FILTER" --output-on-failure)
+echo "TSan checks passed."

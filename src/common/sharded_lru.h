@@ -1,0 +1,140 @@
+#ifndef XEE_COMMON_SHARDED_LRU_H_
+#define XEE_COMMON_SHARDED_LRU_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace xee {
+
+/// Aggregated cache counters (monotonic except `bytes`/`entries`).
+struct LruStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes = 0;    ///< current charged bytes across shards
+  uint64_t entries = 0;  ///< current entry count across shards
+};
+
+/// A thread-safe LRU cache sharded by key hash, with byte-budget
+/// accounting: each entry is charged the byte size the caller reports at
+/// Put() time, and least-recently-used entries are evicted until every
+/// shard fits its slice of the budget.
+///
+/// Values are held as shared_ptr<const V>; Get() hands out a reference
+/// that stays valid after the entry is evicted, so readers never block
+/// writers beyond the brief shard-map critical section.
+///
+/// Thread-safety contract: all methods may be called concurrently; each
+/// shard is guarded by its own mutex and no operation takes more than one
+/// shard lock.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ShardedLru {
+ public:
+  /// `byte_budget` is the total charged-byte capacity; `shards` is
+  /// rounded up to at least 1. Entries larger than a whole shard slice
+  /// are admitted alone (the shard transiently exceeds its slice until
+  /// the next Put).
+  explicit ShardedLru(size_t byte_budget, size_t shards = 8)
+      : shard_count_(shards < 1 ? 1 : shards),
+        shard_budget_(byte_budget / (shards < 1 ? 1 : shards)),
+        shards_(new Shard[shard_count_]) {}
+
+  /// Returns the cached value and refreshes its recency, or nullptr.
+  std::shared_ptr<const V> Get(const K& key) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      ++s.misses;
+      return nullptr;
+    }
+    ++s.hits;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return it->second->value;
+  }
+
+  /// Inserts or replaces `key`, charging `bytes` against the budget and
+  /// evicting stale entries as needed.
+  void Put(const K& key, std::shared_ptr<const V> value, size_t bytes) {
+    XEE_CHECK(value != nullptr);
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      s.bytes -= it->second->bytes;
+      s.lru.erase(it->second);
+      s.map.erase(it);
+    }
+    s.lru.push_front(Entry{key, std::move(value), bytes});
+    s.map.emplace(key, s.lru.begin());
+    s.bytes += bytes;
+    while (s.bytes > shard_budget_ && s.lru.size() > 1) {
+      const Entry& victim = s.lru.back();
+      s.bytes -= victim.bytes;
+      s.map.erase(victim.key);
+      s.lru.pop_back();
+      ++s.evictions;
+    }
+  }
+
+  /// Drops every entry (counters other than bytes/entries are kept).
+  void Clear() {
+    for (size_t i = 0; i < shard_count_; ++i) {
+      Shard& s = shards_[i];
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.lru.clear();
+      s.map.clear();
+      s.bytes = 0;
+    }
+  }
+
+  /// Sums counters across shards. The result is a consistent snapshot
+  /// per shard, not across shards (adequate for monitoring).
+  LruStats stats() const {
+    LruStats out;
+    for (size_t i = 0; i < shard_count_; ++i) {
+      Shard& s = shards_[i];
+      std::lock_guard<std::mutex> lock(s.mu);
+      out.hits += s.hits;
+      out.misses += s.misses;
+      out.evictions += s.evictions;
+      out.bytes += s.bytes;
+      out.entries += s.lru.size();
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    K key;
+    std::shared_ptr<const V> value;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<K, typename std::list<Entry>::iterator> map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const K& key) const {
+    return shards_[Hash{}(key) % shard_count_];
+  }
+
+  const size_t shard_count_;
+  const size_t shard_budget_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace xee
+
+#endif  // XEE_COMMON_SHARDED_LRU_H_

@@ -1,0 +1,69 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <latch>
+
+namespace xee {
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t n = std::max<size_t>(1, threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // One chunk per worker times a small oversubscription factor, so
+  // uneven per-index costs still balance.
+  const size_t chunks = std::min(n, workers_.size() * 4);
+  std::latch done(static_cast<ptrdiff_t>(chunks));
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = n * c / chunks;
+    const size_t end = n * (c + 1) / chunks;
+    Submit([&, begin, end] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+      done.count_down();
+    });
+  }
+  done.wait();
+}
+
+size_t ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace xee

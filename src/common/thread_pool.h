@@ -1,0 +1,54 @@
+#ifndef XEE_COMMON_THREAD_POOL_H_
+#define XEE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xee {
+
+/// A fixed-size worker pool executing submitted closures in FIFO order.
+///
+/// Thread-safety contract: Submit() and ParallelFor() may be called from
+/// any thread, including concurrently. The destructor drains the queue
+/// (every submitted task runs) and joins the workers; no task may Submit
+/// to the pool it runs on after destruction has begun.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution on some worker.
+  void Submit(std::function<void()> fn);
+
+  /// Runs fn(0..n-1) across the workers and blocks until all calls have
+  /// returned. Tasks are batched into contiguous index chunks to keep
+  /// per-task overhead low for fine-grained work.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t size() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a fallback of 1.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xee
+
+#endif  // XEE_COMMON_THREAD_POOL_H_

@@ -121,6 +121,48 @@ Result<double> Estimator::Estimate(const Query& query) const {
   return EstimateDocOrder(query);
 }
 
+size_t Estimator::Compiled::ApproxBytes() const {
+  size_t b = sizeof(Compiled);
+  for (const auto& n : query.nodes) {
+    b += n.tag.capacity() + n.children.capacity() * sizeof(int) +
+         sizeof(xpath::QueryNode);
+    if (n.value_filter.has_value()) b += n.value_filter->capacity();
+  }
+  b += query.orders.capacity() * sizeof(xpath::OrderConstraint);
+  b += tags.capacity() * sizeof(xml::TagId);
+  for (const CandList& l : join) {
+    b += sizeof(CandList) + l.capacity() * sizeof(Cand);
+  }
+  return b;
+}
+
+Result<Estimator::Compiled> Estimator::Compile(const Query& query) const {
+  Status s = query.Validate();
+  if (!s.ok()) return s;
+  Compiled plan;
+  plan.query = query;
+  if (!ResolveTags(plan.query, &plan.tags)) {
+    plan.tags.clear();
+    plan.zero = true;
+    return plan;
+  }
+  if (!PathJoin(plan.query, plan.tags, &plan.join)) plan.zero = true;
+  return plan;
+}
+
+Result<double> Estimator::EstimateCompiled(const Compiled& plan) const {
+  const Query& q = plan.query;
+  // Order constraints and value predicates restructure the computation
+  // (truncated subqueries, rewrites, scaling) before the top-level join
+  // matters; route them through the general path. Estimate() revalidates
+  // the stored AST, which is cheap next to the joins it runs.
+  bool general = !q.orders.empty();
+  for (const auto& n : q.nodes) general |= n.value_filter.has_value();
+  if (general) return Estimate(q);
+  if (plan.zero) return 0.0;
+  return NodeSelectivity(q, plan.tags, plan.join, q.target);
+}
+
 bool Estimator::ResolveTags(const Query& q,
                             std::vector<xml::TagId>* tags) const {
   tags->clear();
@@ -174,7 +216,7 @@ bool Estimator::PathJoin(const Query& q, const std::vector<xml::TagId>& tags,
 
   auto compatible = [this](const Cand& parent, const Cand& child,
                            StructAxis axis) {
-    ++containment_tests_;
+    containment_tests_.fetch_add(1, std::memory_order_relaxed);
     return encoding::PidPairCompatible(
         syn_.table(), parent.tag, syn_.PidBits(parent.pid), child.tag,
         syn_.PidBits(child.pid), ToAxisKind(axis));

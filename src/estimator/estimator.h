@@ -1,6 +1,8 @@
 #ifndef XEE_ESTIMATOR_ESTIMATOR_H_
 #define XEE_ESTIMATOR_ESTIMATOR_H_
 
+#include <atomic>
+#include <cstddef>
 #include <vector>
 
 #include "common/status.h"
@@ -19,26 +21,15 @@ namespace xee::estimator {
 /// ratios under an independence assumption (extension, DESIGN.md §5b).
 /// Queries mentioning tags absent from the document estimate to 0;
 /// wildcards on order-constraint endpoints return kUnsupported.
+///
+/// Thread-safety: all estimation entry points (Estimate, Compile,
+/// EstimateCompiled) are const and reentrant — one Estimator over an
+/// immutable Synopsis may be shared by any number of threads. The only
+/// mutated member is the relaxed-atomic containment-test counter.
+/// set_join_to_fixpoint() is configuration and must happen-before
+/// concurrent estimation.
 class Estimator {
  public:
-  /// The synopsis must outlive the estimator.
-  explicit Estimator(const Synopsis& synopsis) : syn_(synopsis) {}
-  /// Binding a temporary synopsis would dangle.
-  explicit Estimator(Synopsis&&) = delete;
-
-  /// Estimates the selectivity (result cardinality) of `query.target`.
-  Result<double> Estimate(const xpath::Query& query) const;
-
-  /// Number of (pid x pid) containment tests performed by path joins
-  /// since construction; exposed for the join ablation bench.
-  size_t containment_tests() const { return containment_tests_; }
-
-  /// When false (default is true), the path join runs a single
-  /// leaf-to-root then root-to-leaf pass instead of iterating to a
-  /// fixpoint. Ablation A2 in DESIGN.md.
-  void set_join_to_fixpoint(bool v) { join_to_fixpoint_ = v; }
-
- private:
   /// One surviving candidate: the element tag it stands for (equal to
   /// the query node's tag except under "*" name tests, where one list
   /// mixes tags), its path id, and its summarized frequency.
@@ -49,6 +40,54 @@ class Estimator {
   };
   using CandList = std::vector<Cand>;
 
+  /// A compiled query plan: the validated AST, its resolved tag ids and
+  /// the survivor sets of the top-level path-id join of Section 4 —
+  /// everything per-query preparation produces, reusable across
+  /// estimate calls and cacheable by the service layer.
+  struct Compiled {
+    xpath::Query query;
+    std::vector<xml::TagId> tags;  ///< empty when `zero` via unknown tag
+    std::vector<CandList> join;    ///< per-node join survivors
+    /// The estimate is already known to be 0 (a tag absent from the
+    /// document, or the join pruned some candidate list to empty).
+    bool zero = false;
+
+    /// Approximate heap footprint, for cache byte budgets.
+    size_t ApproxBytes() const;
+  };
+
+  /// The synopsis must outlive the estimator.
+  explicit Estimator(const Synopsis& synopsis) : syn_(synopsis) {}
+  /// Binding a temporary synopsis would dangle.
+  explicit Estimator(Synopsis&&) = delete;
+
+  /// Estimates the selectivity (result cardinality) of `query.target`.
+  Result<double> Estimate(const xpath::Query& query) const;
+
+  /// Validates `query` and runs the top-level path join into a
+  /// reusable plan (kInvalidArgument for malformed queries).
+  Result<Compiled> Compile(const xpath::Query& query) const;
+
+  /// Estimates from a compiled plan, with a result bit-identical to
+  /// Estimate(plan.query). Order-free queries without value predicates
+  /// skip validation, tag resolution and the top-level path join;
+  /// other query classes fall back to the stored AST (still skipping
+  /// the string parse that produced it).
+  Result<double> EstimateCompiled(const Compiled& plan) const;
+
+  /// Number of (pid x pid) containment tests performed by path joins
+  /// since construction; exposed for the join ablation bench.
+  size_t containment_tests() const {
+    return containment_tests_.load(std::memory_order_relaxed);
+  }
+
+  /// When false (default is true), the path join runs a single
+  /// leaf-to-root then root-to-leaf pass instead of iterating to a
+  /// fixpoint. Ablation A2 in DESIGN.md. Not thread-safe; configure
+  /// before sharing the estimator.
+  void set_join_to_fixpoint(bool v) { join_to_fixpoint_ = v; }
+
+ private:
   /// Per-query resolved tag ids; nullopt when some tag is unknown.
   bool ResolveTags(const xpath::Query& q, std::vector<xml::TagId>* tags) const;
 
@@ -84,7 +123,9 @@ class Estimator {
 
   const Synopsis& syn_;
   bool join_to_fixpoint_ = true;
-  mutable size_t containment_tests_ = 0;
+  /// Instrumentation only; relaxed increments keep const estimation
+  /// calls safe to run concurrently.
+  mutable std::atomic<size_t> containment_tests_ = 0;
 };
 
 }  // namespace xee::estimator

@@ -1,0 +1,9 @@
+#include "service/plan_cache.h"
+
+namespace xee::service {
+
+size_t CachedPlan::ApproxBytes() const {
+  return sizeof(CachedPlan) + plan.ApproxBytes();
+}
+
+}  // namespace xee::service

@@ -1,0 +1,72 @@
+#ifndef XEE_SERVICE_PLAN_CACHE_H_
+#define XEE_SERVICE_PLAN_CACHE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/sharded_lru.h"
+#include "common/status.h"
+#include "estimator/estimator.h"
+
+namespace xee::service {
+
+/// One compiled, fully evaluated query against one synopsis version:
+/// the canonicalized AST with its path-join survivor sets (reusable via
+/// Estimator::EstimateCompiled, e.g. to re-derive per-node candidate
+/// statistics for an optimizer) plus the memoized estimate — including
+/// memoized errors, so a repeatedly submitted unsupported query is
+/// rejected from cache instead of recompiled every time.
+struct CachedPlan {
+  estimator::Estimator::Compiled plan;
+  Result<double> estimate;
+
+  size_t ApproxBytes() const;
+};
+
+/// The service's compiled-plan cache: a sharded, byte-budgeted LRU from
+/// query keys to shared immutable plans.
+///
+/// Each plan is stored once under its canonical key — where every
+/// spelling of a semantically identical query lands — and aliased under
+/// the exact request strings that reached it, so an exact repeat skips
+/// even the XPath parse. Alias entries share the plan and are charged
+/// only their key, not a second copy of the plan.
+///
+/// Keys embed the synopsis epoch (see EstimationService::MakeKey), so a
+/// swapped synopsis never serves stale plans; old-epoch entries age out
+/// of the LRU. Thread-safety: inherited from ShardedLru — fully
+/// concurrent.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t byte_budget, size_t shards)
+      : lru_(byte_budget, shards) {}
+
+  std::shared_ptr<const CachedPlan> Get(const std::string& key) {
+    return lru_.Get(key);
+  }
+
+  /// Primary insert under the canonical key: charged the full plan.
+  void PutCanonical(const std::string& key,
+                    std::shared_ptr<const CachedPlan> plan) {
+    const size_t bytes = key.size() + plan->ApproxBytes();
+    lru_.Put(key, std::move(plan), bytes);
+  }
+
+  /// Alias insert under an exact request string: charged the key plus
+  /// bookkeeping only.
+  void PutAlias(const std::string& key,
+                std::shared_ptr<const CachedPlan> plan) {
+    const size_t bytes = key.size() + 64;
+    lru_.Put(key, std::move(plan), bytes);
+  }
+
+  LruStats stats() const { return lru_.stats(); }
+  void Clear() { lru_.Clear(); }
+
+ private:
+  ShardedLru<std::string, CachedPlan> lru_;
+};
+
+}  // namespace xee::service
+
+#endif  // XEE_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,120 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "xpath/canonical.h"
+#include "xpath/parser.h"
+
+namespace xee::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t NsSince(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+}  // namespace
+
+EstimationService::EstimationService(ServiceOptions options)
+    : options_(options),
+      cache_(options.plan_cache_bytes,
+             options.cache_shards < 1 ? 1 : options.cache_shards),
+      pool_(options.threads == 0 ? ThreadPool::DefaultThreads()
+                                 : options.threads) {}
+
+std::string EstimationService::MakeKey(char kind, uint64_t epoch,
+                                       const std::string& body) {
+  std::string key;
+  key.reserve(2 + 20 + body.size());
+  key.push_back(kind);
+  key += std::to_string(epoch);
+  key.push_back(':');
+  key += body;
+  return key;
+}
+
+Result<double> EstimationService::Estimate(const std::string& synopsis,
+                                           const std::string& xpath) {
+  const auto t_request = Clock::now();
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+
+  std::optional<SynopsisSnapshot> snap = registry_.Snapshot(synopsis);
+  if (!snap.has_value()) {
+    return Status(StatusCode::kNotFound, "unknown synopsis: " + synopsis);
+  }
+
+  // Exact-string probe: a warm repeat of the very same request text
+  // skips the parse as well as the join.
+  const std::string stripped = xpath::StripWhitespace(xpath);
+  const std::string exact_key = MakeKey('x', snap->epoch, stripped);
+  if (std::shared_ptr<const CachedPlan> hit = cache_.Get(exact_key)) {
+    stats_.exact_hits.fetch_add(1, std::memory_order_relaxed);
+    stats_.request.Record(NsSince(t_request));
+    return hit->estimate;
+  }
+
+  // Parse + canonicalize, then probe under the canonical key where all
+  // spellings of this query meet.
+  const auto t_parse = Clock::now();
+  Result<xpath::Query> parsed = xpath::ParseXPath(stripped);
+  stats_.parse.Record(NsSince(t_parse));
+  if (!parsed.ok()) return parsed.status();  // unbounded garbage: uncached
+
+  const xpath::Query canonical = xpath::Canonicalize(parsed.value());
+  const std::string canonical_key =
+      MakeKey('c', snap->epoch, xpath::SerializeKey(canonical));
+  if (std::shared_ptr<const CachedPlan> hit = cache_.Get(canonical_key)) {
+    stats_.canonical_hits.fetch_add(1, std::memory_order_relaxed);
+    cache_.PutAlias(exact_key, hit);
+    stats_.request.Record(NsSince(t_request));
+    return hit->estimate;
+  }
+
+  // Full compile: path join, then the estimation formulas.
+  estimator::Estimator est(*snap->synopsis);
+  const auto t_join = Clock::now();
+  Result<estimator::Estimator::Compiled> compiled = est.Compile(canonical);
+  stats_.join.Record(NsSince(t_join));
+  if (!compiled.ok()) return compiled.status();
+
+  const auto t_formula = Clock::now();
+  Result<double> estimate = est.EstimateCompiled(compiled.value());
+  stats_.formula.Record(NsSince(t_formula));
+
+  auto plan = std::make_shared<const CachedPlan>(
+      CachedPlan{std::move(compiled).value(), estimate});
+  cache_.PutCanonical(canonical_key, plan);
+  cache_.PutAlias(exact_key, std::move(plan));
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  stats_.request.Record(NsSince(t_request));
+  return estimate;
+}
+
+std::vector<Result<double>> EstimationService::EstimateBatch(
+    std::span<const QueryRequest> requests) {
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::optional<Result<double>>> slots(requests.size());
+  if (requests.size() <= 1 || pool_.size() <= 1) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      slots[i] = Estimate(requests[i].synopsis, requests[i].xpath);
+    }
+  } else {
+    pool_.ParallelFor(requests.size(), [&](size_t i) {
+      slots[i] = Estimate(requests[i].synopsis, requests[i].xpath);
+    });
+  }
+  std::vector<Result<double>> results;
+  results.reserve(slots.size());
+  for (std::optional<Result<double>>& s : slots) {
+    results.push_back(std::move(*s));
+  }
+  return results;
+}
+
+}  // namespace xee::service

@@ -1,0 +1,84 @@
+#ifndef XEE_SERVICE_SERVICE_H_
+#define XEE_SERVICE_SERVICE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "service/plan_cache.h"
+#include "service/service_stats.h"
+#include "service/synopsis_registry.h"
+
+namespace xee::service {
+
+/// Construction knobs for EstimationService.
+struct ServiceOptions {
+  /// Byte budget of the compiled-plan cache (0 effectively disables
+  /// caching: every Put immediately evicts down to one entry per shard).
+  size_t plan_cache_bytes = 8ull << 20;
+  /// Plan-cache shard count (contention vs. bookkeeping overhead).
+  size_t cache_shards = 8;
+  /// Worker threads for EstimateBatch; 0 = hardware concurrency.
+  size_t threads = 0;
+};
+
+/// One estimation request against a registered synopsis.
+struct QueryRequest {
+  std::string synopsis;  ///< registry name
+  std::string xpath;     ///< XPath expression (whitespace tolerated)
+};
+
+/// The serving layer over the paper's estimator: a synopsis registry
+/// (named, swappable datasets), a compiled-plan cache keyed by
+/// canonicalized queries, a worker pool for batch fan-out, and a stats
+/// surface. Built for the optimizer hot loop — the estimate for a warm
+/// query costs one cache lookup instead of a parse + path join.
+///
+/// Thread-safety: every method may be called concurrently from any
+/// thread, including registry mutations under in-flight queries (each
+/// query pins its synopsis version via a refcounted snapshot). Batch
+/// results are bit-identical to issuing the same calls sequentially.
+class EstimationService {
+ public:
+  explicit EstimationService(ServiceOptions options = {});
+
+  /// Named synopses: register/swap/remove datasets here.
+  SynopsisRegistry& registry() { return registry_; }
+  const SynopsisRegistry& registry() const { return registry_; }
+
+  /// Single-call fast path: runs on the caller's thread (no pool
+  /// round-trip). kNotFound for an unregistered synopsis name.
+  Result<double> Estimate(const std::string& synopsis,
+                          const std::string& xpath);
+
+  /// Fans `requests` out over the worker pool and blocks until every
+  /// result is in. results[i] corresponds to requests[i].
+  std::vector<Result<double>> EstimateBatch(
+      std::span<const QueryRequest> requests);
+
+  /// Cache outcome counters, occupancy, and per-stage latency.
+  ServiceStatsSnapshot Stats() const { return stats_.Snap(cache_.stats()); }
+
+  void ClearPlanCache() { cache_.Clear(); }
+
+  size_t threads() const { return pool_.size(); }
+
+ private:
+  /// Namespaced cache key: kind ('x' exact string / 'c' canonical),
+  /// synopsis epoch, and the query body.
+  static std::string MakeKey(char kind, uint64_t epoch,
+                             const std::string& body);
+
+  ServiceOptions options_;
+  SynopsisRegistry registry_;
+  PlanCache cache_;
+  ThreadPool pool_;
+  ServiceStats stats_;
+};
+
+}  // namespace xee::service
+
+#endif  // XEE_SERVICE_SERVICE_H_

@@ -1,0 +1,94 @@
+#include "service/service_stats.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace xee::service {
+
+void LatencyHistogram::Record(uint64_t ns) {
+  const int idx = ns == 0 ? 0 : std::bit_width(ns) - 1;
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot s;
+  uint64_t counts[kBuckets];
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += counts[i];
+  }
+  if (s.count == 0) return s;
+  s.mean_us = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+              static_cast<double>(s.count) / 1e3;
+  auto percentile = [&](double p) {
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p * static_cast<double>(s.count)));
+    if (rank < 1) rank = 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= rank) return static_cast<double>(1ull << (i + 1)) / 1e3;
+    }
+    return 0.0;
+  };
+  s.p50_us = percentile(0.50);
+  s.p95_us = percentile(0.95);
+  s.p99_us = percentile(0.99);
+  return s;
+}
+
+ServiceStatsSnapshot ServiceStats::Snap(const LruStats& cache) const {
+  ServiceStatsSnapshot s;
+  s.requests = requests.load(std::memory_order_relaxed);
+  s.batches = batches.load(std::memory_order_relaxed);
+  s.exact_hits = exact_hits.load(std::memory_order_relaxed);
+  s.canonical_hits = canonical_hits.load(std::memory_order_relaxed);
+  s.misses = misses.load(std::memory_order_relaxed);
+  s.cache_evictions = cache.evictions;
+  s.cache_bytes = cache.bytes;
+  s.cache_entries = cache.entries;
+  s.parse = parse.Snap();
+  s.join = join.Snap();
+  s.formula = formula.Snap();
+  s.request = request.Snap();
+  return s;
+}
+
+std::string ServiceStatsSnapshot::ToString() const {
+  std::string out;
+  out += StrFormat("requests: %llu (%llu batches)\n",
+                   static_cast<unsigned long long>(requests),
+                   static_cast<unsigned long long>(batches));
+  const uint64_t outcomes = exact_hits + canonical_hits + misses;
+  out += StrFormat(
+      "plan cache: %llu exact hits, %llu canonical hits, %llu misses "
+      "(%.1f%% hit)\n",
+      static_cast<unsigned long long>(exact_hits),
+      static_cast<unsigned long long>(canonical_hits),
+      static_cast<unsigned long long>(misses),
+      outcomes == 0 ? 0.0
+                    : 100.0 * static_cast<double>(exact_hits + canonical_hits) /
+                          static_cast<double>(outcomes));
+  out += StrFormat("            %llu entries, %s charged, %llu evictions\n",
+                   static_cast<unsigned long long>(cache_entries),
+                   HumanBytes(cache_bytes).c_str(),
+                   static_cast<unsigned long long>(cache_evictions));
+  auto stage = [&](const char* name, const LatencyHistogram::Snapshot& h) {
+    out += StrFormat(
+        "%-8s n=%-8llu mean=%8.1fus  p50<=%8.1fus  p95<=%8.1fus  "
+        "p99<=%8.1fus\n",
+        name, static_cast<unsigned long long>(h.count), h.mean_us, h.p50_us,
+        h.p95_us, h.p99_us);
+  };
+  stage("parse", parse);
+  stage("join", join);
+  stage("formula", formula);
+  stage("request", request);
+  return out;
+}
+
+}  // namespace xee::service

@@ -1,0 +1,86 @@
+#ifndef XEE_SERVICE_SERVICE_STATS_H_
+#define XEE_SERVICE_SERVICE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/sharded_lru.h"
+
+namespace xee::service {
+
+/// Lock-free latency histogram: 64 power-of-two nanosecond buckets
+/// (bucket i counts samples with bit_width(ns) == i). Record() is
+/// wait-free and safe from any thread; Snapshot() is approximate under
+/// concurrent writes, which is fine for monitoring.
+class LatencyHistogram {
+ public:
+  struct Snapshot {
+    uint64_t count = 0;
+    double mean_us = 0;
+    double p50_us = 0;  ///< bucket upper bounds, so conservative
+    double p95_us = 0;
+    double p99_us = 0;
+  };
+
+  void Record(uint64_t ns);
+  Snapshot Snap() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+/// Point-in-time view of every service counter, queryable as a struct
+/// and printable from the CLI.
+struct ServiceStatsSnapshot {
+  // Request counters. `requests` counts individual queries (batch
+  // members included); `batches` counts EstimateBatch calls.
+  uint64_t requests = 0;
+  uint64_t batches = 0;
+
+  // Plan-cache outcome per request: an exact-string hit skips parse and
+  // join entirely; a canonical hit ran the parse but found the plan
+  // under the canonicalized key; a miss compiled from scratch.
+  uint64_t exact_hits = 0;
+  uint64_t canonical_hits = 0;
+  uint64_t misses = 0;
+
+  // Plan-cache occupancy, from the sharded LRU.
+  uint64_t cache_evictions = 0;
+  uint64_t cache_bytes = 0;
+  uint64_t cache_entries = 0;
+
+  // Per-stage latency (parse / join / formula) plus end-to-end.
+  LatencyHistogram::Snapshot parse;
+  LatencyHistogram::Snapshot join;
+  LatencyHistogram::Snapshot formula;
+  LatencyHistogram::Snapshot request;
+
+  /// Multi-line human-readable rendering for the CLI.
+  std::string ToString() const;
+};
+
+/// Shared mutable counters behind the snapshot. All members are atomics
+/// or lock-free histograms; any thread may bump them concurrently.
+struct ServiceStats {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> exact_hits{0};
+  std::atomic<uint64_t> canonical_hits{0};
+  std::atomic<uint64_t> misses{0};
+
+  LatencyHistogram parse;
+  LatencyHistogram join;
+  LatencyHistogram formula;
+  LatencyHistogram request;
+
+  /// Folds in the plan cache's LRU counters.
+  ServiceStatsSnapshot Snap(const LruStats& cache) const;
+};
+
+}  // namespace xee::service
+
+#endif  // XEE_SERVICE_SERVICE_STATS_H_

@@ -1,0 +1,44 @@
+#include "service/synopsis_registry.h"
+
+#include <utility>
+
+namespace xee::service {
+
+uint64_t SynopsisRegistry::Register(const std::string& name,
+                                    estimator::Synopsis synopsis) {
+  return Register(name, std::make_shared<const estimator::Synopsis>(
+                            std::move(synopsis)));
+}
+
+uint64_t SynopsisRegistry::Register(
+    const std::string& name,
+    std::shared_ptr<const estimator::Synopsis> synopsis) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SynopsisSnapshot& slot = map_[name];
+  slot.synopsis = std::move(synopsis);
+  slot.epoch = next_epoch_++;
+  return slot.epoch;
+}
+
+bool SynopsisRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.erase(name) > 0;
+}
+
+std::optional<SynopsisSnapshot> SynopsisRegistry::Snapshot(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(name);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> SynopsisRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(map_.size());
+  for (const auto& [name, snap] : map_) names.push_back(name);
+  return names;
+}
+
+}  // namespace xee::service

@@ -1,0 +1,57 @@
+#ifndef XEE_SERVICE_SYNOPSIS_REGISTRY_H_
+#define XEE_SERVICE_SYNOPSIS_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "estimator/synopsis.h"
+
+namespace xee::service {
+
+/// A refcounted view of one registered synopsis at a point in time.
+/// Holding a snapshot keeps its synopsis alive while Register/Remove
+/// replace it in the registry, so a dataset can be reloaded under
+/// queries in flight. `epoch` uniquely identifies the version across
+/// the registry's lifetime (cache keys embed it, so swapping a name
+/// implicitly invalidates every plan compiled against the old version).
+struct SynopsisSnapshot {
+  std::shared_ptr<const estimator::Synopsis> synopsis;
+  uint64_t epoch = 0;
+};
+
+/// Thread-safe name -> synopsis map with swap semantics.
+///
+/// Thread-safety: every method may be called concurrently; the map is
+/// guarded by one mutex (operations are O(1) pointer shuffles — the
+/// synopses themselves are immutable and shared by reference).
+class SynopsisRegistry {
+ public:
+  /// Registers `synopsis` under `name`, replacing any previous version.
+  /// Returns the new version's epoch.
+  uint64_t Register(const std::string& name, estimator::Synopsis synopsis);
+  uint64_t Register(const std::string& name,
+                    std::shared_ptr<const estimator::Synopsis> synopsis);
+
+  /// Drops `name`; in-flight snapshots stay valid. False if absent.
+  bool Remove(const std::string& name);
+
+  /// The current version of `name`, or nullopt.
+  std::optional<SynopsisSnapshot> Snapshot(const std::string& name) const;
+
+  /// Registered names, unordered.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SynopsisSnapshot> map_;
+  uint64_t next_epoch_ = 1;  // guarded by mu_
+};
+
+}  // namespace xee::service
+
+#endif  // XEE_SERVICE_SYNOPSIS_REGISTRY_H_

@@ -22,8 +22,10 @@
 /// estimation time.
 
 #include "common/rng.h"
+#include "common/sharded_lru.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "datagen/datagen.h"
 #include "encoding/containment.h"
 #include "encoding/encoding_table.h"
@@ -40,7 +42,12 @@
 #include "stats/path_order.h"
 #include "stats/pathid_frequency.h"
 #include "join/structural_join.h"
+#include "service/plan_cache.h"
+#include "service/service.h"
+#include "service/service_stats.h"
+#include "service/synopsis_registry.h"
 #include "workload/workload.h"
+#include "xpath/canonical.h"
 #include "xml/doc_stats.h"
 #include "xml/parser.h"
 #include "xml/tree.h"

@@ -1,0 +1,123 @@
+#include "xpath/canonical.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace xee::xpath {
+namespace {
+
+/// Appends one node's header: axis marker ('/' child, '%' descendant),
+/// tag, target marker, value predicate. Tags are [A-Za-z0-9_.*-]+, so
+/// the markers and parentheses below cannot occur inside one.
+void AppendHeader(const Query& q, int n, std::string* out) {
+  out->push_back(q.nodes[n].axis == StructAxis::kChild ? '/' : '%');
+  *out += q.nodes[n].tag;
+  if (n == q.target) *out += "{t}";
+  if (q.nodes[n].value_filter.has_value()) {
+    out->push_back('=');
+    out->push_back('"');
+    *out += *q.nodes[n].value_filter;
+    out->push_back('"');
+  }
+}
+
+}  // namespace
+
+std::string StripWhitespace(std::string_view xpath) {
+  std::string out;
+  out.reserve(xpath.size());
+  bool in_quote = false;
+  for (char c : xpath) {
+    if (c == '"') in_quote = !in_quote;
+    if (!in_quote && std::isspace(static_cast<unsigned char>(c))) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+Query Canonicalize(const Query& q) {
+  if (q.nodes.empty()) return q;
+
+  // Bottom-up structural signatures (parents precede children in index
+  // order, so a reverse sweep sees every child signature before its
+  // parent). A node's signature embeds its children's signatures in
+  // sorted order — the order the rebuild below will use.
+  const size_t n = q.nodes.size();
+  std::vector<std::string> sig(n);
+  std::vector<std::vector<int>> sorted_kids(n);
+  for (size_t i = n; i-- > 0;) {
+    sorted_kids[i] = q.nodes[i].children;
+    // Stable: equal subtrees keep their original relative order, which
+    // keeps order-constraint endpoints deterministic (see below).
+    std::stable_sort(sorted_kids[i].begin(), sorted_kids[i].end(),
+                     [&](int a, int b) { return sig[a] < sig[b]; });
+    std::string s;
+    AppendHeader(q, static_cast<int>(i), &s);
+    s.push_back('(');
+    for (int c : sorted_kids[i]) s += sig[c];
+    s.push_back(')');
+    sig[i] = std::move(s);
+  }
+
+  // Rebuild in preorder of the sorted tree.
+  Query out;
+  out.root_mode = q.root_mode;
+  std::vector<int> map(n, -1);
+  auto build = [&](auto&& self, int node, int parent) -> void {
+    map[node] = out.AddNode(q.nodes[node].tag, q.nodes[node].axis, parent);
+    out.nodes[map[node]].value_filter = q.nodes[node].value_filter;
+    for (int c : sorted_kids[node]) self(self, c, map[node]);
+  };
+  build(build, 0, -1);
+  out.target = map[q.target];
+
+  for (const OrderConstraint& c : q.orders) {
+    out.orders.push_back(OrderConstraint{c.kind, map[c.before], map[c.after]});
+  }
+  std::sort(out.orders.begin(), out.orders.end(),
+            [](const OrderConstraint& a, const OrderConstraint& b) {
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.before != b.before) return a.before < b.before;
+              return a.after < b.after;
+            });
+  return out;
+}
+
+std::string SerializeKey(const Query& q) {
+  std::string out;
+  if (q.nodes.empty()) return out;
+  out.push_back(q.root_mode == RootMode::kAbsolute ? 'A' : 'W');
+  auto render = [&](auto&& self, int node) -> void {
+    AppendHeader(q, node, &out);
+    out.push_back('(');
+    for (int c : q.nodes[node].children) self(self, c);
+    out.push_back(')');
+  };
+  render(render, 0);
+  for (const OrderConstraint& c : q.orders) {
+    out.push_back('|');
+    out.push_back(c.kind == OrderKind::kSibling ? 's' : 'd');
+    out += std::to_string(c.before);
+    out.push_back(',');
+    out += std::to_string(c.after);
+  }
+  return out;
+}
+
+std::string CanonicalKey(const Query& q) {
+  return SerializeKey(Canonicalize(q));
+}
+
+uint64_t StableHash64(std::string_view s) {
+  uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+uint64_t CanonicalHash(const Query& q) { return StableHash64(CanonicalKey(q)); }
+
+}  // namespace xee::xpath

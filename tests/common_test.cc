@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/bitset.h"
 #include "common/rng.h"
+#include "common/sharded_lru.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace xee {
 namespace {
@@ -206,6 +212,88 @@ TEST(Strings, HumanBytes) {
   EXPECT_EQ(HumanBytes(512), "512 B");
   EXPECT_EQ(HumanBytes(2048), "2.00 KB");
   EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.00 MB");
+}
+
+// --- ShardedLru -------------------------------------------------------
+
+TEST(ShardedLru, HitMissAndRecency) {
+  ShardedLru<std::string, int> lru(/*byte_budget=*/1024, /*shards=*/1);
+  EXPECT_EQ(lru.Get("a"), nullptr);
+  lru.Put("a", std::make_shared<const int>(1), 100);
+  auto hit = lru.Get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 1);
+  LruStats s = lru.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.bytes, 100u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ShardedLru, EvictsLeastRecentlyUsedUnderByteBudget) {
+  ShardedLru<std::string, int> lru(/*byte_budget=*/250, /*shards=*/1);
+  lru.Put("a", std::make_shared<const int>(1), 100);
+  lru.Put("b", std::make_shared<const int>(2), 100);
+  ASSERT_NE(lru.Get("a"), nullptr);  // refresh a: b is now LRU
+  lru.Put("c", std::make_shared<const int>(3), 100);  // 300 > 250: evict b
+  EXPECT_NE(lru.Get("a"), nullptr);
+  EXPECT_EQ(lru.Get("b"), nullptr);
+  EXPECT_NE(lru.Get("c"), nullptr);
+  EXPECT_EQ(lru.stats().evictions, 1u);
+}
+
+TEST(ShardedLru, ReplaceRechargesBytes) {
+  ShardedLru<std::string, int> lru(1024, 1);
+  lru.Put("a", std::make_shared<const int>(1), 600);
+  lru.Put("a", std::make_shared<const int>(2), 50);
+  LruStats s = lru.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 50u);
+  EXPECT_EQ(*lru.Get("a"), 2);
+}
+
+TEST(ShardedLru, OversizedEntryIsAdmittedAlone) {
+  ShardedLru<std::string, int> lru(/*byte_budget=*/10, /*shards=*/1);
+  lru.Put("big", std::make_shared<const int>(7), 1000);
+  EXPECT_NE(lru.Get("big"), nullptr);  // never evicts down to zero entries
+  lru.Put("b2", std::make_shared<const int>(8), 1000);
+  EXPECT_EQ(lru.stats().entries, 1u);
+}
+
+TEST(ShardedLru, EvictedValueSurvivesThroughSharedPtr) {
+  ShardedLru<std::string, int> lru(/*byte_budget=*/100, /*shards=*/1);
+  lru.Put("a", std::make_shared<const int>(41), 90);
+  auto held = lru.Get("a");
+  lru.Put("b", std::make_shared<const int>(42), 90);  // evicts a
+  EXPECT_EQ(lru.Get("a"), nullptr);
+  EXPECT_EQ(*held, 41);
+}
+
+// --- ThreadPool -------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelFor(touched.size(),
+                   [&](size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+  pool.ParallelFor(0, [&](size_t) { FAIL(); });  // n=0 is a no-op
+}
+
+TEST(ThreadPool, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
 }
 
 }  // namespace

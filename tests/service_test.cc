@@ -1,0 +1,288 @@
+#include "service/service.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "estimator/estimator.h"
+#include "estimator/synopsis.h"
+#include "paper_fixture.h"
+#include "xpath/parser.h"
+
+namespace xee::service {
+namespace {
+
+estimator::Synopsis PaperSynopsis() {
+  return estimator::Synopsis::Build(testing::MakePaperDocument(), {});
+}
+
+/// Reference estimate straight through the estimator, bypassing the
+/// service: the value every cached/batched path must reproduce
+/// bit-for-bit.
+Result<double> Direct(const estimator::Synopsis& syn, const std::string& text) {
+  Result<xpath::Query> q = xpath::ParseXPath(text);
+  if (!q.ok()) return q.status();
+  return estimator::Estimator(syn).Estimate(q.value());
+}
+
+const char* kPaperQueries[] = {
+    "//A/B",
+    "//A/B/D",
+    "/Root/A[B]/C",
+    "//A[B/D]/C/E",
+    "//A/B/following-sibling::C",
+    "//A/C/following::B",
+    "//B/unknown-tag",
+    "//*/B",
+};
+
+TEST(ServiceTest, UnknownSynopsisIsNotFound) {
+  EstimationService svc({.threads = 1});
+  Result<double> r = svc.Estimate("nope", "//A/B");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ServiceTest, MatchesDirectEstimatorAndCountsCacheOutcomes) {
+  EstimationService svc({.threads = 1});
+  estimator::Synopsis reference = PaperSynopsis();
+  svc.registry().Register("paper", PaperSynopsis());
+
+  for (const char* q : kPaperQueries) {
+    Result<double> got = svc.Estimate("paper", q);
+    Result<double> want = Direct(reference, q);
+    ASSERT_EQ(got.ok(), want.ok()) << q;
+    if (want.ok()) {
+      EXPECT_EQ(got.value(), want.value()) << q;  // bit-for-bit
+    } else {
+      EXPECT_EQ(got.status().code(), want.status().code()) << q;
+    }
+  }
+  const size_t n = std::size(kPaperQueries);
+  ServiceStatsSnapshot cold = svc.Stats();
+  EXPECT_EQ(cold.requests, n);
+  EXPECT_EQ(cold.misses, n);
+  EXPECT_EQ(cold.exact_hits, 0u);
+
+  // Second pass: every query is an exact-string hit.
+  for (const char* q : kPaperQueries) {
+    Result<double> got = svc.Estimate("paper", q);
+    Result<double> want = Direct(reference, q);
+    ASSERT_EQ(got.ok(), want.ok()) << q;
+    if (want.ok()) {
+      EXPECT_EQ(got.value(), want.value()) << q;
+    }
+  }
+  ServiceStatsSnapshot warm = svc.Stats();
+  EXPECT_EQ(warm.exact_hits, n);
+  EXPECT_EQ(warm.misses, n);
+  EXPECT_EQ(warm.request.count, 2 * n);
+}
+
+TEST(ServiceTest, SemanticallyEqualSpellingsShareOnePlan) {
+  EstimationService svc({.threads = 1});
+  svc.registry().Register("paper", PaperSynopsis());
+
+  ASSERT_TRUE(svc.Estimate("paper", "//A[B][C]/B/D").ok());
+  // Different text, same canonical plan: counted as a canonical hit.
+  ASSERT_TRUE(svc.Estimate("paper", " //A[C][B] / B / child::D ").ok());
+  ServiceStatsSnapshot s = svc.Stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.canonical_hits, 1u);
+  // The alias was installed: repeating the second spelling verbatim now
+  // skips the parse too.
+  ASSERT_TRUE(svc.Estimate("paper", " //A[C][B] / B / child::D ").ok());
+  EXPECT_EQ(svc.Stats().exact_hits, 1u);
+}
+
+TEST(ServiceTest, MemoizesUnsupportedErrors) {
+  EstimationService svc({.threads = 1});
+  svc.registry().Register("paper", PaperSynopsis());
+  const char* q = "//A/*/following-sibling::C";  // wildcard order endpoint
+  for (int i = 0; i < 2; ++i) {
+    Result<double> r = svc.Estimate("paper", q);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+  }
+  ServiceStatsSnapshot s = svc.Stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.exact_hits, 1u);
+}
+
+TEST(ServiceTest, ParseErrorsAreReportedAndNotCached) {
+  EstimationService svc({.threads = 1});
+  svc.registry().Register("paper", PaperSynopsis());
+  Result<double> r = svc.Estimate("paper", "A/B");  // missing leading slash
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(svc.Stats().cache_entries, 0u);
+}
+
+TEST(ServiceTest, TinyByteBudgetEvictsButStaysCorrect) {
+  EstimationService svc({.plan_cache_bytes = 2048, .cache_shards = 1,
+                         .threads = 1});
+  estimator::Synopsis reference = PaperSynopsis();
+  svc.registry().Register("paper", PaperSynopsis());
+  for (int round = 0; round < 3; ++round) {
+    for (const char* q : kPaperQueries) {
+      Result<double> got = svc.Estimate("paper", q);
+      Result<double> want = Direct(reference, q);
+      ASSERT_EQ(got.ok(), want.ok()) << q;
+      if (want.ok()) {
+        EXPECT_EQ(got.value(), want.value()) << q;
+      }
+    }
+  }
+  ServiceStatsSnapshot s = svc.Stats();
+  EXPECT_GT(s.cache_evictions, 0u);
+  EXPECT_LE(s.cache_bytes, 4096u);  // budget respected (one entry slack)
+}
+
+TEST(ServiceTest, SwapServesNewVersionWhileOldSnapshotsSurvive) {
+  EstimationService svc({.threads = 1});
+  svc.registry().Register("data", PaperSynopsis());
+
+  const double before = svc.Estimate("data", "//A/B").value();
+  EXPECT_GT(before, 0.0);
+
+  // Hold a snapshot of the old version, as an in-flight query would.
+  std::optional<SynopsisSnapshot> pinned = svc.registry().Snapshot("data");
+  ASSERT_TRUE(pinned.has_value());
+
+  // Swap in a synopsis built over a different document.
+  datagen::GenOptions gen;
+  gen.scale = 0.05;
+  svc.registry().Register(
+      "data", estimator::Synopsis::Build(datagen::GenerateXMark(gen), {}));
+
+  // New epoch: the cached //A/B plan is not reused (XMark has no A).
+  EXPECT_EQ(svc.Estimate("data", "//A/B").value(), 0.0);
+
+  // The pinned old version still answers through a direct estimator.
+  estimator::Estimator old_est(*pinned->synopsis);
+  EXPECT_EQ(old_est.Estimate(xpath::ParseXPath("//A/B").value()).value(),
+            before);
+
+  // And removal keeps the pinned snapshot alive too.
+  EXPECT_TRUE(svc.registry().Remove("data"));
+  EXPECT_FALSE(svc.Estimate("data", "//A/B").ok());
+  EXPECT_GT(pinned->synopsis->TagCount(), 0u);
+}
+
+TEST(ServiceTest, CompiledPlansMatchUncompiledEstimates) {
+  estimator::Synopsis syn = PaperSynopsis();
+  estimator::Estimator est(syn);
+  for (const char* text : kPaperQueries) {
+    xpath::Query q = xpath::ParseXPath(text).value();
+    Result<estimator::Estimator::Compiled> plan = est.Compile(q);
+    ASSERT_TRUE(plan.ok()) << text;
+    EXPECT_GT(plan.value().ApproxBytes(), 0u);
+    Result<double> direct = est.Estimate(q);
+    Result<double> compiled = est.EstimateCompiled(plan.value());
+    ASSERT_EQ(direct.ok(), compiled.ok()) << text;
+    if (direct.ok()) {
+      EXPECT_EQ(direct.value(), compiled.value()) << text;
+    } else {
+      EXPECT_EQ(direct.status().code(), compiled.status().code()) << text;
+    }
+  }
+}
+
+TEST(ServiceTest, BatchMatchesSequentialBitForBit) {
+  EstimationService svc({.threads = 4});
+  estimator::Synopsis reference = PaperSynopsis();
+  svc.registry().Register("paper", PaperSynopsis());
+
+  std::vector<QueryRequest> batch;
+  for (int round = 0; round < 16; ++round) {
+    for (const char* q : kPaperQueries) {
+      batch.push_back(QueryRequest{"paper", q});
+    }
+  }
+  batch.push_back(QueryRequest{"missing", "//A"});
+
+  std::vector<Result<double>> got = svc.EstimateBatch(batch);
+  ASSERT_EQ(got.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Result<double> want = batch[i].synopsis == "paper"
+                              ? Direct(reference, batch[i].xpath)
+                              : Result<double>(Status(StatusCode::kNotFound,
+                                                      "unknown synopsis"));
+    ASSERT_EQ(got[i].ok(), want.ok()) << batch[i].xpath;
+    if (want.ok()) {
+      EXPECT_EQ(got[i].value(), want.value()) << batch[i].xpath;
+    } else {
+      EXPECT_EQ(got[i].status().code(), want.status().code());
+    }
+  }
+  EXPECT_EQ(svc.Stats().batches, 1u);
+}
+
+TEST(ServiceTest, ConcurrentHammerMatchesSingleThreadedRuns) {
+  // 8 client threads hammer single-call and batch paths against two
+  // synopses while plans cache and evict; every result must equal the
+  // single-threaded reference bit-for-bit. Run under TSan via
+  // scripts/check_tsan.sh (-DXEE_SANITIZE=thread) to certify the
+  // thread-safety contract mechanically.
+  EstimationService svc(
+      {.plan_cache_bytes = 16 << 10, .cache_shards = 4, .threads = 4});
+  estimator::Synopsis ref_paper = PaperSynopsis();
+  datagen::GenOptions gen;
+  gen.scale = 0.05;
+  xml::Document xmark = datagen::GenerateXMark(gen);
+  estimator::Synopsis ref_xmark = estimator::Synopsis::Build(xmark, {});
+  svc.registry().Register("paper", PaperSynopsis());
+  svc.registry().Register("xmark", estimator::Synopsis::Build(xmark, {}));
+
+  struct Case {
+    QueryRequest req;
+    double want = 0;
+  };
+  std::vector<Case> cases;
+  for (const char* q : kPaperQueries) {
+    Result<double> want = Direct(ref_paper, q);
+    if (!want.ok()) continue;
+    cases.push_back({QueryRequest{"paper", q}, want.value()});
+  }
+  for (const char* q : {"//item/name", "//people//person", "//closed_auction",
+                        "//regions//item[name]/description"}) {
+    Result<double> want = Direct(ref_xmark, q);
+    ASSERT_TRUE(want.ok()) << q;
+    cases.push_back({QueryRequest{"xmark", q}, want.value()});
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 40;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int it = 0; it < kIters; ++it) {
+        if ((t + it) % 3 == 0) {
+          std::vector<QueryRequest> batch;
+          for (const Case& c : cases) batch.push_back(c.req);
+          std::vector<Result<double>> got = svc.EstimateBatch(batch);
+          for (size_t i = 0; i < cases.size(); ++i) {
+            if (!got[i].ok() || got[i].value() != cases[i].want) ++mismatches;
+          }
+        } else {
+          const Case& c = cases[(static_cast<size_t>(t) * 31 + it) %
+                                cases.size()];
+          Result<double> got = svc.Estimate(c.req.synopsis, c.req.xpath);
+          if (!got.ok() || got.value() != c.want) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& th : clients) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(svc.Stats().exact_hits, 0u);
+}
+
+}  // namespace
+}  // namespace xee::service
