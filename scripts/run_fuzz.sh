@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs the deterministic fuzz harness against the checked-in corpus.
+#
+#   scripts/run_fuzz.sh [--iters N] [--seed S] [--generator G] [--build DIR]
+#
+# Extra flags are passed through to fuzz_driver (see fuzz_driver --help).
+# Exit status: 0 clean, 1 findings, 2 usage/setup error.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+args=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build)
+      build_dir="$2"
+      shift 2
+      ;;
+    *)
+      args+=("$1")
+      shift
+      ;;
+  esac
+done
+
+driver="${build_dir}/src/fuzz/fuzz_driver"
+if [[ ! -x "${driver}" ]]; then
+  echo "fuzz_driver not found at ${driver}; build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 2
+fi
+
+exec "${driver}" --corpus "${repo_root}/tests/corpus" "${args[@]}"

@@ -1,0 +1,93 @@
+#include "common/mutate.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+namespace xee {
+namespace {
+
+/// Byte values over-represented in format edge cases: zero, all-ones,
+/// sign boundaries, ASCII structure characters, and small counts.
+constexpr uint8_t kInterestingBytes[] = {0x00, 0x01, 0x02, 0x7f, 0x80,
+                                         0xfe, 0xff, '<',  '>',  '"',
+                                         '/',  '[',  ']',  '\\'};
+
+/// 32-bit values aimed at length/count fields: zero, one, maxima, and
+/// the bounds-check thresholds used by the synopsis format.
+constexpr uint32_t kInterestingU32[] = {0,          1,          2,
+                                        0x7fffffff, 0x80000000, 0xffffffff,
+                                        1u << 16,   1u << 20,   1u << 24};
+
+}  // namespace
+
+void MutateOnce(Rng& rng, std::string* data) {
+  std::string& d = *data;
+  if (d.empty()) {
+    // Only insertion applies to an empty input.
+    const size_t n = 1 + rng.Index(8);
+    for (size_t i = 0; i < n; ++i) {
+      d.push_back(static_cast<char>(rng.Next()));
+    }
+    return;
+  }
+  switch (rng.Index(8)) {
+    case 0: {  // flip one bit
+      const size_t pos = rng.Index(d.size());
+      d[pos] = static_cast<char>(
+          static_cast<uint8_t>(d[pos]) ^ (1u << rng.Index(8)));
+      break;
+    }
+    case 1: {  // overwrite one byte with an interesting value
+      d[rng.Index(d.size())] = static_cast<char>(
+          kInterestingBytes[rng.Index(std::size(kInterestingBytes))]);
+      break;
+    }
+    case 2: {  // overwrite one byte with a random value
+      d[rng.Index(d.size())] = static_cast<char>(rng.Next());
+      break;
+    }
+    case 3: {  // truncate at a random point
+      d.resize(rng.Index(d.size()));
+      break;
+    }
+    case 4: {  // erase a span
+      const size_t pos = rng.Index(d.size());
+      const size_t len = 1 + rng.Index(std::min<size_t>(16, d.size() - pos));
+      d.erase(pos, len);
+      break;
+    }
+    case 5: {  // duplicate a span in place
+      const size_t pos = rng.Index(d.size());
+      const size_t len = 1 + rng.Index(std::min<size_t>(16, d.size() - pos));
+      d.insert(pos, d.substr(pos, len));
+      break;
+    }
+    case 6: {  // insert random bytes
+      const size_t pos = rng.Index(d.size() + 1);
+      std::string ins;
+      const size_t len = 1 + rng.Index(8);
+      for (size_t i = 0; i < len; ++i) {
+        ins.push_back(static_cast<char>(rng.Next()));
+      }
+      d.insert(pos, ins);
+      break;
+    }
+    default: {  // overwrite a little-endian u32 with an interesting value
+      if (d.size() < sizeof(uint32_t)) {
+        d[rng.Index(d.size())] = static_cast<char>(rng.Next());
+        break;
+      }
+      const size_t pos = rng.Index(d.size() - sizeof(uint32_t) + 1);
+      const uint32_t v = kInterestingU32[rng.Index(std::size(kInterestingU32))];
+      std::memcpy(d.data() + pos, &v, sizeof(v));
+      break;
+    }
+  }
+}
+
+void Mutate(Rng& rng, std::string* data, size_t edits) {
+  for (size_t i = 0; i < edits; ++i) MutateOnce(rng, data);
+}
+
+}  // namespace xee

@@ -1,0 +1,25 @@
+#ifndef XEE_COMMON_MUTATE_H_
+#define XEE_COMMON_MUTATE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/rng.h"
+
+namespace xee {
+
+/// Deterministic byte/structure mutation helpers for fuzzing. Each call
+/// applies one randomly chosen edit to `data`: a bit flip, a byte
+/// overwrite with an "interesting" value (0x00, 0xff, boundary bytes),
+/// a truncation, a span erase or duplication, a random insertion, or a
+/// 32-bit little-endian integer overwrite (aimed at the length/count
+/// fields of binary formats). Identical Rng state and input produce the
+/// identical mutant. An empty string can only grow (insertion).
+void MutateOnce(Rng& rng, std::string* data);
+
+/// Applies `edits` successive MutateOnce edits.
+void Mutate(Rng& rng, std::string* data, size_t edits);
+
+}  // namespace xee
+
+#endif  // XEE_COMMON_MUTATE_H_

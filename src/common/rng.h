@@ -21,6 +21,12 @@ class Rng {
   /// Next raw 64-bit value.
   uint64_t Next();
 
+  /// Forks an independent child generator, advancing this stream by one
+  /// draw. Splitting lets one master seed drive several components (the
+  /// fuzz harness gives each iteration and each generator its own child)
+  /// without the components perturbing each other's sequences.
+  Rng Split() { return Rng(Next()); }
+
   /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
   uint64_t UniformInt(uint64_t lo, uint64_t hi);
 

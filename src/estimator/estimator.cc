@@ -55,13 +55,20 @@ Result<double> Estimator::Estimate(const Query& query) const {
     if (any_filter) {
       double factor = 1;
       if (const stats::ValueStats* vs = syn_.value_stats()) {
+        // Multiply the per-node selectivities in sorted order, not node
+        // order: canonicalization renumbers nodes, and a fixed
+        // multiplication order keeps Estimate(q) bit-identical across
+        // query-tree isomorphisms (the fuzz harness asserts this).
+        std::vector<double> sels;
         for (size_t i = 0; i < query.nodes.size(); ++i) {
           if (!query.nodes[i].value_filter.has_value()) continue;
-          factor *= tags[i] == encoding::kWildcardTag
-                        ? vs->GlobalSelectivity(*query.nodes[i].value_filter)
-                        : vs->Selectivity(tags[i],
-                                          *query.nodes[i].value_filter);
+          sels.push_back(
+              tags[i] == encoding::kWildcardTag
+                  ? vs->GlobalSelectivity(*query.nodes[i].value_filter)
+                  : vs->Selectivity(tags[i], *query.nodes[i].value_filter));
         }
+        std::sort(sels.begin(), sels.end());
+        for (double s : sels) factor *= s;
       }
       if (factor <= 0) return 0.0;
       Query structural = query;
@@ -81,14 +88,21 @@ Result<double> Estimator::Estimate(const Query& query) const {
     base.orders.clear();
     const double s_q = EstimateNoOrder(base);
     if (s_q <= 0) return 0.0;
-    double result = s_q;
+    // Sorted multiplication: canonicalization reorders the constraint
+    // list, and the ratio product must not depend on that order (see the
+    // value-predicate path above).
+    std::vector<double> ratios;
+    ratios.reserve(query.orders.size());
     for (const OrderConstraint& c : query.orders) {
       Query one = query;
       one.orders = {c};
       Result<double> r = Estimate(one);
       if (!r.ok()) return r;
-      result *= r.value() / s_q;
+      ratios.push_back(r.value() / s_q);
     }
+    std::sort(ratios.begin(), ratios.end());
+    double result = s_q;
+    for (double ratio : ratios) result *= ratio;
     return std::max(0.0, result);
   }
   // Order estimation needs concrete tags for the path-order tables (the

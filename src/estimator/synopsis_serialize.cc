@@ -109,7 +109,10 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data) {
     s = r.GetString(&name);
     if (!s.ok()) return s;
     out.tag_names_.push_back(name);
-    out.tag_ids_.emplace(std::move(name), t);
+    if (!out.tag_ids_.emplace(std::move(name), t).second) {
+      // Two tag ids sharing a name would make FindTag ambiguous.
+      return Corrupt("duplicate tag name");
+    }
   }
   s = r.GetU32(&out.root_tag_);
   if (!s.ok()) return s;
@@ -147,11 +150,18 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data) {
     if (!s.ok()) return s;
     if (bits == 0 || bits > path_count) return Corrupt("pid popcount");
     PathIdBits pid(path_count);
+    // Serialize() emits SetBits() in increasing order; insisting on that
+    // canonical encoding here keeps Serialize(Deserialize(blob)) == blob
+    // for every accepted blob (a duplicate position would also silently
+    // shrink the popcount).
+    uint32_t prev_pos = 0;
     for (uint32_t j = 0; j < bits; ++j) {
       uint32_t pos = 0;
       s = r.GetU32(&pos);
       if (!s.ok()) return s;
       if (pos < 1 || pos > path_count) return Corrupt("pid bit");
+      if (pos <= prev_pos) return Corrupt("pid bits out of order");
+      prev_pos = pos;
       pid.Set(pos);
     }
     if (i > 0 && !PathIdBits::LexLess(out.pid_bits_.back(), pid)) {
@@ -169,6 +179,10 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data) {
     if (!s.ok()) return s;
     if (buckets > pid_count) return Corrupt("p-histogram bucket count");
     std::vector<histogram::PHistogram::Bucket> bs;
+    // The buckets of one tag must partition the tag's pids: a pid listed
+    // twice (in one bucket or across two) would be double-counted in the
+    // pid column order and shadowed in PHistogram::Frequency.
+    std::vector<bool> seen_pid(pid_count + 1, false);
     for (uint32_t b = 0; b < buckets; ++b) {
       histogram::PHistogram::Bucket bucket;
       s = r.GetDouble(&bucket.avg_freq);
@@ -182,6 +196,8 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data) {
         s = r.GetU32(&pid);
         if (!s.ok()) return s;
         if (pid < 1 || pid > pid_count) return Corrupt("bucket pid");
+        if (seen_pid[pid]) return Corrupt("pid in more than one bucket");
+        seen_pid[pid] = true;
         bucket.pids.push_back(pid);
       }
       bs.push_back(std::move(bucket));
@@ -192,6 +208,9 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data) {
   uint8_t has_order = 0;
   s = r.GetU8(&has_order);
   if (!s.ok()) return s;
+  // Section flags re-serialize as exactly 0 or 1; other values would
+  // round-trip to a different byte.
+  if (has_order > 1) return Corrupt("order flag");
   if (has_order != 0) {
     // Alphabetic tag ranks are derivable from the tag names.
     std::vector<uint32_t> order(tag_count);
@@ -233,6 +252,7 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data) {
   uint8_t has_values = 0;
   s = r.GetU8(&has_values);
   if (!s.ok()) return s;
+  if (has_values > 1) return Corrupt("values flag");
   if (has_values != 0) {
     std::vector<stats::ValueStats::TagValues> tag_values(tag_count);
     for (uint32_t t = 0; t < tag_count; ++t) {

@@ -1,0 +1,166 @@
+#include <cctype>
+#include <sstream>
+#include <string_view>
+
+#include "common/strings.h"
+#include "fuzz/fuzz.h"
+
+namespace xee::fuzz {
+namespace {
+
+Status ParseError(const std::string& name, const std::string& what) {
+  return Status(StatusCode::kParseError,
+                StrFormat("corpus entry %s: %s", name.c_str(), what.c_str()));
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// The value of a "key:" header line, or false when `line` has a
+/// different key.
+bool HeaderValue(std::string_view line, std::string_view key,
+                 std::string_view* value) {
+  if (line.substr(0, key.size()) != key) return false;
+  std::string_view rest = line.substr(key.size());
+  if (rest.empty() || rest.front() != ':') return false;
+  *value = Trim(rest.substr(1));
+  return true;
+}
+
+}  // namespace
+
+void Report::Merge(const Report& other) {
+  iterations += other.iterations;
+  parse_ok += other.parse_ok;
+  parse_rejected += other.parse_rejected;
+  estimates_checked += other.estimates_checked;
+  monotonic_checked += other.monotonic_checked;
+  roundtrips_checked += other.roundtrips_checked;
+  findings.insert(findings.end(), other.findings.begin(),
+                  other.findings.end());
+}
+
+std::string Report::Summary() const {
+  std::ostringstream os;
+  os << "iterations=" << iterations << " parse_ok=" << parse_ok
+     << " parse_rejected=" << parse_rejected
+     << " estimates=" << estimates_checked
+     << " monotonic=" << monotonic_checked
+     << " roundtrips=" << roundtrips_checked
+     << " findings=" << findings.size();
+  for (const Finding& f : findings) {
+    os << "\n[" << f.generator << "/" << f.oracle << "] " << f.detail;
+    // Reproducers are printed whole — a truncated input cannot replay.
+    os << "\n  input: " << f.input;
+  }
+  return os.str();
+}
+
+std::string HexEncode(std::string_view bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Result<std::string> HexDecode(std::string_view hex) {
+  std::string out;
+  out.reserve(hex.size() / 2);
+  int hi = -1;
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    int nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = c - 'A' + 10;
+    } else {
+      return Status(StatusCode::kParseError,
+                    StrFormat("bad hex digit '%c'", c));
+    }
+    if (hi < 0) {
+      hi = nibble;
+    } else {
+      out.push_back(static_cast<char>((hi << 4) | nibble));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) {
+    return Status(StatusCode::kParseError, "odd number of hex digits");
+  }
+  return out;
+}
+
+Result<CorpusEntry> ParseCorpusEntry(const std::string& name,
+                                     std::string_view contents) {
+  CorpusEntry entry;
+  entry.name = name;
+  bool saw_kind = false;
+  bool saw_separator = false;
+  size_t pos = 0;
+  while (pos <= contents.size()) {
+    const size_t eol = contents.find('\n', pos);
+    std::string_view line = contents.substr(
+        pos, (eol == std::string_view::npos ? contents.size() : eol) - pos);
+    pos = eol == std::string_view::npos ? contents.size() + 1 : eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line == "---") {
+      saw_separator = true;
+      break;
+    }
+    if (Trim(line).empty() || line.front() == '#') continue;
+    std::string_view value;
+    if (HeaderValue(line, "kind", &value)) {
+      saw_kind = true;
+      if (value == "query") {
+        entry.kind = CorpusEntry::Kind::kQuery;
+      } else if (value == "xml") {
+        entry.kind = CorpusEntry::Kind::kXml;
+      } else if (value == "synopsis") {
+        entry.kind = CorpusEntry::Kind::kSynopsis;
+      } else {
+        return ParseError(name, "unknown kind");
+      }
+    } else if (HeaderValue(line, "expect", &value)) {
+      if (value == "accept") {
+        entry.expect = CorpusEntry::Expect::kAccept;
+      } else if (value == "reject") {
+        entry.expect = CorpusEntry::Expect::kReject;
+      } else {
+        return ParseError(name, "unknown expect");
+      }
+    } else {
+      return ParseError(name, "unrecognized header line");
+    }
+  }
+  if (!saw_separator) return ParseError(name, "missing '---' separator");
+  if (!saw_kind) return ParseError(name, "missing 'kind:' header");
+
+  std::string_view payload =
+      pos <= contents.size() ? contents.substr(pos) : std::string_view();
+  if (entry.kind == CorpusEntry::Kind::kSynopsis) {
+    auto decoded = HexDecode(payload);
+    if (!decoded.ok()) return ParseError(name, decoded.status().message());
+    entry.data = std::move(decoded).value();
+  } else {
+    entry.data = std::string(payload);
+    // Text editors append a final newline; it is not part of the input.
+    if (!entry.data.empty() && entry.data.back() == '\n') entry.data.pop_back();
+  }
+  return entry;
+}
+
+}  // namespace xee::fuzz

@@ -1,0 +1,98 @@
+// Deterministic fuzz driver: same seed, same report, every run.
+//
+//   fuzz_driver [--iters N] [--seed S] [--generator all|query|synopsis|
+//                xml|service] [--corpus DIR]
+//
+// Replays the corpus (when given), then runs N generated iterations.
+// Exit status: 0 clean, 1 findings, 2 usage/setup error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/fuzz.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--iters N] [--seed S] [--generator "
+               "all|query|synopsis|xml|service] [--corpus DIR]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t iters = 10000;
+  uint64_t seed = 1;
+  std::string generator = "all";
+  std::string corpus_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--iters") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      iters = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--generator") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      generator = v;
+    } else if (arg == "--corpus") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      corpus_dir = v;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  xee::fuzz::Harness harness;
+  xee::fuzz::Report report;
+
+  if (!corpus_dir.empty()) {
+    auto replayed = harness.ReplayCorpusDir(corpus_dir);
+    if (!replayed.ok()) {
+      std::fprintf(stderr, "%s\n", replayed.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("corpus: %s\n", replayed.value().Summary().c_str());
+    report.Merge(replayed.value());
+  }
+
+  xee::fuzz::FuzzOptions options;
+  options.seed = seed;
+  options.iterations = iters;
+  if (iters > 0) {
+    xee::fuzz::Report generated;
+    if (generator == "all") {
+      generated = harness.RunAll(options);
+    } else if (generator == "query") {
+      generated = harness.RunQueryFuzz(options);
+    } else if (generator == "synopsis") {
+      generated = harness.RunSynopsisFuzz(options);
+    } else if (generator == "xml") {
+      generated = harness.RunXmlFuzz(options);
+    } else if (generator == "service") {
+      generated = harness.RunServiceFuzz(options);
+    } else {
+      return Usage(argv[0]);
+    }
+    std::printf("fuzz(%s, seed=%llu): %s\n", generator.c_str(),
+                static_cast<unsigned long long>(seed),
+                generated.Summary().c_str());
+    report.Merge(generated);
+  }
+
+  return report.ok() ? 0 : 1;
+}

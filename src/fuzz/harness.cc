@@ -1,0 +1,742 @@
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/mutate.h"
+#include "common/strings.h"
+#include "datagen/datagen.h"
+#include "estimator/estimator.h"
+#include "fuzz/fuzz.h"
+#include "service/service.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xpath/canonical.h"
+#include "xpath/parser.h"
+
+namespace xee::fuzz {
+namespace {
+
+/// The paper's Figure 1 running example (same shape as the test
+/// fixture's MakePaperDocument, which lives under tests/ and is not
+/// linkable from the library). Tiny, recursion-free, and rich in order
+/// structure — the ideal bed for exactness oracles.
+xml::Document MakeFigure1Document() {
+  xml::Document doc;
+  auto root = doc.CreateRoot("Root");
+
+  auto a1 = doc.AppendChild(root, "A");
+  auto b1 = doc.AppendChild(a1, "B");
+  doc.AppendChild(b1, "D");
+  doc.AppendChild(b1, "E");
+
+  auto a2 = doc.AppendChild(root, "A");
+  auto b2 = doc.AppendChild(a2, "B");
+  doc.AppendChild(b2, "D");
+  auto c2 = doc.AppendChild(a2, "C");
+  doc.AppendChild(c2, "E");
+  doc.AppendChild(c2, "F");
+  auto b3 = doc.AppendChild(a2, "B");
+  doc.AppendChild(b3, "D");
+
+  auto a3 = doc.AppendChild(root, "A");
+  auto c3 = doc.AppendChild(a3, "C");
+  doc.AppendChild(c3, "E");
+  auto b4 = doc.AppendChild(a3, "B");
+  doc.AppendChild(b4, "D");
+
+  doc.Finalize();
+  return doc;
+}
+
+/// True when no element has a proper ancestor of the same tag —
+/// the premise of Theorem 4.1's exactness.
+bool IsRecursionFree(const xml::Document& doc) {
+  for (xml::NodeId n = 0; n < doc.NodeCount(); ++n) {
+    for (xml::NodeId a = doc.Parent(n); a != xml::kNullNode;
+         a = doc.Parent(a)) {
+      if (doc.Tag(a) == doc.Tag(n)) return false;
+    }
+  }
+  return true;
+}
+
+/// Bitwise comparison: the metamorphic oracles demand identical bits,
+/// not approximate equality — 1-ulp drift means some code path depends
+/// on query spelling.
+bool BitwiseEq(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+std::string Printable(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (std::isprint(static_cast<unsigned char>(c))) {
+      out.push_back(c);
+    } else {
+      out += StrFormat("\\x%02x", static_cast<unsigned char>(c));
+    }
+  }
+  return out;
+}
+
+Finding MakeFinding(const char* generator, const char* oracle,
+                    std::string detail, std::string_view input,
+                    bool hex_input = false) {
+  Finding f;
+  f.generator = generator;
+  f.oracle = oracle;
+  f.detail = std::move(detail);
+  f.input = hex_input ? HexEncode(input) : Printable(input);
+  return f;
+}
+
+/// Applies key-neutral whitespace decoration: StripWhitespace removes
+/// whitespace outside quoted literals, so padding at the front/back and
+/// after the leading '/' never changes the parsed query.
+std::string Whitespaced(Rng& rng, const std::string& query) {
+  std::string out = query;
+  if (rng.Bernoulli(0.5)) out.insert(0, " ");
+  if (rng.Bernoulli(0.3) && out.size() > 1) out.insert(1, "\t");
+  if (rng.Bernoulli(0.5)) out += "\n";
+  return out;
+}
+
+}  // namespace
+
+struct Harness::TestBed {
+  std::string name;
+  bool recursion_free = false;
+  xml::Document doc;
+  std::unique_ptr<eval::ExactEvaluator> exact_eval;
+  std::vector<std::string> tags;
+  /// v=0 with order and value statistics: exact per Theorem 4.1.
+  std::shared_ptr<const estimator::Synopsis> exact;
+  /// Coarse buckets (v=2): the lossy configuration of paper Section 6.
+  std::shared_ptr<const estimator::Synopsis> coarse;
+  /// build_order=false: exercises the order-unsupported paths.
+  std::shared_ptr<const estimator::Synopsis> no_order;
+  std::string exact_blob;  ///< exact->Serialize(), the mutation base
+  std::string xml_text;    ///< WriteXml(doc), the XML mutation base
+};
+
+Harness::Harness() {
+  auto add_bed = [this](std::string name, xml::Document doc) {
+    auto bed = std::make_unique<TestBed>();
+    bed->name = std::move(name);
+    bed->doc = std::move(doc);
+    bed->recursion_free = IsRecursionFree(bed->doc);
+    bed->exact_eval = std::make_unique<eval::ExactEvaluator>(bed->doc);
+    for (size_t t = 0; t < bed->doc.TagCount(); ++t) {
+      bed->tags.push_back(bed->doc.TagNameOf(static_cast<xml::TagId>(t)));
+    }
+    estimator::SynopsisOptions exact_opt;  // v=0, order + values
+    bed->exact = std::make_shared<estimator::Synopsis>(
+        estimator::Synopsis::Build(bed->doc, exact_opt));
+    estimator::SynopsisOptions coarse_opt;
+    coarse_opt.p_variance = 2;
+    coarse_opt.o_variance = 2;
+    bed->coarse = std::make_shared<estimator::Synopsis>(
+        estimator::Synopsis::Build(bed->doc, coarse_opt));
+    estimator::SynopsisOptions no_order_opt;
+    no_order_opt.build_order = false;
+    bed->no_order = std::make_shared<estimator::Synopsis>(
+        estimator::Synopsis::Build(bed->doc, no_order_opt));
+    bed->exact_blob = bed->exact->Serialize();
+    bed->xml_text = xml::WriteXml(bed->doc);
+    beds_.push_back(std::move(bed));
+  };
+
+  add_bed("paper", MakeFigure1Document());
+  datagen::GenOptions ssplays_opt;
+  ssplays_opt.seed = 7;
+  ssplays_opt.scale = 0.02;
+  add_bed("ssplays", datagen::GenerateSsPlays(ssplays_opt));
+  datagen::GenOptions dblp_opt;
+  dblp_opt.seed = 11;
+  dblp_opt.scale = 0.01;
+  add_bed("dblp", datagen::GenerateDblp(dblp_opt));
+}
+
+Harness::~Harness() = default;
+
+void Harness::CheckMonotonicity(const TestBed& bed, Rng& rng,
+                                const xpath::Query& q, Report* rep) const {
+  auto base = bed.exact_eval->Count(q);
+  if (!base.ok()) return;  // outside the evaluator's fragment
+  const double base_count = static_cast<double>(base.value());
+
+  auto expect_at_least = [&](const xpath::Query& relaxed, const char* oracle,
+                             const char* how) {
+    auto relaxed_count = bed.exact_eval->Count(relaxed);
+    ++rep->monotonic_checked;
+    if (!relaxed_count.ok()) {
+      // A relaxation may cross the evaluator's fragment boundary (e.g.
+      // an unknown-tag query returns 0 before the mixed-constraint-kind
+      // check that the relaxed form then trips). kUnsupported is a
+      // documented answer, not a monotonicity violation.
+      if (relaxed_count.status().code() == StatusCode::kUnsupported) return;
+      rep->findings.push_back(MakeFinding(
+          "query", oracle,
+          StrFormat("relaxation (%s) of evaluable query failed: %s [bed %s]",
+                    how, relaxed_count.status().ToString().c_str(),
+                    bed.name.c_str()),
+          q.ToString()));
+      return;
+    }
+    if (static_cast<double>(relaxed_count.value()) < base_count) {
+      rep->findings.push_back(MakeFinding(
+          "query", oracle,
+          StrFormat("%s shrank the result: %llu < %llu on '%s' [bed %s]", how,
+                    static_cast<unsigned long long>(relaxed_count.value()),
+                    static_cast<unsigned long long>(base.value()),
+                    relaxed.ToString().c_str(), bed.name.c_str()),
+          q.ToString()));
+    }
+  };
+
+  // '//' accepts every match of '/': widen one random child axis.
+  // Sibling-constraint endpoints are pinned to the child axis by
+  // validation, so they are not legal relaxation sites.
+  std::vector<int> child_axes;
+  for (int i = 1; i < static_cast<int>(q.size()); ++i) {
+    if (q.nodes[i].axis != xpath::StructAxis::kChild) continue;
+    bool sibling_endpoint = false;
+    for (const auto& c : q.orders) {
+      sibling_endpoint |= c.kind == xpath::OrderKind::kSibling &&
+                          (c.before == i || c.after == i);
+    }
+    if (!sibling_endpoint) child_axes.push_back(i);
+  }
+  if (!child_axes.empty()) {
+    xpath::Query relaxed = q;
+    relaxed.nodes[child_axes[rng.Index(child_axes.size())]].axis =
+        xpath::StructAxis::kDescendant;
+    expect_at_least(relaxed, "mono-axis", "child -> descendant");
+  }
+
+  // '//a...' accepts every match of '/a...'.
+  if (q.root_mode == xpath::RootMode::kAbsolute) {
+    xpath::Query relaxed = q;
+    relaxed.root_mode = xpath::RootMode::kAnywhere;
+    expect_at_least(relaxed, "mono-root", "absolute -> anywhere root");
+  }
+
+  // Dropping a predicate leaf (and any order constraint on it) can only
+  // grow the result.
+  std::vector<int> droppable;
+  for (int i = 1; i < static_cast<int>(q.size()); ++i) {
+    if (q.nodes[i].children.empty() && i != q.target) droppable.push_back(i);
+  }
+  if (!droppable.empty()) {
+    const int victim = droppable[rng.Index(droppable.size())];
+    std::vector<bool> keep(q.size(), true);
+    keep[victim] = false;
+    expect_at_least(q.SubQuery(keep), "mono-predicate", "dropped a leaf");
+  }
+
+  // Dropping a value predicate can only grow the result.
+  std::vector<int> valued;
+  for (int i = 0; i < static_cast<int>(q.size()); ++i) {
+    if (q.nodes[i].value_filter.has_value()) valued.push_back(i);
+  }
+  if (!valued.empty()) {
+    xpath::Query relaxed = q;
+    relaxed.nodes[valued[rng.Index(valued.size())]].value_filter.reset();
+    expect_at_least(relaxed, "mono-value", "dropped a value predicate");
+  }
+
+  // The order-unconstrained query covers the order-constrained one.
+  if (!q.orders.empty()) {
+    xpath::Query relaxed = q;
+    relaxed.orders.clear();
+    expect_at_least(relaxed, "mono-order", "dropped order constraints");
+  }
+}
+
+void Harness::CheckQueryString(const TestBed& bed, Rng& rng,
+                               const std::string& raw, Report* rep) const {
+  const std::string stripped = xpath::StripWhitespace(raw);
+  auto parsed = xpath::ParseXPath(stripped);
+  if (!parsed.ok()) {
+    ++rep->parse_rejected;
+    return;
+  }
+  ++rep->parse_ok;
+  const xpath::Query& q = parsed.value();
+  if (Status v = q.Validate(); !v.ok()) {
+    rep->findings.push_back(MakeFinding(
+        "query", "parse-validate",
+        "ParseXPath returned a query failing Validate: " + v.ToString(), raw));
+    return;
+  }
+
+  const xpath::Query canon = xpath::Canonicalize(q);
+  const std::string key = xpath::SerializeKey(canon);
+  if (xpath::SerializeKey(xpath::Canonicalize(canon)) != key) {
+    rep->findings.push_back(MakeFinding(
+        "query", "canonical-idempotent",
+        "Canonicalize(Canonicalize(q)) differs from Canonicalize(q)", raw));
+  }
+
+  // ToString must render a query that parses back to the same canonical
+  // key (the escape-aware renderer is what makes this hold for value
+  // predicates containing quotes and backslashes).
+  auto reparsed = xpath::ParseXPath(q.ToString());
+  if (!reparsed.ok()) {
+    rep->findings.push_back(
+        MakeFinding("query", "tostring-roundtrip",
+                    "ToString output failed to parse: '" + q.ToString() +
+                        "': " + reparsed.status().ToString(),
+                    raw));
+  } else if (xpath::CanonicalKey(reparsed.value()) != key) {
+    rep->findings.push_back(MakeFinding(
+        "query", "tostring-roundtrip",
+        "ToString output parsed to a different query: '" + q.ToString() + "'",
+        raw));
+  }
+
+  struct Variant {
+    const char* label;
+    const estimator::Synopsis* syn;
+  };
+  const Variant variants[] = {{"exact", bed.exact.get()},
+                              {"coarse", bed.coarse.get()},
+                              {"no-order", bed.no_order.get()}};
+  for (const Variant& var : variants) {
+    estimator::Estimator est(*var.syn);
+    auto e1 = est.Estimate(q);
+    auto e2 = est.Estimate(canon);
+    ++rep->estimates_checked;
+    if (e1.ok() != e2.ok() ||
+        (!e1.ok() && e1.status().code() != e2.status().code())) {
+      rep->findings.push_back(MakeFinding(
+          "query", "canonical-status",
+          StrFormat("Estimate(q)=%s but Estimate(canon)=%s [%s/%s]",
+                    e1.status().ToString().c_str(),
+                    e2.status().ToString().c_str(), bed.name.c_str(),
+                    var.label),
+          raw));
+      continue;
+    }
+    if (e1.ok() && !BitwiseEq(e1.value(), e2.value())) {
+      rep->findings.push_back(MakeFinding(
+          "query", "canonical-bitwise",
+          StrFormat("Estimate(q)=%.17g but Estimate(canon)=%.17g [%s/%s]",
+                    e1.value(), e2.value(), bed.name.c_str(), var.label),
+          raw));
+    }
+    if (e1.ok() && (!std::isfinite(e1.value()) || e1.value() < 0)) {
+      rep->findings.push_back(MakeFinding(
+          "query", "estimate-range",
+          StrFormat("estimate %.17g not finite/non-negative [%s/%s]",
+                    e1.value(), bed.name.c_str(), var.label),
+          raw));
+    }
+    auto compiled = est.Compile(q);
+    if (compiled.ok()) {
+      auto ec = est.EstimateCompiled(compiled.value());
+      if (ec.ok() != e1.ok() ||
+          (!ec.ok() && ec.status().code() != e1.status().code())) {
+        rep->findings.push_back(MakeFinding(
+            "query", "compile-status",
+            StrFormat("EstimateCompiled=%s but Estimate=%s [%s/%s]",
+                      ec.status().ToString().c_str(),
+                      e1.status().ToString().c_str(), bed.name.c_str(),
+                      var.label),
+            raw));
+      } else if (ec.ok() && !BitwiseEq(ec.value(), e1.value())) {
+        rep->findings.push_back(MakeFinding(
+            "query", "compile-bitwise",
+            StrFormat("EstimateCompiled=%.17g but Estimate=%.17g [%s/%s]",
+                      ec.value(), e1.value(), bed.name.c_str(), var.label),
+            raw));
+      }
+    } else if (e1.ok()) {
+      rep->findings.push_back(MakeFinding(
+          "query", "compile-status",
+          StrFormat("Compile failed (%s) on a query Estimate accepts [%s/%s]",
+                    compiled.status().ToString().c_str(), bed.name.c_str(),
+                    var.label),
+          raw));
+    }
+  }
+
+  // Theorem 4.1: on a recursion-free document with v=0 histograms, the
+  // estimate of a plain chain (no branches, orders, wildcards or value
+  // predicates; target = the leaf) equals the exact count.
+  if (bed.recursion_free && q.orders.empty()) {
+    bool plain_chain = q.nodes[q.target].children.empty();
+    for (const auto& n : q.nodes) {
+      plain_chain &= n.children.size() <= 1 && n.tag != "*" &&
+                     !n.value_filter.has_value();
+    }
+    if (plain_chain) {
+      estimator::Estimator est(*bed.exact);
+      auto e = est.Estimate(q);
+      auto c = bed.exact_eval->Count(q);
+      if (e.ok() && c.ok()) {
+        const double exact = static_cast<double>(c.value());
+        if (std::abs(e.value() - exact) > 1e-6 * std::max(1.0, exact)) {
+          rep->findings.push_back(MakeFinding(
+              "query", "theorem-4.1",
+              StrFormat("estimate %.17g != exact count %.0f on '%s' [bed %s]",
+                        e.value(), exact, q.ToString().c_str(),
+                        bed.name.c_str()),
+              raw));
+        }
+      }
+    }
+  }
+
+  CheckMonotonicity(bed, rng, q, rep);
+}
+
+void Harness::CheckSynopsisBlob(const TestBed& bed, const std::string& blob,
+                                Report* rep) const {
+  auto r = estimator::Synopsis::Deserialize(blob);
+  if (!r.ok()) {
+    ++rep->parse_rejected;
+    return;
+  }
+  ++rep->parse_ok;
+  const estimator::Synopsis& syn = r.value();
+
+  // An accepted blob is canonical: re-serializing the loaded synopsis
+  // reproduces it byte for byte.
+  const std::string again = syn.Serialize();
+  ++rep->roundtrips_checked;
+  if (again != blob) {
+    rep->findings.push_back(MakeFinding(
+        "synopsis", "reserialize-identity",
+        StrFormat("accepted blob (%zu bytes) re-serialized to different "
+                  "bytes (%zu) [bed %s]",
+                  blob.size(), again.size(), bed.name.c_str()),
+        blob, /*hex_input=*/true));
+  }
+
+  // Probe estimates over the mutant's own alphabet: accepted data may
+  // be semantically absurd (NaN frequencies are representable), but
+  // estimation must stay a clean Result, never UB.
+  estimator::Estimator est(syn);
+  const std::string& t0 = syn.TagName(0);
+  const std::string& root = syn.TagName(syn.root_tag());
+  const std::string& last =
+      syn.TagName(static_cast<xml::TagId>(syn.TagCount() - 1));
+  const std::string probes[] = {
+      "//" + t0, "/" + root + "//" + last, "/" + root + "[" + t0 + "]//" + last,
+      "//" + root + "/" + t0 + "/following-sibling::" + last};
+  for (const std::string& probe : probes) {
+    auto parsed = xpath::ParseXPath(probe);
+    if (!parsed.ok()) continue;  // mutated tag names may be unparseable
+    (void)est.Estimate(parsed.value());
+    ++rep->estimates_checked;
+  }
+}
+
+void Harness::CheckXmlString(const std::string& xml_text, Report* rep) const {
+  auto p1 = xml::ParseXml(xml_text);
+  if (!p1.ok()) {
+    ++rep->parse_rejected;
+    return;
+  }
+  ++rep->parse_ok;
+
+  // Write/Parse idempotence: the writer's output is a fixed point.
+  const std::string w1 = xml::WriteXml(p1.value());
+  auto p2 = xml::ParseXml(w1);
+  ++rep->roundtrips_checked;
+  if (!p2.ok()) {
+    rep->findings.push_back(
+        MakeFinding("xml", "write-reparse",
+                    "WriteXml output failed to parse: " + p2.status().ToString(),
+                    xml_text));
+    return;
+  }
+  const std::string w2 = xml::WriteXml(p2.value());
+  if (w2 != w1) {
+    rep->findings.push_back(MakeFinding(
+        "xml", "write-idempotent",
+        StrFormat("Write(Parse(Write(doc))) diverged (%zu vs %zu bytes)",
+                  w2.size(), w1.size()),
+        xml_text));
+  }
+
+  // Survivors feed synopsis construction and estimation. Build is the
+  // expensive step, so big documents are subsampled — deterministically,
+  // keyed off the payload, since this path has no Rng.
+  const xml::Document& doc = p2.value();
+  const bool build_synopsis =
+      doc.NodeCount() <= 64 ||
+      (doc.NodeCount() <= 2000 && xpath::StableHash64(xml_text) % 4 == 0);
+  if (build_synopsis) {
+    estimator::Synopsis syn =
+        estimator::Synopsis::Build(doc, estimator::SynopsisOptions{});
+    estimator::Estimator est(syn);
+    const std::string probes[] = {"//" + syn.TagName(0),
+                                  "/" + syn.TagName(syn.root_tag())};
+    for (const std::string& probe : probes) {
+      auto parsed = xpath::ParseXPath(probe);
+      if (!parsed.ok()) continue;
+      auto e = est.Estimate(parsed.value());
+      ++rep->estimates_checked;
+      if (e.ok() && (!std::isfinite(e.value()) || e.value() < 0)) {
+        rep->findings.push_back(MakeFinding(
+            "xml", "estimate-range",
+            StrFormat("estimate %.17g from a real document synopsis on '%s'",
+                      e.value(), probe.c_str()),
+            xml_text));
+      }
+    }
+  }
+}
+
+Report Harness::RunQueryFuzz(const FuzzOptions& options) const {
+  Report rep;
+  Rng master(options.seed);
+  for (size_t i = 0; i < options.iterations; ++i) {
+    Rng it = master.Split();
+    const TestBed& bed = *beds_[it.Index(beds_.size())];
+    std::string s;
+    if (it.Bernoulli(options.random_query_prob)) {
+      const size_t len = it.UniformInt(0, 40);
+      for (size_t j = 0; j < len; ++j) {
+        s.push_back(static_cast<char>(it.UniformInt(0, 255)));
+      }
+    } else {
+      s = GenerateQueryString(it, bed.tags);
+      if (it.Bernoulli(options.mutate_query_prob)) {
+        Mutate(it, &s, 1 + it.Index(3));
+      }
+    }
+    CheckQueryString(bed, it, s, &rep);
+    ++rep.iterations;
+  }
+  return rep;
+}
+
+Report Harness::RunSynopsisFuzz(const FuzzOptions& options) const {
+  Report rep;
+  Rng master(options.seed);
+  for (size_t i = 0; i < options.iterations; ++i) {
+    Rng it = master.Split();
+    const TestBed& bed = *beds_[it.Index(beds_.size())];
+    std::string blob = bed.exact_blob;
+    // One input in ten is the pristine blob — the guaranteed-accept path
+    // that keeps the roundtrip oracle honest even if mutants all die in
+    // the header.
+    if (!it.Bernoulli(0.1)) {
+      Mutate(it, &blob, 1 + it.Index(std::max<size_t>(options.max_edits, 1)));
+    }
+    CheckSynopsisBlob(bed, blob, &rep);
+    ++rep.iterations;
+  }
+  return rep;
+}
+
+Report Harness::RunXmlFuzz(const FuzzOptions& options) const {
+  Report rep;
+  Rng master(options.seed);
+  for (size_t i = 0; i < options.iterations; ++i) {
+    Rng it = master.Split();
+    const TestBed& bed = *beds_[it.Index(beds_.size())];
+    std::string text = bed.xml_text;
+    if (!it.Bernoulli(0.1)) {
+      Mutate(it, &text, 1 + it.Index(std::max<size_t>(options.max_edits, 1)));
+    }
+    CheckXmlString(text, &rep);
+    ++rep.iterations;
+  }
+  return rep;
+}
+
+Report Harness::RunServiceFuzz(const FuzzOptions& options) const {
+  Report rep;
+  Rng master(options.seed);
+  service::ServiceOptions service_opt;
+  service_opt.plan_cache_bytes = 1 << 16;  // tiny: force evictions
+  service_opt.cache_shards = 2;
+  service_opt.threads = 2;
+  service::EstimationService svc(service_opt);
+  for (const auto& bed : beds_) {
+    svc.registry().Register(bed->name, bed->exact);
+  }
+
+  for (size_t i = 0; i < options.iterations; ++i) {
+    Rng it = master.Split();
+    const size_t n = 1 + it.Index(8);
+    std::vector<service::QueryRequest> batch;
+    std::vector<Result<double>> want;
+    batch.reserve(n);
+    want.reserve(n);
+    for (size_t j = 0; j < n; ++j) {
+      const TestBed& bed = *beds_[it.Index(beds_.size())];
+      const bool bogus = it.Bernoulli(0.05);
+      const std::string qs = GenerateQueryString(it, bed.tags);
+      batch.push_back(service::QueryRequest{
+          bogus ? "no-such-synopsis" : bed.name, Whitespaced(it, qs)});
+      // Reference result computed outside the service: the cache and the
+      // pool must be invisible in the bits.
+      if (bogus) {
+        want.push_back(Status(StatusCode::kNotFound, "unregistered"));
+      } else {
+        auto parsed = xpath::ParseXPath(xpath::StripWhitespace(qs));
+        if (!parsed.ok()) {
+          want.push_back(parsed.status());
+        } else {
+          estimator::Estimator est(*bed.exact);
+          want.push_back(est.Estimate(xpath::Canonicalize(parsed.value())));
+        }
+      }
+    }
+
+    auto check = [&](const std::vector<Result<double>>& got,
+                     const char* pass) {
+      for (size_t j = 0; j < n; ++j) {
+        const Result<double>& w = want[j];
+        const Result<double>& g = got[j];
+        ++rep.estimates_checked;
+        if (g.ok() != w.ok() ||
+            (!g.ok() && g.status().code() != w.status().code())) {
+          rep.findings.push_back(MakeFinding(
+              "service", "batch-status",
+              StrFormat("%s pass: service=%s reference=%s [synopsis %s]", pass,
+                        g.status().ToString().c_str(),
+                        w.status().ToString().c_str(),
+                        batch[j].synopsis.c_str()),
+              batch[j].xpath));
+        } else if (g.ok() && !BitwiseEq(g.value(), w.value())) {
+          rep.findings.push_back(MakeFinding(
+              "service", "batch-bitwise",
+              StrFormat("%s pass: service=%.17g reference=%.17g [synopsis %s]",
+                        pass, g.value(), w.value(), batch[j].synopsis.c_str()),
+              batch[j].xpath));
+        }
+      }
+    };
+
+    auto cold = svc.EstimateBatch(batch);
+    check(cold, "cold");
+    auto warm = svc.EstimateBatch(batch);  // now served from the plan cache
+    check(warm, "warm");
+
+    if (it.Bernoulli(0.2)) svc.ClearPlanCache();
+    if (it.Bernoulli(0.1)) {
+      // Re-register the same synopsis: the epoch bump invalidates every
+      // cached plan, but not the answers.
+      const TestBed& bed = *beds_[it.Index(beds_.size())];
+      svc.registry().Register(bed.name, bed.exact);
+    }
+    ++rep.iterations;
+  }
+  return rep;
+}
+
+Report Harness::RunAll(const FuzzOptions& options) const {
+  // 4:3:2:1 across query/synopsis/xml/service, distinct seed streams.
+  FuzzOptions part = options;
+  Report rep;
+  part.iterations = options.iterations * 4 / 10;
+  part.seed = options.seed;
+  rep.Merge(RunQueryFuzz(part));
+  part.iterations = options.iterations * 3 / 10;
+  part.seed = options.seed ^ 0x9e3779b97f4a7c15ull;
+  rep.Merge(RunSynopsisFuzz(part));
+  part.iterations = options.iterations * 2 / 10;
+  part.seed = options.seed ^ 0xbf58476d1ce4e5b9ull;
+  rep.Merge(RunXmlFuzz(part));
+  part.iterations = options.iterations -
+                    options.iterations * 4 / 10 -
+                    options.iterations * 3 / 10 -
+                    options.iterations * 2 / 10;
+  part.seed = options.seed ^ 0x94d049bb133111ebull;
+  rep.Merge(RunServiceFuzz(part));
+  return rep;
+}
+
+Report Harness::ReplayEntry(const CorpusEntry& entry) const {
+  Report rep;
+  rep.iterations = 1;
+  // Replay is deterministic too: the monotonicity sampling inside the
+  // battery keys off the payload, not off wall-clock entropy.
+  Rng rng(xpath::StableHash64(entry.data) ^ entry.data.size());
+
+  bool accepted = false;
+  switch (entry.kind) {
+    case CorpusEntry::Kind::kQuery: {
+      accepted = xpath::ParseXPath(xpath::StripWhitespace(entry.data)).ok();
+      for (const auto& bed : beds_) {
+        CheckQueryString(*bed, rng, entry.data, &rep);
+      }
+      break;
+    }
+    case CorpusEntry::Kind::kXml: {
+      accepted = xml::ParseXml(entry.data).ok();
+      CheckXmlString(entry.data, &rep);
+      break;
+    }
+    case CorpusEntry::Kind::kSynopsis: {
+      accepted = estimator::Synopsis::Deserialize(entry.data).ok();
+      CheckSynopsisBlob(*beds_[0], entry.data, &rep);
+      break;
+    }
+  }
+
+  if ((entry.expect == CorpusEntry::Expect::kAccept && !accepted) ||
+      (entry.expect == CorpusEntry::Expect::kReject && accepted)) {
+    rep.findings.push_back(MakeFinding(
+        "corpus", "expectation",
+        StrFormat("%s: expected %s but input was %s", entry.name.c_str(),
+                  entry.expect == CorpusEntry::Expect::kAccept ? "accept"
+                                                               : "reject",
+                  accepted ? "accepted" : "rejected"),
+        entry.data, entry.kind == CorpusEntry::Kind::kSynopsis));
+  }
+  return rep;
+}
+
+Result<Report> Harness::ReplayCorpusDir(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status(StatusCode::kNotFound,
+                  "cannot read corpus directory " + dir + ": " + ec.message());
+  }
+  std::vector<std::filesystem::path> files;
+  for (const auto& e : it) {
+    if (e.is_regular_file() && e.path().extension() == ".corpus") {
+      files.push_back(e.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Report rep;
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    if (!in) {
+      rep.findings.push_back(MakeFinding("corpus", "io",
+                                         "failed to read " + path.string(),
+                                         path.filename().string()));
+      continue;
+    }
+    auto entry = ParseCorpusEntry(path.filename().string(), contents.str());
+    if (!entry.ok()) {
+      rep.findings.push_back(MakeFinding("corpus", "format",
+                                         entry.status().ToString(),
+                                         path.filename().string()));
+      continue;
+    }
+    rep.Merge(ReplayEntry(entry.value()));
+  }
+  return rep;
+}
+
+}  // namespace xee::fuzz

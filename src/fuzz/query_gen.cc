@@ -1,0 +1,89 @@
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "fuzz/fuzz.h"
+#include "xpath/canonical.h"
+
+namespace xee::fuzz {
+namespace {
+
+/// Names the generator mixes in that do NOT occur in the bed's tag
+/// alphabet, to exercise the unknown-tag → estimate-0 path and the
+/// parser's name lexer (dash/dot continuations).
+constexpr const char* kForeignNames[] = {"zz", "nosuch", "_x9", "b-2", "q.q"};
+
+/// Value-predicate literals, covering quotes, backslashes, whitespace
+/// (which must survive StripWhitespace), the empty string, and markup
+/// characters.
+constexpr const char* kValues[] = {"x",  "10", "hello world", "x\"y",
+                                   "a\\b", "",  "<v>"};
+
+/// Recursive grammar walker. Emits mostly-parseable syntax on purpose —
+/// the parser is the judge of validity; a share of outputs hitting each
+/// of its error paths is part of the coverage.
+struct Gen {
+  Rng& rng;
+  const std::vector<std::string>& tags;
+  std::string out;
+  int nodes = 0;
+
+  void Name() {
+    const size_t r = rng.Index(100);
+    if (r < 78) {
+      out += tags[rng.Index(tags.size())];
+    } else if (r < 88) {
+      out += '*';
+    } else {
+      out += kForeignNames[rng.Index(std::size(kForeignNames))];
+    }
+  }
+
+  void Step(int depth, bool allow_order) {
+    if (allow_order && rng.Index(8) == 0) {
+      static constexpr const char* kOrderAxes[] = {
+          "following-sibling::", "preceding-sibling::", "following::",
+          "preceding::"};
+      out += kOrderAxes[rng.Index(std::size(kOrderAxes))];
+    } else if (rng.Index(16) == 0) {
+      out += rng.Index(2) == 0 ? "child::" : "descendant::";
+    }
+    Name();
+    ++nodes;
+    if (rng.Index(25) == 0) out += "{t}";
+    while (depth < 3 && nodes < 10 && rng.Index(4) == 0) {
+      if (rng.Index(3) == 0) {
+        out += "[.=\"";
+        out += xpath::EscapeValueFilter(kValues[rng.Index(std::size(kValues))]);
+        out += "\"]";
+      } else {
+        out += '[';
+        if (rng.Index(3) == 0) out += rng.Index(2) == 0 ? "//" : "/";
+        Chain(depth + 1);
+        out += ']';
+      }
+    }
+  }
+
+  void Chain(int depth) {
+    const size_t steps = 1 + rng.Index(3);
+    for (size_t s = 0; s < steps && nodes < 10; ++s) {
+      if (s > 0) out += rng.Index(3) == 0 ? "//" : "/";
+      // Order axes need a junction; on the first step of a chain they
+      // are guaranteed parse errors, so bias them to later steps.
+      Step(depth, /*allow_order=*/s > 0);
+    }
+  }
+};
+
+}  // namespace
+
+std::string GenerateQueryString(Rng& rng, const std::vector<std::string>& tags) {
+  XEE_CHECK(!tags.empty());
+  Gen g{rng, tags, {}, 0};
+  g.out = rng.Index(2) == 0 ? "//" : "/";
+  g.Chain(0);
+  return std::move(g.out);
+}
+
+}  // namespace xee::fuzz

@@ -1,5 +1,6 @@
 #include "histogram/o_histogram.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace xee::histogram {
@@ -114,6 +115,7 @@ OHistogram OHistogram::Build(const stats::PathOrderTable& table,
                                   static_cast<uint32_t>(r2), acc.Mean()});
     }
   }
+  h.BuildRowIndex();
   return h;
 }
 
@@ -126,7 +128,43 @@ OHistogram OHistogram::FromBuckets(
   for (uint32_t c = 0; c < col_order.size(); ++c) {
     h.col_of_.emplace(col_order[c], c);
   }
+  h.BuildRowIndex();
   return h;
+}
+
+void OHistogram::BuildRowIndex() {
+  row_index_.assign(2 * row_of_tag_.size(), {});
+
+  // Inserts [x1, x2] into a sorted disjoint span list, clipped against
+  // the columns already covered — so where (adversarial) boxes overlap,
+  // the earliest-inserted bucket keeps the cell.
+  auto insert_clipped = [](std::vector<RowSpan>& spans, uint32_t x1,
+                           uint32_t x2, double freq) {
+    std::vector<RowSpan> merged;
+    merged.reserve(spans.size() + 2);
+    uint64_t cur = x1;  // next still-uncovered column of the new span
+    size_t i = 0;
+    for (; i < spans.size() && spans[i].x1 <= x2; ++i) {
+      const RowSpan& s = spans[i];
+      if (cur < s.x1 && cur <= x2) {
+        merged.push_back(RowSpan{static_cast<uint32_t>(cur),
+                                 std::min(x2, s.x1 - 1), freq});
+      }
+      merged.push_back(s);
+      cur = std::max<uint64_t>(cur, static_cast<uint64_t>(s.x2) + 1);
+    }
+    if (cur <= x2) {
+      merged.push_back(RowSpan{static_cast<uint32_t>(cur), x2, freq});
+    }
+    for (; i < spans.size(); ++i) merged.push_back(spans[i]);
+    spans = std::move(merged);
+  };
+
+  for (const Bucket& b : buckets_) {
+    for (uint64_t row = b.y1; row <= b.y2 && row < row_index_.size(); ++row) {
+      insert_clipped(row_index_[row], b.x1, b.x2, b.avg_freq);
+    }
+  }
 }
 
 double OHistogram::Get(stats::OrderRegion region, xml::TagId other,
@@ -140,12 +178,14 @@ double OHistogram::Get(stats::OrderRegion region, xml::TagId other,
            ? static_cast<uint32_t>(row_of_tag_.size())
            : 0) +
       row_of_tag_[other];
-  for (const Bucket& b : buckets_) {
-    if (b.x1 <= col && col <= b.x2 && b.y1 <= row && row <= b.y2) {
-      return b.avg_freq;
-    }
-  }
-  return 0;
+  if (row >= row_index_.size()) return 0;
+  const std::vector<RowSpan>& spans = row_index_[row];
+  auto it = std::upper_bound(
+      spans.begin(), spans.end(), col,
+      [](uint32_t c, const RowSpan& s) { return c < s.x1; });
+  if (it == spans.begin()) return 0;
+  --it;
+  return col <= it->x2 ? it->avg_freq : 0;
 }
 
 }  // namespace xee::histogram

@@ -46,7 +46,9 @@ class OHistogram {
                                 const std::vector<encoding::PidRef>& col_order);
 
   /// Summarized cell value g(pid, other): the covering bucket's average
-  /// frequency, or 0 when no bucket covers the cell.
+  /// frequency, or 0 when no bucket covers the cell. O(log buckets) via
+  /// the per-row interval index; identical to scanning `buckets()` in
+  /// order and returning the first cover.
   double Get(stats::OrderRegion region, xml::TagId other,
              encoding::PidRef pid) const;
 
@@ -58,9 +60,22 @@ class OHistogram {
   size_t SizeBytes() const { return buckets_.size() * 12; }
 
  private:
+  /// One column run of a bucket within a single row.
+  struct RowSpan {
+    uint32_t x1, x2;  // inclusive column bounds
+    double avg_freq;
+  };
+
+  /// Expands `buckets_` into per-row sorted disjoint column spans so Get
+  /// binary-searches one row instead of scanning every bucket. Earlier
+  /// buckets win where boxes overlap (only possible on adversarial
+  /// deserialized bucket lists), matching the first-match linear scan.
+  void BuildRowIndex();
+
   std::vector<Bucket> buckets_;
   std::vector<uint32_t> row_of_tag_;  // alphabetic rank per TagId
   std::unordered_map<encoding::PidRef, uint32_t> col_of_;
+  std::vector<std::vector<RowSpan>> row_index_;  // size 2 * row_of_tag_.size()
 };
 
 }  // namespace xee::histogram

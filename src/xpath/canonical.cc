@@ -9,7 +9,9 @@ namespace {
 
 /// Appends one node's header: axis marker ('/' child, '%' descendant),
 /// tag, target marker, value predicate. Tags are [A-Za-z0-9_.*-]+, so
-/// the markers and parentheses below cannot occur inside one.
+/// the markers and parentheses below cannot occur inside one; the value
+/// literal is escaped so no unescaped '"' occurs inside it either,
+/// keeping the whole serialization injective.
 void AppendHeader(const Query& q, int n, std::string* out) {
   out->push_back(q.nodes[n].axis == StructAxis::kChild ? '/' : '%');
   *out += q.nodes[n].tag;
@@ -17,7 +19,7 @@ void AppendHeader(const Query& q, int n, std::string* out) {
   if (q.nodes[n].value_filter.has_value()) {
     out->push_back('=');
     out->push_back('"');
-    *out += *q.nodes[n].value_filter;
+    *out += EscapeValueFilter(*q.nodes[n].value_filter);
     out->push_back('"');
   }
 }
@@ -28,9 +30,28 @@ std::string StripWhitespace(std::string_view xpath) {
   std::string out;
   out.reserve(xpath.size());
   bool in_quote = false;
-  for (char c : xpath) {
+  for (size_t i = 0; i < xpath.size(); ++i) {
+    const char c = xpath[i];
+    if (in_quote && c == '\\' && i + 1 < xpath.size()) {
+      // Escaped character inside a literal: copy both bytes verbatim so
+      // \" neither ends the quoted region nor loses inner whitespace.
+      out.push_back(c);
+      out.push_back(xpath[i + 1]);
+      ++i;
+      continue;
+    }
     if (c == '"') in_quote = !in_quote;
     if (!in_quote && std::isspace(static_cast<unsigned char>(c))) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string EscapeValueFilter(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
     out.push_back(c);
   }
   return out;
@@ -46,18 +67,54 @@ Query Canonicalize(const Query& q) {
   const size_t n = q.nodes.size();
   std::vector<std::string> sig(n);
   std::vector<std::vector<int>> sorted_kids(n);
-  for (size_t i = n; i-- > 0;) {
-    sorted_kids[i] = q.nodes[i].children;
-    // Stable: equal subtrees keep their original relative order, which
-    // keeps order-constraint endpoints deterministic (see below).
-    std::stable_sort(sorted_kids[i].begin(), sorted_kids[i].end(),
-                     [&](int a, int b) { return sig[a] < sig[b]; });
-    std::string s;
-    AppendHeader(q, static_cast<int>(i), &s);
-    s.push_back('(');
-    for (int c : sorted_kids[i]) s += sig[c];
-    s.push_back(')');
-    sig[i] = std::move(s);
+  auto sweep = [&](const std::vector<std::string>* profile) {
+    std::vector<std::string> next(n);
+    for (size_t i = n; i-- > 0;) {
+      sorted_kids[i] = q.nodes[i].children;
+      // Stable: subtrees the signature cannot distinguish keep their
+      // original relative order.
+      std::stable_sort(sorted_kids[i].begin(), sorted_kids[i].end(),
+                       [&](int a, int b) { return next[a] < next[b]; });
+      std::string s;
+      AppendHeader(q, static_cast<int>(i), &s);
+      if (profile != nullptr && !(*profile)[i].empty()) {
+        s.push_back('<');
+        s += (*profile)[i];
+        s.push_back('>');
+      }
+      s.push_back('(');
+      for (int c : sorted_kids[i]) s += next[c];
+      s.push_back(')');
+      next[i] = std::move(s);
+    }
+    sig = std::move(next);
+  };
+  sweep(nullptr);
+
+  // Refinement sweep: structure alone cannot order identical twin
+  // subtrees whose roles differ only through order constraints (e.g.
+  // title[X/following::p][p/preceding::Y] has two structurally equal p
+  // descendants). Fold each node's constraint participation — kind,
+  // side, and the other endpoint's structural signature — into the sort
+  // key so isomorphic spellings agree on which twin comes first. (Ties
+  // surviving this round are constraint-symmetric, where either order
+  // yields the same serialized key.)
+  if (!q.orders.empty()) {
+    std::vector<std::vector<std::string>> entries(n);
+    for (const OrderConstraint& c : q.orders) {
+      const char kind = c.kind == OrderKind::kSibling ? 's' : 'd';
+      entries[c.before].push_back(std::string(1, kind) + 'B' + sig[c.after]);
+      entries[c.after].push_back(std::string(1, kind) + 'A' + sig[c.before]);
+    }
+    std::vector<std::string> profile(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::sort(entries[i].begin(), entries[i].end());
+      for (const std::string& e : entries[i]) {
+        profile[i].push_back('|');
+        profile[i] += e;
+      }
+    }
+    sweep(&profile);
   }
 
   // Rebuild in preorder of the sorted tree.

@@ -10,9 +10,18 @@
 namespace xee::xpath {
 
 /// Removes whitespace outside double-quoted value strings, so
-/// `" //a / b "` keys the same as `"//a/b"`. The grammar of ParseXPath
-/// is whitespace-free; callers strip before parsing.
+/// `" //a / b "` keys the same as `"//a/b"`. Understands the backslash
+/// escapes of value literals, so an escaped quote does not end the
+/// quoted region. The grammar of ParseXPath is whitespace-free outside
+/// literals; callers strip before parsing.
 std::string StripWhitespace(std::string_view xpath);
+
+/// Escapes a value-predicate literal for embedding between double
+/// quotes: '\' becomes "\\" and '"' becomes "\"". This is the inverse
+/// of the unescaping done by ParseXPath's value lexer, and it makes
+/// SerializeKey injective — without it, content could shift between two
+/// adjacent quoted literals and distinct queries would share a key.
+std::string EscapeValueFilter(std::string_view value);
 
 /// Rewrites `q` into a canonical form preserving its semantics:
 /// the children of every node are sorted by a structural subtree

@@ -73,14 +73,21 @@ class Parser {
       *out = "*";
       return Status::Ok();
     }
+    // Element names follow the XML convention: '-', '.' and digits may
+    // continue a name but never start one.
+    const char first = Peek();
+    if (!std::isalpha(static_cast<unsigned char>(first)) && first != '_') {
+      if (std::isdigit(static_cast<unsigned char>(first)) || first == '-' ||
+          first == '.') {
+        return Error("element names cannot start with '-', '.' or a digit");
+      }
+      return Error("expected an element name");
+    }
     size_t start = pos_;
     while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
                         Peek() == '_' || Peek() == '-' || Peek() == '.')) {
-      // '-' only continues a name when not starting it; names here are
-      // element tags, which never start with '-'.
       ++pos_;
     }
-    if (pos_ == start) return Error("expected an element name");
     *out = std::string(in_.substr(start, pos_ - start));
     return Status::Ok();
   }
@@ -118,8 +125,19 @@ class Parser {
       step_axis = StepAxis::kPreceding;
     } else if (ConsumeSeq("descendant::")) {
       axis = StructAxis::kDescendant;
+      // On the very first step 'descendant::' binds against the virtual
+      // document root: '/descendant::a' selects every a, i.e. '//a'.
+      if (*context < 0) query_.root_mode = RootMode::kAnywhere;
     } else if (ConsumeSeq("child::")) {
       axis = StructAxis::kChild;
+    }
+    if (*context < 0 && step_axis == StepAxis::kChildDefault) {
+      // The first node's axis field is semantically dead (root_mode
+      // carries the document binding), but it participates in the
+      // serialized key; pin it to the root_mode default so '//child::a'
+      // and '//a' produce identical queries.
+      axis = query_.root_mode == RootMode::kAnywhere ? StructAxis::kDescendant
+                                                     : StructAxis::kChild;
     }
 
     std::string name;
@@ -166,15 +184,30 @@ class Parser {
 
     // Predicates.
     while (Consume('[')) {
-      // Value predicate [.="..."].
+      // Value predicate [.="..."]. The literal supports backslash
+      // escapes for '"' and the backslash itself; a bare '"' always
+      // terminates it, so an embedded quote that is not escaped fails at
+      // the ']' check below instead of resynchronizing on a later quote.
       if (ConsumeSeq(".=\"")) {
         std::string value;
         while (!AtEnd() && Peek() != '"') {
-          value += Peek();
+          char ch = Peek();
+          if (ch == '\\') {
+            ++pos_;
+            if (AtEnd()) return Error("unterminated value predicate");
+            const char esc = Peek();
+            if (esc != '"' && esc != '\\') {
+              return Error(
+                  "unsupported escape in value predicate (use \\\" or \\\\)");
+            }
+            ch = esc;
+          }
+          value += ch;
           ++pos_;
         }
-        if (!Consume('"') || !Consume(']')) {
-          return Error("unterminated value predicate");
+        if (!Consume('"')) return Error("unterminated value predicate");
+        if (!Consume(']')) {
+          return Error("expected ']' after value predicate");
         }
         if (query_.nodes[node].value_filter.has_value()) {
           return Error("multiple value predicates on one step");

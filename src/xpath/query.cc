@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "xpath/canonical.h"
+
 namespace xee::xpath {
 
 int Query::AddNode(std::string tag, StructAxis axis, int parent) {
@@ -148,7 +150,7 @@ std::string Query::ToString() const {
       out += nodes[cur].tag;
       if (cur == target) out += "{t}";
       if (nodes[cur].value_filter.has_value()) {
-        out += "[.=\"" + *nodes[cur].value_filter + "\"]";
+        out += "[.=\"" + EscapeValueFilter(*nodes[cur].value_filter) + "\"]";
       }
       if (outermost) default_result = cur;
 

@@ -139,6 +139,32 @@ Query RandomTree(Rng* shape_rng, uint64_t perm_seed) {
   return q;
 }
 
+TEST(CanonicalTest, ValueEscapingKeepsKeysInjective) {
+  // Without escaping, the quote inside the first value forges a second
+  // step header and these two distinct queries collide on one key.
+  const std::string a = KeyOf("/a[.=\"x\\\"(/b=\\\"y\"]/b[.=\"z\"]");
+  const std::string b = KeyOf("/a[.=\"x\"]/b[.=\"y\\\"(/b=\\\"z\"]");
+  EXPECT_NE(a, b);
+}
+
+TEST(CanonicalTest, ConstraintRolesBreakTwinSubtreeTies) {
+  // Two structurally identical 'c' twins under 'b', distinguishable only
+  // through which order constraint each participates in. The two
+  // spellings enumerate the twins in opposite creation order; the
+  // constraint-aware tie-break must still assign them the same canonical
+  // slots (found by the query fuzzer).
+  EXPECT_EQ(
+      KeyOf("/r//b[/y{t}/preceding-sibling::v/preceding::c][/z/following::c]"),
+      KeyOf("/r//b[/z/following::c]/y{t}/preceding-sibling::v/preceding::c"));
+  // Fully symmetric twins (same constraint roles) keep sharing a key.
+  EXPECT_EQ(KeyOf("//a[b][b]"), KeyOf("//a{t}[b][b]"));
+}
+
+TEST(CanonicalTest, FirstStepAxisSpellingsShareAKey) {
+  EXPECT_EQ(KeyOf("/descendant::a/b"), KeyOf("//a/b"));
+  EXPECT_EQ(KeyOf("//child::a"), KeyOf("//a"));
+}
+
 TEST(CanonicalTest, PropertyPermutedChildrenShareAKeyDistinctShapesDoNot) {
   // Semantically identical trees built with permuted child insertion
   // orders must collide; structurally distinct trees must not (canonical

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/mutate.h"
+#include "common/rng.h"
+#include "fuzz/fuzz.h"
+#include "xpath/parser.h"
+
+#ifndef XEE_CORPUS_DIR
+#error "XEE_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace xee {
+namespace {
+
+using fuzz::CorpusEntry;
+using fuzz::FuzzOptions;
+using fuzz::Harness;
+using fuzz::HexDecode;
+using fuzz::HexEncode;
+using fuzz::ParseCorpusEntry;
+using fuzz::Report;
+
+// --- Hex codec -------------------------------------------------------------
+
+TEST(HexCodec, RoundTripsArbitraryBytes) {
+  std::string bytes;
+  for (int i = 0; i < 256; ++i) bytes.push_back(static_cast<char>(i));
+  auto decoded = HexDecode(HexEncode(bytes));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), bytes);
+}
+
+TEST(HexCodec, DecodeSkipsWhitespaceAndRejectsGarbage) {
+  auto ok = HexDecode("0a 0b\n0c\t0d");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), std::string("\x0a\x0b\x0c\x0d", 4));
+  EXPECT_FALSE(HexDecode("0g").ok());   // bad digit
+  EXPECT_FALSE(HexDecode("abc").ok());  // odd digit count
+}
+
+// --- Corpus entry parsing --------------------------------------------------
+
+TEST(CorpusFormat, ParsesHeaderAndPayload) {
+  auto e = ParseCorpusEntry("t.corpus",
+                            "# a comment\n"
+                            "kind: query\n"
+                            "expect: reject\n"
+                            "---\n"
+                            "/-a\n");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(e.value().kind, CorpusEntry::Kind::kQuery);
+  EXPECT_EQ(e.value().expect, CorpusEntry::Expect::kReject);
+  EXPECT_EQ(e.value().data, "/-a");  // one trailing newline stripped
+}
+
+TEST(CorpusFormat, SynopsisPayloadIsHexDecoded) {
+  auto e = ParseCorpusEntry("t.corpus", "kind: synopsis\n---\n31 45\n45 58\n");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().data, "1EEX");
+  EXPECT_EQ(e.value().expect, CorpusEntry::Expect::kAny);
+}
+
+TEST(CorpusFormat, RejectsMalformedHeaders) {
+  EXPECT_FALSE(ParseCorpusEntry("t", "kind: query\n/a\n").ok());  // no ---
+  EXPECT_FALSE(ParseCorpusEntry("t", "---\n/a\n").ok());          // no kind
+  EXPECT_FALSE(ParseCorpusEntry("t", "kind: bogus\n---\n/a\n").ok());
+  EXPECT_FALSE(ParseCorpusEntry("t", "kind: query\nexpect: maybe\n---\n").ok());
+}
+
+// --- Generator sanity ------------------------------------------------------
+
+TEST(QueryGenerator, IsDeterministicAndMostlyParseable) {
+  const std::vector<std::string> tags = {"A", "B", "C"};
+  Rng a(42), b(42);
+  size_t parsed = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::string qa = fuzz::GenerateQueryString(a, tags);
+    std::string qb = fuzz::GenerateQueryString(b, tags);
+    EXPECT_EQ(qa, qb);
+    if (xpath::ParseXPath(qa).ok()) ++parsed;
+  }
+  // The grammar aims for valid syntax; only order-axis placement rules
+  // and similar semantic checks may reject.
+  EXPECT_GT(parsed, 250u);
+}
+
+TEST(ByteMutator, IsDeterministicAndEdits) {
+  Rng a(7), b(7);
+  std::string sa = "//A/B[/C]";
+  std::string sb = sa;
+  Mutate(a, &sa, 3);
+  Mutate(b, &sb, 3);
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(sa, "//A/B[/C]");
+}
+
+// --- Harness ---------------------------------------------------------------
+
+TEST(FuzzHarness, CorpusReplayClean) {
+  Harness h;
+  auto rep = h.ReplayCorpusDir(XEE_CORPUS_DIR);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_GE(rep.value().iterations, 15u);
+  EXPECT_TRUE(rep.value().ok()) << rep.value().Summary();
+}
+
+TEST(FuzzHarness, MissingCorpusDirIsNotFound) {
+  Harness h;
+  EXPECT_FALSE(h.ReplayCorpusDir("/nonexistent/corpus/dir").ok());
+}
+
+TEST(FuzzHarness, ShortRunFindsNothingAndIsDeterministic) {
+  Harness h;
+  FuzzOptions opt;
+  opt.seed = 3;
+  opt.iterations = 400;
+  Report r1 = h.RunAll(opt);
+  EXPECT_TRUE(r1.ok()) << r1.Summary();
+  EXPECT_EQ(r1.iterations, 400u);
+
+  // Same seed: bit-identical report. Different seed: different work.
+  Report r2 = h.RunAll(opt);
+  EXPECT_EQ(r1.Summary(), r2.Summary());
+  opt.seed = 4;
+  Report r3 = h.RunAll(opt);
+  EXPECT_TRUE(r3.ok()) << r3.Summary();
+  EXPECT_NE(r1.Summary(), r3.Summary());
+}
+
+TEST(FuzzHarness, ReplayChecksExpectations) {
+  Harness h;
+  CorpusEntry e;
+  e.name = "inline";
+  e.kind = CorpusEntry::Kind::kQuery;
+  e.expect = CorpusEntry::Expect::kReject;
+  e.data = "//A";  // parses fine, so the reject expectation must fire
+  Report rep = h.ReplayEntry(e);
+  ASSERT_EQ(rep.findings.size(), 1u);
+  EXPECT_EQ(rep.findings[0].oracle, "expectation");
+
+  e.expect = CorpusEntry::Expect::kAccept;
+  EXPECT_TRUE(h.ReplayEntry(e).ok());
+}
+
+}  // namespace
+}  // namespace xee

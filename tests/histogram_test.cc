@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/rng.h"
 #include "histogram/o_histogram.h"
 #include "histogram/p_histogram.h"
 
@@ -233,6 +234,67 @@ TEST(OHistogram, UnknownPidOrTagIsZero) {
   OHistogram h = OHistogram::Build(g.table, g.ranks, g.cols, 0);
   EXPECT_DOUBLE_EQ(h.Get(OrderRegion::kBefore, 99, 10), 0);
   EXPECT_DOUBLE_EQ(h.Get(OrderRegion::kBefore, 0, 999), 0);
+}
+
+TEST(OHistogram, IndexedGetMatchesFirstCoverScan) {
+  // Differential check of the per-row interval index in Get against the
+  // reference semantics: scan buckets() in order, return the first cover.
+  Rng rng(2024);
+  for (int round = 0; round < 60; ++round) {
+    const uint32_t tags = 1 + rng.Index(5);
+    std::vector<uint32_t> ranks(tags);
+    for (uint32_t i = 0; i < tags; ++i) ranks[i] = i;
+    const uint32_t npids = 1 + rng.Index(6);
+    std::vector<encoding::PidRef> cols;
+    for (uint32_t i = 0; i < npids; ++i) cols.push_back(100 + i);
+    stats::PathOrderTable table;
+    const size_t entries = rng.Index(14);
+    for (size_t e = 0; e < entries; ++e) {
+      table.Add(rng.Index(2) != 0 ? OrderRegion::kAfter : OrderRegion::kBefore,
+                static_cast<xml::TagId>(rng.Index(tags)),
+                static_cast<encoding::PidRef>(100 + rng.Index(npids)),
+                1 + rng.Index(9));
+    }
+    const double variance = static_cast<double>(rng.Index(4)) * 0.7;
+    OHistogram h = OHistogram::Build(table, ranks, cols, variance);
+    for (OrderRegion region : {OrderRegion::kBefore, OrderRegion::kAfter}) {
+      for (uint32_t tag = 0; tag < tags; ++tag) {
+        for (uint32_t c = 0; c < npids; ++c) {
+          const uint32_t row =
+              (region == OrderRegion::kAfter ? tags : 0) + ranks[tag];
+          double naive = 0;
+          for (const OHistogram::Bucket& b : h.buckets()) {
+            if (b.x1 <= c && c <= b.x2 && b.y1 <= row && row <= b.y2) {
+              naive = b.avg_freq;
+              break;
+            }
+          }
+          EXPECT_DOUBLE_EQ(h.Get(region, tag, cols[c]), naive)
+              << "round " << round << " region "
+              << (region == OrderRegion::kAfter) << " tag " << tag << " col "
+              << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(OHistogram, OverlappingDeserializedBucketsKeepFirstMatch) {
+  // Build never emits overlapping boxes, but FromBuckets accepts
+  // adversarial lists; the index must preserve the historical
+  // first-match-wins scan semantics there too.
+  std::vector<uint32_t> ranks = {0, 1, 2};
+  std::vector<encoding::PidRef> cols = {10, 11, 12};
+  std::vector<OHistogram::Bucket> bs = {
+      {0, 0, 1, 1, 5.0},
+      {1, 0, 2, 2, 9.0},  // overlaps the first on row 0-1 x col 1
+  };
+  OHistogram h = OHistogram::FromBuckets(bs, ranks, cols);
+  EXPECT_DOUBLE_EQ(h.Get(OrderRegion::kBefore, 0, 11), 5.0);
+  EXPECT_DOUBLE_EQ(h.Get(OrderRegion::kBefore, 0, 12), 9.0);
+  EXPECT_DOUBLE_EQ(h.Get(OrderRegion::kBefore, 2, 11), 9.0);
+  EXPECT_DOUBLE_EQ(h.Get(OrderRegion::kBefore, 2, 10), 0.0);
+  EXPECT_DOUBLE_EQ(h.Get(OrderRegion::kAfter, 2, 11), 0.0);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include "datagen/datagen.h"
 #include "estimator/estimator.h"
 #include "paper_fixture.h"
+#include "xml/parser.h"
 #include "xpath/parser.h"
 
 namespace xee {
@@ -150,6 +151,167 @@ TEST(SynopsisSerialize, RejectsCorruptedBlobs) {
   }
   // Trailing garbage.
   EXPECT_FALSE(Synopsis::Deserialize(blob + "zz").ok());
+}
+
+// Decoded image of a no-order, no-values blob, plus a re-emitter; used
+// to build structurally corrupted (rather than byte-flipped) blobs.
+struct BlobImage {
+  std::vector<std::string> tags;
+  uint32_t root_tag = 0, root_pid = 0;
+  std::vector<std::vector<uint32_t>> paths;
+  std::vector<std::vector<uint32_t>> pids;  // set-bit lists
+  struct Bucket {
+    double avg;
+    std::vector<uint32_t> pids;
+  };
+  std::vector<std::vector<Bucket>> histos;  // per tag
+
+  static BlobImage Decode(const std::string& blob) {
+    BinaryReader r(blob);
+    BlobImage im;
+    uint32_t u32 = 0;
+    r.GetU32(&u32);  // magic
+    r.GetU32(&u32);  // version
+    uint32_t tc = 0;
+    r.GetU32(&tc);
+    for (uint32_t i = 0; i < tc; ++i) {
+      std::string s;
+      r.GetString(&s);
+      im.tags.push_back(s);
+    }
+    r.GetU32(&im.root_tag);
+    r.GetU32(&im.root_pid);
+    uint32_t pc = 0;
+    r.GetU32(&pc);
+    for (uint32_t i = 0; i < pc; ++i) {
+      uint32_t len = 0;
+      r.GetU32(&len);
+      std::vector<uint32_t> p(len);
+      for (uint32_t& t : p) r.GetU32(&t);
+      im.paths.push_back(std::move(p));
+    }
+    uint32_t dc = 0;
+    r.GetU32(&dc);
+    for (uint32_t i = 0; i < dc; ++i) {
+      uint32_t bits = 0;
+      r.GetU32(&bits);
+      std::vector<uint32_t> b(bits);
+      for (uint32_t& x : b) r.GetU32(&x);
+      im.pids.push_back(std::move(b));
+    }
+    for (uint32_t t = 0; t < tc; ++t) {
+      uint32_t bc = 0;
+      r.GetU32(&bc);
+      std::vector<Bucket> bs(bc);
+      for (Bucket& b : bs) {
+        r.GetDouble(&b.avg);
+        uint32_t np = 0;
+        r.GetU32(&np);
+        b.pids.resize(np);
+        for (uint32_t& x : b.pids) r.GetU32(&x);
+      }
+      im.histos.push_back(std::move(bs));
+    }
+    return im;
+  }
+
+  std::string Emit() const {
+    BinaryWriter w;
+    w.PutU32(0x58454531);  // "XEE1"
+    w.PutU32(1);
+    w.PutU32(static_cast<uint32_t>(tags.size()));
+    for (const std::string& t : tags) w.PutString(t);
+    w.PutU32(root_tag);
+    w.PutU32(root_pid);
+    w.PutU32(static_cast<uint32_t>(paths.size()));
+    for (const auto& p : paths) {
+      w.PutU32(static_cast<uint32_t>(p.size()));
+      for (uint32_t t : p) w.PutU32(t);
+    }
+    w.PutU32(static_cast<uint32_t>(pids.size()));
+    for (const auto& bits : pids) {
+      w.PutU32(static_cast<uint32_t>(bits.size()));
+      for (uint32_t b : bits) w.PutU32(b);
+    }
+    for (const auto& bs : histos) {
+      w.PutU32(static_cast<uint32_t>(bs.size()));
+      for (const Bucket& b : bs) {
+        w.PutDouble(b.avg);
+        w.PutU32(static_cast<uint32_t>(b.pids.size()));
+        for (uint32_t p : b.pids) w.PutU32(p);
+      }
+    }
+    w.PutU8(0);  // has_order
+    w.PutU8(0);  // has_values
+    return std::move(w).data();
+  }
+};
+
+TEST(SynopsisSerialize, StructuralCorruptionMatrix) {
+  xml::Document doc = xml::ParseXml("<r><c><d/></c><c/></r>").value();
+  SynopsisOptions opt;
+  opt.build_order = false;
+  opt.build_values = false;
+  const std::string blob = Synopsis::Build(doc, opt).Serialize();
+  const BlobImage image = BlobImage::Decode(blob);
+  ASSERT_EQ(image.Emit(), blob);  // the image is faithful
+
+  auto expect_reject = [](const std::string& bad, const char* what) {
+    auto r = Synopsis::Deserialize(bad);
+    ASSERT_FALSE(r.ok()) << what;
+    EXPECT_NE(r.status().ToString().find(what), std::string::npos)
+        << r.status().ToString();
+  };
+
+  // A pid listed in two p-histogram buckets of one tag would be
+  // double-counted in the column order and shadowed by the first bucket
+  // in Frequency().
+  {
+    BlobImage bad = image;
+    ASSERT_FALSE(bad.histos.back().empty());
+    bad.histos.back().push_back(bad.histos.back().back());
+    expect_reject(bad.Emit(), "pid in more than one bucket");
+  }
+  // Serialize emits set-bit lists in increasing order; any other
+  // spelling breaks Serialize(Deserialize(b)) == b.
+  {
+    BlobImage bad = image;
+    auto& bits = bad.pids.back();
+    ASSERT_GE(bits.size(), 2u);
+    std::swap(bits[0], bits[1]);
+    expect_reject(bad.Emit(), "pid bits out of order");
+  }
+  // Two tag ids sharing one name would make FindTag ambiguous.
+  {
+    BlobImage bad = image;
+    ASSERT_GE(bad.tags.size(), 3u);
+    bad.tags[2] = bad.tags[1];
+    expect_reject(bad.Emit(), "duplicate tag name");
+  }
+  // Section flags must be exactly 0 or 1 to round-trip.
+  {
+    std::string bad = blob;
+    bad[bad.size() - 2] = 2;  // has_order
+    expect_reject(bad, "order flag");
+    bad = blob;
+    bad[bad.size() - 1] = 2;  // has_values
+    expect_reject(bad, "values flag");
+  }
+}
+
+TEST(SynopsisSerialize, AcceptedBlobsReserializeByteIdentically) {
+  // Deserialize accepts only the canonical encoding, so re-serialization
+  // must reproduce the input bytes exactly — the invariant the fuzz
+  // harness checks on every surviving synopsis mutant.
+  xml::Document paper = xee::testing::MakePaperDocument();
+  for (const SynopsisOptions& opt :
+       {SynopsisOptions{}, SynopsisOptions{.p_variance = 2, .o_variance = 2},
+        SynopsisOptions{.build_order = false, .build_values = false}}) {
+    const std::string blob = Synopsis::Build(paper, opt).Serialize();
+    auto restored = Synopsis::Deserialize(blob);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value().Serialize(), blob);
+  }
 }
 
 TEST(SynopsisSerialize, RandomMutationsNeverCrash) {

@@ -208,6 +208,50 @@ TEST(Query, SubQueryDropsDanglingConstraints) {
   EXPECT_TRUE(sub.orders.empty());
 }
 
+TEST(Parser, RejectsXmlInvalidNameStarts) {
+  // '-', '.' and digits may continue a name but never start one.
+  EXPECT_FALSE(ParseXPath("/-a").ok());
+  EXPECT_FALSE(ParseXPath("/.foo").ok());
+  EXPECT_FALSE(ParseXPath("/1a").ok());
+  EXPECT_FALSE(ParseXPath("//x/-y").ok());
+  EXPECT_FALSE(ParseXPath("//x[.z]").ok());
+  // ...but they are fine in the middle or at the end.
+  Query q = MustParse("/a-b/c.d/e9");
+  EXPECT_EQ(q.nodes[0].tag, "a-b");
+  EXPECT_EQ(q.nodes[1].tag, "c.d");
+  EXPECT_EQ(q.nodes[2].tag, "e9");
+}
+
+TEST(Parser, ValuePredicateEscapes) {
+  Query q = MustParse("/A[.=\"x\\\"y\"]");
+  ASSERT_TRUE(q.nodes[0].value_filter.has_value());
+  EXPECT_EQ(*q.nodes[0].value_filter, "x\"y");
+  q = MustParse("/A[.=\"a\\\\b\"]");
+  EXPECT_EQ(*q.nodes[0].value_filter, "a\\b");
+  // A bare quote terminates the literal; trailing junk is an error, not
+  // a resynchronization point.
+  EXPECT_FALSE(ParseXPath("/A[.=\"x\"y\"]").ok());
+  EXPECT_FALSE(ParseXPath("/A[.=\"x\\z\"]").ok());  // unknown escape
+  EXPECT_FALSE(ParseXPath("/A[.=\"x]").ok());       // unterminated
+}
+
+TEST(Parser, FirstStepExplicitAxisNormalizes) {
+  // '/descendant::a' binds against the virtual document root, i.e. '//a';
+  // the spelling must parse to the identical query (same root mode, same
+  // dead node-0 axis), or downstream serialized keys diverge.
+  Query a = MustParse("/descendant::A/B");
+  Query b = MustParse("//A/B");
+  EXPECT_EQ(a.root_mode, b.root_mode);
+  EXPECT_EQ(a.nodes[0].axis, b.nodes[0].axis);
+  EXPECT_EQ(a.ToString(), b.ToString());
+
+  Query c = MustParse("//child::A");
+  Query d = MustParse("//A");
+  EXPECT_EQ(c.root_mode, d.root_mode);
+  EXPECT_EQ(c.nodes[0].axis, d.nodes[0].axis);
+  EXPECT_EQ(c.ToString(), d.ToString());
+}
+
 TEST(Query, ValidateCatchesBadConstraints) {
   Query q = MustParse("//A/B/C");
   OrderConstraint c;
