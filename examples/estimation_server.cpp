@@ -12,9 +12,13 @@
 //   .clear                      drop the compiled-plan cache
 //   .quit                       exit (EOF works too)
 //
+// Malformed request lines — unknown dot-commands, a missing xpath, bare
+// garbage — are answered with a one-line error; the server never exits
+// on bad input.
+//
 // Example session:
 //
-//   $ ./build/examples/estimation_server --scale=0.5
+//   $ ./build/examples/estimation_server --scale=0.5 --deadline-ms=50
 //   > xmark //people//person/name
 //   12014.0  (exact-miss, 312.4us)
 //   > xmark //people//person/name
@@ -22,6 +26,7 @@
 //
 // Build & run:  cmake --build build && ./build/examples/estimation_server
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +43,8 @@ struct Flags {
   double scale = 0.25;
   size_t threads = 0;        // 0 = hardware concurrency
   size_t cache_mb = 8;
+  size_t max_inflight = 0;   // 0 = unbounded
+  uint64_t deadline_ms = 0;  // per-request deadline; 0 = none
   std::string datasets = "xmark,dblp,ssplays";
 };
 
@@ -55,16 +62,29 @@ Flags ParseFlags(int argc, char** argv) {
       f.threads = static_cast<size_t>(std::atoi(v));
     } else if (const char* v = value("--cache-mb=")) {
       f.cache_mb = static_cast<size_t>(std::atoi(v));
+    } else if (const char* v = value("--max-inflight=")) {
+      f.max_inflight = static_cast<size_t>(std::atoi(v));
+    } else if (const char* v = value("--deadline-ms=")) {
+      f.deadline_ms = static_cast<uint64_t>(std::atoll(v));
     } else if (const char* v = value("--datasets=")) {
       f.datasets = v;
     } else {
       std::fprintf(stderr,
                    "usage: estimation_server [--scale=f] [--threads=n] "
-                   "[--cache-mb=m] [--datasets=a,b,c]\n");
+                   "[--cache-mb=m] [--max-inflight=n] [--deadline-ms=t] "
+                   "[--datasets=a,b,c]\n");
       std::exit(2);
     }
   }
   return f;
+}
+
+// Trims ASCII whitespace (including the \r of CRLF input) from both ends.
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
 }
 
 }  // namespace
@@ -75,6 +95,7 @@ int main(int argc, char** argv) {
   xee::service::EstimationService service({
       .plan_cache_bytes = flags.cache_mb << 20,
       .threads = flags.threads,
+      .max_inflight = flags.max_inflight,
   });
 
   for (const std::string& name : xee::SplitString(flags.datasets, ',')) {
@@ -98,36 +119,48 @@ int main(int argc, char** argv) {
               "\"<synopsis> <xpath>\", .names, .stats, .clear, .quit\n",
               service.threads());
 
-  std::string line;
-  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+  std::string raw;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, raw)) {
+    const std::string line = Trim(raw);
     if (line.empty()) continue;
-    if (line == ".quit") break;
-    if (line == ".names") {
-      for (const std::string& n : service.registry().Names()) {
-        std::printf("%s\n", n.c_str());
+    if (line[0] == '.') {
+      if (line == ".quit") break;
+      if (line == ".names") {
+        for (const std::string& n : service.registry().Names()) {
+          std::printf("%s\n", n.c_str());
+        }
+        continue;
       }
-      continue;
-    }
-    if (line == ".stats") {
-      std::fputs(service.Stats().ToString().c_str(), stdout);
-      continue;
-    }
-    if (line == ".clear") {
-      service.ClearPlanCache();
-      std::printf("plan cache cleared\n");
+      if (line == ".stats") {
+        std::fputs(service.Stats().ToString().c_str(), stdout);
+        continue;
+      }
+      if (line == ".clear") {
+        service.ClearPlanCache();
+        std::printf("plan cache cleared\n");
+        continue;
+      }
+      std::printf("error: unknown command \"%s\" (try .names, .stats, "
+                  ".clear, .quit)\n",
+                  line.c_str());
       continue;
     }
     const size_t space = line.find(' ');
-    if (space == std::string::npos) {
+    if (space == std::string::npos || Trim(line.substr(space + 1)).empty()) {
       std::printf("error: expected \"<synopsis> <xpath>\"\n");
       continue;
     }
-    const std::string name = line.substr(0, space);
-    const std::string xpath = line.substr(space + 1);
+
+    xee::service::QueryRequest request;
+    request.synopsis = line.substr(0, space);
+    request.xpath = line.substr(space + 1);
+    if (flags.deadline_ms > 0) {
+      request.deadline = xee::Deadline::AfterMs(flags.deadline_ms);
+    }
 
     const auto before = service.Stats();
     const auto t0 = std::chrono::steady_clock::now();
-    xee::Result<double> r = service.Estimate(name, xpath);
+    xee::service::EstimateOutcome r = service.Estimate(request);
     const double us =
         1e-3 * static_cast<double>(
                    std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -140,7 +173,11 @@ int main(int argc, char** argv) {
                               ? "canonical-hit"
                               : "miss";
     if (r.ok()) {
-      std::printf("%.1f  (%s, %.1fus)\n", r.value(), outcome, us);
+      std::printf("%.1f  (%s%s, %.1fus)\n", r.value(), outcome,
+                  r.degraded ? ", degraded" : "", us);
+    } else if (r.shed) {
+      std::printf("overloaded: retry in %ums (see common/backoff.h)\n",
+                  r.retry_after_ms);
     } else {
       std::printf("error: %s\n", r.status().ToString().c_str());
     }

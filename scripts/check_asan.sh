@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the robustness-sensitive targets under AddressSanitizer +
+# UndefinedBehaviorSanitizer and runs the serving tests plus the
+# fixed-seed fuzz and chaos smokes, so memory errors on the degraded /
+# fault-injected paths are caught mechanically. Part of the tier-2
+# checks; run from the repository root:
+#
+#   scripts/check_asan.sh [extra ctest -R regex]
+#
+# Uses a dedicated build tree (build-asan) so the regular build stays
+# sanitizer-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-ServiceTest|SynopsisSalvage|FuzzHarness|fuzz_smoke|chaos_smoke}"
+
+cmake -B build-asan -S . -DXEE_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j"$(nproc)" \
+  --target service_test serialize_test fuzz_test fuzz_driver
+(cd build-asan && ctest -R "$FILTER" --output-on-failure)
+echo "ASan/UBSan checks passed."

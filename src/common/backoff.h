@@ -1,0 +1,77 @@
+#ifndef XEE_COMMON_BACKOFF_H_
+#define XEE_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace xee {
+
+/// Shape of a jittered exponential backoff schedule.
+struct BackoffPolicy {
+  uint64_t initial_ms = 1;    ///< first delay (before jitter)
+  uint64_t max_ms = 1000;     ///< ceiling for the un-jittered delay
+  double multiplier = 2.0;    ///< growth per attempt (>= 1)
+  /// Jitter fraction in [0,1]: each delay is drawn uniformly from
+  /// [d*(1-jitter), d]. Jitter decorrelates clients that were shed by
+  /// the same overload spike, so they do not retry in lockstep.
+  double jitter = 0.5;
+};
+
+/// Client-side retry pacing for requests the service shed with
+/// kOverloaded (see EstimateOutcome::retry_after_ms). Deterministic:
+/// equal (policy, seed) produce equal delay sequences, so retry tests
+/// and the chaos fuzzer replay exactly.
+///
+/// Usage:
+///
+///   Backoff backoff({}, /*seed=*/42);
+///   while (true) {
+///     auto out = service.Estimate(req);
+///     if (!out.shed) break;
+///     SleepMs(backoff.NextDelayMs(out.retry_after_ms));
+///   }
+///
+/// Not thread-safe; one Backoff per retry loop.
+class Backoff {
+ public:
+  Backoff(const BackoffPolicy& policy, uint64_t seed)
+      : policy_(policy), rng_(seed) {
+    policy_.multiplier = std::max(1.0, policy_.multiplier);
+    policy_.jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+    policy_.max_ms = std::max(policy_.max_ms, policy_.initial_ms);
+    Reset();
+  }
+
+  /// The next delay: jittered exponential, never below the server's
+  /// retry-after hint (pass 0 when there is none).
+  uint64_t NextDelayMs(uint64_t server_hint_ms = 0) {
+    const double base = next_ms_;
+    next_ms_ = std::min(static_cast<double>(policy_.max_ms),
+                        next_ms_ * policy_.multiplier);
+    ++attempts_;
+    const double lo = base * (1.0 - policy_.jitter);
+    const double jittered = lo + (base - lo) * rng_.UniformDouble();
+    const auto delay = static_cast<uint64_t>(jittered);
+    return std::max(delay, server_hint_ms);
+  }
+
+  /// Starts the schedule over after a success.
+  void Reset() {
+    next_ms_ = static_cast<double>(policy_.initial_ms);
+    attempts_ = 0;
+  }
+
+  size_t attempts() const { return attempts_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  double next_ms_ = 1;
+  size_t attempts_ = 0;
+};
+
+}  // namespace xee
+
+#endif  // XEE_COMMON_BACKOFF_H_

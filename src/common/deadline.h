@@ -1,0 +1,81 @@
+#ifndef XEE_COMMON_DEADLINE_H_
+#define XEE_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "common/fault.h"
+
+namespace xee {
+
+/// A point in steady time after which a request's answer is worthless
+/// to its caller — the estimator is a selectivity oracle inside an
+/// optimizer and must answer fast or not at all. Deadlines are checked
+/// cooperatively (service admission, estimator step/join boundaries);
+/// work past the deadline is abandoned with kDeadlineExceeded, never
+/// blocked on.
+///
+/// Copyable value type; the default constructed deadline is infinite.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Fault site consulted by finite deadlines (see common/fault.h):
+  /// arming it forces HasExpired() to report expiry, so chaos tests
+  /// drive the deadline machinery without racing the real clock.
+  /// Infinite deadlines ignore it — a caller who never asked for a
+  /// deadline cannot be expired by fault injection.
+  static constexpr std::string_view kFaultSite = "deadline.expire";
+
+  Deadline() : tp_(Clock::time_point::max()) {}
+
+  /// No deadline: never expires.
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires once `d` has elapsed from now (saturating; a huge `d` is
+  /// effectively infinite but still finite for fault injection).
+  static Deadline After(Clock::duration d) {
+    const Clock::time_point now = Clock::now();
+    if (d >= Clock::time_point::max() - now) {
+      return Deadline(Clock::time_point::max() - Clock::duration(1));
+    }
+    return Deadline(now + d);
+  }
+  static Deadline AfterMs(uint64_t ms) {
+    return After(std::chrono::milliseconds(ms));
+  }
+  static Deadline AfterMicros(uint64_t us) {
+    return After(std::chrono::microseconds(us));
+  }
+
+  /// A deadline that has already passed — for tests and for callers
+  /// probing the shed/reject paths.
+  static Deadline AlreadyExpired() { return Deadline(Clock::time_point::min()); }
+
+  bool infinite() const { return tp_ == Clock::time_point::max(); }
+
+  /// True once the deadline has passed (or the kFaultSite fault fires,
+  /// for finite deadlines).
+  bool HasExpired() const {
+    if (infinite()) return false;
+    if (FaultFires(kFaultSite)) return true;
+    return Clock::now() >= tp_;
+  }
+
+  /// Time left before expiry; zero when expired, Clock::duration::max()
+  /// when infinite. A hint only — HasExpired() is the authority.
+  Clock::duration Remaining() const {
+    if (infinite()) return Clock::duration::max();
+    const Clock::time_point now = Clock::now();
+    return now >= tp_ ? Clock::duration::zero() : tp_ - now;
+  }
+
+ private:
+  explicit Deadline(Clock::time_point tp) : tp_(tp) {}
+  Clock::time_point tp_;
+};
+
+}  // namespace xee
+
+#endif  // XEE_COMMON_DEADLINE_H_

@@ -1,0 +1,57 @@
+#include "common/fault.h"
+
+namespace xee {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, const FaultConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sites_.insert_or_assign(
+      site, Site{config, Rng(config.seed), /*hits=*/0, /*fires=*/0});
+  (void)it;
+  if (inserted) armed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sites_.erase(site) > 0) {
+    armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.fetch_sub(sites_.size(), std::memory_order_relaxed);
+  sites_.clear();
+}
+
+bool FaultInjector::Fire(std::string_view site, uint64_t* payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  ++s.hits;
+  if (s.hits <= s.config.skip) return false;
+  if (s.fires >= s.config.max_fires) return false;
+  if (!s.rng.Bernoulli(s.config.probability)) return false;
+  ++s.fires;
+  if (payload != nullptr) *payload = s.config.payload;
+  return true;
+}
+
+uint64_t FaultInjector::FireCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+uint64_t FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+}  // namespace xee

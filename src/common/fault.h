@@ -1,0 +1,117 @@
+#ifndef XEE_COMMON_FAULT_H_
+#define XEE_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace xee {
+
+/// How an armed fault site behaves. All randomness comes from a seeded
+/// Rng stream per site, so a single-threaded run replays identically
+/// from (site order, seed); concurrent chaos should arm with
+/// probability 1 so hit interleaving cannot change what fires.
+struct FaultConfig {
+  /// Chance that a hit past `skip` fires (clamped to [0,1]).
+  double probability = 1.0;
+  /// Site-specific argument delivered to the firing site: sleep
+  /// milliseconds for slow workers, corruption position/bit for
+  /// bit-rot, unused elsewhere.
+  uint64_t payload = 0;
+  /// The first `skip` hits never fire (lets a test survive early
+  /// checkpoints and fail a later one).
+  uint64_t skip = 0;
+  /// Stop firing after this many fires (the site stays armed and keeps
+  /// counting hits).
+  uint64_t max_fires = UINT64_MAX;
+  /// Seed of the site's probability stream.
+  uint64_t seed = 1;
+};
+
+/// Deterministic fault-injection registry (DESIGN.md §9). Production
+/// code marks *named sites* — "deadline.expire", "pool.slow-worker",
+/// "estimator.alloc", "registry.bitrot" — by calling FaultFires(site);
+/// tests and the chaos fuzzer arm sites to force allocation failure,
+/// deadline expiry, slow workers, and synopsis bit-rot without
+/// plumbing test hooks through every API.
+///
+/// Cost when idle: FaultFires() is a single relaxed atomic load when
+/// nothing is armed — safe to leave in release hot paths.
+///
+/// Thread-safety: all methods may be called from any thread; per-site
+/// state is mutex-guarded (armed sites are off the hot path by
+/// definition).
+class FaultInjector {
+ public:
+  /// The process-wide registry every fault site consults.
+  static FaultInjector& Global();
+
+  /// Arms (or re-arms, resetting counters) `site`.
+  void Arm(const std::string& site, const FaultConfig& config = {});
+  /// Disarms `site`; its hit/fire counters are forgotten.
+  void Disarm(const std::string& site);
+  /// Disarms every site.
+  void Reset();
+
+  /// True when at least one site is armed (the fast gate).
+  bool any_armed() const {
+    return armed_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Counts a hit at `site`; returns true when the fault fires this
+  /// hit, copying the armed payload into `payload` when non-null.
+  /// Unarmed sites never fire.
+  bool Fire(std::string_view site, uint64_t* payload = nullptr);
+
+  /// Observability for tests: fires/hits since the site was armed
+  /// (0 for unarmed sites).
+  uint64_t FireCount(const std::string& site) const;
+  uint64_t HitCount(const std::string& site) const;
+
+ private:
+  struct Site {
+    FaultConfig config;
+    Rng rng;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site, std::less<>> sites_;  // guarded by mu_
+  std::atomic<size_t> armed_{0};
+};
+
+/// The one-liner production sites use:
+///
+///   if (FaultFires("registry.bitrot", &payload)) { ...corrupt... }
+inline bool FaultFires(std::string_view site, uint64_t* payload = nullptr) {
+  FaultInjector& g = FaultInjector::Global();
+  if (!g.any_armed()) return false;
+  return g.Fire(site, payload);
+}
+
+/// RAII arming for tests: arms on construction, disarms on destruction
+/// so a failing test cannot leak an armed fault into the next one.
+class ScopedFault {
+ public:
+  ScopedFault(std::string site, const FaultConfig& config = {})
+      : site_(std::move(site)) {
+    FaultInjector::Global().Arm(site_, config);
+  }
+  ~ScopedFault() { FaultInjector::Global().Disarm(site_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace xee
+
+#endif  // XEE_COMMON_FAULT_H_

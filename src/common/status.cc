@@ -16,6 +16,12 @@ const char* StatusCodeName(StatusCode code) {
       return "unsupported";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -12,11 +12,14 @@ namespace xee {
 /// Error categories used across the library.
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,  ///< Caller passed something structurally wrong.
-  kParseError,       ///< Malformed XML or XPath input.
-  kNotFound,         ///< Lookup key absent (tag, path id, ...).
-  kUnsupported,      ///< Valid input outside the implemented fragment.
-  kInternal,         ///< Invariant violation surfaced as a status.
+  kInvalidArgument,    ///< Caller passed something structurally wrong.
+  kParseError,         ///< Malformed XML or XPath input.
+  kNotFound,           ///< Lookup key absent (tag, path id, ...).
+  kUnsupported,        ///< Valid input outside the implemented fragment.
+  kInternal,           ///< Invariant violation surfaced as a status.
+  kDeadlineExceeded,   ///< Request deadline passed before the answer.
+  kOverloaded,         ///< Shed by admission control; retry with backoff.
+  kUnavailable,        ///< Resource quarantined or temporarily unusable.
 };
 
 /// Returns a short lowercase name for `code` (e.g. "parse-error").

@@ -1,7 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <latch>
+
+#include "common/fault.h"
 
 namespace xee {
 
@@ -61,6 +64,10 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
+    }
+    uint64_t slow_ms = 0;
+    if (FaultFires(kSlowWorkerFaultSite, &slow_ms)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(slow_ms));
     }
     task();
   }

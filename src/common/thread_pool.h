@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -38,6 +39,11 @@ class ThreadPool {
 
   /// std::thread::hardware_concurrency with a fallback of 1.
   static size_t DefaultThreads();
+
+  /// Fault site (common/fault.h): when armed, a worker sleeps for
+  /// `payload` milliseconds before running each task — chaos tests use
+  /// it to simulate slow or wedged workers without real load.
+  static constexpr std::string_view kSlowWorkerFaultSite = "pool.slow-worker";
 
  private:
   void WorkerLoop();

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/fault.h"
 #include "encoding/containment.h"
 #include "stats/path_order.h"
 
@@ -38,9 +39,40 @@ void PropagateDown(const Query& q, std::vector<bool>* mask) {
   }
 }
 
+Status DeadlineError(const char* when) {
+  return Status(StatusCode::kDeadlineExceeded,
+                std::string("deadline expired ") + when);
+}
+
 }  // namespace
 
-Result<double> Estimator::Estimate(const Query& query) const {
+bool Estimator::RunCtx::CheckCoarse() {
+  if (expired) return true;
+  if (deadline.infinite()) return false;
+  expired = deadline.HasExpired();
+  return expired;
+}
+
+bool Estimator::RunCtx::CheckFine() {
+  if (expired) return true;
+  if (deadline.infinite()) return false;
+  if ((++ticks & 0xFF) != 0) return false;
+  expired = deadline.HasExpired();
+  return expired;
+}
+
+Result<double> Estimator::Estimate(const Query& query,
+                                   const EstimateLimits& limits) const {
+  RunCtx ctx{limits.deadline};
+  if (ctx.CheckCoarse()) return DeadlineError("before estimation began");
+  Result<double> r = EstimateImpl(query, &ctx);
+  // Partial values computed under an expired deadline are garbage; the
+  // latched flag wins over whatever bubbled up.
+  if (ctx.expired) return DeadlineError("during estimation");
+  return r;
+}
+
+Result<double> Estimator::EstimateImpl(const Query& query, RunCtx* ctx) const {
   Status s = query.Validate();
   if (!s.ok()) return s;
   std::vector<xml::TagId> tags;
@@ -73,20 +105,20 @@ Result<double> Estimator::Estimate(const Query& query) const {
       if (factor <= 0) return 0.0;
       Query structural = query;
       for (auto& n : structural.nodes) n.value_filter.reset();
-      Result<double> base = Estimate(structural);
+      Result<double> base = EstimateImpl(structural, ctx);
       if (!base.ok()) return base;
       return base.value() * factor;
     }
   }
 
-  if (query.orders.empty()) return EstimateNoOrder(query);
+  if (query.orders.empty()) return EstimateNoOrder(query, ctx);
   if (query.orders.size() > 1) {
     // Extension beyond the paper (which evaluates one order axis per
     // query): assume constraints filter independently and compose the
     // per-constraint ratios S_arrow(Q | c_i) / S(Q).
     Query base = query;
     base.orders.clear();
-    const double s_q = EstimateNoOrder(base);
+    const double s_q = EstimateNoOrder(base, ctx);
     if (s_q <= 0) return 0.0;
     // Sorted multiplication: canonicalization reorders the constraint
     // list, and the ratio product must not depend on that order (see the
@@ -96,7 +128,7 @@ Result<double> Estimator::Estimate(const Query& query) const {
     for (const OrderConstraint& c : query.orders) {
       Query one = query;
       one.orders = {c};
-      Result<double> r = Estimate(one);
+      Result<double> r = EstimateImpl(one, ctx);
       if (!r.ok()) return r;
       ratios.push_back(r.value() / s_q);
     }
@@ -130,9 +162,9 @@ Result<double> Estimator::Estimate(const Query& query) const {
   }
   const OrderConstraint& c = query.orders[0];
   if (c.kind == OrderKind::kSibling) {
-    return EstimateSiblingOrder(query);
+    return EstimateSiblingOrder(query, ctx);
   }
-  return EstimateDocOrder(query);
+  return EstimateDocOrder(query, ctx);
 }
 
 size_t Estimator::Compiled::ApproxBytes() const {
@@ -150,9 +182,15 @@ size_t Estimator::Compiled::ApproxBytes() const {
   return b;
 }
 
-Result<Estimator::Compiled> Estimator::Compile(const Query& query) const {
+Result<Estimator::Compiled> Estimator::Compile(
+    const Query& query, const EstimateLimits& limits) const {
+  if (FaultFires(kAllocFaultSite)) {
+    return Status(StatusCode::kInternal, "injected allocation failure");
+  }
   Status s = query.Validate();
   if (!s.ok()) return s;
+  RunCtx ctx{limits.deadline};
+  if (ctx.CheckCoarse()) return DeadlineError("before compilation began");
   Compiled plan;
   plan.query = query;
   if (!ResolveTags(plan.query, &plan.tags)) {
@@ -160,21 +198,33 @@ Result<Estimator::Compiled> Estimator::Compile(const Query& query) const {
     plan.zero = true;
     return plan;
   }
-  if (!PathJoin(plan.query, plan.tags, &plan.join)) plan.zero = true;
+  if (!PathJoin(plan.query, plan.tags, &plan.join, &ctx)) plan.zero = true;
+  if (ctx.expired) return DeadlineError("during the path join");
   return plan;
 }
 
-Result<double> Estimator::EstimateCompiled(const Compiled& plan) const {
+Result<double> Estimator::EstimateCompiled(const Compiled& plan,
+                                           const EstimateLimits& limits) const {
   const Query& q = plan.query;
+  // The fast-path promise of a deadline: an expired request costs one
+  // clock read here, never a join.
+  RunCtx ctx{limits.deadline};
+  if (ctx.CheckCoarse()) return DeadlineError("before estimation began");
   // Order constraints and value predicates restructure the computation
   // (truncated subqueries, rewrites, scaling) before the top-level join
   // matters; route them through the general path. Estimate() revalidates
   // the stored AST, which is cheap next to the joins it runs.
   bool general = !q.orders.empty();
   for (const auto& n : q.nodes) general |= n.value_filter.has_value();
-  if (general) return Estimate(q);
+  if (general) {
+    Result<double> r = EstimateImpl(q, &ctx);
+    if (ctx.expired) return DeadlineError("during estimation");
+    return r;
+  }
   if (plan.zero) return 0.0;
-  return NodeSelectivity(q, plan.tags, plan.join, q.target);
+  const double sel = NodeSelectivity(q, plan.tags, plan.join, q.target, &ctx);
+  if (ctx.expired) return DeadlineError("during estimation");
+  return sel;
 }
 
 bool Estimator::ResolveTags(const Query& q,
@@ -194,9 +244,10 @@ bool Estimator::ResolveTags(const Query& q,
 }
 
 bool Estimator::PathJoin(const Query& q, const std::vector<xml::TagId>& tags,
-                         std::vector<CandList>* cands) const {
+                         std::vector<CandList>* cands, RunCtx* ctx) const {
   cands->assign(q.nodes.size(), CandList{});
   for (size_t i = 0; i < q.nodes.size(); ++i) {
+    if (ctx->CheckCoarse()) return false;
     CandList& list = (*cands)[i];
     if (tags[i] == encoding::kWildcardTag) {
       // "*" candidates: one entry per (tag, pid) pair, keeping the tag
@@ -228,8 +279,11 @@ bool Estimator::PathJoin(const Query& q, const std::vector<xml::TagId>& tags,
                   [this](const Cand& c) { return c.pid != syn_.root_pid(); });
   }
 
-  auto compatible = [this](const Cand& parent, const Cand& child,
-                           StructAxis axis) {
+  auto compatible = [this, ctx](const Cand& parent, const Cand& child,
+                                StructAxis axis) {
+    // On expiry, report incompatible: lists collapse, the sweeps finish
+    // quickly, and the caller discards the result via ctx->expired.
+    if (ctx->CheckFine()) return false;
     containment_tests_.fetch_add(1, std::memory_order_relaxed);
     return encoding::PidPairCompatible(
         syn_.table(), parent.tag, syn_.PidBits(parent.pid), child.tag,
@@ -239,6 +293,7 @@ bool Estimator::PathJoin(const Query& q, const std::vector<xml::TagId>& tags,
   // Semi-join reduction over every query edge; a sweep filters both
   // endpoint lists. Returns true if something was removed.
   auto sweep_edge = [&](size_t i) {
+    if (ctx->expired) return false;
     const int p = q.nodes[i].parent;
     const StructAxis axis = q.nodes[i].axis;
     CandList& pl = (*cands)[p];
@@ -259,7 +314,7 @@ bool Estimator::PathJoin(const Query& q, const std::vector<xml::TagId>& tags,
 
   if (join_to_fixpoint_) {
     bool changed = true;
-    while (changed) {
+    while (changed && !ctx->CheckCoarse()) {
       changed = false;
       for (size_t i = 1; i < q.nodes.size(); ++i) {
         changed |= sweep_edge(i);
@@ -272,6 +327,7 @@ bool Estimator::PathJoin(const Query& q, const std::vector<xml::TagId>& tags,
     for (size_t i = 1; i < q.nodes.size(); ++i) sweep_edge(i);
   }
 
+  if (ctx->expired) return false;
   for (const CandList& l : *cands) {
     if (l.empty()) return false;
   }
@@ -284,18 +340,19 @@ double Estimator::FreqSum(const CandList& l) {
   return s;
 }
 
-double Estimator::EstimateNoOrder(const Query& q) const {
+double Estimator::EstimateNoOrder(const Query& q, RunCtx* ctx) const {
   std::vector<xml::TagId> tags;
   if (!ResolveTags(q, &tags)) return 0;
   std::vector<CandList> join;
-  if (!PathJoin(q, tags, &join)) return 0;
-  return NodeSelectivity(q, tags, join, q.target);
+  if (!PathJoin(q, tags, &join, ctx)) return 0;
+  return NodeSelectivity(q, tags, join, q.target, ctx);
 }
 
 double Estimator::NodeSelectivity(const Query& q,
                                   const std::vector<xml::TagId>& tags,
-                                  const std::vector<CandList>& join,
-                                  int node) const {
+                                  const std::vector<CandList>& join, int node,
+                                  RunCtx* ctx) const {
+  if (ctx->CheckCoarse()) return 0;
   const std::vector<int> spine = q.SpineOf(node);
 
   // Deepest spine node strictly above `node` with off-spine branches.
@@ -335,24 +392,25 @@ double Estimator::NodeSelectivity(const Query& q,
   std::vector<xml::TagId> tags_p;
   if (!ResolveTags(qp, &tags_p)) return 0;
   std::vector<CandList> join_p;
-  if (!PathJoin(qp, tags_p, &join_p)) return 0;
+  if (!PathJoin(qp, tags_p, &join_p, ctx)) return 0;
 
-  const double s_q_ni = NodeSelectivity(q, tags, join, ni);
-  const double s_qp_ni = NodeSelectivity(qp, tags_p, join_p, map[ni]);
-  const double s_qp_n = NodeSelectivity(qp, tags_p, join_p, map[node]);
+  const double s_q_ni = NodeSelectivity(q, tags, join, ni, ctx);
+  const double s_qp_ni = NodeSelectivity(qp, tags_p, join_p, map[ni], ctx);
+  const double s_qp_n = NodeSelectivity(qp, tags_p, join_p, map[node], ctx);
   if (s_qp_ni <= 0) return 0;
   return s_qp_n * s_q_ni / s_qp_ni;
 }
 
 double Estimator::OrderCellSum(const Query& q_prime, int x_in_prime,
                                const std::string& other_tag_name,
-                               bool x_is_after) const {
+                               bool x_is_after, RunCtx* ctx) const {
+  if (ctx->CheckCoarse()) return 0;
   std::vector<xml::TagId> tags;
   if (!ResolveTags(q_prime, &tags)) return 0;
   auto other = syn_.FindTag(other_tag_name);
   if (!other.has_value()) return 0;
   std::vector<CandList> join;
-  if (!PathJoin(q_prime, tags, &join)) return 0;
+  if (!PathJoin(q_prime, tags, &join, ctx)) return 0;
 
   const histogram::OHistogram& oh = syn_.OHisto(tags[x_in_prime]);
   const stats::OrderRegion region =
@@ -364,7 +422,7 @@ double Estimator::OrderCellSum(const Query& q_prime, int x_in_prime,
   return sum;
 }
 
-double Estimator::EstimateSiblingOrder(const Query& q) const {
+double Estimator::EstimateSiblingOrder(const Query& q, RunCtx* ctx) const {
   const OrderConstraint& c = q.orders[0];
   const int a = c.before;
   const int b = c.after;
@@ -383,6 +441,7 @@ double Estimator::EstimateSiblingOrder(const Query& q) const {
   };
   auto eval_side = [&](int x, int other, bool x_is_after) {
     Side side;
+    if (ctx->CheckCoarse()) return side;
     // Q': truncate the other endpoint's branch to its head node.
     std::vector<bool> keep(q.nodes.size(), true);
     {
@@ -395,12 +454,12 @@ double Estimator::EstimateSiblingOrder(const Query& q) const {
     Query qp = no_order.SubQuery(keep, &map);
     XEE_CHECK(map[x] >= 0);
     qp.target = map[x];
-    side.s_oh = OrderCellSum(qp, map[x], q.nodes[other].tag, x_is_after);
-    side.s_qp = EstimateNoOrder(qp);
+    side.s_oh = OrderCellSum(qp, map[x], q.nodes[other].tag, x_is_after, ctx);
+    side.s_qp = EstimateNoOrder(qp, ctx);
 
     Query qx = no_order;
     qx.target = x;
-    const double s_q_x = EstimateNoOrder(qx);
+    const double s_q_x = EstimateNoOrder(qx, ctx);
     side.s_arrow = side.s_qp > 0 ? side.s_oh * s_q_x / side.s_qp : 0;
     return side;
   };
@@ -414,14 +473,14 @@ double Estimator::EstimateSiblingOrder(const Query& q) const {
     const Side side = eval_side(b, a, /*x_is_after=*/true);
     Query qt = no_order;
     qt.target = t;
-    const double s_q_t = EstimateNoOrder(qt);
+    const double s_q_t = EstimateNoOrder(qt, ctx);
     return side.s_qp > 0 ? s_q_t * side.s_oh / side.s_qp : 0;
   }
   if (IsQueryDescendant(q, a, t)) {
     const Side side = eval_side(a, b, /*x_is_after=*/false);
     Query qt = no_order;
     qt.target = t;
-    const double s_q_t = EstimateNoOrder(qt);
+    const double s_q_t = EstimateNoOrder(qt, ctx);
     return side.s_qp > 0 ? s_q_t * side.s_oh / side.s_qp : 0;
   }
 
@@ -430,11 +489,11 @@ double Estimator::EstimateSiblingOrder(const Query& q) const {
   const Side sb = eval_side(b, a, /*x_is_after=*/true);
   Query qt = no_order;
   qt.target = t;
-  const double s_q_t = EstimateNoOrder(qt);
+  const double s_q_t = EstimateNoOrder(qt, ctx);
   return std::min(s_q_t, std::min(sa.s_arrow, sb.s_arrow));
 }
 
-Result<double> Estimator::EstimateDocOrder(const Query& q) const {
+Result<double> Estimator::EstimateDocOrder(const Query& q, RunCtx* ctx) const {
   const OrderConstraint& c = q.orders[0];
   // The rewrite targets the endpoint attached via the descendant axis
   // (created by a following::/preceding:: step). If both endpoints are
@@ -448,12 +507,12 @@ Result<double> Estimator::EstimateDocOrder(const Query& q) const {
   } else {
     Query sib = q;
     sib.orders[0].kind = OrderKind::kSibling;
-    return EstimateSiblingOrder(sib);
+    return EstimateSiblingOrder(sib, ctx);
   }
-  const int ctx = d == c.after ? c.before : c.after;
+  const int ctx_node = d == c.after ? c.before : c.after;
   const int junction = q.nodes[d].parent;
   XEE_CHECK(junction >= 0);
-  if (q.nodes[ctx].axis != StructAxis::kChild) {
+  if (q.nodes[ctx_node].axis != StructAxis::kChild) {
     return Status(StatusCode::kUnsupported,
                   "document-order context step must be child-attached");
   }
@@ -461,7 +520,7 @@ Result<double> Estimator::EstimateDocOrder(const Query& q) const {
   std::vector<xml::TagId> tags;
   if (!ResolveTags(q, &tags)) return 0.0;
   std::vector<CandList> join;
-  if (!PathJoin(q, tags, &join)) return 0.0;
+  if (!PathJoin(q, tags, &join, ctx)) return 0.0;
 
   // Decode the surviving pids of d into tag chains below the junction
   // (Example 5.3).
@@ -479,8 +538,9 @@ Result<double> Estimator::EstimateDocOrder(const Query& q) const {
   const bool target_in_d = q.target == d || IsQueryDescendant(q, d, q.target);
   double total = 0;
   for (const encoding::TagPath& chain : chains) {
+    if (ctx->CheckCoarse()) break;
     // Rebuild the query with d replaced by an explicit child chain and a
-    // sibling constraint between ctx and the chain head.
+    // sibling constraint between the context step and the chain head.
     Query rw;
     rw.root_mode = q.root_mode;
     std::vector<int> map(q.nodes.size(), -1);
@@ -501,12 +561,12 @@ Result<double> Estimator::EstimateDocOrder(const Query& q) const {
     }
     OrderConstraint sc;
     sc.kind = OrderKind::kSibling;
-    sc.before = d == c.after ? map[ctx] : head;
-    sc.after = d == c.after ? head : map[ctx];
+    sc.before = d == c.after ? map[ctx_node] : head;
+    sc.after = d == c.after ? head : map[ctx_node];
     rw.orders.push_back(sc);
     rw.target = map[q.target];
     XEE_CHECK(rw.target >= 0);
-    total += EstimateSiblingOrder(rw);
+    total += EstimateSiblingOrder(rw, ctx);
   }
 
   if (target_in_d) return total;
@@ -514,7 +574,7 @@ Result<double> Estimator::EstimateDocOrder(const Query& q) const {
   // bounds the union; clamp by the no-order estimate.
   Query qt = q;
   qt.orders.clear();
-  return std::min(EstimateNoOrder(qt), total);
+  return std::min(EstimateNoOrder(qt, ctx), total);
 }
 
 }  // namespace xee::estimator

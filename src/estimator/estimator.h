@@ -3,13 +3,24 @@
 
 #include <atomic>
 #include <cstddef>
+#include <string_view>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "estimator/synopsis.h"
 #include "xpath/query.h"
 
 namespace xee::estimator {
+
+/// Per-call resource limits for estimation entry points. Default is
+/// unlimited — the historical behavior.
+struct EstimateLimits {
+  /// Checked cooperatively at step and join boundaries; once passed,
+  /// the call abandons its work and returns kDeadlineExceeded. An
+  /// already-expired deadline is rejected before any join work runs.
+  Deadline deadline;
+};
 
 /// Selectivity estimator for XPath expressions with and without order
 /// axes (paper Sections 4 and 5), driven entirely by a Synopsis.
@@ -62,18 +73,30 @@ class Estimator {
   explicit Estimator(Synopsis&&) = delete;
 
   /// Estimates the selectivity (result cardinality) of `query.target`.
-  Result<double> Estimate(const xpath::Query& query) const;
+  /// With a finite `limits.deadline`, returns kDeadlineExceeded instead
+  /// of an estimate once the deadline passes mid-computation.
+  Result<double> Estimate(const xpath::Query& query,
+                          const EstimateLimits& limits = {}) const;
 
   /// Validates `query` and runs the top-level path join into a
-  /// reusable plan (kInvalidArgument for malformed queries).
-  Result<Compiled> Compile(const xpath::Query& query) const;
+  /// reusable plan (kInvalidArgument for malformed queries,
+  /// kDeadlineExceeded when `limits.deadline` expires mid-join).
+  Result<Compiled> Compile(const xpath::Query& query,
+                           const EstimateLimits& limits = {}) const;
 
   /// Estimates from a compiled plan, with a result bit-identical to
   /// Estimate(plan.query). Order-free queries without value predicates
   /// skip validation, tag resolution and the top-level path join;
   /// other query classes fall back to the stored AST (still skipping
-  /// the string parse that produced it).
-  Result<double> EstimateCompiled(const Compiled& plan) const;
+  /// the string parse that produced it). An already-expired deadline
+  /// returns kDeadlineExceeded before any join work.
+  Result<double> EstimateCompiled(const Compiled& plan,
+                                  const EstimateLimits& limits = {}) const;
+
+  /// Fault site (common/fault.h) fired at Compile entry: when armed,
+  /// compilation fails with kInternal as an injected allocation
+  /// failure, for chaos-testing callers' partial-failure handling.
+  static constexpr std::string_view kAllocFaultSite = "estimator.alloc";
 
   /// Number of (pid x pid) containment tests performed by path joins
   /// since construction; exposed for the join ablation bench.
@@ -88,38 +111,61 @@ class Estimator {
   void set_join_to_fixpoint(bool v) { join_to_fixpoint_ = v; }
 
  private:
+  /// Per-call deadline state threaded through the recursive estimation
+  /// helpers. Once `expired` latches, joins collapse to empty and the
+  /// public entry point replaces whatever partial value bubbled up with
+  /// kDeadlineExceeded — intermediate zeros are never observable.
+  struct RunCtx {
+    Deadline deadline;
+    uint32_t ticks = 0;
+    bool expired = false;
+
+    /// Step/join-boundary check: reads the clock (cheap, but not free)
+    /// unless the deadline is infinite or expiry already latched.
+    bool CheckCoarse();
+    /// Inner-loop check for the containment-test hot path: consults the
+    /// clock only every 256th call.
+    bool CheckFine();
+  };
+
+  /// Estimate body shared by the public entry points; `ctx` carries the
+  /// deadline (never null).
+  Result<double> EstimateImpl(const xpath::Query& query, RunCtx* ctx) const;
+
   /// Per-query resolved tag ids; nullopt when some tag is unknown.
   bool ResolveTags(const xpath::Query& q, std::vector<xml::TagId>* tags) const;
 
   /// Runs the path-id join of Section 4. Returns false when some node's
-  /// candidate list becomes empty (estimate 0).
+  /// candidate list becomes empty (estimate 0) or the deadline expires.
   bool PathJoin(const xpath::Query& q, const std::vector<xml::TagId>& tags,
-                std::vector<CandList>* cands) const;
+                std::vector<CandList>* cands, RunCtx* ctx) const;
 
   static double FreqSum(const CandList& l);
 
   /// Selectivity of `q.target` ignoring order constraints (Theorem 4.1 +
   /// Eq. 2 generalized to arbitrary branch trees, see DESIGN.md §2).
-  double EstimateNoOrder(const xpath::Query& q) const;
+  double EstimateNoOrder(const xpath::Query& q, RunCtx* ctx) const;
 
   /// Recursive branch-part estimation given a completed join on `q`.
   double NodeSelectivity(const xpath::Query& q,
                          const std::vector<xml::TagId>& tags,
-                         const std::vector<CandList>& join, int node) const;
+                         const std::vector<CandList>& join, int node,
+                         RunCtx* ctx) const;
 
   /// Queries with exactly one sibling-order constraint (Eqs. 3-5).
-  double EstimateSiblingOrder(const xpath::Query& q) const;
+  double EstimateSiblingOrder(const xpath::Query& q, RunCtx* ctx) const;
 
   /// Queries with one document-order constraint: rewrite into
   /// sibling-order queries via the encoding table (Section 5,
   /// Example 5.3) and combine.
-  Result<double> EstimateDocOrder(const xpath::Query& q) const;
+  Result<double> EstimateDocOrder(const xpath::Query& q, RunCtx* ctx) const;
 
   /// The o-histogram-backed selectivity S_arrowQ'(x) of a sibling
   /// endpoint x: sum of order cells over x's pids surviving the join on
   /// q_prime (x's branch kept whole, the other branch truncated).
   double OrderCellSum(const xpath::Query& q_prime, int x_in_prime,
-                      const std::string& other_tag_name, bool x_is_after) const;
+                      const std::string& other_tag_name, bool x_is_after,
+                      RunCtx* ctx) const;
 
   const Synopsis& syn_;
   bool join_to_fixpoint_ = true;

@@ -44,6 +44,25 @@ struct SynopsisOptions {
   bool equi_count_p_buckets = false;
 };
 
+/// Knobs for Synopsis::Deserialize.
+struct DeserializeOptions {
+  /// When true, a corrupt or truncated o-histogram section degrades the
+  /// blob to an order-free synopsis (has_order() == false) instead of
+  /// failing the whole load; the loss is reported via DeserializeReport.
+  /// Sections before the o-histograms (tags, encoding table, pids,
+  /// p-histograms) are still load-bearing and never salvaged.
+  bool salvage_order_corruption = false;
+};
+
+/// What Deserialize had to do to accept a blob.
+struct DeserializeReport {
+  /// The o-histogram section was corrupt and dropped under
+  /// DeserializeOptions::salvage_order_corruption.
+  bool order_dropped = false;
+  /// The parse error that triggered the drop (empty otherwise).
+  std::string order_error;
+};
+
 /// Wall-clock seconds spent in each construction phase, for the paper's
 /// Tables 4 and 5.
 struct BuildProfile {
@@ -71,8 +90,12 @@ class Synopsis {
 
   /// Reconstructs a synopsis from Serialize() output. Fails with
   /// kParseError on truncated/corrupted data and kUnsupported on a
-  /// format-version mismatch.
-  static Result<Synopsis> Deserialize(std::string_view data);
+  /// format-version mismatch. With salvage_order_corruption set, a blob
+  /// whose damage is confined to the o-histogram section loads as an
+  /// order-free synopsis; `report` (optional) records the downgrade.
+  static Result<Synopsis> Deserialize(std::string_view data,
+                                      const DeserializeOptions& options = {},
+                                      DeserializeReport* report = nullptr);
 
   // --- Tag metadata ----------------------------------------------------
 

@@ -86,7 +86,10 @@ std::string Synopsis::Serialize() const {
   return std::move(w).data();
 }
 
-Result<Synopsis> Synopsis::Deserialize(std::string_view data) {
+Result<Synopsis> Synopsis::Deserialize(std::string_view data,
+                                       const DeserializeOptions& options,
+                                       DeserializeReport* report) {
+  if (report != nullptr) *report = DeserializeReport{};
   BinaryReader r(data);
   uint32_t magic = 0, version = 0;
   Status s = r.GetU32(&magic);
@@ -205,13 +208,19 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data) {
     out.p_histos_.push_back(histogram::PHistogram::FromBuckets(std::move(bs)));
   }
 
-  uint8_t has_order = 0;
-  s = r.GetU8(&has_order);
-  if (!s.ok()) return s;
-  // Section flags re-serialize as exactly 0 or 1; other values would
-  // round-trip to a different byte.
-  if (has_order > 1) return Corrupt("order flag");
-  if (has_order != 0) {
+  // O-histogram section. Everything before this point is load-bearing
+  // (an estimator cannot run without the encoding table, pids and
+  // p-histograms), but order statistics only sharpen order-axis queries
+  // — so damage confined to this section can, on request, degrade the
+  // synopsis to order-free instead of failing the load.
+  auto parse_order_section = [&]() -> Status {
+    uint8_t has_order = 0;
+    Status os = r.GetU8(&has_order);
+    if (!os.ok()) return os;
+    // Section flags re-serialize as exactly 0 or 1; other values would
+    // round-trip to a different byte.
+    if (has_order > 1) return Corrupt("order flag");
+    if (has_order == 0) return Status::Ok();
     // Alphabetic tag ranks are derivable from the tag names.
     std::vector<uint32_t> order(tag_count);
     for (uint32_t i = 0; i < tag_count; ++i) order[i] = i;
@@ -223,22 +232,22 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data) {
 
     for (uint32_t t = 0; t < tag_count; ++t) {
       uint32_t buckets = 0;
-      s = r.GetU32(&buckets);
-      if (!s.ok()) return s;
+      os = r.GetU32(&buckets);
+      if (!os.ok()) return os;
       if (buckets > 1u << 26) return Corrupt("o-histogram bucket count");
       std::vector<histogram::OHistogram::Bucket> bs;
       for (uint32_t b = 0; b < buckets; ++b) {
         histogram::OHistogram::Bucket bucket;
-        s = r.GetU32(&bucket.x1);
-        if (!s.ok()) return s;
-        s = r.GetU32(&bucket.y1);
-        if (!s.ok()) return s;
-        s = r.GetU32(&bucket.x2);
-        if (!s.ok()) return s;
-        s = r.GetU32(&bucket.y2);
-        if (!s.ok()) return s;
-        s = r.GetDouble(&bucket.avg_freq);
-        if (!s.ok()) return s;
+        os = r.GetU32(&bucket.x1);
+        if (!os.ok()) return os;
+        os = r.GetU32(&bucket.y1);
+        if (!os.ok()) return os;
+        os = r.GetU32(&bucket.x2);
+        if (!os.ok()) return os;
+        os = r.GetU32(&bucket.y2);
+        if (!os.ok()) return os;
+        os = r.GetDouble(&bucket.avg_freq);
+        if (!os.ok()) return os;
         if (bucket.x1 > bucket.x2 || bucket.y1 > bucket.y2 ||
             bucket.y2 >= 2 * tag_count) {
           return Corrupt("o-histogram bucket bounds");
@@ -248,6 +257,21 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data) {
       out.o_histos_.push_back(histogram::OHistogram::FromBuckets(
           std::move(bs), ranks, out.p_histos_[t].PidsInOrder()));
     }
+    return Status::Ok();
+  };
+  s = parse_order_section();
+  if (!s.ok()) {
+    if (!options.salvage_order_corruption) return s;
+    // Degrade: drop whatever order state was built. The stream offset is
+    // unreliable past the damage, so the values section (which follows)
+    // is forfeit too, as is the trailing-bytes check.
+    out.o_histos_.clear();
+    if (report != nullptr) {
+      report->order_dropped = true;
+      report->order_error = s.message();
+    }
+    out.pid_tree_ = std::make_unique<pidtree::CollapsedPidTree>(out.pid_bits_);
+    return out;
   }
   uint8_t has_values = 0;
   s = r.GetU8(&has_values);

@@ -137,7 +137,18 @@ class Harness {
   /// Service battery: EstimateBatch through the plan cache (cold, warm,
   /// after invalidation) against the bare estimator, bit-for-bit.
   Report RunServiceFuzz(const FuzzOptions& options) const;
-  /// All of the above, splitting options.iterations roughly 4:3:2:1.
+  /// Chaos battery: the service under deterministic fault injection
+  /// (forced deadline expiry, allocation failures, blob bit-rot),
+  /// expired/tight/infinite deadline mixes and admission pressure.
+  /// Oracles are the serving invariants — the status surface stays
+  /// closed, shed <=> kOverloaded with a retry hint, expired requests
+  /// never serve values, degradation respects allow_degraded, and full
+  /// fidelity returns bit-for-bit once faults clear. Resets the global
+  /// FaultInjector on entry and exit.
+  Report RunChaosFuzz(const FuzzOptions& options) const;
+  /// All of the above except chaos, splitting options.iterations
+  /// roughly 4:3:2:1 (chaos mutates the global fault injector, so it
+  /// runs only when asked for).
   Report RunAll(const FuzzOptions& options) const;
 
   /// Replays one corpus entry through the matching oracle battery and

@@ -1,9 +1,11 @@
 // Deterministic fuzz driver: same seed, same report, every run.
 //
 //   fuzz_driver [--iters N] [--seed S] [--generator all|query|synopsis|
-//                xml|service] [--corpus DIR]
+//                xml|service|chaos] [--corpus DIR] [--chaos]
 //
 // Replays the corpus (when given), then runs N generated iterations.
+// --chaos is shorthand for --generator chaos: the service under
+// deterministic fault injection (see Harness::RunChaosFuzz).
 // Exit status: 0 clean, 1 findings, 2 usage/setup error.
 
 #include <cstdio>
@@ -18,7 +20,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--iters N] [--seed S] [--generator "
-               "all|query|synopsis|xml|service] [--corpus DIR]\n",
+               "all|query|synopsis|xml|service|chaos] [--corpus DIR] "
+               "[--chaos]\n",
                argv0);
   return 2;
 }
@@ -52,6 +55,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       corpus_dir = v;
+    } else if (arg == "--chaos") {
+      generator = "chaos";
     } else {
       return Usage(argv[0]);
     }
@@ -85,6 +90,8 @@ int main(int argc, char** argv) {
       generated = harness.RunXmlFuzz(options);
     } else if (generator == "service") {
       generated = harness.RunServiceFuzz(options);
+    } else if (generator == "chaos") {
+      generated = harness.RunChaosFuzz(options);
     } else {
       return Usage(argv[0]);
     }

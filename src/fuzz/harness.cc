@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/fault.h"
 #include "common/mutate.h"
 #include "common/strings.h"
 #include "datagen/datagen.h"
@@ -596,12 +598,23 @@ Report Harness::RunServiceFuzz(const FuzzOptions& options) const {
       }
     }
 
-    auto check = [&](const std::vector<Result<double>>& got,
+    auto check = [&](const std::vector<service::EstimateOutcome>& got,
                      const char* pass) {
       for (size_t j = 0; j < n; ++j) {
         const Result<double>& w = want[j];
-        const Result<double>& g = got[j];
+        const service::EstimateOutcome& g = got[j];
         ++rep.estimates_checked;
+        // No admission cap, no faults, full-fidelity synopses with
+        // infinite deadlines: nothing here may shed or degrade.
+        if (g.shed || g.degraded) {
+          rep.findings.push_back(MakeFinding(
+              "service", "batch-metadata",
+              StrFormat("%s pass: unexpected %s outcome [synopsis %s]", pass,
+                        g.shed ? "shed" : "degraded",
+                        batch[j].synopsis.c_str()),
+              batch[j].xpath));
+          continue;
+        }
         if (g.ok() != w.ok() ||
             (!g.ok() && g.status().code() != w.status().code())) {
           rep.findings.push_back(MakeFinding(
@@ -635,6 +648,207 @@ Report Harness::RunServiceFuzz(const FuzzOptions& options) const {
     }
     ++rep.iterations;
   }
+  return rep;
+}
+
+Report Harness::RunChaosFuzz(const FuzzOptions& options) const {
+  Report rep;
+  FaultInjector& faults = FaultInjector::Global();
+  faults.Reset();
+
+  service::ServiceOptions service_opt;
+  service_opt.plan_cache_bytes = 1 << 16;  // tiny: force evictions
+  service_opt.cache_shards = 2;
+  service_opt.threads = 1;  // inline batches: deterministic fault order
+  service_opt.max_inflight = 3;
+  service_opt.retry_after_ms = 2;
+  service::EstimationService svc(service_opt);
+  for (const auto& bed : beds_) {
+    svc.registry().Register(bed->name, bed->exact);
+  }
+
+  Rng master(options.seed);
+  for (size_t i = 0; i < options.iterations; ++i) {
+    Rng it = master.Split();
+
+    // Rotate the armed fault set: forced deadline expiry and injected
+    // allocation failures come and go with seeded budgets.
+    if (it.Bernoulli(0.3)) {
+      faults.Reset();
+      if (it.Bernoulli(0.5)) {
+        FaultConfig cfg;
+        cfg.probability = 0.5;
+        cfg.skip = it.Index(4);
+        cfg.max_fires = 1 + it.Index(3);
+        cfg.seed = it.Next();
+        faults.Arm(std::string(Deadline::kFaultSite), cfg);
+      }
+      if (it.Bernoulli(0.3)) {
+        FaultConfig cfg;
+        cfg.probability = 0.5;
+        cfg.max_fires = 1 + it.Index(2);
+        cfg.seed = it.Next();
+        faults.Arm(std::string(estimator::Estimator::kAllocFaultSite), cfg);
+      }
+    }
+
+    // Chaos reload: push a serialized synopsis through the registry,
+    // sometimes with one bit of injected rot.
+    if (it.Bernoulli(0.15)) {
+      const TestBed& bed = *beds_[it.Index(beds_.size())];
+      const bool rot = it.Bernoulli(0.5);
+      if (rot) {
+        FaultConfig cfg;
+        cfg.payload = it.Next();
+        cfg.max_fires = 1;
+        cfg.seed = it.Next();
+        faults.Arm(std::string(service::SynopsisRegistry::kBitrotFaultSite),
+                   cfg);
+      }
+      const service::LoadOutcome lo =
+          svc.registry().RegisterSerialized(bed.name, bed.exact_blob);
+      faults.Disarm(std::string(service::SynopsisRegistry::kBitrotFaultSite));
+      ++rep.roundtrips_checked;
+      if (!rot && (!lo.ok() || lo.order_dropped)) {
+        rep.findings.push_back(MakeFinding(
+            "chaos", "clean-load",
+            StrFormat("pristine blob failed to register at full fidelity: "
+                      "%s [bed %s]",
+                      lo.status.ToString().c_str(), bed.name.c_str()),
+            bed.name));
+      }
+      if (!lo.ok() && !svc.registry().Quarantined(bed.name).has_value()) {
+        rep.findings.push_back(MakeFinding(
+            "chaos", "quarantine",
+            StrFormat("rejected load left '%s' unquarantined",
+                      bed.name.c_str()),
+            bed.name));
+      }
+    }
+
+    // A batch under chaotic deadlines and admission pressure.
+    const size_t n = 1 + it.Index(6);
+    std::vector<service::QueryRequest> batch;
+    std::vector<bool> born_expired;
+    batch.reserve(n);
+    born_expired.reserve(n);
+    for (size_t j = 0; j < n; ++j) {
+      const TestBed& bed = *beds_[it.Index(beds_.size())];
+      service::QueryRequest req;
+      req.synopsis = it.Bernoulli(0.05) ? "no-such-synopsis" : bed.name;
+      req.xpath = Whitespaced(it, GenerateQueryString(it, bed.tags));
+      req.allow_degraded = it.Bernoulli(0.8);
+      const double roll = it.UniformDouble();
+      bool expired = false;
+      if (roll < 0.2) {
+        req.deadline = Deadline::AlreadyExpired();
+        expired = true;
+      } else if (roll < 0.4) {
+        req.deadline = Deadline::AfterMicros(
+            static_cast<int64_t>(1 + it.Index(200)));
+      }  // else: infinite
+      born_expired.push_back(expired);
+      batch.push_back(std::move(req));
+    }
+
+    const auto got = svc.EstimateBatch(batch);
+    for (size_t j = 0; j < n; ++j) {
+      const service::EstimateOutcome& g = got[j];
+      ++rep.estimates_checked;
+      const StatusCode code = g.status().code();
+      const bool legal =
+          code == StatusCode::kOk || code == StatusCode::kDeadlineExceeded ||
+          code == StatusCode::kOverloaded || code == StatusCode::kNotFound ||
+          code == StatusCode::kUnavailable ||
+          code == StatusCode::kUnsupported ||
+          code == StatusCode::kParseError ||
+          code == StatusCode::kInvalidArgument ||
+          code == StatusCode::kInternal;
+      if (!legal) {
+        rep.findings.push_back(MakeFinding(
+            "chaos", "status-surface",
+            "status outside the serving contract: " + g.status().ToString(),
+            batch[j].xpath));
+      }
+      if (g.ok() && (!std::isfinite(g.value()) || g.value() < 0)) {
+        rep.findings.push_back(MakeFinding(
+            "chaos", "estimate-range",
+            StrFormat("estimate %.17g not finite/non-negative under chaos",
+                      g.value()),
+            batch[j].xpath));
+      }
+      if (g.shed != (code == StatusCode::kOverloaded)) {
+        rep.findings.push_back(MakeFinding(
+            "chaos", "shed-status",
+            StrFormat("shed=%d but status=%s", g.shed ? 1 : 0,
+                      g.status().ToString().c_str()),
+            batch[j].xpath));
+      }
+      if (g.shed && g.retry_after_ms == 0) {
+        rep.findings.push_back(MakeFinding(
+            "chaos", "retry-hint", "shed outcome carries no retry hint",
+            batch[j].xpath));
+      }
+      if (born_expired[j] && g.ok()) {
+        rep.findings.push_back(MakeFinding(
+            "chaos", "expired-deadline",
+            "request that arrived expired was served a value",
+            batch[j].xpath));
+      }
+      if (!batch[j].allow_degraded && g.degraded) {
+        rep.findings.push_back(MakeFinding(
+            "chaos", "degraded-opt-out",
+            "degraded answer served to a full-fidelity request",
+            batch[j].xpath));
+      }
+    }
+
+    // Recovery oracle: with the faults gone and a clean version
+    // registered, full fidelity comes back, bit for bit.
+    if (it.Bernoulli(0.25)) {
+      faults.Reset();
+      const TestBed& bed = *beds_[it.Index(beds_.size())];
+      svc.registry().Register(bed.name, bed.exact);
+      const std::string qs = GenerateQueryString(it, bed.tags);
+      service::QueryRequest req;
+      req.synopsis = bed.name;
+      req.xpath = qs;
+      req.allow_degraded = false;
+      const service::EstimateOutcome g = svc.Estimate(req);
+      ++rep.estimates_checked;
+      Result<double> w{0.0};
+      auto parsed = xpath::ParseXPath(xpath::StripWhitespace(qs));
+      if (!parsed.ok()) {
+        w = parsed.status();
+      } else {
+        estimator::Estimator est(*bed.exact);
+        w = est.Estimate(xpath::Canonicalize(parsed.value()));
+      }
+      if (g.shed || g.degraded) {
+        rep.findings.push_back(MakeFinding(
+            "chaos", "recovery",
+            StrFormat("post-recovery request was %s",
+                      g.shed ? "shed" : "degraded"),
+            qs));
+      } else if (g.ok() != w.ok() ||
+                 (!g.ok() && g.status().code() != w.status().code())) {
+        rep.findings.push_back(MakeFinding(
+            "chaos", "recovery",
+            StrFormat("post-recovery: service=%s reference=%s [bed %s]",
+                      g.status().ToString().c_str(),
+                      w.status().ToString().c_str(), bed.name.c_str()),
+            qs));
+      } else if (g.ok() && !BitwiseEq(g.value(), w.value())) {
+        rep.findings.push_back(MakeFinding(
+            "chaos", "recovery",
+            StrFormat("post-recovery: service=%.17g reference=%.17g [bed %s]",
+                      g.value(), w.value(), bed.name.c_str()),
+            qs));
+      }
+    }
+    ++rep.iterations;
+  }
+  faults.Reset();
   return rep;
 }
 

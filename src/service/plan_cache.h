@@ -19,6 +19,10 @@ namespace xee::service {
 struct CachedPlan {
   estimator::Estimator::Compiled plan;
   Result<double> estimate;
+  /// The estimate was computed with the order constraints dropped
+  /// (degradation ladder, DESIGN.md §9). Degraded plans live under 'd'
+  /// keys so a full-fidelity request never hits one by accident.
+  bool degraded = false;
 
   size_t ApproxBytes() const;
 };

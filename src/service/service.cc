@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <utility>
@@ -25,8 +26,7 @@ EstimationService::EstimationService(ServiceOptions options)
     : options_(options),
       cache_(options.plan_cache_bytes,
              options.cache_shards < 1 ? 1 : options.cache_shards),
-      pool_(options.threads == 0 ? ThreadPool::DefaultThreads()
-                                 : options.threads) {}
+      pool_(options.ResolvedThreads()) {}
 
 std::string EstimationService::MakeKey(char kind, uint64_t epoch,
                                        const std::string& body) {
@@ -39,81 +39,275 @@ std::string EstimationService::MakeKey(char kind, uint64_t epoch,
   return key;
 }
 
-Result<double> EstimationService::Estimate(const std::string& synopsis,
-                                           const std::string& xpath) {
+size_t EstimationService::TryAdmit(size_t want) {
+  if (options_.max_inflight == 0 || want == 0) return want;
+  size_t cur = inflight_.load(std::memory_order_relaxed);
+  while (true) {
+    if (cur >= options_.max_inflight) return 0;
+    const size_t grant = std::min(want, options_.max_inflight - cur);
+    if (inflight_.compare_exchange_weak(cur, cur + grant,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      return grant;
+    }
+  }
+}
+
+void EstimationService::Release(size_t slots) {
+  if (options_.max_inflight != 0 && slots != 0) {
+    inflight_.fetch_sub(slots, std::memory_order_release);
+  }
+}
+
+EstimateOutcome EstimationService::ShedOutcome(size_t depth) {
+  EstimateOutcome out;
+  out.shed = true;
+  // Escalate the hint with the shed depth: the more of one batch we had
+  // to refuse, the deeper the overload, the longer clients should wait.
+  uint64_t hint =
+      static_cast<uint64_t>(options_.retry_after_ms) * (depth + 1);
+  hint = std::clamp<uint64_t>(hint, 1, 1000);
+  out.retry_after_ms = static_cast<uint32_t>(hint);
+  out.estimate =
+      Status(StatusCode::kOverloaded,
+             "shed by admission control (" +
+                 std::to_string(options_.max_inflight) +
+                 " requests in flight); retry after " +
+                 std::to_string(out.retry_after_ms) + "ms");
+  return out;
+}
+
+EstimateOutcome EstimationService::Estimate(const QueryRequest& request) {
+  if (TryAdmit(1) == 0) {
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    stats_.shed.fetch_add(1, std::memory_order_relaxed);
+    return ShedOutcome(0);
+  }
+  EstimateOutcome out = EstimateAdmitted(request);
+  Release(1);
+  return out;
+}
+
+EstimateOutcome EstimationService::EstimateAdmitted(
+    const QueryRequest& req) {
   const auto t_request = Clock::now();
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
 
-  std::optional<SynopsisSnapshot> snap = registry_.Snapshot(synopsis);
-  if (!snap.has_value()) {
-    return Status(StatusCode::kNotFound, "unknown synopsis: " + synopsis);
+  EstimateOutcome out = [&]() -> EstimateOutcome {
+    EstimateOutcome out;
+
+    // Rung 0 — deadline gate. A request arriving expired costs one
+    // clock read: no snapshot, no parse, no join.
+    if (!req.deadline.infinite() && req.deadline.HasExpired()) {
+      out.estimate = Status(StatusCode::kDeadlineExceeded,
+                            "deadline expired before estimation began");
+      return out;
+    }
+
+    // Rung 1 — quarantine gate: a name whose last load was rejected is
+    // deliberately out of service until a good version arrives.
+    if (std::optional<Status> q = registry_.Quarantined(req.synopsis)) {
+      out.estimate =
+          Status(StatusCode::kUnavailable,
+                 "synopsis quarantined: " + std::string(q->message()));
+      return out;
+    }
+
+    std::optional<SynopsisSnapshot> snap = registry_.Snapshot(req.synopsis);
+    if (!snap.has_value()) {
+      out.estimate =
+          Status(StatusCode::kNotFound, "unknown synopsis: " + req.synopsis);
+      return out;
+    }
+    // A salvaged (order-dropped) version only affects queries that
+    // carry order constraints — those degrade (or are refused with a
+    // quarantine message below). Order-free answers are bit-identical
+    // to an intact synopsis's, so they stay full fidelity.
+    const bool order_quarantined = snap->order_quarantined;
+    const estimator::EstimateLimits limits{req.deadline};
+
+    // Exact-string probe: a warm repeat of the very same request text
+    // skips the parse as well as the join. Degraded plans only satisfy
+    // requests that accept degraded answers.
+    const std::string stripped = xpath::StripWhitespace(req.xpath);
+    const std::string exact_key = MakeKey('x', snap->epoch, stripped);
+    if (std::shared_ptr<const CachedPlan> hit = cache_.Get(exact_key)) {
+      if (!hit->degraded || req.allow_degraded) {
+        stats_.exact_hits.fetch_add(1, std::memory_order_relaxed);
+        out.estimate = hit->estimate;
+        out.degraded = hit->degraded && hit->estimate.ok();
+        return out;
+      }
+    }
+
+    // Parse + canonicalize, then probe under the canonical key where
+    // all spellings of this query meet.
+    const auto t_parse = Clock::now();
+    Result<xpath::Query> parsed = xpath::ParseXPath(stripped);
+    stats_.parse.Record(NsSince(t_parse));
+    if (!parsed.ok()) {  // unbounded garbage: uncached
+      out.estimate = parsed.status();
+      return out;
+    }
+
+    const xpath::Query canonical = xpath::Canonicalize(parsed.value());
+    const std::string body = xpath::SerializeKey(canonical);
+    const std::string canonical_key = MakeKey('c', snap->epoch, body);
+    if (std::shared_ptr<const CachedPlan> hit = cache_.Get(canonical_key)) {
+      stats_.canonical_hits.fetch_add(1, std::memory_order_relaxed);
+      cache_.PutAlias(exact_key, hit);
+      out.estimate = hit->estimate;
+      return out;
+    }
+
+    estimator::Estimator est(*snap->synopsis);
+
+    // Computes, caches ('d' namespace) and serves the order-free
+    // estimate of `canonical` — the degradation rung for order-axis
+    // queries whose order statistics are missing, quarantined, or too
+    // expensive for the deadline. `alias_exact` is set only when the
+    // degradation is structural for this epoch (every future request
+    // would degrade the same way), never when it is deadline-forced —
+    // a later, slower request must be able to get the full answer.
+    auto run_degraded = [&](bool alias_exact) -> EstimateOutcome {
+      EstimateOutcome d;
+      d.degraded = true;
+      const std::string degraded_key = MakeKey('d', snap->epoch, body);
+      if (std::shared_ptr<const CachedPlan> hit = cache_.Get(degraded_key)) {
+        stats_.canonical_hits.fetch_add(1, std::memory_order_relaxed);
+        if (alias_exact) cache_.PutAlias(exact_key, hit);
+        d.estimate = hit->estimate;
+        return d;
+      }
+      xpath::Query base = canonical;
+      base.orders.clear();
+      const auto t_join = Clock::now();
+      Result<estimator::Estimator::Compiled> compiled =
+          est.Compile(base, limits);
+      stats_.join.Record(NsSince(t_join));
+      if (!compiled.ok()) {
+        d.estimate = compiled.status();
+        return d;
+      }
+      const auto t_formula = Clock::now();
+      Result<double> estimate = est.EstimateCompiled(compiled.value(), limits);
+      stats_.formula.Record(NsSince(t_formula));
+      d.estimate = estimate;
+      if (estimate.status().code() == StatusCode::kDeadlineExceeded) {
+        return d;  // a blown deadline is not a property of the query
+      }
+      auto plan = std::make_shared<const CachedPlan>(
+          CachedPlan{std::move(compiled).value(), estimate, /*degraded=*/true});
+      cache_.PutCanonical(degraded_key, plan);
+      if (alias_exact) cache_.PutAlias(exact_key, std::move(plan));
+      stats_.misses.fetch_add(1, std::memory_order_relaxed);
+      return d;
+    };
+
+    // Rung 2 — missing order statistics (synopsis built without them,
+    // or dropped by salvage). Degrade to the order-free formulas when
+    // the request permits; otherwise fail honestly.
+    const bool wants_order = !canonical.orders.empty();
+    if (wants_order && !snap->synopsis->has_order()) {
+      if (!req.allow_degraded) {
+        out.estimate =
+            order_quarantined
+                ? Status(StatusCode::kUnavailable,
+                         "order statistics quarantined for synopsis: " +
+                             req.synopsis)
+                : Status(StatusCode::kUnsupported,
+                         "synopsis was built without order statistics");
+        return out;
+      }
+      return run_degraded(/*alias_exact=*/true);
+    }
+
+    // Full-fidelity path: compile (path join), then the estimation
+    // formulas, both under the request deadline.
+    const auto t_join = Clock::now();
+    Result<estimator::Estimator::Compiled> compiled =
+        est.Compile(canonical, limits);
+    stats_.join.Record(NsSince(t_join));
+
+    Result<double> estimate{0.0};
+    if (compiled.ok()) {
+      const auto t_formula = Clock::now();
+      estimate = est.EstimateCompiled(compiled.value(), limits);
+      stats_.formula.Record(NsSince(t_formula));
+    } else {
+      estimate = compiled.status();
+    }
+
+    // Rung 3 — deadline-forced fallback: the full computation did not
+    // fit, but the (much cheaper) order-free one might still make it.
+    if (estimate.status().code() == StatusCode::kDeadlineExceeded) {
+      if (req.allow_degraded && wants_order && !req.deadline.HasExpired()) {
+        return run_degraded(/*alias_exact=*/false);
+      }
+      out.estimate = estimate;
+      return out;  // never cached: not a property of the query
+    }
+    if (!compiled.ok()) {
+      out.estimate = estimate;
+      return out;  // compile errors: uncached, as before
+    }
+
+    auto plan = std::make_shared<const CachedPlan>(
+        CachedPlan{std::move(compiled).value(), estimate, /*degraded=*/false});
+    cache_.PutCanonical(canonical_key, plan);
+    cache_.PutAlias(exact_key, std::move(plan));
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    out.estimate = estimate;
+    return out;
+  }();
+
+  // "Degraded" describes an answer actually served; failures are just
+  // failures.
+  out.degraded = out.degraded && out.estimate.ok();
+  switch (out.estimate.status().code()) {
+    case StatusCode::kDeadlineExceeded:
+      stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kUnavailable:
+      stats_.quarantined.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
   }
-
-  // Exact-string probe: a warm repeat of the very same request text
-  // skips the parse as well as the join.
-  const std::string stripped = xpath::StripWhitespace(xpath);
-  const std::string exact_key = MakeKey('x', snap->epoch, stripped);
-  if (std::shared_ptr<const CachedPlan> hit = cache_.Get(exact_key)) {
-    stats_.exact_hits.fetch_add(1, std::memory_order_relaxed);
-    stats_.request.Record(NsSince(t_request));
-    return hit->estimate;
-  }
-
-  // Parse + canonicalize, then probe under the canonical key where all
-  // spellings of this query meet.
-  const auto t_parse = Clock::now();
-  Result<xpath::Query> parsed = xpath::ParseXPath(stripped);
-  stats_.parse.Record(NsSince(t_parse));
-  if (!parsed.ok()) return parsed.status();  // unbounded garbage: uncached
-
-  const xpath::Query canonical = xpath::Canonicalize(parsed.value());
-  const std::string canonical_key =
-      MakeKey('c', snap->epoch, xpath::SerializeKey(canonical));
-  if (std::shared_ptr<const CachedPlan> hit = cache_.Get(canonical_key)) {
-    stats_.canonical_hits.fetch_add(1, std::memory_order_relaxed);
-    cache_.PutAlias(exact_key, hit);
-    stats_.request.Record(NsSince(t_request));
-    return hit->estimate;
-  }
-
-  // Full compile: path join, then the estimation formulas.
-  estimator::Estimator est(*snap->synopsis);
-  const auto t_join = Clock::now();
-  Result<estimator::Estimator::Compiled> compiled = est.Compile(canonical);
-  stats_.join.Record(NsSince(t_join));
-  if (!compiled.ok()) return compiled.status();
-
-  const auto t_formula = Clock::now();
-  Result<double> estimate = est.EstimateCompiled(compiled.value());
-  stats_.formula.Record(NsSince(t_formula));
-
-  auto plan = std::make_shared<const CachedPlan>(
-      CachedPlan{std::move(compiled).value(), estimate});
-  cache_.PutCanonical(canonical_key, plan);
-  cache_.PutAlias(exact_key, std::move(plan));
-  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  if (out.degraded) stats_.degraded.fetch_add(1, std::memory_order_relaxed);
   stats_.request.Record(NsSince(t_request));
-  return estimate;
+  return out;
 }
 
-std::vector<Result<double>> EstimationService::EstimateBatch(
+std::vector<EstimateOutcome> EstimationService::EstimateBatch(
     std::span<const QueryRequest> requests) {
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
-  std::vector<std::optional<Result<double>>> slots(requests.size());
-  if (requests.size() <= 1 || pool_.size() <= 1) {
-    for (size_t i = 0; i < requests.size(); ++i) {
-      slots[i] = Estimate(requests[i].synopsis, requests[i].xpath);
+  const size_t n = requests.size();
+  std::vector<EstimateOutcome> results(n);
+
+  // Admission is decided for the whole batch up front: the in-flight
+  // budget admits a prefix, the rest shed immediately with escalating
+  // retry hints. Deciding before any work runs keeps shedding
+  // deterministic (it cannot depend on how fast admitted members
+  // finish) and never blocks admitted work behind refused work.
+  const size_t admitted = TryAdmit(n);
+  for (size_t i = admitted; i < n; ++i) {
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    stats_.shed.fetch_add(1, std::memory_order_relaxed);
+    results[i] = ShedOutcome(i - admitted);
+  }
+  if (admitted == 0) return results;
+
+  if (admitted <= 1 || pool_.size() <= 1) {
+    for (size_t i = 0; i < admitted; ++i) {
+      results[i] = EstimateAdmitted(requests[i]);
     }
   } else {
-    pool_.ParallelFor(requests.size(), [&](size_t i) {
-      slots[i] = Estimate(requests[i].synopsis, requests[i].xpath);
+    pool_.ParallelFor(admitted, [&](size_t i) {
+      results[i] = EstimateAdmitted(requests[i]);
     });
   }
-  std::vector<Result<double>> results;
-  results.reserve(slots.size());
-  for (std::optional<Result<double>>& s : slots) {
-    results.push_back(std::move(*s));
-  }
+  Release(admitted);
   return results;
 }
 

@@ -1,11 +1,14 @@
 #ifndef XEE_SERVICE_SERVICE_H_
 #define XEE_SERVICE_SERVICE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "service/plan_cache.h"
@@ -23,24 +26,70 @@ struct ServiceOptions {
   size_t cache_shards = 8;
   /// Worker threads for EstimateBatch; 0 = hardware concurrency.
   size_t threads = 0;
+  /// Admission control: maximum requests estimating at once (single
+  /// calls and batch members combined). Excess requests are shed
+  /// immediately with kOverloaded and a retry-after hint instead of
+  /// queueing without bound. 0 = unbounded (the historical behavior).
+  size_t max_inflight = 0;
+  /// Base of the retry-after hint attached to shed requests; shedding
+  /// under deeper overload hints proportionally longer waits. Clients
+  /// feed the hint to Backoff::NextDelayMs (common/backoff.h).
+  uint32_t retry_after_ms = 2;
+
+  /// `threads` with the 0 = hardware default resolved, clamped to >= 1
+  /// (hardware_concurrency() may legitimately report 0).
+  size_t ResolvedThreads() const {
+    return threads == 0 ? ThreadPool::DefaultThreads()
+                        : (threads < 1 ? 1 : threads);
+  }
 };
 
 /// One estimation request against a registered synopsis.
 struct QueryRequest {
   std::string synopsis;  ///< registry name
   std::string xpath;     ///< XPath expression (whitespace tolerated)
+  /// Per-request deadline; infinite by default. A request arriving
+  /// already expired is rejected in O(1) — no snapshot, parse, or join.
+  Deadline deadline;
+  /// Permit degraded answers: when order statistics are missing or the
+  /// deadline cannot fit the full computation, serve the order-free
+  /// estimate (tagged degraded) instead of failing. When false, such
+  /// requests fail with kUnavailable / kDeadlineExceeded.
+  bool allow_degraded = true;
+};
+
+/// A request's result plus its serving metadata. Convenience accessors
+/// make it drop-in for call sites that treated the old Result<double>
+/// return as a value-or-status.
+struct EstimateOutcome {
+  Result<double> estimate{0.0};
+  /// The estimate ignored the query's order constraints (missing or
+  /// quarantined order statistics, or a deadline-forced fallback).
+  bool degraded = false;
+  /// Shed by admission control before any work ran (status is
+  /// kOverloaded; retry_after_ms carries the hint).
+  bool shed = false;
+  /// Suggested client wait before retrying a shed request.
+  uint32_t retry_after_ms = 0;
+
+  bool ok() const { return estimate.ok(); }
+  double value() const { return estimate.value(); }
+  Status status() const { return estimate.status(); }
 };
 
 /// The serving layer over the paper's estimator: a synopsis registry
 /// (named, swappable datasets), a compiled-plan cache keyed by
-/// canonicalized queries, a worker pool for batch fan-out, and a stats
-/// surface. Built for the optimizer hot loop — the estimate for a warm
-/// query costs one cache lookup instead of a parse + path join.
+/// canonicalized queries, a worker pool for batch fan-out, admission
+/// control with deadline enforcement, and a stats surface. Built for
+/// the optimizer hot loop — the estimate for a warm query costs one
+/// cache lookup instead of a parse + path join — and for staying up
+/// when inputs, load, or time budgets turn hostile (DESIGN.md §9).
 ///
 /// Thread-safety: every method may be called concurrently from any
 /// thread, including registry mutations under in-flight queries (each
 /// query pins its synopsis version via a refcounted snapshot). Batch
-/// results are bit-identical to issuing the same calls sequentially.
+/// results are bit-identical to issuing the same calls sequentially,
+/// admission permitting.
 class EstimationService {
  public:
   explicit EstimationService(ServiceOptions options = {});
@@ -50,13 +99,21 @@ class EstimationService {
   const SynopsisRegistry& registry() const { return registry_; }
 
   /// Single-call fast path: runs on the caller's thread (no pool
-  /// round-trip). kNotFound for an unregistered synopsis name.
-  Result<double> Estimate(const std::string& synopsis,
-                          const std::string& xpath);
+  /// round-trip). kNotFound for an unregistered synopsis name,
+  /// kUnavailable for a quarantined one, kOverloaded when admission
+  /// control sheds, kDeadlineExceeded for a blown deadline.
+  EstimateOutcome Estimate(const QueryRequest& request);
+  EstimateOutcome Estimate(const std::string& synopsis,
+                           const std::string& xpath) {
+    return Estimate(QueryRequest{synopsis, xpath});
+  }
 
   /// Fans `requests` out over the worker pool and blocks until every
-  /// result is in. results[i] corresponds to requests[i].
-  std::vector<Result<double>> EstimateBatch(
+  /// result is in. results[i] corresponds to requests[i]. Admission is
+  /// decided up front for the whole batch: members beyond the in-flight
+  /// budget are shed (kOverloaded, escalating retry hints) without
+  /// blocking the admitted ones.
+  std::vector<EstimateOutcome> EstimateBatch(
       std::span<const QueryRequest> requests);
 
   /// Cache outcome counters, occupancy, and per-stage latency.
@@ -67,16 +124,29 @@ class EstimationService {
   size_t threads() const { return pool_.size(); }
 
  private:
-  /// Namespaced cache key: kind ('x' exact string / 'c' canonical),
-  /// synopsis epoch, and the query body.
+  /// Namespaced cache key: kind ('x' exact string / 'c' canonical /
+  /// 'd' degraded order-free), synopsis epoch, and the query body.
   static std::string MakeKey(char kind, uint64_t epoch,
                              const std::string& body);
+
+  /// Reserves up to `want` in-flight slots; returns how many were
+  /// granted (possibly 0). Never blocks.
+  size_t TryAdmit(size_t want);
+  void Release(size_t slots);
+
+  /// An outcome for a shed request. `depth` escalates the retry hint
+  /// when several requests shed at once.
+  EstimateOutcome ShedOutcome(size_t depth);
+
+  /// The estimation ladder, run after admission.
+  EstimateOutcome EstimateAdmitted(const QueryRequest& request);
 
   ServiceOptions options_;
   SynopsisRegistry registry_;
   PlanCache cache_;
   ThreadPool pool_;
   ServiceStats stats_;
+  std::atomic<size_t> inflight_{0};
 };
 
 }  // namespace xee::service

@@ -48,6 +48,10 @@ ServiceStatsSnapshot ServiceStats::Snap(const LruStats& cache) const {
   s.exact_hits = exact_hits.load(std::memory_order_relaxed);
   s.canonical_hits = canonical_hits.load(std::memory_order_relaxed);
   s.misses = misses.load(std::memory_order_relaxed);
+  s.shed = shed.load(std::memory_order_relaxed);
+  s.degraded = degraded.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded.load(std::memory_order_relaxed);
+  s.quarantined = quarantined.load(std::memory_order_relaxed);
   s.cache_evictions = cache.evictions;
   s.cache_bytes = cache.bytes;
   s.cache_entries = cache.entries;
@@ -77,6 +81,13 @@ std::string ServiceStatsSnapshot::ToString() const {
                    static_cast<unsigned long long>(cache_entries),
                    HumanBytes(cache_bytes).c_str(),
                    static_cast<unsigned long long>(cache_evictions));
+  out += StrFormat(
+      "robustness: %llu shed, %llu degraded, %llu deadline-exceeded, "
+      "%llu quarantined\n",
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(degraded),
+      static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(quarantined));
   auto stage = [&](const char* name, const LatencyHistogram::Snapshot& h) {
     out += StrFormat(
         "%-8s n=%-8llu mean=%8.1fus  p50<=%8.1fus  p95<=%8.1fus  "

@@ -48,6 +48,14 @@ struct ServiceStatsSnapshot {
   uint64_t canonical_hits = 0;
   uint64_t misses = 0;
 
+  // Robustness outcomes: requests shed by admission control, answered
+  // degraded (order statistics dropped), rejected for an expired
+  // deadline, or refused because the synopsis is quarantined.
+  uint64_t shed = 0;
+  uint64_t degraded = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t quarantined = 0;
+
   // Plan-cache occupancy, from the sharded LRU.
   uint64_t cache_evictions = 0;
   uint64_t cache_bytes = 0;
@@ -71,6 +79,10 @@ struct ServiceStats {
   std::atomic<uint64_t> exact_hits{0};
   std::atomic<uint64_t> canonical_hits{0};
   std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> deadline_exceeded{0};
+  std::atomic<uint64_t> quarantined{0};
 
   LatencyHistogram parse;
   LatencyHistogram join;

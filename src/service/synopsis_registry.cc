@@ -1,6 +1,9 @@
 #include "service/synopsis_registry.h"
 
+#include <string>
 #include <utility>
+
+#include "common/fault.h"
 
 namespace xee::service {
 
@@ -14,15 +17,60 @@ uint64_t SynopsisRegistry::Register(
     const std::string& name,
     std::shared_ptr<const estimator::Synopsis> synopsis) {
   std::lock_guard<std::mutex> lock(mu_);
+  quarantine_.erase(name);
   SynopsisSnapshot& slot = map_[name];
   slot.synopsis = std::move(synopsis);
   slot.epoch = next_epoch_++;
+  slot.order_quarantined = false;
   return slot.epoch;
+}
+
+LoadOutcome SynopsisRegistry::RegisterSerialized(const std::string& name,
+                                                 std::string_view blob) {
+  // Deserialization is the expensive part; run it (and the injected
+  // bit-rot) outside the lock so loads never stall serving.
+  std::string bytes(blob);
+  uint64_t rot = 0;
+  if (!bytes.empty() && FaultFires(kBitrotFaultSite, &rot)) {
+    bytes[rot % bytes.size()] ^=
+        static_cast<char>(1u << ((rot >> 32) % 8));
+  }
+
+  estimator::DeserializeOptions opts;
+  opts.salvage_order_corruption = true;
+  estimator::DeserializeReport report;
+  Result<estimator::Synopsis> syn =
+      estimator::Synopsis::Deserialize(bytes, opts, &report);
+
+  LoadOutcome out;
+  if (!syn.ok()) {
+    out.status = syn.status();
+    std::lock_guard<std::mutex> lock(mu_);
+    // The old version (if any) is as suspect as the blob that was meant
+    // to replace it is broken — a swap is a statement that the previous
+    // data is stale. Pull the name from serving entirely.
+    map_.erase(name);
+    quarantine_[name] = out.status;
+    return out;
+  }
+
+  auto shared = std::make_shared<const estimator::Synopsis>(
+      std::move(syn).value());
+  std::lock_guard<std::mutex> lock(mu_);
+  quarantine_.erase(name);
+  SynopsisSnapshot& slot = map_[name];
+  slot.synopsis = std::move(shared);
+  slot.epoch = next_epoch_++;
+  slot.order_quarantined = report.order_dropped;
+  out.epoch = slot.epoch;
+  out.order_dropped = report.order_dropped;
+  return out;
 }
 
 bool SynopsisRegistry::Remove(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return map_.erase(name) > 0;
+  const bool quarantined = quarantine_.erase(name) > 0;
+  return map_.erase(name) > 0 || quarantined;
 }
 
 std::optional<SynopsisSnapshot> SynopsisRegistry::Snapshot(
@@ -30,6 +78,14 @@ std::optional<SynopsisSnapshot> SynopsisRegistry::Snapshot(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(name);
   if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Status> SynopsisRegistry::Quarantined(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = quarantine_.find(name);
+  if (it == quarantine_.end()) return std::nullopt;
   return it->second;
 }
 

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -22,6 +23,25 @@ namespace xee::service {
 struct SynopsisSnapshot {
   std::shared_ptr<const estimator::Synopsis> synopsis;
   uint64_t epoch = 0;
+  /// This version loaded from a blob whose o-histogram section was
+  /// corrupt and dropped (RegisterSerialized salvage): order-free
+  /// queries are exact as usual, but everything served from it is
+  /// degraded and order-axis queries cannot run at full fidelity.
+  bool order_quarantined = false;
+};
+
+/// What RegisterSerialized did with a blob.
+struct LoadOutcome {
+  /// Ok when a version was registered (possibly degraded); the
+  /// deserialization error when the blob was rejected and the name
+  /// quarantined.
+  Status status;
+  /// New version epoch; 0 when rejected.
+  uint64_t epoch = 0;
+  /// The version registered without its order statistics.
+  bool order_dropped = false;
+
+  bool ok() const { return status.ok(); }
 };
 
 /// Thread-safe name -> synopsis map with swap semantics.
@@ -29,26 +49,48 @@ struct SynopsisSnapshot {
 /// Thread-safety: every method may be called concurrently; the map is
 /// guarded by one mutex (operations are O(1) pointer shuffles — the
 /// synopses themselves are immutable and shared by reference).
+/// RegisterSerialized deserializes outside the lock.
 class SynopsisRegistry {
  public:
-  /// Registers `synopsis` under `name`, replacing any previous version.
-  /// Returns the new version's epoch.
+  /// Registers `synopsis` under `name`, replacing any previous version
+  /// and clearing any quarantine on the name. Returns the new epoch.
   uint64_t Register(const std::string& name, estimator::Synopsis synopsis);
   uint64_t Register(const std::string& name,
                     std::shared_ptr<const estimator::Synopsis> synopsis);
 
-  /// Drops `name`; in-flight snapshots stay valid. False if absent.
+  /// Deserializes `blob` and registers the result under `name`. A blob
+  /// whose damage is confined to the o-histogram section registers as a
+  /// degraded (order-quarantined) version; any other corruption rejects
+  /// the blob, removes `name` from serving, and quarantines it — the
+  /// serving layer answers kUnavailable until a good version arrives.
+  LoadOutcome RegisterSerialized(const std::string& name,
+                                 std::string_view blob);
+
+  /// Drops `name` (and any quarantine record); in-flight snapshots stay
+  /// valid. False if absent.
   bool Remove(const std::string& name);
 
   /// The current version of `name`, or nullopt.
   std::optional<SynopsisSnapshot> Snapshot(const std::string& name) const;
 
-  /// Registered names, unordered.
+  /// The rejection status of a quarantined name, or nullopt when the
+  /// name is serving (or simply unknown).
+  std::optional<Status> Quarantined(const std::string& name) const;
+
+  /// Registered names, unordered. Quarantined names are not serving and
+  /// not listed.
   std::vector<std::string> Names() const;
+
+  /// Fault site (common/fault.h) fired inside RegisterSerialized: when
+  /// armed, one bit of the incoming blob is flipped (position chosen by
+  /// the fault payload) before deserialization — chaos tests use it to
+  /// exercise the quarantine and salvage paths with real bit-rot.
+  static constexpr std::string_view kBitrotFaultSite = "registry.bitrot";
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, SynopsisSnapshot> map_;
+  std::unordered_map<std::string, Status> quarantine_;
   uint64_t next_epoch_ = 1;  // guarded by mu_
 };
 

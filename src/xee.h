@@ -21,6 +21,9 @@
 /// binary tree, p-/o-histograms); the source document is not needed at
 /// estimation time.
 
+#include "common/backoff.h"
+#include "common/deadline.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "common/sharded_lru.h"
 #include "common/status.h"

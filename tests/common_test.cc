@@ -7,7 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/bitset.h"
+#include "common/deadline.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "common/sharded_lru.h"
 #include "common/status.h"
@@ -294,6 +297,137 @@ TEST(ThreadPool, DestructorDrainsSubmittedTasks) {
 
 TEST(ThreadPool, DefaultThreadsIsPositive) {
   EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+// --- Backoff ----------------------------------------------------------
+
+TEST(Backoff, DeterministicForEqualPolicyAndSeed) {
+  Backoff a({}, 42);
+  Backoff b({}, 42);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(a.NextDelayMs(), b.NextDelayMs()) << i;
+  }
+  EXPECT_EQ(a.attempts(), 12u);
+}
+
+TEST(Backoff, DelaysStayWithinJitteredEnvelopeAndCeiling) {
+  BackoffPolicy policy;
+  policy.initial_ms = 4;
+  policy.max_ms = 64;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.5;
+  Backoff backoff(policy, 7);
+  double expected_base = 4;
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t d = backoff.NextDelayMs();
+    // Each delay is drawn from [base*(1-jitter), base].
+    EXPECT_GE(d, static_cast<uint64_t>(expected_base * 0.5) == 0
+                     ? 0
+                     : static_cast<uint64_t>(expected_base * 0.5));
+    EXPECT_LE(d, static_cast<uint64_t>(expected_base));
+    expected_base = std::min(64.0, expected_base * 2.0);
+  }
+}
+
+TEST(Backoff, ServerHintIsAFloorAndResetRestarts) {
+  BackoffPolicy policy;
+  policy.initial_ms = 1;
+  policy.jitter = 0.0;
+  Backoff backoff(policy, 1);
+  EXPECT_EQ(backoff.NextDelayMs(/*server_hint_ms=*/50), 50u);
+  backoff.Reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  // Without jitter the schedule is exactly 1, 2, 4, ...
+  EXPECT_EQ(backoff.NextDelayMs(), 1u);
+  EXPECT_EQ(backoff.NextDelayMs(), 2u);
+  EXPECT_EQ(backoff.NextDelayMs(), 4u);
+}
+
+// --- FaultInjector ----------------------------------------------------
+
+TEST(FaultInjector, UnarmedSitesNeverFire) {
+  FaultInjector::Global().Reset();
+  EXPECT_FALSE(FaultFires("common-test.nope"));
+  EXPECT_EQ(FaultInjector::Global().HitCount("common-test.nope"), 0u);
+}
+
+TEST(FaultInjector, SkipThenMaxFiresThenQuiet) {
+  FaultConfig cfg;
+  cfg.probability = 1.0;
+  cfg.skip = 2;
+  cfg.max_fires = 3;
+  ScopedFault fault("common-test.site", cfg);
+
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (FaultFires("common-test.site")) ++fires;
+  }
+  // Hits 1-2 skipped, hits 3-5 fire, hits 6+ exhausted.
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(FaultInjector::Global().HitCount("common-test.site"), 10u);
+  EXPECT_EQ(FaultInjector::Global().FireCount("common-test.site"), 3u);
+}
+
+TEST(FaultInjector, PayloadIsDeliveredAndScopedFaultDisarms) {
+  {
+    FaultConfig cfg;
+    cfg.payload = 0xDEADu;
+    cfg.max_fires = 1;
+    ScopedFault fault("common-test.payload", cfg);
+    uint64_t payload = 0;
+    ASSERT_TRUE(FaultFires("common-test.payload", &payload));
+    EXPECT_EQ(payload, 0xDEADu);
+  }
+  // Out of scope: disarmed, counters forgotten.
+  EXPECT_FALSE(FaultFires("common-test.payload"));
+  EXPECT_EQ(FaultInjector::Global().HitCount("common-test.payload"), 0u);
+}
+
+TEST(FaultInjector, ProbabilityStreamIsSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    FaultConfig cfg;
+    cfg.probability = 0.5;
+    cfg.seed = seed;
+    ScopedFault fault("common-test.prob", cfg);
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) {
+      pattern += FaultFires("common-test.prob") ? '1' : '0';
+    }
+    return pattern;
+  };
+  const std::string a = run(9);
+  EXPECT_EQ(a, run(9));          // same seed, same firing pattern
+  EXPECT_NE(a, std::string(32, '0'));
+  EXPECT_NE(a, std::string(32, '1'));
+}
+
+// --- Deadline ---------------------------------------------------------
+
+TEST(Deadline, DefaultIsInfiniteAndNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.HasExpired());
+  EXPECT_EQ(d.Remaining(), Deadline::Clock::duration::max());
+}
+
+TEST(Deadline, AlreadyExpiredAndFarFuture) {
+  EXPECT_TRUE(Deadline::AlreadyExpired().HasExpired());
+  EXPECT_EQ(Deadline::AlreadyExpired().Remaining(),
+            Deadline::Clock::duration::zero());
+  Deadline far = Deadline::AfterMs(3600u * 1000u);
+  EXPECT_FALSE(far.infinite());
+  EXPECT_FALSE(far.HasExpired());
+  EXPECT_GT(far.Remaining(), Deadline::Clock::duration::zero());
+}
+
+TEST(Deadline, FaultForcesExpiryForFiniteDeadlinesOnly) {
+  FaultConfig cfg;
+  cfg.probability = 1.0;
+  ScopedFault fault(std::string(Deadline::kFaultSite), cfg);
+  // A finite deadline trips on the injected fault...
+  EXPECT_TRUE(Deadline::AfterMs(3600u * 1000u).HasExpired());
+  // ...but a caller who never asked for a deadline cannot be expired.
+  EXPECT_FALSE(Deadline::Infinite().HasExpired());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/mutate.h"
 #include "common/rng.h"
 #include "fuzz/fuzz.h"
@@ -143,6 +144,24 @@ TEST(FuzzHarness, ReplayChecksExpectations) {
 
   e.expect = CorpusEntry::Expect::kAccept;
   EXPECT_TRUE(h.ReplayEntry(e).ok());
+}
+
+TEST(FuzzHarness, ChaosRunFindsNothingAndIsDeterministic) {
+  fuzz::Harness h;
+  fuzz::FuzzOptions opt;
+  opt.seed = 11;
+  opt.iterations = 400;
+  fuzz::Report r1 = h.RunChaosFuzz(opt);
+  EXPECT_TRUE(r1.ok()) << r1.Summary();
+  EXPECT_EQ(r1.iterations, 400u);
+  EXPECT_GT(r1.estimates_checked, 0u);
+
+  // Same seed, same report — fault injection included.
+  fuzz::Report r2 = h.RunChaosFuzz(opt);
+  EXPECT_EQ(r1.Summary(), r2.Summary());
+
+  // The chaos battery leaves the global fault injector disarmed.
+  EXPECT_FALSE(FaultInjector::Global().any_armed());
 }
 
 }  // namespace

@@ -334,5 +334,87 @@ TEST(SynopsisSerialize, RandomMutationsNeverCrash) {
   }
 }
 
+// --- Salvage deserialization (DESIGN.md §9) -------------------------------
+
+// Builds an order-bearing blob whose first o-histogram bucket count has
+// been stamped 0xFFFFFFFF (over the 2^26 cap). The offset comes from an
+// order-free build of the same document: the two blobs are byte-identical
+// up to the order flag.
+std::string CorruptOrderSectionBlob() {
+  xml::Document doc = xee::testing::MakePaperDocument();
+  SynopsisOptions with_order;
+  with_order.build_values = false;
+  SynopsisOptions without_order = with_order;
+  without_order.build_order = false;
+  std::string blob = Synopsis::Build(doc, with_order).Serialize();
+  const size_t prefix = Synopsis::Build(doc, without_order).Serialize().size() - 2;
+  for (size_t i = prefix + 1; i <= prefix + 4; ++i) {
+    blob[i] = static_cast<char>(0xFF);
+  }
+  return blob;
+}
+
+TEST(SynopsisSalvage, StrictModeRejectsCorruptOrderSection) {
+  auto r = Synopsis::Deserialize(CorruptOrderSectionBlob());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(SynopsisSalvage, SalvageModeDropsOrderKeepsPaths) {
+  estimator::DeserializeOptions opt;
+  opt.salvage_order_corruption = true;
+  estimator::DeserializeReport report;
+  auto r = Synopsis::Deserialize(CorruptOrderSectionBlob(), opt, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(report.order_dropped);
+  EXPECT_FALSE(report.order_error.empty());
+  EXPECT_FALSE(r.value().has_order());
+
+  // Path estimates survive, bit-identical to an intact synopsis.
+  SynopsisOptions build;
+  build.build_values = false;
+  Synopsis intact =
+      Synopsis::Build(xee::testing::MakePaperDocument(), build);
+  for (const char* text : {"//A/B", "//A/B/D", "//A[B/D]/C/E"}) {
+    auto q = xpath::ParseXPath(text).value();
+    EXPECT_EQ(Estimator(r.value()).Estimate(q).value(),
+              Estimator(intact).Estimate(q).value())
+        << text;
+  }
+
+  // Order estimates are honestly refused rather than wrong.
+  auto oq = xpath::ParseXPath("//A/B/following-sibling::C").value();
+  EXPECT_FALSE(Estimator(r.value()).Estimate(oq).ok());
+}
+
+TEST(SynopsisSalvage, SalvageCannotRescueDamageBeforeOrderSection) {
+  // Damage in a load-bearing section (the tag count) stays fatal even
+  // with salvage on: only the order section is expendable.
+  std::string blob =
+      Synopsis::Build(xee::testing::MakePaperDocument(), {}).Serialize();
+  blob[8] = blob[9] = blob[10] = blob[11] = 0;
+  estimator::DeserializeOptions opt;
+  opt.salvage_order_corruption = true;
+  estimator::DeserializeReport report;
+  auto r = Synopsis::Deserialize(blob, opt, &report);
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(report.order_dropped);
+}
+
+TEST(SynopsisSalvage, CleanBlobReportsNothingDropped) {
+  const std::string blob =
+      Synopsis::Build(xee::testing::MakePaperDocument(), {}).Serialize();
+  estimator::DeserializeOptions opt;
+  opt.salvage_order_corruption = true;
+  estimator::DeserializeReport report;
+  auto r = Synopsis::Deserialize(blob, opt, &report);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(report.order_dropped);
+  EXPECT_TRUE(r.value().has_order());
+  // Salvage mode does not perturb the happy path: re-serialization of a
+  // clean round trip stays byte-identical.
+  EXPECT_EQ(r.value().Serialize(), blob);
+}
+
 }  // namespace
 }  // namespace xee
