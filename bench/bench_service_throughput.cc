@@ -46,6 +46,37 @@ void EmitRow(const std::string& dataset, const char* mode, size_t threads,
       seconds, seconds > 0 ? static_cast<double>(queries) / seconds : 0.0);
 }
 
+// One JSON row per pipeline stage with its latency quantiles over the
+// run — where a query's time actually goes (parse vs join vs formula),
+// tracked across PRs like the qps rows above. The service times
+// 1-in-trace_sample requests (default 16), so the rows are unbiased
+// samples of the stage distributions and `count` is the timed subset —
+// the qps rows measure the service in its production configuration.
+void EmitStageRows(const std::string& dataset, const char* mode,
+                   size_t threads, const service::EstimationService& svc) {
+  const service::ServiceStatsSnapshot s = svc.Stats();
+  struct Row {
+    const char* stage;
+    const obs::HistogramSnapshot& h;
+  };
+  const Row rows[] = {
+      {"parse", s.parse},           {"canonicalize", s.canonicalize},
+      {"cache_lookup", s.cache_lookup}, {"snapshot", s.snapshot_acquire},
+      {"join", s.join},             {"formula", s.formula},
+      {"request", s.request},
+  };
+  for (const Row& r : rows) {
+    std::printf(
+        "{\"bench\":\"service_stage\",\"dataset\":\"%s\",\"mode\":\"%s\","
+        "\"threads\":%zu,\"stage\":\"%s\",\"count\":%llu,"
+        "\"mean_us\":%.3f,\"p50_us\":%.3f,\"p90_us\":%.3f,\"p99_us\":%.3f}\n",
+        dataset.c_str(), mode, threads, r.stage,
+        static_cast<unsigned long long>(r.h.count), r.h.mean / 1e3,
+        static_cast<double>(r.h.p50) / 1e3, static_cast<double>(r.h.p90) / 1e3,
+        static_cast<double>(r.h.p99) / 1e3);
+  }
+}
+
 void RunDataset(const bench_util::DatasetRun& run,
                 const bench_util::BenchConfig& config) {
   bench_util::PrintHeader("Service throughput — " + run.name);
@@ -74,6 +105,7 @@ void RunDataset(const bench_util::DatasetRun& run,
     EmitRow(run.name, "cold", 1, reqs.size(), cold_s);
     const double warm_s = bench_util::TimeSeconds(run_all);
     EmitRow(run.name, "warm", 1, reqs.size(), warm_s);
+    EmitStageRows(run.name, "warm", 1, svc);
     std::printf(
         "\nsingle-thread mean latency: cold %.1fus/query, warm %.1fus/query "
         "(%.1fx)\n\n",
@@ -93,6 +125,7 @@ void RunDataset(const bench_util::DatasetRun& run,
       for (size_t r = 0; r < reps; ++r) (void)svc.EstimateBatch(reqs);
     });
     EmitRow(run.name, "warm-batch", threads, reps * reqs.size(), secs);
+    EmitStageRows(run.name, "warm-batch", threads, svc);
   }
 
   std::printf("\n");

@@ -9,6 +9,11 @@
 //   <synopsis-name> <xpath>     estimate the query against that synopsis
 //   .names                      list registered synopses
 //   .stats                      print service counters and latency
+//   .statsz (or STATSZ)         machine-readable metrics dump (JSON):
+//                               every counter, gauge and per-stage
+//                               latency histogram in the registry
+//   .tracez (or TRACEZ)         recent + slow request traces (JSON)
+//                               with per-stage nanosecond breakdowns
 //   .clear                      drop the compiled-plan cache
 //   .quit                       exit (EOF works too)
 //
@@ -45,6 +50,7 @@ struct Flags {
   size_t cache_mb = 8;
   size_t max_inflight = 0;   // 0 = unbounded
   uint64_t deadline_ms = 0;  // per-request deadline; 0 = none
+  uint64_t slow_ms = 10;     // slow-trace capture threshold; 0 = off
   std::string datasets = "xmark,dblp,ssplays";
 };
 
@@ -66,13 +72,15 @@ Flags ParseFlags(int argc, char** argv) {
       f.max_inflight = static_cast<size_t>(std::atoi(v));
     } else if (const char* v = value("--deadline-ms=")) {
       f.deadline_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--slow-ms=")) {
+      f.slow_ms = static_cast<uint64_t>(std::atoll(v));
     } else if (const char* v = value("--datasets=")) {
       f.datasets = v;
     } else {
       std::fprintf(stderr,
                    "usage: estimation_server [--scale=f] [--threads=n] "
                    "[--cache-mb=m] [--max-inflight=n] [--deadline-ms=t] "
-                   "[--datasets=a,b,c]\n");
+                   "[--slow-ms=t] [--datasets=a,b,c]\n");
       std::exit(2);
     }
   }
@@ -96,6 +104,7 @@ int main(int argc, char** argv) {
       .plan_cache_bytes = flags.cache_mb << 20,
       .threads = flags.threads,
       .max_inflight = flags.max_inflight,
+      .slow_trace_ns = flags.slow_ms * 1'000'000,
   });
 
   for (const std::string& name : xee::SplitString(flags.datasets, ',')) {
@@ -123,6 +132,20 @@ int main(int argc, char** argv) {
   while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, raw)) {
     const std::string line = Trim(raw);
     if (line.empty()) continue;
+    // Monitoring endpoints answer in both spellings: dot-command for the
+    // interactive session, bare verb for scrapers piping one word in.
+    if (line == ".statsz" || line == "STATSZ") {
+      // Two registries: the service's own metrics, and the process-wide
+      // one (estimator work counters, thread pool, fault injection).
+      std::printf("{\"service\":%s,\"process\":%s}\n",
+                  service.StatszJson().c_str(),
+                  xee::obs::Registry::Global().ToJson().c_str());
+      continue;
+    }
+    if (line == ".tracez" || line == "TRACEZ") {
+      std::printf("%s\n", service.traces().ToJson().c_str());
+      continue;
+    }
     if (line[0] == '.') {
       if (line == ".quit") break;
       if (line == ".names") {
@@ -141,7 +164,7 @@ int main(int argc, char** argv) {
         continue;
       }
       std::printf("error: unknown command \"%s\" (try .names, .stats, "
-                  ".clear, .quit)\n",
+                  ".statsz, .tracez, .clear, .quit)\n",
                   line.c_str());
       continue;
     }

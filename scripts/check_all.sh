@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# The full pre-merge battery, in increasing order of cost:
+#
+#   1. tier-1 build + ctest (unit, accuracy, smoke labels)
+#   2. ThreadSanitizer slice   (scripts/check_tsan.sh)
+#   3. ASan/UBSan slice        (scripts/check_asan.sh)
+#
+# The fuzz and chaos smokes run inside step 1 via their ctest entries
+# (label `smoke`), and again under ASan in step 3. Run from the
+# repository root:
+#
+#   scripts/check_all.sh            # everything
+#   scripts/check_all.sh --fast     # tier-1 only, skip the sanitizers
+#
+# Exits non-zero on the first failing stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then fast=1; fi
+
+echo "== [1/3] tier-1 build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure)
+
+if [[ "$fast" == "1" ]]; then
+  echo "check_all: tier-1 passed (sanitizers skipped with --fast)."
+  exit 0
+fi
+
+echo "== [2/3] ThreadSanitizer slice =="
+scripts/check_tsan.sh
+
+echo "== [3/3] ASan/UBSan slice =="
+scripts/check_asan.sh
+
+echo "check_all: all stages passed."

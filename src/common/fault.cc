@@ -1,5 +1,7 @@
 #include "common/fault.h"
 
+#include "obs/metrics.h"
+
 namespace xee {
 
 FaultInjector& FaultInjector::Global() {
@@ -38,6 +40,10 @@ bool FaultInjector::Fire(std::string_view site, uint64_t* payload) {
   if (s.fires >= s.config.max_fires) return false;
   if (!s.rng.Bernoulli(s.config.probability)) return false;
   ++s.fires;
+  // Fired injections are events worth seeing next to the metrics they
+  // perturb; labeled by site in the global registry (monotonic across
+  // Arm/Reset cycles, unlike the per-site `fires`).
+  obs::Registry::Global().GetCounter("fault.fires", site).Inc();
   if (payload != nullptr) *payload = s.config.payload;
   return true;
 }

@@ -5,8 +5,37 @@
 #include <latch>
 
 #include "common/fault.h"
+#include "obs/metrics.h"
 
 namespace xee {
+namespace {
+
+/// Pool metrics live in the global registry: queue depth (gauge), time
+/// spent queued, and task run time (ns histograms). Handles resolved
+/// once per process.
+struct PoolMetrics {
+  obs::Gauge& queue_depth =
+      obs::Registry::Global().GetGauge("pool.queue_depth");
+  obs::Histogram& queue_wait_ns =
+      obs::Registry::Global().GetHistogram("pool.queue_wait_ns");
+  obs::Histogram& task_ns =
+      obs::Registry::Global().GetHistogram("pool.task_ns");
+
+  static PoolMetrics& Get() {
+    static PoolMetrics m;
+    return m;
+  }
+};
+
+#ifndef XEE_OBS_OFF
+uint64_t NsBetween(std::chrono::steady_clock::time_point a,
+                   std::chrono::steady_clock::time_point b) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+#endif
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t threads) {
   const size_t n = std::max<size_t>(1, threads);
@@ -26,10 +55,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
+  Task task{std::move(fn), {}};
+#ifndef XEE_OBS_OFF
+  task.enqueued = std::chrono::steady_clock::now();
+#endif
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(fn));
+    queue_.push_back(std::move(task));
   }
+  PoolMetrics::Get().queue_depth.Add(1);
   cv_.notify_one();
 }
 
@@ -57,7 +91,7 @@ size_t ThreadPool::DefaultThreads() {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -65,11 +99,20 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    PoolMetrics& metrics = PoolMetrics::Get();
+    metrics.queue_depth.Sub(1);
     uint64_t slow_ms = 0;
     if (FaultFires(kSlowWorkerFaultSite, &slow_ms)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(slow_ms));
     }
-    task();
+#ifndef XEE_OBS_OFF
+    const auto start = std::chrono::steady_clock::now();
+    metrics.queue_wait_ns.Record(NsBetween(task.enqueued, start));
+    task.fn();
+    metrics.task_ns.Record(NsBetween(start, std::chrono::steady_clock::now()));
+#else
+    task.fn();
+#endif
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef XEE_COMMON_THREAD_POOL_H_
 #define XEE_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -46,11 +47,19 @@ class ThreadPool {
   static constexpr std::string_view kSlowWorkerFaultSite = "pool.slow-worker";
 
  private:
+  /// A queued closure plus its enqueue time, so the worker can report
+  /// queue-wait latency (pool.queue_wait_ns in the global obs registry;
+  /// the timestamp is skipped entirely under XEE_OBS_OFF).
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -6,6 +6,7 @@
 
 #include "common/fault.h"
 #include "encoding/containment.h"
+#include "obs/metrics.h"
 #include "stats/path_order.h"
 
 namespace xee::estimator {
@@ -66,10 +67,37 @@ Result<double> Estimator::Estimate(const Query& query,
   RunCtx ctx{limits.deadline};
   if (ctx.CheckCoarse()) return DeadlineError("before estimation began");
   Result<double> r = EstimateImpl(query, &ctx);
+  FlushCounters(ctx, limits);
   // Partial values computed under an expired deadline are garbage; the
   // latched flag wins over whatever bubbled up.
   if (ctx.expired) return DeadlineError("during estimation");
   return r;
+}
+
+void Estimator::FlushCounters(const RunCtx& ctx,
+                              const EstimateLimits& limits) const {
+  if (ctx.containment_tests == 0 && ctx.join_probes == 0 &&
+      ctx.fixpoint_rounds == 0) {
+    return;
+  }
+  containment_tests_.fetch_add(ctx.containment_tests,
+                               std::memory_order_relaxed);
+  // Handles resolved once per process; the registry guarantees the
+  // references stay valid forever.
+  static obs::Counter& tests =
+      obs::Registry::Global().GetCounter("estimator.containment_tests");
+  static obs::Counter& probes =
+      obs::Registry::Global().GetCounter("estimator.join_probes");
+  static obs::Counter& rounds =
+      obs::Registry::Global().GetCounter("estimator.fixpoint_rounds");
+  tests.Add(ctx.containment_tests);
+  probes.Add(ctx.join_probes);
+  rounds.Add(ctx.fixpoint_rounds);
+  if (limits.trace != nullptr) {
+    limits.trace->containment_tests += ctx.containment_tests;
+    limits.trace->join_probes += ctx.join_probes;
+    limits.trace->fixpoint_rounds += ctx.fixpoint_rounds;
+  }
 }
 
 Result<double> Estimator::EstimateImpl(const Query& query, RunCtx* ctx) const {
@@ -199,6 +227,7 @@ Result<Estimator::Compiled> Estimator::Compile(
     return plan;
   }
   if (!PathJoin(plan.query, plan.tags, &plan.join, &ctx)) plan.zero = true;
+  FlushCounters(ctx, limits);
   if (ctx.expired) return DeadlineError("during the path join");
   return plan;
 }
@@ -218,11 +247,13 @@ Result<double> Estimator::EstimateCompiled(const Compiled& plan,
   for (const auto& n : q.nodes) general |= n.value_filter.has_value();
   if (general) {
     Result<double> r = EstimateImpl(q, &ctx);
+    FlushCounters(ctx, limits);
     if (ctx.expired) return DeadlineError("during estimation");
     return r;
   }
   if (plan.zero) return 0.0;
   const double sel = NodeSelectivity(q, plan.tags, plan.join, q.target, &ctx);
+  FlushCounters(ctx, limits);
   if (ctx.expired) return DeadlineError("during estimation");
   return sel;
 }
@@ -284,7 +315,7 @@ bool Estimator::PathJoin(const Query& q, const std::vector<xml::TagId>& tags,
     // On expiry, report incompatible: lists collapse, the sweeps finish
     // quickly, and the caller discards the result via ctx->expired.
     if (ctx->CheckFine()) return false;
-    containment_tests_.fetch_add(1, std::memory_order_relaxed);
+    ++ctx->containment_tests;
     return encoding::PidPairCompatible(
         syn_.table(), parent.tag, syn_.PidBits(parent.pid), child.tag,
         syn_.PidBits(child.pid), ToAxisKind(axis));
@@ -294,6 +325,7 @@ bool Estimator::PathJoin(const Query& q, const std::vector<xml::TagId>& tags,
   // endpoint lists. Returns true if something was removed.
   auto sweep_edge = [&](size_t i) {
     if (ctx->expired) return false;
+    ++ctx->join_probes;
     const int p = q.nodes[i].parent;
     const StructAxis axis = q.nodes[i].axis;
     CandList& pl = (*cands)[p];
@@ -315,6 +347,7 @@ bool Estimator::PathJoin(const Query& q, const std::vector<xml::TagId>& tags,
   if (join_to_fixpoint_) {
     bool changed = true;
     while (changed && !ctx->CheckCoarse()) {
+      ++ctx->fixpoint_rounds;
       changed = false;
       for (size_t i = 1; i < q.nodes.size(); ++i) {
         changed |= sweep_edge(i);
@@ -323,6 +356,7 @@ bool Estimator::PathJoin(const Query& q, const std::vector<xml::TagId>& tags,
   } else {
     // Single bottom-up then top-down pass (ablation A2): the classic
     // two-pass semi-join reducer.
+    ctx->fixpoint_rounds += 2;
     for (size_t i = q.nodes.size(); i-- > 1;) sweep_edge(i);
     for (size_t i = 1; i < q.nodes.size(); ++i) sweep_edge(i);
   }

@@ -9,6 +9,7 @@
 #include "common/deadline.h"
 #include "common/status.h"
 #include "estimator/synopsis.h"
+#include "obs/trace.h"
 #include "xpath/query.h"
 
 namespace xee::estimator {
@@ -20,6 +21,10 @@ struct EstimateLimits {
   /// the call abandons its work and returns kDeadlineExceeded. An
   /// already-expired deadline is rejected before any join work runs.
   Deadline deadline;
+  /// Optional trace sink: when set, the call's containment tests, join
+  /// probes, and fixpoint rounds are added to it on return (the service
+  /// layer threads its per-request span here).
+  obs::TraceSpans* trace = nullptr;
 };
 
 /// Selectivity estimator for XPath expressions with and without order
@@ -119,6 +124,12 @@ class Estimator {
     Deadline deadline;
     uint32_t ticks = 0;
     bool expired = false;
+    /// Work counters, accumulated as plain integers on the hot path and
+    /// flushed once per public entry point (to the estimator's member
+    /// atomic, the global obs registry, and limits.trace when set).
+    uint64_t containment_tests = 0;
+    uint64_t join_probes = 0;
+    uint64_t fixpoint_rounds = 0;
 
     /// Step/join-boundary check: reads the clock (cheap, but not free)
     /// unless the deadline is infinite or expiry already latched.
@@ -131,6 +142,11 @@ class Estimator {
   /// Estimate body shared by the public entry points; `ctx` carries the
   /// deadline (never null).
   Result<double> EstimateImpl(const xpath::Query& query, RunCtx* ctx) const;
+
+  /// Drains ctx's work counters into the member atomic, the global obs
+  /// registry, and `limits.trace` (when set). Called exactly once per
+  /// public entry point, on every exit path.
+  void FlushCounters(const RunCtx& ctx, const EstimateLimits& limits) const;
 
   /// Per-query resolved tag ids; nullopt when some tag is unknown.
   bool ResolveTags(const xpath::Query& q, std::vector<xml::TagId>* tags) const;

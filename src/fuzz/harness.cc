@@ -662,10 +662,32 @@ Report Harness::RunChaosFuzz(const FuzzOptions& options) const {
   service_opt.threads = 1;  // inline batches: deterministic fault order
   service_opt.max_inflight = 3;
   service_opt.retry_after_ms = 2;
+  service_opt.trace_sample = 1;  // trace every request: span oracles below
+  service_opt.trace_capacity = 64;
+  service_opt.slow_trace_ns = 2'000'000;
   service::EstimationService svc(service_opt);
   for (const auto& bed : beds_) {
     svc.registry().Register(bed->name, bed->exact);
   }
+
+  // Metric invariant: a fault site never fires past its armed budget.
+  // Budgets are remembered at Arm time and checked before every Reset
+  // (which clears the injector's own per-site fire counts).
+  std::vector<std::pair<std::string, uint64_t>> armed_budgets;
+  auto check_fault_budgets = [&] {
+    for (const auto& [site, max_fires] : armed_budgets) {
+      const uint64_t fires = faults.FireCount(site);
+      if (fires > max_fires) {
+        rep.findings.push_back(MakeFinding(
+            "chaos", "fault-budget",
+            StrFormat("site %s fired %llu times with max_fires=%llu",
+                      site.c_str(), static_cast<unsigned long long>(fires),
+                      static_cast<unsigned long long>(max_fires)),
+            site));
+      }
+    }
+    armed_budgets.clear();
+  };
 
   Rng master(options.seed);
   for (size_t i = 0; i < options.iterations; ++i) {
@@ -674,6 +696,7 @@ Report Harness::RunChaosFuzz(const FuzzOptions& options) const {
     // Rotate the armed fault set: forced deadline expiry and injected
     // allocation failures come and go with seeded budgets.
     if (it.Bernoulli(0.3)) {
+      check_fault_budgets();
       faults.Reset();
       if (it.Bernoulli(0.5)) {
         FaultConfig cfg;
@@ -682,6 +705,8 @@ Report Harness::RunChaosFuzz(const FuzzOptions& options) const {
         cfg.max_fires = 1 + it.Index(3);
         cfg.seed = it.Next();
         faults.Arm(std::string(Deadline::kFaultSite), cfg);
+        armed_budgets.emplace_back(std::string(Deadline::kFaultSite),
+                                   cfg.max_fires);
       }
       if (it.Bernoulli(0.3)) {
         FaultConfig cfg;
@@ -689,6 +714,9 @@ Report Harness::RunChaosFuzz(const FuzzOptions& options) const {
         cfg.max_fires = 1 + it.Index(2);
         cfg.seed = it.Next();
         faults.Arm(std::string(estimator::Estimator::kAllocFaultSite), cfg);
+        armed_budgets.emplace_back(
+            std::string(estimator::Estimator::kAllocFaultSite),
+            cfg.max_fires);
       }
     }
 
@@ -751,7 +779,54 @@ Report Harness::RunChaosFuzz(const FuzzOptions& options) const {
       batch.push_back(std::move(req));
     }
 
+#ifndef XEE_OBS_OFF
+    const uint64_t req_before = svc.obs().CounterValue("service.requests");
+    const uint64_t shed_before =
+        svc.obs().CounterValue("service.outcome", "reason=shed");
+#endif
     const auto got = svc.EstimateBatch(batch);
+#ifndef XEE_OBS_OFF
+    // Metric conservation: every batch member is counted exactly once,
+    // shed counter matches the shed outcomes, and with the batch done
+    // (single service, no concurrent callers) nothing is left in flight.
+    const uint64_t req_delta =
+        svc.obs().CounterValue("service.requests") - req_before;
+    uint64_t shed_got = 0;
+    for (const auto& g : got) shed_got += g.shed ? 1 : 0;
+    const uint64_t shed_delta =
+        svc.obs().CounterValue("service.outcome", "reason=shed") - shed_before;
+    if (req_delta != n || shed_delta != shed_got) {
+      rep.findings.push_back(MakeFinding(
+          "chaos", "metric-conservation",
+          StrFormat("batch of %zu: requests+=%llu, shed counter +=%llu vs "
+                    "%llu shed outcomes",
+                    n, static_cast<unsigned long long>(req_delta),
+                    static_cast<unsigned long long>(shed_delta),
+                    static_cast<unsigned long long>(shed_got)),
+          batch[0].xpath));
+    }
+    if (svc.obs().GaugeValue("service.inflight") != 0) {
+      rep.findings.push_back(MakeFinding(
+          "chaos", "inflight-gauge",
+          StrFormat("inflight gauge reads %lld after the batch returned",
+                    static_cast<long long>(
+                        svc.obs().GaugeValue("service.inflight"))),
+          batch[0].xpath));
+    }
+    // Trace oracle: stages are disjoint sub-intervals of the request,
+    // so their sum can never exceed the recorded wall time.
+    for (const obs::TraceRecord& t : svc.traces().Recent()) {
+      if (t.spans.SumNs() > t.total_ns) {
+        rep.findings.push_back(MakeFinding(
+            "chaos", "trace-spans",
+            StrFormat("trace seq %llu: stage sum %llu ns > total %llu ns",
+                      static_cast<unsigned long long>(t.seq),
+                      static_cast<unsigned long long>(t.spans.SumNs()),
+                      static_cast<unsigned long long>(t.total_ns)),
+            t.query));
+      }
+    }
+#endif
     for (size_t j = 0; j < n; ++j) {
       const service::EstimateOutcome& g = got[j];
       ++rep.estimates_checked;
@@ -806,6 +881,7 @@ Report Harness::RunChaosFuzz(const FuzzOptions& options) const {
     // Recovery oracle: with the faults gone and a clean version
     // registered, full fidelity comes back, bit for bit.
     if (it.Bernoulli(0.25)) {
+      check_fault_budgets();
       faults.Reset();
       const TestBed& bed = *beds_[it.Index(beds_.size())];
       svc.registry().Register(bed.name, bed.exact);
@@ -848,6 +924,7 @@ Report Harness::RunChaosFuzz(const FuzzOptions& options) const {
     }
     ++rep.iterations;
   }
+  check_fault_budgets();
   faults.Reset();
   return rep;
 }

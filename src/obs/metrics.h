@@ -1,0 +1,287 @@
+#ifndef XEE_OBS_METRICS_H_
+#define XEE_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// xee_obs: the observability subsystem (DESIGN.md §10). Labeled
+/// counters, gauges and log-bucketed latency histograms behind a
+/// registry, cheap enough to leave in release hot paths:
+///
+///   - Counter::Inc / Histogram::Record are relaxed atomic adds on
+///     cache-line-aligned, thread-sharded slots; no locks, no clock
+///     reads, no allocation.
+///   - Registry::Get* takes a mutex only on first use of a (name,
+///     label) pair; callers cache the returned reference (it is stable
+///     for the registry's lifetime).
+///   - Compiling with -DXEE_OBS_OFF turns the whole API into inline
+///     no-ops (header-only; binaries need no xee_obs symbols), for
+///     measuring the instrumentation overhead itself.
+///
+/// Registries are instantiable — the service layer owns one per
+/// EstimationService instance so concurrent services (and tests) do not
+/// bleed counters into each other — and Registry::Global() serves the
+/// process-wide singletons (estimator, thread pool, fault injector).
+namespace xee::obs {
+
+/// Point-in-time view of one histogram. Quantiles are bucket upper
+/// bounds (inclusive), so conservative by at most one sub-bucket —
+/// 12.5% relative at the default 8 sub-buckets per octave. Unit-
+/// agnostic: the recorder picks the unit (latency metrics record
+/// nanoseconds and carry a `_ns` name suffix by convention).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  double mean = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;  ///< upper bound of the highest non-empty bucket
+};
+
+/// Log-bucketed histogram math, shared by the live and no-op builds
+/// (and unit-tested against exact reference values in obs_test.cc).
+///
+/// Values 0..7 get exact buckets; past that, each power-of-two octave
+/// [2^k, 2^(k+1)) splits into 8 linear sub-buckets of width 2^(k-3).
+/// Any uint64 value maps to one of 496 buckets with relative bucket
+/// width <= 1/8.
+struct HistogramBuckets {
+  static constexpr int kSubBits = 3;
+  static constexpr int kSub = 1 << kSubBits;  // sub-buckets per octave
+  static constexpr int kBuckets = kSub + (64 - kSubBits) * kSub;  // 496
+
+  static constexpr int BucketOf(uint64_t v) {
+    if (v < static_cast<uint64_t>(kSub)) return static_cast<int>(v);
+    const int k = 63 - std::countl_zero(v);  // floor(log2 v), >= kSubBits
+    const int sub =
+        static_cast<int>((v >> (k - kSubBits)) & (kSub - 1));
+    return kSub + (k - kSubBits) * kSub + sub;
+  }
+
+  /// Largest value mapping to bucket `b` (the value quantiles report).
+  static constexpr uint64_t BucketBound(int b) {
+    if (b < kSub) return static_cast<uint64_t>(b);
+    const int k = kSubBits + (b - kSub) / kSub;
+    const int sub = (b - kSub) % kSub;
+    // 2^k + (sub+1) * 2^(k-kSubBits) - 1; the top bucket (k=63, sub=7)
+    // wraps to exactly UINT64_MAX under unsigned arithmetic.
+    return (1ull << k) +
+           ((static_cast<uint64_t>(sub) + 1) << (k - kSubBits)) - 1;
+  }
+};
+
+#ifndef XEE_OBS_OFF
+
+/// Monotonic event counter. Inc/Add are wait-free relaxed adds.
+class Counter {
+ public:
+  void Inc() { v_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<uint64_t> v_{0};
+};
+
+/// Instantaneous signed level (queue depth, in-flight requests).
+class Gauge {
+ public:
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  void Set(int64_t n) { v_.store(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<int64_t> v_{0};
+};
+
+/// Concurrent log-bucketed histogram (see HistogramBuckets for the
+/// bucket math). Recording threads spread over kShards cache-line-
+/// aligned shards by a thread-local index, so concurrent recorders do
+/// not ping-pong one cache line; Snap() merges the shards (approximate
+/// under concurrent writes, which is fine for monitoring).
+class Histogram {
+ public:
+  static constexpr int kShards = 4;  // power of two
+
+  void Record(uint64_t v) {
+    Shard& s = shards_[ShardIndex()];
+    s.buckets[HistogramBuckets::BucketOf(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snap() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[HistogramBuckets::kBuckets] = {};
+    std::atomic<uint64_t> sum{0};
+  };
+
+  static size_t ShardIndex() {
+    static std::atomic<size_t> next{0};
+    thread_local const size_t idx =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return idx & (kShards - 1);
+  }
+
+  Shard shards_[kShards];
+};
+
+/// One row of Registry::Rows(): a metric's identity plus its current
+/// value (kind selects which payload field is meaningful).
+struct MetricRow {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;   ///< e.g. "service.outcome"
+  std::string label;  ///< e.g. "reason=shed"; empty when unlabeled
+  Kind kind = Kind::kCounter;
+  uint64_t counter = 0;
+  int64_t gauge = 0;
+  HistogramSnapshot hist;
+};
+
+/// Named metrics with an optional label dimension. (name, label) pairs
+/// identify metrics: two Get* calls with equal identity return the same
+/// object; distinct labels on one name are distinct metrics. Returned
+/// references stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry for cross-cutting subsystems (estimator,
+  /// thread pool, fault injection). Never destroyed.
+  static Registry& Global();
+
+  Counter& GetCounter(std::string_view name, std::string_view label = {});
+  Gauge& GetGauge(std::string_view name, std::string_view label = {});
+  Histogram& GetHistogram(std::string_view name, std::string_view label = {});
+
+  /// Read-side lookups that never create: zero / empty snapshot when
+  /// the metric does not exist (the fuzz oracles and tests use these).
+  uint64_t CounterValue(std::string_view name,
+                        std::string_view label = {}) const;
+  int64_t GaugeValue(std::string_view name, std::string_view label = {}) const;
+  HistogramSnapshot HistogramSnap(std::string_view name,
+                                  std::string_view label = {}) const;
+
+  /// Every metric, grouped by kind (counters, then gauges, then
+  /// histograms), each group sorted by (name, label).
+  std::vector<MetricRow> Rows() const;
+
+  /// The statsz rendering:
+  ///   {"counters":{"name{label}":n,...},"gauges":{...},
+  ///    "histograms":{"name":{"count":n,"mean":f,"p50":n,...},...}}
+  std::string ToJson() const;
+
+ private:
+  static std::string Key(std::string_view name, std::string_view label);
+
+  mutable std::mutex mu_;
+  // Keyed by Key(name, label); unique_ptr keeps addresses stable while
+  // the maps grow.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view s);
+
+#else  // XEE_OBS_OFF: the whole API degrades to inline no-ops.
+
+class Counter {
+ public:
+  void Inc() {}
+  void Add(uint64_t) {}
+  uint64_t value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void Add(int64_t) {}
+  void Sub(int64_t) {}
+  void Set(int64_t) {}
+  int64_t value() const { return 0; }
+};
+
+class Histogram {
+ public:
+  static constexpr int kShards = 4;
+  void Record(uint64_t) {}
+  HistogramSnapshot Snap() const { return {}; }
+};
+
+struct MetricRow {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  std::string label;
+  Kind kind = Kind::kCounter;
+  uint64_t counter = 0;
+  int64_t gauge = 0;
+  HistogramSnapshot hist;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Global() {
+    static Registry r;
+    return r;
+  }
+
+  Counter& GetCounter(std::string_view, std::string_view = {}) {
+    static Counter c;
+    return c;
+  }
+  Gauge& GetGauge(std::string_view, std::string_view = {}) {
+    static Gauge g;
+    return g;
+  }
+  Histogram& GetHistogram(std::string_view, std::string_view = {}) {
+    static Histogram h;
+    return h;
+  }
+
+  uint64_t CounterValue(std::string_view, std::string_view = {}) const {
+    return 0;
+  }
+  int64_t GaugeValue(std::string_view, std::string_view = {}) const {
+    return 0;
+  }
+  HistogramSnapshot HistogramSnap(std::string_view,
+                                  std::string_view = {}) const {
+    return {};
+  }
+
+  std::vector<MetricRow> Rows() const { return {}; }
+  std::string ToJson() const {
+    return "{\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+  }
+};
+
+inline std::string JsonEscape(std::string_view s) {
+  return std::string(s);
+}
+
+#endif  // XEE_OBS_OFF
+
+}  // namespace xee::obs
+
+#endif  // XEE_OBS_METRICS_H_

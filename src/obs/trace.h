@@ -1,0 +1,216 @@
+#ifndef XEE_OBS_TRACE_H_
+#define XEE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+/// Per-request tracing (DESIGN.md §10): each estimation request carries
+/// a TraceSpans on its stack; the serving pipeline's stages accumulate
+/// wall time into it via ScopedStageTimer, the estimator folds its work
+/// counters in through EstimateLimits, and the finished trace lands in
+/// the service's bounded TraceRing — with slow requests additionally
+/// captured in a separate ring that the fast ring cannot wash out.
+namespace xee::obs {
+
+/// The serving pipeline's stages, in request order. A stage a request
+/// skips (an exact-string cache hit never parses) records nothing.
+enum class Stage : uint8_t {
+  kParse = 0,       ///< XPath string -> AST
+  kCanonicalize,    ///< AST -> canonical form + cache key
+  kCacheLookup,     ///< plan-cache probes (exact + canonical + degraded)
+  kSnapshot,        ///< synopsis registry snapshot acquire
+  kJoin,            ///< path join (Estimator::Compile)
+  kFormula,         ///< estimation formulas (EstimateCompiled)
+};
+inline constexpr size_t kStageCount = 6;
+
+constexpr std::string_view StageName(Stage s) {
+  switch (s) {
+    case Stage::kParse:
+      return "parse";
+    case Stage::kCanonicalize:
+      return "canonicalize";
+    case Stage::kCacheLookup:
+      return "cache_lookup";
+    case Stage::kSnapshot:
+      return "snapshot";
+    case Stage::kJoin:
+      return "join";
+    case Stage::kFormula:
+      return "formula";
+  }
+  return "?";
+}
+
+/// One request's per-stage time and estimator work counters. A plain
+/// stack struct — single-threaded within its request, no atomics.
+/// Stages are disjoint sub-intervals of the request, so the invariant
+/// sum(stage_ns) <= total wall time holds by construction (the chaos
+/// harness asserts it).
+struct TraceSpans {
+  uint64_t stage_ns[kStageCount] = {};
+  uint64_t containment_tests = 0;
+  uint64_t join_probes = 0;
+  uint64_t fixpoint_rounds = 0;
+
+  uint64_t StageNs(Stage s) const {
+    return stage_ns[static_cast<size_t>(s)];
+  }
+  uint64_t SumNs() const {
+    uint64_t t = 0;
+    for (uint64_t v : stage_ns) t += v;
+    return t;
+  }
+};
+
+/// A completed request trace as stored in the ring.
+struct TraceRecord {
+  uint64_t seq = 0;       ///< monotonically increasing per ring
+  uint64_t total_ns = 0;  ///< end-to-end request wall time
+  TraceSpans spans;
+  std::string synopsis;
+  std::string query;
+  std::string outcome;  ///< "exact-hit", "miss", "deadline", ...
+  bool degraded = false;
+};
+
+#ifndef XEE_OBS_OFF
+
+/// RAII stage timer: on destruction adds the elapsed nanoseconds to the
+/// span's stage slot and (when given) a stage histogram. Re-entering a
+/// stage accumulates — the cache-lookup stage times all probes of one
+/// request together. Constructing with `enabled = false` makes the
+/// timer inert without touching the clock: the service decides once per
+/// request whether it is timed (ServiceOptions::trace_sample) and
+/// threads that decision through every stage, keeping the unsampled
+/// hot path free of clock reads.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(TraceSpans* spans, Stage stage, Histogram* hist,
+                   bool enabled = true)
+      : spans_(enabled ? spans : nullptr),
+        hist_(enabled ? hist : nullptr),
+        stage_(stage) {
+    if (spans_ != nullptr || hist_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~ScopedStageTimer() {
+    if (spans_ == nullptr && hist_ == nullptr) return;
+    const uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    if (spans_ != nullptr) {
+      spans_->stage_ns[static_cast<size_t>(stage_)] += ns;
+    }
+    if (hist_ != nullptr) hist_->Record(ns);
+  }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  TraceSpans* spans_;
+  Histogram* hist_;
+  Stage stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Bounded buffer of recent traces plus a separate slow-trace buffer
+/// for requests at or above a configurable threshold (so one burst of
+/// fast requests cannot evict the interesting outliers). Record takes a
+/// mutex — callers sample (ServiceOptions::trace_sample) to keep it off
+/// the per-request critical path.
+class TraceRing {
+ public:
+  /// `capacity` bounds the recent ring (clamped to >= 1); the slow ring
+  /// holds max(16, capacity/4). `slow_threshold_ns` of 0 disables slow
+  /// capture.
+  explicit TraceRing(size_t capacity, uint64_t slow_threshold_ns = 0);
+
+  /// True when this record would be kept even if unsampled (slow-query
+  /// capture); cheap, lock-free.
+  bool IsSlow(uint64_t total_ns) const {
+    const uint64_t t = slow_threshold_ns_.load(std::memory_order_relaxed);
+    return t != 0 && total_ns >= t;
+  }
+
+  void Record(TraceRecord rec);
+
+  /// The most recent `max` traces, oldest first.
+  std::vector<TraceRecord> Recent(size_t max = SIZE_MAX) const;
+  /// The most recent `max` slow traces, oldest first.
+  std::vector<TraceRecord> Slow(size_t max = SIZE_MAX) const;
+
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t slow_threshold_ns() const {
+    return slow_threshold_ns_.load(std::memory_order_relaxed);
+  }
+  void set_slow_threshold_ns(uint64_t ns) {
+    slow_threshold_ns_.store(ns, std::memory_order_relaxed);
+  }
+
+  /// The tracez rendering: {"recent":[...],"slow":[...]} with at most
+  /// `max` entries per list, each entry carrying total/stage times and
+  /// estimator counters.
+  std::string ToJson(size_t max = 32) const;
+
+ private:
+  void Push(std::vector<TraceRecord>* ring, size_t* pos, size_t cap,
+            TraceRecord rec);
+  std::vector<TraceRecord> Ordered(const std::vector<TraceRecord>& ring,
+                                   size_t pos, size_t max) const;
+
+  const size_t capacity_;
+  const size_t slow_capacity_;
+  std::atomic<uint64_t> slow_threshold_ns_;
+  std::atomic<uint64_t> recorded_{0};
+
+  mutable std::mutex mu_;
+  std::vector<TraceRecord> ring_;       // guarded by mu_
+  std::vector<TraceRecord> slow_ring_;  // guarded by mu_
+  size_t pos_ = 0;                      // next write slot in ring_
+  size_t slow_pos_ = 0;
+  uint64_t seq_ = 0;
+};
+
+#else  // XEE_OBS_OFF
+
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(TraceSpans*, Stage, Histogram*, bool = true) {}
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(size_t, uint64_t = 0) {}
+  bool IsSlow(uint64_t) const { return false; }
+  void Record(TraceRecord) {}
+  std::vector<TraceRecord> Recent(size_t = SIZE_MAX) const { return {}; }
+  std::vector<TraceRecord> Slow(size_t = SIZE_MAX) const { return {}; }
+  uint64_t recorded() const { return 0; }
+  uint64_t slow_threshold_ns() const { return 0; }
+  void set_slow_threshold_ns(uint64_t) {}
+  std::string ToJson(size_t = 32) const {
+    return "{\"recent\":[],\"slow\":[]}";
+  }
+};
+
+#endif  // XEE_OBS_OFF
+
+}  // namespace xee::obs
+
+#endif  // XEE_OBS_TRACE_H_

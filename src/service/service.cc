@@ -12,6 +12,7 @@ namespace xee::service {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+using obs::Stage;
 
 uint64_t NsSince(Clock::time_point start) {
   return static_cast<uint64_t>(
@@ -26,7 +27,10 @@ EstimationService::EstimationService(ServiceOptions options)
     : options_(options),
       cache_(options.plan_cache_bytes,
              options.cache_shards < 1 ? 1 : options.cache_shards),
-      pool_(options.ResolvedThreads()) {}
+      pool_(options.ResolvedThreads()),
+      stats_(&obs_),
+      traces_(options.trace_capacity < 1 ? 1 : options.trace_capacity,
+              options.slow_trace_ns) {}
 
 std::string EstimationService::MakeKey(char kind, uint64_t epoch,
                                        const std::string& body) {
@@ -40,7 +44,11 @@ std::string EstimationService::MakeKey(char kind, uint64_t epoch,
 }
 
 size_t EstimationService::TryAdmit(size_t want) {
-  if (options_.max_inflight == 0 || want == 0) return want;
+  if (want == 0) return 0;
+  // Unbounded mode tracks nothing: the inflight gauge mirrors the
+  // admission budget, and with no budget there is nothing to observe
+  // (and no reason to pay two atomics per request for it).
+  if (options_.max_inflight == 0) return want;
   size_t cur = inflight_.load(std::memory_order_relaxed);
   while (true) {
     if (cur >= options_.max_inflight) return 0;
@@ -48,15 +56,16 @@ size_t EstimationService::TryAdmit(size_t want) {
     if (inflight_.compare_exchange_weak(cur, cur + grant,
                                         std::memory_order_acquire,
                                         std::memory_order_relaxed)) {
+      stats_.inflight.Add(static_cast<int64_t>(grant));
       return grant;
     }
   }
 }
 
 void EstimationService::Release(size_t slots) {
-  if (options_.max_inflight != 0 && slots != 0) {
-    inflight_.fetch_sub(slots, std::memory_order_release);
-  }
+  if (slots == 0 || options_.max_inflight == 0) return;
+  inflight_.fetch_sub(slots, std::memory_order_release);
+  stats_.inflight.Sub(static_cast<int64_t>(slots));
 }
 
 EstimateOutcome EstimationService::ShedOutcome(size_t depth) {
@@ -79,8 +88,8 @@ EstimateOutcome EstimationService::ShedOutcome(size_t depth) {
 
 EstimateOutcome EstimationService::Estimate(const QueryRequest& request) {
   if (TryAdmit(1) == 0) {
-    stats_.requests.fetch_add(1, std::memory_order_relaxed);
-    stats_.shed.fetch_add(1, std::memory_order_relaxed);
+    stats_.requests.Inc();
+    stats_.shed.Inc();
     return ShedOutcome(0);
   }
   EstimateOutcome out = EstimateAdmitted(request);
@@ -88,10 +97,31 @@ EstimateOutcome EstimationService::Estimate(const QueryRequest& request) {
   return out;
 }
 
+bool EstimationService::ShouldTime() {
+#ifdef XEE_OBS_OFF
+  return false;  // histograms and rings are no-ops; don't read clocks
+#else
+  const size_t n = options_.trace_sample;
+  if (n == 1) return true;
+  if (n == 0) return false;
+  return trace_tick_.fetch_add(1, std::memory_order_relaxed) % n == 0;
+#endif
+}
+
 EstimateOutcome EstimationService::EstimateAdmitted(
     const QueryRequest& req) {
-  const auto t_request = Clock::now();
-  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  // One sampling decision gates every clock read this request would
+  // make; the unsampled path costs only a handful of relaxed counter
+  // adds (see ServiceOptions::trace_sample).
+  const bool timed = ShouldTime();
+  Clock::time_point t_request;
+  if (timed) t_request = Clock::now();
+  stats_.requests.Inc();
+
+  // The request's trace: stage timers and the estimator's work counters
+  // accumulate here; timed requests land in the trace ring.
+  obs::TraceSpans spans;
+  const char* outcome_label = "error";
 
   EstimateOutcome out = [&]() -> EstimateOutcome {
     EstimateOutcome out;
@@ -99,22 +129,30 @@ EstimateOutcome EstimationService::EstimateAdmitted(
     // Rung 0 — deadline gate. A request arriving expired costs one
     // clock read: no snapshot, no parse, no join.
     if (!req.deadline.infinite() && req.deadline.HasExpired()) {
+      outcome_label = "deadline";
       out.estimate = Status(StatusCode::kDeadlineExceeded,
                             "deadline expired before estimation began");
       return out;
     }
 
-    // Rung 1 — quarantine gate: a name whose last load was rejected is
-    // deliberately out of service until a good version arrives.
-    if (std::optional<Status> q = registry_.Quarantined(req.synopsis)) {
-      out.estimate =
-          Status(StatusCode::kUnavailable,
-                 "synopsis quarantined: " + std::string(q->message()));
-      return out;
+    // Rung 1 — quarantine gate and snapshot acquire: a name whose last
+    // load was rejected is deliberately out of service until a good
+    // version arrives.
+    std::optional<SynopsisSnapshot> snap;
+    {
+      obs::ScopedStageTimer t(&spans, Stage::kSnapshot,
+                              stats_.StageHist(Stage::kSnapshot), timed);
+      if (std::optional<Status> q = registry_.Quarantined(req.synopsis)) {
+        outcome_label = "quarantined";
+        out.estimate =
+            Status(StatusCode::kUnavailable,
+                   "synopsis quarantined: " + std::string(q->message()));
+        return out;
+      }
+      snap = registry_.Snapshot(req.synopsis);
     }
-
-    std::optional<SynopsisSnapshot> snap = registry_.Snapshot(req.synopsis);
     if (!snap.has_value()) {
+      outcome_label = "not-found";
       out.estimate =
           Status(StatusCode::kNotFound, "unknown synopsis: " + req.synopsis);
       return out;
@@ -124,16 +162,23 @@ EstimateOutcome EstimationService::EstimateAdmitted(
     // quarantine message below). Order-free answers are bit-identical
     // to an intact synopsis's, so they stay full fidelity.
     const bool order_quarantined = snap->order_quarantined;
-    const estimator::EstimateLimits limits{req.deadline};
+    const estimator::EstimateLimits limits{req.deadline, &spans};
 
     // Exact-string probe: a warm repeat of the very same request text
     // skips the parse as well as the join. Degraded plans only satisfy
     // requests that accept degraded answers.
     const std::string stripped = xpath::StripWhitespace(req.xpath);
     const std::string exact_key = MakeKey('x', snap->epoch, stripped);
-    if (std::shared_ptr<const CachedPlan> hit = cache_.Get(exact_key)) {
-      if (!hit->degraded || req.allow_degraded) {
-        stats_.exact_hits.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::shared_ptr<const CachedPlan> hit;
+      {
+        obs::ScopedStageTimer t(&spans, Stage::kCacheLookup,
+                                stats_.StageHist(Stage::kCacheLookup), timed);
+        hit = cache_.Get(exact_key);
+      }
+      if (hit && (!hit->degraded || req.allow_degraded)) {
+        outcome_label = "exact-hit";
+        stats_.exact_hits.Inc();
         out.estimate = hit->estimate;
         out.degraded = hit->degraded && hit->estimate.ok();
         return out;
@@ -142,22 +187,40 @@ EstimateOutcome EstimationService::EstimateAdmitted(
 
     // Parse + canonicalize, then probe under the canonical key where
     // all spellings of this query meet.
-    const auto t_parse = Clock::now();
-    Result<xpath::Query> parsed = xpath::ParseXPath(stripped);
-    stats_.parse.Record(NsSince(t_parse));
+    Result<xpath::Query> parsed = [&] {
+      obs::ScopedStageTimer t(&spans, Stage::kParse,
+                              stats_.StageHist(Stage::kParse), timed);
+      return xpath::ParseXPath(stripped);
+    }();
     if (!parsed.ok()) {  // unbounded garbage: uncached
+      outcome_label = "parse-error";
       out.estimate = parsed.status();
       return out;
     }
 
-    const xpath::Query canonical = xpath::Canonicalize(parsed.value());
-    const std::string body = xpath::SerializeKey(canonical);
+    std::string body;
+    xpath::Query canonical;
+    {
+      obs::ScopedStageTimer t(&spans, Stage::kCanonicalize,
+                              stats_.StageHist(Stage::kCanonicalize), timed);
+      canonical = xpath::Canonicalize(parsed.value());
+      body = xpath::SerializeKey(canonical);
+    }
     const std::string canonical_key = MakeKey('c', snap->epoch, body);
-    if (std::shared_ptr<const CachedPlan> hit = cache_.Get(canonical_key)) {
-      stats_.canonical_hits.fetch_add(1, std::memory_order_relaxed);
-      cache_.PutAlias(exact_key, hit);
-      out.estimate = hit->estimate;
-      return out;
+    {
+      std::shared_ptr<const CachedPlan> hit;
+      {
+        obs::ScopedStageTimer t(&spans, Stage::kCacheLookup,
+                                stats_.StageHist(Stage::kCacheLookup), timed);
+        hit = cache_.Get(canonical_key);
+      }
+      if (hit) {
+        outcome_label = "canonical-hit";
+        stats_.canonical_hits.Inc();
+        cache_.PutAlias(exact_key, hit);
+        out.estimate = hit->estimate;
+        return out;
+      }
     }
 
     estimator::Estimator est(*snap->synopsis);
@@ -173,34 +236,48 @@ EstimateOutcome EstimationService::EstimateAdmitted(
       EstimateOutcome d;
       d.degraded = true;
       const std::string degraded_key = MakeKey('d', snap->epoch, body);
-      if (std::shared_ptr<const CachedPlan> hit = cache_.Get(degraded_key)) {
-        stats_.canonical_hits.fetch_add(1, std::memory_order_relaxed);
-        if (alias_exact) cache_.PutAlias(exact_key, hit);
-        d.estimate = hit->estimate;
-        return d;
+      {
+        std::shared_ptr<const CachedPlan> hit;
+        {
+          obs::ScopedStageTimer t(&spans, Stage::kCacheLookup,
+                                  stats_.StageHist(Stage::kCacheLookup), timed);
+          hit = cache_.Get(degraded_key);
+        }
+        if (hit) {
+          outcome_label = "canonical-hit";
+          stats_.canonical_hits.Inc();
+          if (alias_exact) cache_.PutAlias(exact_key, hit);
+          d.estimate = hit->estimate;
+          return d;
+        }
       }
       xpath::Query base = canonical;
       base.orders.clear();
-      const auto t_join = Clock::now();
-      Result<estimator::Estimator::Compiled> compiled =
-          est.Compile(base, limits);
-      stats_.join.Record(NsSince(t_join));
+      Result<estimator::Estimator::Compiled> compiled = [&] {
+        obs::ScopedStageTimer t(&spans, Stage::kJoin,
+                                stats_.StageHist(Stage::kJoin), timed);
+        return est.Compile(base, limits);
+      }();
       if (!compiled.ok()) {
         d.estimate = compiled.status();
         return d;
       }
-      const auto t_formula = Clock::now();
-      Result<double> estimate = est.EstimateCompiled(compiled.value(), limits);
-      stats_.formula.Record(NsSince(t_formula));
+      Result<double> estimate = [&] {
+        obs::ScopedStageTimer t(&spans, Stage::kFormula,
+                                stats_.StageHist(Stage::kFormula), timed);
+        return est.EstimateCompiled(compiled.value(), limits);
+      }();
       d.estimate = estimate;
       if (estimate.status().code() == StatusCode::kDeadlineExceeded) {
+        outcome_label = "deadline";
         return d;  // a blown deadline is not a property of the query
       }
+      outcome_label = "miss";
       auto plan = std::make_shared<const CachedPlan>(
           CachedPlan{std::move(compiled).value(), estimate, /*degraded=*/true});
       cache_.PutCanonical(degraded_key, plan);
       if (alias_exact) cache_.PutAlias(exact_key, std::move(plan));
-      stats_.misses.fetch_add(1, std::memory_order_relaxed);
+      stats_.misses.Inc();
       return d;
     };
 
@@ -210,6 +287,7 @@ EstimateOutcome EstimationService::EstimateAdmitted(
     const bool wants_order = !canonical.orders.empty();
     if (wants_order && !snap->synopsis->has_order()) {
       if (!req.allow_degraded) {
+        outcome_label = order_quarantined ? "quarantined" : "unsupported";
         out.estimate =
             order_quarantined
                 ? Status(StatusCode::kUnavailable,
@@ -224,16 +302,17 @@ EstimateOutcome EstimationService::EstimateAdmitted(
 
     // Full-fidelity path: compile (path join), then the estimation
     // formulas, both under the request deadline.
-    const auto t_join = Clock::now();
-    Result<estimator::Estimator::Compiled> compiled =
-        est.Compile(canonical, limits);
-    stats_.join.Record(NsSince(t_join));
+    Result<estimator::Estimator::Compiled> compiled = [&] {
+      obs::ScopedStageTimer t(&spans, Stage::kJoin,
+                              stats_.StageHist(Stage::kJoin), timed);
+      return est.Compile(canonical, limits);
+    }();
 
     Result<double> estimate{0.0};
     if (compiled.ok()) {
-      const auto t_formula = Clock::now();
+      obs::ScopedStageTimer t(&spans, Stage::kFormula,
+                              stats_.StageHist(Stage::kFormula), timed);
       estimate = est.EstimateCompiled(compiled.value(), limits);
-      stats_.formula.Record(NsSince(t_formula));
     } else {
       estimate = compiled.status();
     }
@@ -244,19 +323,22 @@ EstimateOutcome EstimationService::EstimateAdmitted(
       if (req.allow_degraded && wants_order && !req.deadline.HasExpired()) {
         return run_degraded(/*alias_exact=*/false);
       }
+      outcome_label = "deadline";
       out.estimate = estimate;
       return out;  // never cached: not a property of the query
     }
     if (!compiled.ok()) {
+      outcome_label = "error";
       out.estimate = estimate;
       return out;  // compile errors: uncached, as before
     }
 
+    outcome_label = "miss";
     auto plan = std::make_shared<const CachedPlan>(
         CachedPlan{std::move(compiled).value(), estimate, /*degraded=*/false});
     cache_.PutCanonical(canonical_key, plan);
     cache_.PutAlias(exact_key, std::move(plan));
-    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    stats_.misses.Inc();
     out.estimate = estimate;
     return out;
   }();
@@ -266,22 +348,55 @@ EstimateOutcome EstimationService::EstimateAdmitted(
   out.degraded = out.degraded && out.estimate.ok();
   switch (out.estimate.status().code()) {
     case StatusCode::kDeadlineExceeded:
-      stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      stats_.deadline_exceeded.Inc();
       break;
     case StatusCode::kUnavailable:
-      stats_.quarantined.fetch_add(1, std::memory_order_relaxed);
+      stats_.quarantined.Inc();
       break;
     default:
       break;
   }
-  if (out.degraded) stats_.degraded.fetch_add(1, std::memory_order_relaxed);
-  stats_.request.Record(NsSince(t_request));
+  if (out.degraded) stats_.degraded.Inc();
+  if (timed) {
+    const uint64_t total_ns = NsSince(t_request);
+    stats_.request_ns.Record(total_ns);
+    RecordTrace(req, outcome_label, out, spans, total_ns);
+  }
   return out;
+}
+
+void EstimationService::RecordTrace(const QueryRequest& req,
+                                    const char* outcome,
+                                    const EstimateOutcome& out,
+                                    const obs::TraceSpans& spans,
+                                    uint64_t total_ns) {
+  if (options_.trace_capacity == 0) return;
+  obs::TraceRecord rec;
+  rec.total_ns = total_ns;
+  rec.spans = spans;
+  rec.synopsis = req.synopsis;
+  rec.query = req.xpath;
+  rec.outcome = outcome;
+  rec.degraded = out.degraded;
+  traces_.Record(std::move(rec));
+}
+
+std::string EstimationService::StatszJson() {
+  // The LRU keeps its own counters; mirror them into gauges at export
+  // time so STATSZ is one self-contained document.
+  const LruStats cache = cache_.stats();
+  obs_.GetGauge("service.plan_cache.entries")
+      .Set(static_cast<int64_t>(cache.entries));
+  obs_.GetGauge("service.plan_cache.bytes")
+      .Set(static_cast<int64_t>(cache.bytes));
+  obs_.GetGauge("service.plan_cache.evictions")
+      .Set(static_cast<int64_t>(cache.evictions));
+  return obs_.ToJson();
 }
 
 std::vector<EstimateOutcome> EstimationService::EstimateBatch(
     std::span<const QueryRequest> requests) {
-  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.batches.Inc();
   const size_t n = requests.size();
   std::vector<EstimateOutcome> results(n);
 
@@ -292,8 +407,8 @@ std::vector<EstimateOutcome> EstimationService::EstimateBatch(
   // finish) and never blocks admitted work behind refused work.
   const size_t admitted = TryAdmit(n);
   for (size_t i = admitted; i < n; ++i) {
-    stats_.requests.fetch_add(1, std::memory_order_relaxed);
-    stats_.shed.fetch_add(1, std::memory_order_relaxed);
+    stats_.requests.Inc();
+    stats_.shed.Inc();
     results[i] = ShedOutcome(i - admitted);
   }
   if (admitted == 0) return results;

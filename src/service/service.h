@@ -11,6 +11,8 @@
 #include "common/deadline.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/plan_cache.h"
 #include "service/service_stats.h"
 #include "service/synopsis_registry.h"
@@ -35,6 +37,24 @@ struct ServiceOptions {
   /// under deeper overload hints proportionally longer waits. Clients
   /// feed the hint to Backoff::NextDelayMs (common/backoff.h).
   uint32_t retry_after_ms = 2;
+  /// Capacity of the recent-trace ring buffer (per-request stage
+  /// breakdowns, exported via TRACEZ). 0 disables the ring (timed
+  /// requests still feed the latency histograms).
+  size_t trace_capacity = 128;
+  /// Time 1-in-N requests (1 = every request, 0 = never). The sampling
+  /// decision gates *all* per-request timing — the stage timers, the
+  /// request histogram, and the trace ring — so the unsampled hot path
+  /// does no clock reads at all (a warm cache hit costs ~1µs; a single
+  /// clock read is ~3% of that). Counters are never sampled: request /
+  /// outcome / cache counts stay exact. The latency histograms are
+  /// unbiased 1-in-N samples of the distribution; their `count` is the
+  /// number of timed requests, not total requests.
+  size_t trace_sample = 16;
+  /// Timed requests at or above this wall time are captured in the
+  /// slow-trace ring (in addition to the sampled recent ring). 0
+  /// disables slow capture. Untimed requests can't be detected as slow
+  /// — set trace_sample = 1 to make slow capture exhaustive.
+  uint64_t slow_trace_ns = 10'000'000;  // 10ms
 
   /// `threads` with the 0 = hardware default resolved, clamped to >= 1
   /// (hardware_concurrency() may legitimately report 0).
@@ -119,6 +139,21 @@ class EstimationService {
   /// Cache outcome counters, occupancy, and per-stage latency.
   ServiceStatsSnapshot Stats() const { return stats_.Snap(cache_.stats()); }
 
+  /// This service's metrics registry (every ServiceStats counter lives
+  /// here). Process-wide subsystems (estimator, thread pool, faults)
+  /// report to obs::Registry::Global() instead.
+  obs::Registry& obs() { return obs_; }
+  const obs::Registry& obs() const { return obs_; }
+
+  /// Recent and slow per-request traces (see ServiceOptions::
+  /// trace_capacity / trace_sample / slow_trace_ns).
+  obs::TraceRing& traces() { return traces_; }
+  const obs::TraceRing& traces() const { return traces_; }
+
+  /// The STATSZ payload: refreshes the plan-cache occupancy gauges and
+  /// renders this service's registry as JSON.
+  std::string StatszJson();
+
   void ClearPlanCache() { cache_.Clear(); }
 
   size_t threads() const { return pool_.size(); }
@@ -141,12 +176,25 @@ class EstimationService {
   /// The estimation ladder, run after admission.
   EstimateOutcome EstimateAdmitted(const QueryRequest& request);
 
+  /// The once-per-request sampling decision (ServiceOptions::
+  /// trace_sample): true when this request should be timed end to end.
+  /// Always false in an XEE_OBS_OFF build.
+  bool ShouldTime();
+
+  /// Pushes a completed (timed) request into the trace ring.
+  void RecordTrace(const QueryRequest& request, const char* outcome,
+                   const EstimateOutcome& out, const obs::TraceSpans& spans,
+                   uint64_t total_ns);
+
   ServiceOptions options_;
   SynopsisRegistry registry_;
   PlanCache cache_;
   ThreadPool pool_;
+  obs::Registry obs_;  // must precede stats_ (which resolves handles)
   ServiceStats stats_;
+  obs::TraceRing traces_;
   std::atomic<size_t> inflight_{0};
+  std::atomic<uint64_t> trace_tick_{0};  // sampling counter
 };
 
 }  // namespace xee::service

@@ -1,72 +1,63 @@
 #include "service/service_stats.h"
 
-#include <bit>
-#include <cmath>
-
 #include "common/strings.h"
 
 namespace xee::service {
 
-void LatencyHistogram::Record(uint64_t ns) {
-  const int idx = ns == 0 ? 0 : std::bit_width(ns) - 1;
-  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
-}
-
-LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
-  Snapshot s;
-  uint64_t counts[kBuckets];
-  for (int i = 0; i < kBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    s.count += counts[i];
+ServiceStats::ServiceStats(obs::Registry* registry)
+    : requests(registry->GetCounter("service.requests")),
+      batches(registry->GetCounter("service.batches")),
+      exact_hits(
+          registry->GetCounter("service.plan_cache", "outcome=exact_hit")),
+      canonical_hits(
+          registry->GetCounter("service.plan_cache", "outcome=canonical_hit")),
+      misses(registry->GetCounter("service.plan_cache", "outcome=miss")),
+      shed(registry->GetCounter("service.outcome", "reason=shed")),
+      degraded(registry->GetCounter("service.outcome", "reason=degraded")),
+      deadline_exceeded(
+          registry->GetCounter("service.outcome", "reason=deadline_exceeded")),
+      quarantined(
+          registry->GetCounter("service.outcome", "reason=quarantined")),
+      inflight(registry->GetGauge("service.inflight")),
+      request_ns(registry->GetHistogram("service.request_ns")) {
+  for (size_t i = 0; i < obs::kStageCount; ++i) {
+    stage[i] = &registry->GetHistogram(
+        "service.stage." +
+        std::string(obs::StageName(static_cast<obs::Stage>(i))) + "_ns");
   }
-  if (s.count == 0) return s;
-  s.mean_us = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
-              static_cast<double>(s.count) / 1e3;
-  auto percentile = [&](double p) {
-    uint64_t rank = static_cast<uint64_t>(
-        std::ceil(p * static_cast<double>(s.count)));
-    if (rank < 1) rank = 1;
-    uint64_t seen = 0;
-    for (int i = 0; i < kBuckets; ++i) {
-      seen += counts[i];
-      if (seen >= rank) return static_cast<double>(1ull << (i + 1)) / 1e3;
-    }
-    return 0.0;
-  };
-  s.p50_us = percentile(0.50);
-  s.p95_us = percentile(0.95);
-  s.p99_us = percentile(0.99);
-  return s;
 }
 
 ServiceStatsSnapshot ServiceStats::Snap(const LruStats& cache) const {
   ServiceStatsSnapshot s;
-  s.requests = requests.load(std::memory_order_relaxed);
-  s.batches = batches.load(std::memory_order_relaxed);
-  s.exact_hits = exact_hits.load(std::memory_order_relaxed);
-  s.canonical_hits = canonical_hits.load(std::memory_order_relaxed);
-  s.misses = misses.load(std::memory_order_relaxed);
-  s.shed = shed.load(std::memory_order_relaxed);
-  s.degraded = degraded.load(std::memory_order_relaxed);
-  s.deadline_exceeded = deadline_exceeded.load(std::memory_order_relaxed);
-  s.quarantined = quarantined.load(std::memory_order_relaxed);
+  s.requests = requests.value();
+  s.batches = batches.value();
+  s.exact_hits = exact_hits.value();
+  s.canonical_hits = canonical_hits.value();
+  s.misses = misses.value();
+  s.shed = shed.value();
+  s.degraded = degraded.value();
+  s.deadline_exceeded = deadline_exceeded.value();
+  s.quarantined = quarantined.value();
+  s.inflight = inflight.value();
   s.cache_evictions = cache.evictions;
   s.cache_bytes = cache.bytes;
   s.cache_entries = cache.entries;
-  s.parse = parse.Snap();
-  s.join = join.Snap();
-  s.formula = formula.Snap();
-  s.request = request.Snap();
+  s.parse = StageHist(obs::Stage::kParse)->Snap();
+  s.canonicalize = StageHist(obs::Stage::kCanonicalize)->Snap();
+  s.cache_lookup = StageHist(obs::Stage::kCacheLookup)->Snap();
+  s.snapshot_acquire = StageHist(obs::Stage::kSnapshot)->Snap();
+  s.join = StageHist(obs::Stage::kJoin)->Snap();
+  s.formula = StageHist(obs::Stage::kFormula)->Snap();
+  s.request = request_ns.Snap();
   return s;
 }
 
 std::string ServiceStatsSnapshot::ToString() const {
   std::string out;
-  out += StrFormat("requests: %llu (%llu batches)\n",
+  out += StrFormat("requests: %llu (%llu batches, %lld in flight)\n",
                    static_cast<unsigned long long>(requests),
-                   static_cast<unsigned long long>(batches));
+                   static_cast<unsigned long long>(batches),
+                   static_cast<long long>(inflight));
   const uint64_t outcomes = exact_hits + canonical_hits + misses;
   out += StrFormat(
       "plan cache: %llu exact hits, %llu canonical hits, %llu misses "
@@ -88,14 +79,18 @@ std::string ServiceStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(degraded),
       static_cast<unsigned long long>(deadline_exceeded),
       static_cast<unsigned long long>(quarantined));
-  auto stage = [&](const char* name, const LatencyHistogram::Snapshot& h) {
+  auto stage = [&](const char* name, const obs::HistogramSnapshot& h) {
     out += StrFormat(
-        "%-8s n=%-8llu mean=%8.1fus  p50<=%8.1fus  p95<=%8.1fus  "
+        "%-12s n=%-8llu mean=%8.1fus  p50<=%8.1fus  p95<=%8.1fus  "
         "p99<=%8.1fus\n",
-        name, static_cast<unsigned long long>(h.count), h.mean_us, h.p50_us,
-        h.p95_us, h.p99_us);
+        name, static_cast<unsigned long long>(h.count), h.mean / 1e3,
+        static_cast<double>(h.p50) / 1e3, static_cast<double>(h.p95) / 1e3,
+        static_cast<double>(h.p99) / 1e3);
   };
   stage("parse", parse);
+  stage("canonicalize", canonicalize);
+  stage("cache-lookup", cache_lookup);
+  stage("snapshot", snapshot_acquire);
   stage("join", join);
   stage("formula", formula);
   stage("request", request);

@@ -1,40 +1,19 @@
 #ifndef XEE_SERVICE_SERVICE_STATS_H_
 #define XEE_SERVICE_SERVICE_STATS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "common/sharded_lru.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xee::service {
 
-/// Lock-free latency histogram: 64 power-of-two nanosecond buckets
-/// (bucket i counts samples with bit_width(ns) == i). Record() is
-/// wait-free and safe from any thread; Snapshot() is approximate under
-/// concurrent writes, which is fine for monitoring.
-class LatencyHistogram {
- public:
-  struct Snapshot {
-    uint64_t count = 0;
-    double mean_us = 0;
-    double p50_us = 0;  ///< bucket upper bounds, so conservative
-    double p95_us = 0;
-    double p99_us = 0;
-  };
-
-  void Record(uint64_t ns);
-  Snapshot Snap() const;
-
- private:
-  static constexpr int kBuckets = 64;
-  std::atomic<uint64_t> buckets_[kBuckets] = {};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_ns_{0};
-};
-
 /// Point-in-time view of every service counter, queryable as a struct
-/// and printable from the CLI.
+/// and printable from the CLI. Stage latencies are real log-bucketed
+/// histograms (obs::Histogram), so p50/p99 are quantiles of the
+/// recorded distribution rather than a spike-distorted mean.
 struct ServiceStatsSnapshot {
   // Request counters. `requests` counts individual queries (batch
   // members included); `batches` counts EstimateBatch calls.
@@ -56,38 +35,59 @@ struct ServiceStatsSnapshot {
   uint64_t deadline_exceeded = 0;
   uint64_t quarantined = 0;
 
+  // Requests currently estimating. Mirrors the admission budget, so it
+  // is only maintained when max_inflight > 0 (unbounded services report
+  // 0 rather than paying two atomics per request).
+  int64_t inflight = 0;
+
   // Plan-cache occupancy, from the sharded LRU.
   uint64_t cache_evictions = 0;
   uint64_t cache_bytes = 0;
   uint64_t cache_entries = 0;
 
-  // Per-stage latency (parse / join / formula) plus end-to-end.
-  LatencyHistogram::Snapshot parse;
-  LatencyHistogram::Snapshot join;
-  LatencyHistogram::Snapshot formula;
-  LatencyHistogram::Snapshot request;
+  // Per-stage latency over the full pipeline (nanosecond histograms)
+  // plus end-to-end. Fed by the 1-in-trace_sample timed requests, so
+  // `count` here is the number of timed requests — the counters above
+  // remain exact totals.
+  obs::HistogramSnapshot parse;
+  obs::HistogramSnapshot canonicalize;
+  obs::HistogramSnapshot cache_lookup;
+  obs::HistogramSnapshot snapshot_acquire;
+  obs::HistogramSnapshot join;
+  obs::HistogramSnapshot formula;
+  obs::HistogramSnapshot request;
 
   /// Multi-line human-readable rendering for the CLI.
   std::string ToString() const;
 };
 
-/// Shared mutable counters behind the snapshot. All members are atomics
-/// or lock-free histograms; any thread may bump them concurrently.
+/// The service's metric handles, resolved once against its
+/// obs::Registry (DESIGN.md §10 catalogs the names). All members are
+/// registry-owned atomics; any thread may bump them concurrently. This
+/// is the *only* counter system in the service — the registry backs
+/// both the struct snapshot below and the machine-readable STATSZ
+/// export.
 struct ServiceStats {
-  std::atomic<uint64_t> requests{0};
-  std::atomic<uint64_t> batches{0};
-  std::atomic<uint64_t> exact_hits{0};
-  std::atomic<uint64_t> canonical_hits{0};
-  std::atomic<uint64_t> misses{0};
-  std::atomic<uint64_t> shed{0};
-  std::atomic<uint64_t> degraded{0};
-  std::atomic<uint64_t> deadline_exceeded{0};
-  std::atomic<uint64_t> quarantined{0};
+  explicit ServiceStats(obs::Registry* registry);
 
-  LatencyHistogram parse;
-  LatencyHistogram join;
-  LatencyHistogram formula;
-  LatencyHistogram request;
+  obs::Counter& requests;
+  obs::Counter& batches;
+  obs::Counter& exact_hits;
+  obs::Counter& canonical_hits;
+  obs::Counter& misses;
+  obs::Counter& shed;
+  obs::Counter& degraded;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& quarantined;
+  obs::Gauge& inflight;
+
+  /// Indexed by obs::Stage; `stage[kJoin]` is "service.stage.join_ns".
+  obs::Histogram* stage[obs::kStageCount];
+  obs::Histogram& request_ns;
+
+  obs::Histogram* StageHist(obs::Stage s) const {
+    return stage[static_cast<size_t>(s)];
+  }
 
   /// Folds in the plan cache's LRU counters.
   ServiceStatsSnapshot Snap(const LruStats& cache) const;

@@ -1,0 +1,171 @@
+// Golden accuracy-regression suite: pins the measured headline numbers
+// of EXPERIMENTS.md as tier-1 assertions, so a change that silently
+// degrades estimation accuracy (or perturbs the deterministic workload
+// generator) fails ctest instead of surfacing bench drift months later.
+//
+// Everything runs at the recorded configuration — --scale=1
+// --queries=800 --seed=42, the BenchConfig defaults — where the
+// pipeline is deterministic, so the workload-count fingerprints are
+// exact equalities and the mean-relative-error bounds sit ~1.3-1.5x
+// above the recorded values (headroom for benign FP reassociation
+// across compilers, tight enough to catch real regressions).
+//
+// Pinned claims (EXPERIMENTS.md, recorded 2026-08-06):
+//   Table 2   workload counts: SSPlays 200/654 + 511/480 order,
+//             DBLP 68/734 + 745/711, XMark 495/744 + 325/319.
+//   Fig. 10   no-order error at p-variance 0: simple queries EXACT on
+//             the recursion-free datasets (Theorem 4.1); branch 0.60%
+//             SSPlays, 0% DBLP; XMark 5.12%/1.57% (recursion caveat).
+//   Fig. 12   order error, branch-part targets, p0/o0: SSPlays 7.92%,
+//             DBLP 0.25%, XMark 4.25%.
+//   Fig. 13   order error, trunk-part targets, p0/o0: SSPlays 0.17%,
+//             DBLP ~0%, XMark ~0%.
+//
+// Sensitivity check (performed once while writing this suite, not part
+// of the test): scaling Eq. 3's sibling-order numerator by 1.05 in
+// Estimator::EstimateSiblingOrder drove the Figure 12 means to
+// SSPlays 10.47% / DBLP 3.05% / XMark 6.43%, failing all three Fig. 12
+// bounds below — the suite demonstrably catches order-formula
+// perturbations of a few percent.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "bench_util/metrics.h"
+#include "bench_util/runner.h"
+#include "estimator/estimator.h"
+#include "workload/workload.h"
+
+namespace xee {
+namespace {
+
+using bench_util::ErrorAccumulator;
+
+struct Golden {
+  const char* dataset;
+  // Table 2 fingerprints (exact: the generator is seed-deterministic).
+  size_t simple, branch, order_branch, order_trunk;
+  // Mean relative error bounds at variance 0.
+  double fig10_simple, fig10_branch;  // no-order synopsis
+  double fig12_branch_target;         // order, target in branch part
+  double fig13_trunk_target;          // order, target in trunk part
+  // Theorem 4.1: simple queries are exact at p-variance 0 unless the
+  // document is recursive (XMark).
+  bool simple_exact;
+};
+
+// Mean relative error of `queries` under `est`; every query in the
+// generated workloads must estimate successfully at full fidelity.
+ErrorAccumulator MeanError(const estimator::Estimator& est,
+                           const std::vector<workload::WorkloadQuery>& qs) {
+  ErrorAccumulator acc;
+  for (const workload::WorkloadQuery& wq : qs) {
+    Result<double> r = est.Estimate(wq.query);
+    EXPECT_TRUE(r.ok()) << wq.query.ToString() << ": "
+                        << r.status().ToString();
+    if (r.ok()) acc.Add(r.value(), wq.true_count);
+  }
+  return acc;
+}
+
+void RunGolden(const Golden& g) {
+  bench_util::BenchConfig config;  // defaults == the recorded config
+  ASSERT_EQ(config.scale, 1.0);
+  ASSERT_EQ(config.queries, 800u);
+  ASSERT_EQ(config.seed, 42u);
+  config.datasets = {g.dataset};
+  std::vector<bench_util::DatasetRun> runs = bench_util::MakeDatasets(config);
+  ASSERT_EQ(runs.size(), 1u);
+  const workload::Workload w = bench_util::MakeWorkload(runs[0].doc, config);
+
+  // Table 2 fingerprints: equality, because the dataset generator and
+  // workload sampler are both deterministic at a fixed seed. A change
+  // here means the measurement population changed — every recorded
+  // number in EXPERIMENTS.md would need re-measuring.
+  EXPECT_EQ(w.simple.size(), g.simple);
+  EXPECT_EQ(w.branch.size(), g.branch);
+  EXPECT_EQ(w.order_branch_target.size(), g.order_branch);
+  EXPECT_EQ(w.order_trunk_target.size(), g.order_trunk);
+
+  // Figure 10: no order statistics, p-variance 0.
+  {
+    estimator::SynopsisOptions opt;
+    opt.p_variance = 0;
+    opt.build_order = false;
+    const estimator::Synopsis syn = estimator::Synopsis::Build(runs[0].doc, opt);
+    const estimator::Estimator est(syn);
+    const ErrorAccumulator simple = MeanError(est, w.simple);
+    const ErrorAccumulator branch = MeanError(est, w.branch);
+    EXPECT_EQ(simple.count(), w.simple.size());
+    EXPECT_EQ(branch.count(), w.branch.size());
+    if (g.simple_exact) {
+      EXPECT_LE(simple.Mean(), 1e-9) << "Theorem 4.1 exactness lost";
+    }
+    EXPECT_LE(simple.Mean(), g.fig10_simple);
+    EXPECT_LE(branch.Mean(), g.fig10_branch);
+  }
+
+  // Figures 12 and 13: full synopsis at p-variance 0 / o-variance 0.
+  {
+    estimator::SynopsisOptions opt;
+    opt.p_variance = 0;
+    opt.o_variance = 0;
+    const estimator::Synopsis syn = estimator::Synopsis::Build(runs[0].doc, opt);
+    const estimator::Estimator est(syn);
+    const ErrorAccumulator fig12 = MeanError(est, w.order_branch_target);
+    const ErrorAccumulator fig13 = MeanError(est, w.order_trunk_target);
+    EXPECT_EQ(fig12.count(), w.order_branch_target.size());
+    EXPECT_EQ(fig13.count(), w.order_trunk_target.size());
+    EXPECT_LE(fig12.Mean(), g.fig12_branch_target);
+    EXPECT_LE(fig13.Mean(), g.fig13_trunk_target);
+  }
+}
+
+// Recorded means: fig10 simple/branch 0.0000/0.0060, fig12 0.0792,
+// fig13 0.0017.
+TEST(AccuracyRegressionTest, SSPlays) {
+  RunGolden({.dataset = "ssplays",
+             .simple = 200,
+             .branch = 654,
+             .order_branch = 511,
+             .order_trunk = 480,
+             .fig10_simple = 1e-9,
+             .fig10_branch = 0.009,
+             .fig12_branch_target = 0.10,
+             .fig13_trunk_target = 0.004,
+             .simple_exact = true});
+}
+
+// Recorded means: fig10 0.0000/0.0000, fig12 0.0025, fig13 0.0000.
+TEST(AccuracyRegressionTest, DBLP) {
+  RunGolden({.dataset = "dblp",
+             .simple = 68,
+             .branch = 734,
+             .order_branch = 745,
+             .order_trunk = 711,
+             .fig10_simple = 1e-9,
+             .fig10_branch = 0.001,
+             .fig12_branch_target = 0.005,
+             .fig13_trunk_target = 0.001,
+             .simple_exact = true});
+}
+
+// Recorded means: fig10 0.0512/0.0157, fig12 0.0425, fig13 0.0000.
+// XMark is recursive, so Theorem 4.1 exactness does not apply
+// (DESIGN.md §6 documents the recursion caveat).
+TEST(AccuracyRegressionTest, XMark) {
+  RunGolden({.dataset = "xmark",
+             .simple = 495,
+             .branch = 744,
+             .order_branch = 325,
+             .order_trunk = 319,
+             .fig10_simple = 0.07,
+             .fig10_branch = 0.022,
+             .fig12_branch_target = 0.06,
+             .fig13_trunk_target = 0.001,
+             .simple_exact = false});
+}
+
+}  // namespace
+}  // namespace xee
