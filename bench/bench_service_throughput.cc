@@ -8,6 +8,10 @@
 //   {"bench":"service_throughput","dataset":"xmark","mode":"warm",
 //    "threads":4,"queries":...,"seconds":...,"qps":...}
 //
+// A final phase sweeps the shadow-sampling rate (off / 1-in-256 default
+// / full) and emits "service_accuracy" rows with the qps cost and the
+// shadow volume + aggregate q-error each rate buys.
+//
 // Flags: the shared bench flags (--scale, --queries, --seed, --dataset).
 
 #include <cstdio>
@@ -77,6 +81,58 @@ void EmitStageRows(const std::string& dataset, const char* mode,
   }
 }
 
+// Shadow-sampling cost and yield: warm single-thread throughput with
+// accuracy observability off / at the 1-in-256 default / at full
+// sampling, plus the shadow volume and aggregate q-error each setting
+// recorded (DESIGN.md §11). The off-vs-256 pair is the number the
+// acceptance bar watches: the default sampling rate must be hot-path
+// noise. Full sampling shows the worst case — on few cores the shadow
+// evaluations compete with the serving thread itself.
+void RunAccuracyPhase(const bench_util::DatasetRun& run,
+                      const std::shared_ptr<const estimator::Synopsis>& syn,
+                      const std::vector<service::QueryRequest>& reqs) {
+  for (const size_t sample : {size_t{0}, size_t{256}, size_t{1}}) {
+    service::ServiceOptions opt;
+    opt.threads = 1;
+    opt.accuracy_sample = sample;
+    opt.accuracy_max_pending = 1 << 16;
+    service::EstimationService svc(opt);
+    // Non-owning alias: the dataset outlives the service, and attaching
+    // it arms the shadow pipeline's exact-count oracle.
+    std::shared_ptr<const xml::Document> doc(
+        std::shared_ptr<const xml::Document>(), &run.doc);
+    svc.registry().Register(run.name, syn, doc);
+    auto run_all = [&] {
+      for (const service::QueryRequest& r : reqs) {
+        (void)svc.Estimate(r.synopsis, r.xpath);
+      }
+    };
+    run_all();  // warm the plan cache (and absorb first-touch sampling)
+    (void)svc.DrainShadow();
+    const double secs = bench_util::TimeSeconds(run_all);
+    (void)svc.DrainShadow();
+
+    uint64_t count = 0;
+    double qerror_weighted = 0;
+    for (const obs::ClassAccuracy& c : svc.accuracy().Classes()) {
+      count += c.count;
+      qerror_weighted += static_cast<double>(c.count) * c.mean_qerror;
+    }
+    std::printf(
+        "{\"bench\":\"service_accuracy\",\"dataset\":\"%s\",\"sample\":%zu,"
+        "\"queries\":%zu,\"seconds\":%.6f,\"qps\":%.1f,"
+        "\"shadow_started\":%llu,\"shadow_recorded\":%llu,"
+        "\"mean_qerror\":%.6f}\n",
+        run.name.c_str(), sample, reqs.size(), secs,
+        secs > 0 ? static_cast<double>(reqs.size()) / secs : 0.0,
+        static_cast<unsigned long long>(
+            svc.obs().CounterValue("accuracy.samples", "phase=started")),
+        static_cast<unsigned long long>(
+            svc.obs().CounterValue("accuracy.samples", "phase=recorded")),
+        count > 0 ? qerror_weighted / static_cast<double>(count) : 0.0);
+  }
+}
+
 void RunDataset(const bench_util::DatasetRun& run,
                 const bench_util::BenchConfig& config) {
   bench_util::PrintHeader("Service throughput — " + run.name);
@@ -127,6 +183,8 @@ void RunDataset(const bench_util::DatasetRun& run,
     EmitRow(run.name, "warm-batch", threads, reps * reqs.size(), secs);
     EmitStageRows(run.name, "warm-batch", threads, svc);
   }
+
+  RunAccuracyPhase(run, synopsis, reqs);
 
   std::printf("\n");
 }

@@ -14,6 +14,11 @@
 //                               latency histogram in the registry
 //   .tracez (or TRACEZ)         recent + slow request traces (JSON)
 //                               with per-stage nanosecond breakdowns
+//   .accz (or ACCZ)             shadow-sampled accuracy state (JSON):
+//                               per-class q-error, per-synopsis drift,
+//                               worst offenders (DESIGN.md §11)
+//   .healthz (or HEALTHZ)       per-synopsis health (JSON): "ok" until
+//                               some synopsis drifts stale
 //   .clear                      drop the compiled-plan cache
 //   .quit                       exit (EOF works too)
 //
@@ -51,6 +56,9 @@ struct Flags {
   size_t max_inflight = 0;   // 0 = unbounded
   uint64_t deadline_ms = 0;  // per-request deadline; 0 = none
   uint64_t slow_ms = 10;     // slow-trace capture threshold; 0 = off
+  size_t accuracy_sample = 256;   // shadow-sample 1-in-N; 0 = off
+  double drift_limit = 2.0;       // q-error EWMA stale threshold
+  bool stale_downgrade = false;   // enforce (degrade) vs report-only
   std::string datasets = "xmark,dblp,ssplays";
 };
 
@@ -74,13 +82,20 @@ Flags ParseFlags(int argc, char** argv) {
       f.deadline_ms = static_cast<uint64_t>(std::atoll(v));
     } else if (const char* v = value("--slow-ms=")) {
       f.slow_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--accuracy-sample=")) {
+      f.accuracy_sample = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--drift-limit=")) {
+      f.drift_limit = std::atof(v);
+    } else if (arg == "--stale-downgrade") {
+      f.stale_downgrade = true;
     } else if (const char* v = value("--datasets=")) {
       f.datasets = v;
     } else {
       std::fprintf(stderr,
                    "usage: estimation_server [--scale=f] [--threads=n] "
                    "[--cache-mb=m] [--max-inflight=n] [--deadline-ms=t] "
-                   "[--slow-ms=t] [--datasets=a,b,c]\n");
+                   "[--slow-ms=t] [--accuracy-sample=n] [--drift-limit=q] "
+                   "[--stale-downgrade] [--datasets=a,b,c]\n");
       std::exit(2);
     }
   }
@@ -105,6 +120,9 @@ int main(int argc, char** argv) {
       .threads = flags.threads,
       .max_inflight = flags.max_inflight,
       .slow_trace_ns = flags.slow_ms * 1'000'000,
+      .accuracy_sample = flags.accuracy_sample,
+      .drift_qerror_limit = flags.drift_limit,
+      .stale_downgrade = flags.stale_downgrade,
   });
 
   for (const std::string& name : xee::SplitString(flags.datasets, ',')) {
@@ -122,7 +140,12 @@ int main(int argc, char** argv) {
     std::printf("registered %-8s %7zu elements, synopsis %s\n", name.c_str(),
                 doc.value().NodeCount(),
                 xee::HumanBytes(synopsis.PathSummaryBytes()).c_str());
-    service.registry().Register(name, std::move(synopsis));
+    // Keeping the source document alive gives the shadow sampler its
+    // exact-count oracle; drop it (or pass --accuracy-sample=0) to trade
+    // accuracy observability for the memory.
+    auto shared_doc = std::make_shared<const xee::xml::Document>(
+        std::move(doc.value()));
+    service.registry().Register(name, std::move(synopsis), shared_doc);
   }
   std::printf("serving on stdin with %zu worker threads — "
               "\"<synopsis> <xpath>\", .names, .stats, .clear, .quit\n",
@@ -146,6 +169,14 @@ int main(int argc, char** argv) {
       std::printf("%s\n", service.traces().ToJson().c_str());
       continue;
     }
+    if (line == ".accz" || line == "ACCZ") {
+      std::printf("%s\n", service.AccuracyJson().c_str());
+      continue;
+    }
+    if (line == ".healthz" || line == "HEALTHZ") {
+      std::printf("%s\n", service.HealthzJson().c_str());
+      continue;
+    }
     if (line[0] == '.') {
       if (line == ".quit") break;
       if (line == ".names") {
@@ -164,7 +195,7 @@ int main(int argc, char** argv) {
         continue;
       }
       std::printf("error: unknown command \"%s\" (try .names, .stats, "
-                  ".statsz, .tracez, .clear, .quit)\n",
+                  ".statsz, .tracez, .accz, .healthz, .clear, .quit)\n",
                   line.c_str());
       continue;
     }

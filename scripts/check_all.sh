@@ -2,8 +2,11 @@
 # The full pre-merge battery, in increasing order of cost:
 #
 #   1. tier-1 build + ctest (unit, accuracy, smoke labels)
-#   2. ThreadSanitizer slice   (scripts/check_tsan.sh)
-#   3. ASan/UBSan slice        (scripts/check_asan.sh)
+#   2. quality slice: the accuracy-observability suite (shadow-sampling
+#      correctness, drift detection, export schema + export fuzz;
+#      ctest label `quality`)
+#   3. ThreadSanitizer slice   (scripts/check_tsan.sh)
+#   4. ASan/UBSan slice        (scripts/check_asan.sh)
 #
 # The fuzz and chaos smokes run inside step 1 via their ctest entries
 # (label `smoke`), and again under ASan in step 3. Run from the
@@ -19,20 +22,23 @@ cd "$(dirname "$0")/.."
 fast=0
 if [[ "${1:-}" == "--fast" ]]; then fast=1; fi
 
-echo "== [1/3] tier-1 build + ctest =="
+echo "== [1/4] tier-1 build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
-(cd build && ctest --output-on-failure)
+(cd build && ctest -LE quality --output-on-failure)
+
+echo "== [2/4] quality slice (accuracy observability) =="
+(cd build && ctest -L quality --output-on-failure)
 
 if [[ "$fast" == "1" ]]; then
   echo "check_all: tier-1 passed (sanitizers skipped with --fast)."
   exit 0
 fi
 
-echo "== [2/3] ThreadSanitizer slice =="
+echo "== [3/4] ThreadSanitizer slice =="
 scripts/check_tsan.sh
 
-echo "== [3/3] ASan/UBSan slice =="
+echo "== [4/4] ASan/UBSan slice =="
 scripts/check_asan.sh
 
 echo "check_all: all stages passed."

@@ -11,10 +11,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER="${1:-ServiceTest|CanonicalTest|EstimatorTest|ObsTest}"
+FILTER="${1:-ServiceTest|CanonicalTest|EstimatorTest|ObsTest|AccuracyTrackerTest|ShadowSamplingTest}"
 
 cmake -B build-tsan -S . -DXEE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
-  --target service_test canonical_test estimator_test obs_test
+  --target service_test canonical_test estimator_test obs_test \
+  accuracy_obs_test accuracy_shadow_test
 (cd build-tsan && ctest -R "$FILTER" --output-on-failure)
 echo "TSan checks passed."

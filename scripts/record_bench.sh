@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Records the serving-layer benchmark trajectory as machine-readable
+# JSON at the repository root, so PRs can diff throughput and shadow-
+# sampling cost instead of eyeballing stdout. Runs
+# bench_service_throughput (qps + per-stage latency + the accuracy-
+# sampling sweep) and wraps its JSON rows with the run configuration:
+#
+#   {"bench_file_version":1,"recorded":{...config...},"rows":[...]}
+#
+# Usage, from the repository root (flags pass through to the bench):
+#
+#   scripts/record_bench.sh                         # -> BENCH_pr5.json
+#   OUT=BENCH_tmp.json scripts/record_bench.sh --scale=0.1
+#
+# The environment knobs: OUT (output path, default BENCH_pr5.json),
+# BUILD (build tree, default build). Numbers are machine-dependent —
+# compare rows recorded on the same box only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_pr5.json}"
+BUILD="${BUILD:-build}"
+ARGS=("$@")
+if [[ "${#ARGS[@]}" -eq 0 ]]; then
+  # The recorded configuration: modest scale so the run stays in
+  # seconds, fixed seed so the workload (and therefore the row set) is
+  # reproducible.
+  ARGS=(--scale=0.25 --queries=400 --seed=42)
+fi
+
+cmake --build "$BUILD" -j"$(nproc)" --target bench_service_throughput \
+  >/dev/null
+
+raw="$("$BUILD"/bench/bench_service_throughput "${ARGS[@]}")"
+
+{
+  printf '{"bench_file_version":1,"recorded":{"bench":"service_throughput","args":"%s"},"rows":[\n' \
+    "${ARGS[*]}"
+  # Keep only the JSON rows; the bench interleaves human-readable text.
+  first=1
+  while IFS= read -r line; do
+    [[ "$line" == \{\"bench\"* ]] || continue
+    if [[ "$first" == 1 ]]; then first=0; else printf ',\n'; fi
+    printf '%s' "$line"
+  done <<<"$raw"
+  printf '\n]}\n'
+} >"$OUT"
+
+rows="$(grep -c '"bench"' "$OUT" || true)"
+echo "record_bench: wrote $OUT ($rows rows)"

@@ -1,0 +1,298 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace xee::json {
+
+const Value* Value::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Positions are byte
+/// offsets; errors carry them so a fuzz finding pinpoints the corrupt
+/// spot in a multi-kilobyte STATSZ document.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Run() {
+    SkipWs();
+    Value v;
+    Status s = ParseValue(&v, 0);
+    if (!s.ok()) return s;
+    SkipWs();
+    if (pos_ != text_.size()) return Err("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Err(const std::string& what) const {
+    return Status(StatusCode::kParseError,
+                  StrFormat("json: %s at byte %zu", what.c_str(), pos_));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    if (AtEnd()) return Err("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = Value::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+        if (!ConsumeWord("true")) return Err("bad literal");
+        out->kind = Value::Kind::kBool;
+        out->boolean = true;
+        return Status::Ok();
+      case 'f':
+        if (!ConsumeWord("false")) return Err("bad literal");
+        out->kind = Value::Kind::kBool;
+        out->boolean = false;
+        return Status::Ok();
+      case 'n':
+        if (!ConsumeWord("null")) return Err("bad literal");
+        out->kind = Value::Kind::kNull;
+        return Status::Ok();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    ++pos_;  // '{'
+    out->kind = Value::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWs();
+      if (AtEnd() || Peek() != '"') return Err("expected object key");
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipWs();
+      Value member;
+      s = ParseValue(&member, depth + 1);
+      if (!s.ok()) return s;
+      out->members.emplace_back(std::move(key), std::move(member));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    ++pos_;  // '['
+    out->kind = Value::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      SkipWs();
+      Value item;
+      Status s = ParseValue(&item, depth + 1);
+      if (!s.ok()) return s;
+      out->items.push_back(std::move(item));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  /// One \uXXXX escape's code unit, or -1.
+  int HexQuad() {
+    if (pos_ + 4 > text_.size()) return -1;
+    int v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      int d;
+      if (c >= '0' && c <= '9') {
+        d = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        d = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        d = c - 'A' + 10;
+      } else {
+        return -1;
+      }
+      v = v * 16 + d;
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  /// Validates one raw (non-escape) UTF-8 sequence starting at pos_ and
+  /// appends it; false on malformed, overlong, surrogate, or > U+10FFFF.
+  bool ConsumeUtf8(std::string* out) {
+    const unsigned char b0 = static_cast<unsigned char>(text_[pos_]);
+    size_t len;
+    uint32_t cp, min;
+    if (b0 < 0x80) {
+      len = 1, cp = b0, min = 0;
+    } else if ((b0 & 0xe0) == 0xc0) {
+      len = 2, cp = b0 & 0x1fu, min = 0x80;
+    } else if ((b0 & 0xf0) == 0xe0) {
+      len = 3, cp = b0 & 0x0fu, min = 0x800;
+    } else if ((b0 & 0xf8) == 0xf0) {
+      len = 4, cp = b0 & 0x07u, min = 0x10000;
+    } else {
+      return false;  // continuation byte or 0xFE/0xFF lead
+    }
+    if (pos_ + len > text_.size()) return false;
+    for (size_t i = 1; i < len; ++i) {
+      const unsigned char b = static_cast<unsigned char>(text_[pos_ + i]);
+      if ((b & 0xc0) != 0x80) return false;
+      cp = (cp << 6) | (b & 0x3fu);
+    }
+    if (cp < min || cp > 0x10ffff) return false;
+    if (cp >= 0xd800 && cp <= 0xdfff) return false;
+    out->append(text_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    while (true) {
+      if (AtEnd()) return Err("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c < 0x20) return Err("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) return Err("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            const int u = HexQuad();
+            if (u < 0) return Err("bad \\u escape");
+            uint32_t cp = static_cast<uint32_t>(u);
+            if (cp >= 0xdc00 && cp <= 0xdfff) {
+              return Err("unpaired low surrogate");
+            }
+            if (cp >= 0xd800 && cp <= 0xdbff) {  // needs a low surrogate
+              if (!ConsumeWord("\\u")) return Err("unpaired high surrogate");
+              const int lo = HexQuad();
+              if (lo < 0x0dc00 || lo > 0x0dfff) {
+                return Err("bad surrogate pair");
+              }
+              cp = 0x10000 + ((cp - 0xd800) << 10) +
+                   (static_cast<uint32_t>(lo) - 0xdc00);
+            }
+            AppendUtf8(cp, out);
+            break;
+          }
+          default:
+            return Err("unknown escape");
+        }
+        continue;
+      }
+      if (!ConsumeUtf8(out)) return Err("invalid UTF-8 in string");
+    }
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    Consume('-');
+    if (AtEnd()) return Err("bad number");
+    if (Consume('0')) {
+      // no leading zeros
+    } else if (Peek() >= '1' && Peek() <= '9') {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    } else {
+      return Err("bad number");
+    }
+    if (Consume('.')) {
+      if (AtEnd() || Peek() < '0' || Peek() > '9') return Err("bad fraction");
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') return Err("bad exponent");
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    const std::string repr(text_.substr(start, pos_ - start));
+    out->kind = Value::Kind::kNumber;
+    out->number = std::strtod(repr.c_str(), nullptr);
+    if (!std::isfinite(out->number)) return Err("number out of range");
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace xee::json

@@ -1,0 +1,49 @@
+#ifndef XEE_COMMON_JSON_H_
+#define XEE_COMMON_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xee::json {
+
+/// A parsed JSON document node. Small and strict by design: the library
+/// exists so tests and fuzz oracles can *validate* the JSON this repo
+/// emits (STATSZ / TRACEZ / ACCZ) and assert scraper-visible schema,
+/// not to be a general serialization stack.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;                                   ///< kString
+  std::vector<Value> items;                          ///< kArray
+  std::vector<std::pair<std::string, Value>> members;  ///< kObject, in order
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup (first match); nullptr when absent or when
+  /// this value is not an object.
+  const Value* Find(std::string_view key) const;
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+};
+
+/// Parses `text` as one strict RFC 8259 JSON document: no trailing
+/// garbage, no comments, numbers by the JSON grammar, \uXXXX escapes
+/// with correctly paired surrogates, and — the part the export fuzzer
+/// leans on — every string must be valid UTF-8. kParseError (with a
+/// byte offset in the message) on any violation.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace xee::json
+
+#endif  // XEE_COMMON_JSON_H_

@@ -29,6 +29,13 @@ namespace xee::eval {
 /// Complexity: O(|doc| * |query|) for unordered queries and queries with
 /// one order constraint; queries with several constraints at one
 /// junction fall back to a per-candidate greedy check.
+///
+/// Thread-safety: `Matches`/`Count` are const and reentrant — `by_tag_`
+/// and `all_nodes_` are immutable after construction, and all per-query
+/// working state (including the match engine's pin cache) lives on the
+/// call's own stack. The shadow-evaluation pipeline (obs/accuracy.h)
+/// relies on this to run one shared evaluator from every thread-pool
+/// worker concurrently.
 class ExactEvaluator {
  public:
   /// `doc` must be finalized and must outlive the evaluator.

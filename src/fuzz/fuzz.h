@@ -146,8 +146,16 @@ class Harness {
   /// fidelity returns bit-for-bit once faults clear. Resets the global
   /// FaultInjector on entry and exit.
   Report RunChaosFuzz(const FuzzOptions& options) const;
+  /// Export battery: adversarial query strings and registry names
+  /// (quoting characters, control bytes, invalid UTF-8) driven through
+  /// a fully-sampled service — trace ring, slow ring, and the shadow
+  /// accuracy pipeline all capture the hostile strings — then every
+  /// JSON surface (STATSZ, TRACEZ, ACCZ, healthz) is re-parsed by the
+  /// strict common/json parser. Oracle: the exporters always emit valid
+  /// JSON, whatever bytes they were fed.
+  Report RunExportFuzz(const FuzzOptions& options) const;
   /// All of the above except chaos, splitting options.iterations
-  /// roughly 4:3:2:1 (chaos mutates the global fault injector, so it
+  /// roughly 8:6:4:2:1 (chaos mutates the global fault injector, so it
   /// runs only when asked for).
   Report RunAll(const FuzzOptions& options) const;
 

@@ -1,7 +1,7 @@
 // Deterministic fuzz driver: same seed, same report, every run.
 //
 //   fuzz_driver [--iters N] [--seed S] [--generator all|query|synopsis|
-//                xml|service|chaos] [--corpus DIR] [--chaos]
+//                xml|service|chaos|export] [--corpus DIR] [--chaos]
 //
 // Replays the corpus (when given), then runs N generated iterations.
 // --chaos is shorthand for --generator chaos: the service under
@@ -20,7 +20,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--iters N] [--seed S] [--generator "
-               "all|query|synopsis|xml|service|chaos] [--corpus DIR] "
+               "all|query|synopsis|xml|service|chaos|export] [--corpus DIR] "
                "[--chaos]\n",
                argv0);
   return 2;
@@ -92,6 +92,8 @@ int main(int argc, char** argv) {
       generated = harness.RunServiceFuzz(options);
     } else if (generator == "chaos") {
       generated = harness.RunChaosFuzz(options);
+    } else if (generator == "export") {
+      generated = harness.RunExportFuzz(options);
     } else {
       return Usage(argv[0]);
     }

@@ -10,6 +10,7 @@
 
 #include "common/deadline.h"
 #include "common/fault.h"
+#include "common/json.h"
 #include "common/mutate.h"
 #include "common/strings.h"
 #include "datagen/datagen.h"
@@ -929,25 +930,114 @@ Report Harness::RunChaosFuzz(const FuzzOptions& options) const {
   return rep;
 }
 
+Report Harness::RunExportFuzz(const FuzzOptions& options) const {
+  Report rep;
+  Rng master(options.seed);
+
+  // Bytes that attack the JSON exporters specifically: the quoting
+  // characters, C0 controls, DEL, and every class of invalid UTF-8
+  // (lone continuation, overlong lead, truncated multi-byte leads).
+  static constexpr char kHostile[] = {
+      '"', '\\', '\x00', '\x07', '\n', '\r', '\t', '\x1b', '\x7f',
+      '\x80', '\xbf', '\xc0', '\xc1', '\xe2', '\xed', '\xf0', '\xf5',
+      '\xff'};
+  auto hostilize = [&](Rng& rng, std::string s) {
+    const size_t edits = 1 + rng.Index(4);
+    for (size_t e = 0; e < edits; ++e) {
+      const char b = kHostile[rng.Index(sizeof(kHostile))];
+      s.insert(rng.Index(s.size() + 1), 1, b);
+    }
+    return s;
+  };
+
+  service::ServiceOptions service_opt;
+  service_opt.threads = 2;
+  service_opt.trace_sample = 1;  // every request reaches the trace ring
+  service_opt.slow_trace_ns = 1;  // ...and the slow ring
+  service_opt.accuracy_sample = 1;  // ...and the shadow pipeline
+  service_opt.accuracy_max_pending = 1 << 16;
+  service_opt.drift_min_samples = 4;
+  service::EstimationService svc(service_opt);
+
+  // Registry names are operator-chosen free text; exporters must quote
+  // them, so register under names that embed the attack bytes directly.
+  std::vector<std::string> names;
+  for (const auto& bed : beds_) {
+    std::string name = bed->name + "\"\\\x07\xc3\x28";  // \xc3( = bad UTF-8
+    // Non-owning aliasing pointer: the bed outlives the service, and
+    // attaching ground truth routes the hostile query strings through
+    // the shadow pipeline into the ACCZ offender ring as well.
+    std::shared_ptr<const xml::Document> doc(
+        std::shared_ptr<const xml::Document>(), &bed->doc);
+    svc.registry().Register(name, bed->exact, doc);
+    names.push_back(std::move(name));
+  }
+
+  auto check_surface = [&](const char* surface, const std::string& payload,
+                           const std::string& last_input) {
+    auto parsed = json::Parse(payload);
+    ++rep.roundtrips_checked;
+    if (!parsed.ok()) {
+      rep.findings.push_back(MakeFinding(
+          "export", surface,
+          StrFormat("%s is not valid JSON: %s", surface,
+                    parsed.status().ToString().c_str()),
+          last_input));
+    }
+  };
+
+  std::string last_input;
+  for (size_t i = 0; i < options.iterations; ++i) {
+    Rng it = master.Split();
+    const size_t b = it.Index(beds_.size());
+    std::string qs = GenerateQueryString(it, beds_[b]->tags);
+    if (it.Bernoulli(0.7)) qs = hostilize(it, std::move(qs));
+    last_input = qs;
+    // Parse failures and unknown names are fine — the point is that the
+    // strings land in the trace ring / offender ring either way.
+    (void)svc.Estimate(names[b], qs);
+    if (it.Bernoulli(0.1)) {
+      (void)svc.Estimate(hostilize(it, "no-such"), qs);
+    }
+
+    // Render + strict-parse all four surfaces periodically and at the
+    // end (parsing every iteration would dominate the run).
+    if (i % 64 == 63 || i + 1 == options.iterations) {
+      svc.DrainShadow();
+      check_surface("statsz", svc.StatszJson(), last_input);
+      check_surface("tracez", svc.traces().ToJson(), last_input);
+      check_surface("accz", svc.AccuracyJson(), last_input);
+      check_surface("healthz", svc.HealthzJson(), last_input);
+    }
+    ++rep.iterations;
+  }
+  return rep;
+}
+
 Report Harness::RunAll(const FuzzOptions& options) const {
-  // 4:3:2:1 across query/synopsis/xml/service, distinct seed streams.
+  // 8:6:4:2:1 across query/synopsis/xml/service/export, distinct seed
+  // streams (same per-generator shares as the historical 4:3:2:1, with
+  // the export battery carved from the tail).
   FuzzOptions part = options;
   Report rep;
-  part.iterations = options.iterations * 4 / 10;
+  part.iterations = options.iterations * 8 / 21;
   part.seed = options.seed;
   rep.Merge(RunQueryFuzz(part));
-  part.iterations = options.iterations * 3 / 10;
+  part.iterations = options.iterations * 6 / 21;
   part.seed = options.seed ^ 0x9e3779b97f4a7c15ull;
   rep.Merge(RunSynopsisFuzz(part));
-  part.iterations = options.iterations * 2 / 10;
+  part.iterations = options.iterations * 4 / 21;
   part.seed = options.seed ^ 0xbf58476d1ce4e5b9ull;
   rep.Merge(RunXmlFuzz(part));
-  part.iterations = options.iterations -
-                    options.iterations * 4 / 10 -
-                    options.iterations * 3 / 10 -
-                    options.iterations * 2 / 10;
+  part.iterations = options.iterations * 2 / 21;
   part.seed = options.seed ^ 0x94d049bb133111ebull;
   rep.Merge(RunServiceFuzz(part));
+  part.iterations = options.iterations - options.iterations * 8 / 21 -
+                    options.iterations * 6 / 21 -
+                    options.iterations * 4 / 21 -
+                    options.iterations * 2 / 21;
+  part.seed = options.seed ^ 0xd6e8feb86659fd93ull;
+  rep.Merge(RunExportFuzz(part));
   return rep;
 }
 

@@ -2,6 +2,7 @@
 #define XEE_OBS_METRICS_H_
 
 #include <atomic>
+#include <cstdio>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -197,10 +198,6 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
-/// Escapes `s` for inclusion in a JSON string literal (quotes,
-/// backslashes, control characters).
-std::string JsonEscape(std::string_view s);
-
 #else  // XEE_OBS_OFF: the whole API degrades to inline no-ops.
 
 class Counter {
@@ -276,11 +273,96 @@ class Registry {
   }
 };
 
-inline std::string JsonEscape(std::string_view s) {
-  return std::string(s);
+#endif  // XEE_OBS_OFF
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 when the
+/// bytes there are malformed (bad lead, truncation, overlong encoding,
+/// surrogate, or > U+10FFFF). ASCII is handled by the caller.
+inline size_t Utf8SequenceLen(std::string_view s, size_t i) {
+  const unsigned char b0 = static_cast<unsigned char>(s[i]);
+  size_t len;
+  uint32_t cp, min;
+  if ((b0 & 0xe0) == 0xc0) {
+    len = 2, cp = b0 & 0x1fu, min = 0x80;
+  } else if ((b0 & 0xf0) == 0xe0) {
+    len = 3, cp = b0 & 0x0fu, min = 0x800;
+  } else if ((b0 & 0xf8) == 0xf0) {
+    len = 4, cp = b0 & 0x07u, min = 0x10000;
+  } else {
+    return 0;  // stray continuation byte or 0xFE/0xFF lead
+  }
+  if (i + len > s.size()) return 0;
+  for (size_t k = 1; k < len; ++k) {
+    const unsigned char b = static_cast<unsigned char>(s[i + k]);
+    if ((b & 0xc0) != 0x80) return 0;
+    cp = (cp << 6) | (b & 0x3fu);
+  }
+  if (cp < min || cp > 0x10ffff) return 0;
+  if (cp >= 0xd800 && cp <= 0xdfff) return 0;
+  return len;
 }
 
-#endif  // XEE_OBS_OFF
+/// Escapes `s` for inclusion in a JSON string literal: quotes,
+/// backslashes, control characters, and — because exporter inputs
+/// include operator-chosen registry names and raw client query strings
+/// — invalid UTF-8, replaced byte-for-byte with U+FFFD so every export
+/// stays parseable. Shared string math, live in BOTH build modes (the
+/// healthz surface renders under XEE_OBS_OFF too).
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size();) {
+    const char c = s[i];
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        ++i;
+        continue;
+      case '\\':
+        out += "\\\\";
+        ++i;
+        continue;
+      case '\n':
+        out += "\\n";
+        ++i;
+        continue;
+      case '\r':
+        out += "\\r";
+        ++i;
+        continue;
+      case '\t':
+        out += "\\t";
+        ++i;
+        continue;
+      default:
+        break;
+    }
+    const unsigned char b = static_cast<unsigned char>(c);
+    if (b < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", b);
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (b < 0x80) {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    // Multi-byte region: copy only well-formed UTF-8 through; anything
+    // else becomes U+FFFD, one replacement per bad byte.
+    const size_t len = Utf8SequenceLen(s, i);
+    if (len == 0) {
+      out += "\xef\xbf\xbd";  // U+FFFD REPLACEMENT CHARACTER
+      ++i;
+    } else {
+      out.append(s.substr(i, len));
+      i += len;
+    }
+  }
+  return out;
+}
 
 }  // namespace xee::obs
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "xpath/canonical.h"
@@ -23,14 +24,30 @@ uint64_t NsSince(Clock::time_point start) {
 
 }  // namespace
 
+namespace {
+
+obs::AccuracyOptions MakeAccuracyOptions(const ServiceOptions& o) {
+  obs::AccuracyOptions a;
+  a.sample = o.accuracy_sample;
+  a.seed = o.accuracy_seed;
+  a.drift_qerror_limit = o.drift_qerror_limit;
+  a.drift_min_samples = o.drift_min_samples;
+  a.max_pending = o.accuracy_max_pending < 1 ? 1 : o.accuracy_max_pending;
+  a.offender_capacity = o.accuracy_offenders;
+  return a;
+}
+
+}  // namespace
+
 EstimationService::EstimationService(ServiceOptions options)
     : options_(options),
       cache_(options.plan_cache_bytes,
              options.cache_shards < 1 ? 1 : options.cache_shards),
-      pool_(options.ResolvedThreads()),
       stats_(&obs_),
       traces_(options.trace_capacity < 1 ? 1 : options.trace_capacity,
-              options.slow_trace_ns) {}
+              options.slow_trace_ns),
+      accuracy_(&obs_, MakeAccuracyOptions(options)),
+      pool_(options.ResolvedThreads()) {}
 
 std::string EstimationService::MakeKey(char kind, uint64_t epoch,
                                        const std::string& body) {
@@ -123,6 +140,13 @@ EstimateOutcome EstimationService::EstimateAdmitted(
   obs::TraceSpans spans;
   const char* outcome_label = "error";
 
+  // Captured at snapshot acquire for the shadow pipeline: the version's
+  // ground-truth oracle (if any) and its epoch, plus whether the stale-
+  // downgrade policy tainted this answer.
+  std::shared_ptr<const GroundTruth> shadow_truth;
+  uint64_t shadow_epoch = 0;
+  bool stale_taint = false;
+
   EstimateOutcome out = [&]() -> EstimateOutcome {
     EstimateOutcome out;
 
@@ -157,6 +181,27 @@ EstimateOutcome EstimationService::EstimateAdmitted(
           Status(StatusCode::kNotFound, "unknown synopsis: " + req.synopsis);
       return out;
     }
+    shadow_truth = snap->truth;
+    shadow_epoch = snap->epoch;
+
+    // Stale escalation (ServiceOptions::stale_downgrade): once shadow
+    // sampling has convicted this version of drifting, its answers are
+    // no longer trustworthy at full fidelity. Report-only mode leaves
+    // answers alone; enforcement mode applies PR 3's degradation
+    // contract — tag permissive requests degraded, refuse strict ones.
+    if (options_.stale_downgrade &&
+        snap->health == SynopsisHealth::kStale) {
+      if (!req.allow_degraded) {
+        outcome_label = "stale";
+        out.estimate = Status(
+            StatusCode::kUnavailable,
+            "synopsis stale: shadow-sampled q-error over drift limit for: " +
+                req.synopsis);
+        return out;
+      }
+      stale_taint = true;
+    }
+
     // A salvaged (order-dropped) version only affects queries that
     // carry order constraints — those degrade (or are refused with a
     // quarantine message below). Order-free answers are bit-identical
@@ -346,6 +391,12 @@ EstimateOutcome EstimationService::EstimateAdmitted(
   // "Degraded" describes an answer actually served; failures are just
   // failures.
   out.degraded = out.degraded && out.estimate.ok();
+  // Shadow eligibility is judged before the stale taint lands: a taint
+  // changes the answer's labeling, not its numbers, and the one synopsis
+  // already convicted of drifting is the one that must keep being
+  // audited (otherwise enforcement mode would freeze its own evidence).
+  const bool shadow_eligible = out.estimate.ok() && !out.degraded;
+  if (stale_taint && out.estimate.ok()) out.degraded = true;
   switch (out.estimate.status().code()) {
     case StatusCode::kDeadlineExceeded:
       stats_.deadline_exceeded.Inc();
@@ -362,7 +413,100 @@ EstimateOutcome EstimationService::EstimateAdmitted(
     stats_.request_ns.Record(total_ns);
     RecordTrace(req, outcome_label, out, spans, total_ns);
   }
+  if (shadow_eligible) {
+    MaybeShadow(req, out, std::move(shadow_truth), shadow_epoch);
+  }
   return out;
+}
+
+void EstimationService::MaybeShadow(const QueryRequest& req,
+                                    const EstimateOutcome& out,
+                                    std::shared_ptr<const GroundTruth> truth,
+                                    uint64_t epoch) {
+  if (!accuracy_.enabled()) return;
+  // The sampling tick advances once per *eligible* request (full-
+  // fidelity success), so "1-in-N" means 1-in-N auditable answers.
+  if (!accuracy_.ShouldSample()) return;
+  if (truth == nullptr) {
+    accuracy_.SkipNoDocument();
+    return;
+  }
+  if (!accuracy_.TryBeginShadow()) return;  // counted backlog_suppressed
+  // Everything the shadow needs is captured by value / shared_ptr: the
+  // task may outlive the request, the snapshot, and even the synopsis's
+  // registration. EndShadow is balanced on every exit path of the task.
+  pool_.Submit([this, synopsis = req.synopsis, xpath = req.xpath,
+                deadline = req.deadline, truth = std::move(truth), epoch,
+                estimate = out.estimate.value()]() {
+    ShadowEvaluate(synopsis, xpath, deadline, truth, epoch, estimate);
+    accuracy_.EndShadow();
+  });
+}
+
+void EstimationService::ShadowEvaluate(
+    const std::string& synopsis, const std::string& xpath,
+    const Deadline& deadline, const std::shared_ptr<const GroundTruth>& truth,
+    uint64_t epoch, double estimate) {
+  // The caller's answer has long been returned; the deadline check here
+  // implements the contract that no work attributable to a request runs
+  // past its deadline (and bounds shadow debt under a backlog).
+  if (!deadline.infinite() && deadline.HasExpired()) {
+    accuracy_.SuppressDeadline();
+    return;
+  }
+  // Re-parse off the hot path rather than copying the canonical query
+  // into every request on the 255-in-256 chance it is not sampled (the
+  // hot path for a warm exact-hit never parses at all).
+  Result<xpath::Query> parsed =
+      xpath::ParseXPath(xpath::StripWhitespace(xpath));
+  if (!parsed.ok()) {
+    accuracy_.SkipEvalError();
+    return;
+  }
+  const xpath::Query canonical = xpath::Canonicalize(parsed.value());
+  Result<uint64_t> truth_count = truth->evaluator.Count(canonical);
+  if (!truth_count.ok()) {
+    accuracy_.SkipEvalError();
+    return;
+  }
+  const obs::SynopsisAccuracy drift = accuracy_.Record(
+      synopsis, epoch, ClassifyQuery(canonical), xpath, estimate,
+      static_cast<double>(truth_count.value()));
+  // Below the sample gate the verdict stays kUnknown — flapping to
+  // "healthy" off one lucky sample would be as wrong as flapping to
+  // "stale" off one unlucky one.
+  if (drift.samples >= accuracy_.options().drift_min_samples) {
+    registry_.MarkHealth(synopsis, epoch,
+                         drift.stale ? SynopsisHealth::kStale
+                                     : SynopsisHealth::kHealthy);
+  }
+}
+
+bool EstimationService::DrainShadow(uint64_t timeout_ms) const {
+  const auto give_up =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (accuracy_.pending() != 0) {
+    if (Clock::now() >= give_up) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+obs::QueryClass ClassifyQuery(const xpath::Query& canonical) {
+  obs::QueryClass cls;
+  cls.order = !canonical.orders.empty();
+  cls.depth = static_cast<int>(canonical.nodes.size());
+  // A root-anywhere query starts with an implicit '//' step.
+  cls.descendant = canonical.root_mode == xpath::RootMode::kAnywhere;
+  for (size_t i = 0; i < canonical.nodes.size(); ++i) {
+    const xpath::QueryNode& node = canonical.nodes[i];
+    if (i != 0 && node.axis == xpath::StructAxis::kDescendant) {
+      cls.descendant = true;
+    }
+    if (node.children.size() >= 2) cls.branched = true;
+    if (node.value_filter.has_value()) cls.predicate = true;
+  }
+  return cls;
 }
 
 void EstimationService::RecordTrace(const QueryRequest& req,
@@ -391,7 +535,51 @@ std::string EstimationService::StatszJson() {
       .Set(static_cast<int64_t>(cache.bytes));
   obs_.GetGauge("service.plan_cache.evictions")
       .Set(static_cast<int64_t>(cache.evictions));
-  return obs_.ToJson();
+  // Splice the accuracy section in as a fourth top-level key, keeping
+  // the registry's counters/gauges/histograms rendering untouched.
+  std::string j = obs_.ToJson();
+  std::string spliced = ",\"accuracy\":";
+  spliced += accuracy_.ToJson();
+  j.insert(j.size() - 1, spliced);
+  return j;
+}
+
+std::string EstimationService::HealthzJson() const {
+  const std::vector<SynopsisHealthRow> rows = registry_.HealthRows();
+  const std::vector<std::pair<std::string, Status>> quarantined =
+      registry_.QuarantinedNames();
+
+  bool any_stale = false;
+  for (const SynopsisHealthRow& row : rows) {
+    if (row.health == SynopsisHealth::kStale) any_stale = true;
+  }
+  std::string j = "{\"status\":\"";
+  j += any_stale ? "stale" : "ok";
+  j += "\",\"synopses\":{";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SynopsisHealthRow& row = rows[i];
+    if (i != 0) j += ",";
+    j += "\"";
+    j += obs::JsonEscape(row.name);
+    j += "\":{\"epoch\":";
+    j += std::to_string(row.epoch);
+    j += ",\"health\":\"";
+    j += SynopsisHealthName(row.health);
+    j += "\",\"order_quarantined\":";
+    j += row.order_quarantined ? "true" : "false";
+    j += ",\"has_truth\":";
+    j += row.has_truth ? "true" : "false";
+    j += "}";
+  }
+  j += "},\"quarantined\":[";
+  for (size_t i = 0; i < quarantined.size(); ++i) {
+    if (i != 0) j += ",";
+    j += "\"";
+    j += obs::JsonEscape(quarantined[i].first);
+    j += "\"";
+  }
+  j += "]}";
+  return j;
 }
 
 std::vector<EstimateOutcome> EstimationService::EstimateBatch(

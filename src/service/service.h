@@ -11,8 +11,10 @@
 #include "common/deadline.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/accuracy.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "xpath/query.h"
 #include "service/plan_cache.h"
 #include "service/service_stats.h"
 #include "service/synopsis_registry.h"
@@ -55,6 +57,32 @@ struct ServiceOptions {
   /// disables slow capture. Untimed requests can't be detected as slow
   /// — set trace_sample = 1 to make slow capture exhaustive.
   uint64_t slow_trace_ns = 10'000'000;  // 10ms
+  /// Shadow-evaluate 1-in-N successful full-fidelity requests against
+  /// the synopsis's registered ground-truth Document (obs/accuracy.h,
+  /// DESIGN.md §11). 1 = every request, 0 = off. The shadow runs on the
+  /// worker pool after the caller's answer is complete — it never
+  /// delays the reply — and never fires for shed, degraded, or failed
+  /// requests. No-op under XEE_OBS_OFF.
+  size_t accuracy_sample = 256;
+  /// Seed of the shadow-sampling decision; fixed seed + fixed request
+  /// sequence = same sampled positions (tests pin this).
+  uint64_t accuracy_seed = 0xacc5eed;
+  /// A synopsis whose shadow q-error EWMA exceeds this turns `stale`.
+  double drift_qerror_limit = 2.0;
+  /// ...but only after this many shadow samples of its current epoch.
+  uint64_t drift_min_samples = 32;
+  /// Bound on queued + running shadow evaluations; samples beyond it
+  /// are dropped (backlog_suppressed), so a slow oracle can never grow
+  /// an unbounded queue behind real traffic.
+  size_t accuracy_max_pending = 64;
+  /// Worst-offenders ring capacity (top-K sampled queries by q-error).
+  size_t accuracy_offenders = 16;
+  /// Escalation policy for a `stale` synopsis. Default (false) is
+  /// report-only: health shows in healthz/ACCZ/statsz but answers are
+  /// untouched. When true, answers from a stale synopsis carry PR 3's
+  /// degraded semantics: tagged degraded when the request allows it,
+  /// refused with kUnavailable when it insists on full fidelity.
+  bool stale_downgrade = false;
 
   /// `threads` with the 0 = hardware default resolved, clamped to >= 1
   /// (hardware_concurrency() may legitimately report 0).
@@ -150,9 +178,27 @@ class EstimationService {
   obs::TraceRing& traces() { return traces_; }
   const obs::TraceRing& traces() const { return traces_; }
 
+  /// Shadow-sampled accuracy state (see ServiceOptions::accuracy_*).
+  obs::AccuracyTracker& accuracy() { return accuracy_; }
+  const obs::AccuracyTracker& accuracy() const { return accuracy_; }
+
   /// The STATSZ payload: refreshes the plan-cache occupancy gauges and
-  /// renders this service's registry as JSON.
+  /// renders this service's registry as JSON (with an "accuracy"
+  /// section spliced in).
   std::string StatszJson();
+
+  /// The ACCZ payload: the accuracy tracker's JSON alone.
+  std::string AccuracyJson() const { return accuracy_.ToJson(); }
+
+  /// The healthz payload, built from the registry (meaningful even
+  /// under XEE_OBS_OFF, where health simply stays "unknown"):
+  ///   {"status":"ok"|"stale","synopses":{name:{...}},"quarantined":[...]}
+  std::string HealthzJson() const;
+
+  /// Blocks until no shadow evaluations are pending (polling), or
+  /// `timeout_ms` elapsed; returns whether the backlog reached zero.
+  /// Tests and benches use this to observe a quiesced accuracy state.
+  bool DrainShadow(uint64_t timeout_ms = 10'000) const;
 
   void ClearPlanCache() { cache_.Clear(); }
 
@@ -186,16 +232,40 @@ class EstimationService {
                    const EstimateOutcome& out, const obs::TraceSpans& spans,
                    uint64_t total_ns);
 
+  /// Samples `out` for shadow evaluation and, when sampled and
+  /// admitted, submits the shadow task to the pool. Called after the
+  /// caller-visible answer is fully formed; never blocks.
+  void MaybeShadow(const QueryRequest& request, const EstimateOutcome& out,
+                   std::shared_ptr<const GroundTruth> truth, uint64_t epoch);
+
+  /// The shadow task body (pool thread): re-parse, exact-count against
+  /// `truth`, record the error, feed the drift verdict back into the
+  /// registry's health state.
+  void ShadowEvaluate(const std::string& synopsis, const std::string& xpath,
+                      const Deadline& deadline,
+                      const std::shared_ptr<const GroundTruth>& truth,
+                      uint64_t epoch, double estimate);
+
   ServiceOptions options_;
   SynopsisRegistry registry_;
   PlanCache cache_;
-  ThreadPool pool_;
-  obs::Registry obs_;  // must precede stats_ (which resolves handles)
+  obs::Registry obs_;  // must precede stats_/accuracy_ (handle resolution)
   ServiceStats stats_;
   obs::TraceRing traces_;
+  obs::AccuracyTracker accuracy_;
   std::atomic<size_t> inflight_{0};
   std::atomic<uint64_t> trace_tick_{0};  // sampling counter
+  /// Declared last on purpose: the pool's destructor drains queued
+  /// shadow tasks, which touch accuracy_, registry_ and obs_ — those
+  /// must still be alive while the drain runs.
+  ThreadPool pool_;
 };
+
+/// Classifies a canonicalized query into its accuracy label dimensions
+/// (obs::QueryClass): order vs '//' vs child-only axis mix, chain vs
+/// branch shape, predicate presence, node-count depth. Exposed so tests
+/// can compute the class a query's shadow samples land under.
+obs::QueryClass ClassifyQuery(const xpath::Query& canonical);
 
 }  // namespace xee::service
 

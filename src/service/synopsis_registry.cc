@@ -1,5 +1,6 @@
 #include "service/synopsis_registry.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -7,22 +8,113 @@
 
 namespace xee::service {
 
-uint64_t SynopsisRegistry::Register(const std::string& name,
-                                    estimator::Synopsis synopsis) {
-  return Register(name, std::make_shared<const estimator::Synopsis>(
-                            std::move(synopsis)));
+std::string_view SynopsisHealthName(SynopsisHealth h) {
+  switch (h) {
+    case SynopsisHealth::kHealthy:
+      return "healthy";
+    case SynopsisHealth::kStale:
+      return "stale";
+    case SynopsisHealth::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
+uint64_t SynopsisRegistry::Register(
+    const std::string& name, estimator::Synopsis synopsis,
+    std::shared_ptr<const xml::Document> document) {
+  return Register(name,
+                  std::make_shared<const estimator::Synopsis>(
+                      std::move(synopsis)),
+                  std::move(document));
 }
 
 uint64_t SynopsisRegistry::Register(
     const std::string& name,
-    std::shared_ptr<const estimator::Synopsis> synopsis) {
+    std::shared_ptr<const estimator::Synopsis> synopsis,
+    std::shared_ptr<const xml::Document> document) {
+  // ExactEvaluator construction walks the whole document; do it outside
+  // the lock, like deserialization in RegisterSerialized.
+  std::shared_ptr<const GroundTruth> truth;
+  if (document != nullptr) {
+    truth = std::make_shared<const GroundTruth>(std::move(document));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   quarantine_.erase(name);
   SynopsisSnapshot& slot = map_[name];
   slot.synopsis = std::move(synopsis);
   slot.epoch = next_epoch_++;
   slot.order_quarantined = false;
+  slot.health = SynopsisHealth::kUnknown;
+  slot.truth = std::move(truth);
   return slot.epoch;
+}
+
+bool SynopsisRegistry::AttachDocument(
+    const std::string& name, std::shared_ptr<const xml::Document> document) {
+  std::shared_ptr<const GroundTruth> truth;
+  if (document != nullptr) {
+    truth = std::make_shared<const GroundTruth>(std::move(document));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(name);
+  if (it == map_.end()) return false;
+  it->second.truth = std::move(truth);
+  return true;
+}
+
+bool SynopsisRegistry::MarkHealth(const std::string& name, uint64_t epoch,
+                                  SynopsisHealth health) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(name);
+  if (it == map_.end() || it->second.epoch != epoch) return false;
+  it->second.health = health;
+  return true;
+}
+
+std::optional<SynopsisHealth> SynopsisRegistry::Health(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(name);
+  if (it == map_.end()) return std::nullopt;
+  return it->second.health;
+}
+
+std::vector<SynopsisHealthRow> SynopsisRegistry::HealthRows() const {
+  std::vector<SynopsisHealthRow> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows.reserve(map_.size());
+    for (const auto& [name, snap] : map_) {
+      SynopsisHealthRow row;
+      row.name = name;
+      row.epoch = snap.epoch;
+      row.health = snap.health;
+      row.order_quarantined = snap.order_quarantined;
+      row.has_truth = snap.truth != nullptr;
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SynopsisHealthRow& a, const SynopsisHealthRow& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+std::vector<std::pair<std::string, Status>> SynopsisRegistry::QuarantinedNames()
+    const {
+  std::vector<std::pair<std::string, Status>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(quarantine_.size());
+    for (const auto& [name, status] : quarantine_) {
+      out.emplace_back(name, status);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 LoadOutcome SynopsisRegistry::RegisterSerialized(const std::string& name,
@@ -62,6 +154,10 @@ LoadOutcome SynopsisRegistry::RegisterSerialized(const std::string& name,
   slot.synopsis = std::move(shared);
   slot.epoch = next_epoch_++;
   slot.order_quarantined = report.order_dropped;
+  // A blob carries no source document: the new version starts unaudited
+  // (no oracle) until AttachDocument supplies one.
+  slot.health = SynopsisHealth::kUnknown;
+  slot.truth = nullptr;
   out.epoch = slot.epoch;
   out.order_dropped = report.order_dropped;
   return out;

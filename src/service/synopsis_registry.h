@@ -8,11 +8,35 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "estimator/synopsis.h"
+#include "eval/exact_evaluator.h"
+#include "xml/tree.h"
 
 namespace xee::service {
+
+/// A synopsis version's accuracy health, fed back by the shadow-
+/// evaluation pipeline (obs/accuracy.h, DESIGN.md §11). kUnknown until
+/// enough shadow samples accumulate; kStale when the drift EWMA crossed
+/// `drift_qerror_limit` — the synopsis no longer describes the data it
+/// claims to summarize.
+enum class SynopsisHealth { kUnknown, kHealthy, kStale };
+
+std::string_view SynopsisHealthName(SynopsisHealth h);
+
+/// The ground-truth oracle optionally attached to a synopsis version:
+/// the source Document plus an exact evaluator over it. Immutable after
+/// construction and shared by reference, so shadow evaluations keep it
+/// alive across Register/Remove just like the synopsis itself.
+struct GroundTruth {
+  explicit GroundTruth(std::shared_ptr<const xml::Document> doc)
+      : document(std::move(doc)), evaluator(*document) {}
+
+  std::shared_ptr<const xml::Document> document;
+  eval::ExactEvaluator evaluator;  ///< over *document
+};
 
 /// A refcounted view of one registered synopsis at a point in time.
 /// Holding a snapshot keeps its synopsis alive while Register/Remove
@@ -28,6 +52,21 @@ struct SynopsisSnapshot {
   /// queries are exact as usual, but everything served from it is
   /// degraded and order-axis queries cannot run at full fidelity.
   bool order_quarantined = false;
+  /// Shadow-sampled accuracy verdict for this version (kUnknown until
+  /// the drift gate has seen enough samples).
+  SynopsisHealth health = SynopsisHealth::kUnknown;
+  /// Ground-truth oracle for shadow evaluation; null when no Document
+  /// was attached (shadow sampling then skips this synopsis).
+  std::shared_ptr<const GroundTruth> truth;
+};
+
+/// One row of SynopsisRegistry::HealthRows() — the healthz view.
+struct SynopsisHealthRow {
+  std::string name;
+  uint64_t epoch = 0;
+  SynopsisHealth health = SynopsisHealth::kUnknown;
+  bool order_quarantined = false;
+  bool has_truth = false;
 };
 
 /// What RegisterSerialized did with a blob.
@@ -54,9 +93,41 @@ class SynopsisRegistry {
  public:
   /// Registers `synopsis` under `name`, replacing any previous version
   /// and clearing any quarantine on the name. Returns the new epoch.
-  uint64_t Register(const std::string& name, estimator::Synopsis synopsis);
+  /// `document`, when non-null, becomes the version's ground-truth
+  /// oracle (shadow evaluation builds an ExactEvaluator over it); a new
+  /// version always starts with kUnknown health and, unless `document`
+  /// is passed here, no truth — a synopsis's health and oracle describe
+  /// one version, never carry over to the next.
+  uint64_t Register(const std::string& name, estimator::Synopsis synopsis,
+                    std::shared_ptr<const xml::Document> document = nullptr);
   uint64_t Register(const std::string& name,
-                    std::shared_ptr<const estimator::Synopsis> synopsis);
+                    std::shared_ptr<const estimator::Synopsis> synopsis,
+                    std::shared_ptr<const xml::Document> document = nullptr);
+
+  /// Attaches (or replaces) the ground-truth Document of the current
+  /// version of `name` without bumping the epoch — the oracle does not
+  /// change what estimates the synopsis produces, only whether they can
+  /// be audited. False when `name` is not serving.
+  bool AttachDocument(const std::string& name,
+                      std::shared_ptr<const xml::Document> document);
+
+  /// Sets the health verdict of `name`, but only while its current
+  /// version still is `epoch` — a shadow verdict computed against a
+  /// replaced version must not taint its successor. Returns whether the
+  /// verdict was applied.
+  bool MarkHealth(const std::string& name, uint64_t epoch,
+                  SynopsisHealth health);
+
+  /// Current health of `name`, or nullopt when not serving.
+  std::optional<SynopsisHealth> Health(const std::string& name) const;
+
+  /// Every serving name's health row, sorted by name (the healthz
+  /// payload; quarantined names are not serving — see
+  /// QuarantinedNames).
+  std::vector<SynopsisHealthRow> HealthRows() const;
+
+  /// Quarantined names, sorted, with their rejection statuses.
+  std::vector<std::pair<std::string, Status>> QuarantinedNames() const;
 
   /// Deserializes `blob` and registers the result under `name`. A blob
   /// whose damage is confined to the o-histogram section registers as a

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/accuracy.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -69,6 +70,48 @@ TEST(ObsOffTest, TraceApiCompilesAndNoOps) {
   EXPECT_EQ(ring.recorded(), 0u);
   EXPECT_EQ(ring.ToJson(), "{\"recent\":[],\"slow\":[]}");
   EXPECT_EQ(StageName(Stage::kParse), "parse");
+}
+
+TEST(ObsOffTest, AccuracyApiCompilesAndNoOps) {
+  Registry reg;
+  AccuracyOptions opt;
+  opt.sample = 1;  // would sample everything if live
+  AccuracyTracker t(&reg, opt);
+  EXPECT_FALSE(t.enabled());
+  EXPECT_FALSE(t.ShouldSample());  // shadow branch is dead code
+  EXPECT_FALSE(t.TryBeginShadow());
+  t.EndShadow();
+  t.SkipNoDocument();
+  t.SuppressDeadline();
+  t.SkipEvalError();
+  EXPECT_EQ(t.pending(), 0u);
+
+  QueryClass cls;
+  cls.descendant = true;
+  cls.depth = 2;
+  const SynopsisAccuracy rec = t.Record("paper", 1, cls, "//A/B", 4.0, 4.0);
+  EXPECT_EQ(rec.samples, 0u);
+  EXPECT_FALSE(rec.stale);
+  EXPECT_TRUE(t.Classes().empty());
+  EXPECT_TRUE(t.Synopses().empty());
+  EXPECT_FALSE(t.SynopsisState("paper").has_value());
+  EXPECT_TRUE(t.Offenders().empty());
+  EXPECT_EQ(t.ToJson(), "{\"enabled\":false}");
+  EXPECT_EQ(t.options().sample, 1u);
+}
+
+TEST(ObsOffTest, AccuracyMathAndLabelsStayLive) {
+  // Like HistogramBuckets: shared math and label rendering are not
+  // instrumentation, so they behave identically in both build modes.
+  EXPECT_DOUBLE_EQ(AccuracyMath::QError(8.0, 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(AccuracyMath::QError(0.25, 0.5), 1.0);  // floored at 1
+  EXPECT_DOUBLE_EQ(AccuracyMath::SignedRelError(3.0, 4.0), -0.25);
+  QueryClass cls;
+  cls.order = true;
+  cls.branched = true;
+  cls.predicate = true;
+  cls.depth = 6;
+  EXPECT_EQ(cls.Label(), "axis=order,shape=branch,pred=1,depth=5-8");
 }
 
 }  // namespace

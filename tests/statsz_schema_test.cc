@@ -1,0 +1,235 @@
+// Golden-schema test for the JSON export surfaces (STATSZ / TRACEZ /
+// ACCZ / healthz): parses each document with the strict common/json
+// parser and asserts the key names and types dashboards scrape. An
+// accidental metric rename now fails ctest here instead of silently
+// zeroing a production graph.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "estimator/synopsis.h"
+#include "paper_fixture.h"
+#include "service/service.h"
+
+#ifdef XEE_OBS_OFF
+#define XEE_REQUIRES_OBS() \
+  GTEST_SKIP() << "exports render empty under XEE_OBS_OFF"
+#else
+#define XEE_REQUIRES_OBS() (void)0
+#endif
+
+namespace xee::service {
+namespace {
+
+using json::Value;
+
+/// A service that has exercised every export-visible path: cache miss /
+/// exact hit / canonical hit, a degraded answer, a failed parse, a shed
+/// (via max_inflight 0 → unbounded, so instead deadline), and full-rate
+/// shadow sampling against an attached oracle.
+class StatszSchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServiceOptions opt;
+    opt.threads = 1;
+    opt.trace_sample = 1;
+    opt.accuracy_sample = 1;
+    opt.accuracy_max_pending = 1024;
+    opt.drift_min_samples = 2;
+    svc_ = std::make_unique<EstimationService>(opt);
+    auto doc = std::make_shared<const xml::Document>(
+        testing::MakePaperDocument());
+    svc_->registry().Register(
+        "paper", estimator::Synopsis::Build(*doc, {}), doc);
+
+    ASSERT_TRUE(svc_->Estimate("paper", "//A/B").ok());  // miss
+    ASSERT_TRUE(svc_->Estimate("paper", "//A/B").ok());  // exact hit
+    ASSERT_TRUE(svc_->Estimate("paper", "//A[B][C]/B/D").ok());  // miss
+    // Different text, same canonical plan: a canonical hit.
+    ASSERT_TRUE(svc_->Estimate("paper", " //A[C][B] / B / child::D ").ok());
+    ASSERT_FALSE(svc_->Estimate("paper", "((").ok());    // parse error
+    QueryRequest expired{"paper", "//A/B"};
+    expired.deadline = Deadline::AlreadyExpired();
+    ASSERT_FALSE(svc_->Estimate(expired).ok());              // deadline
+    ASSERT_TRUE(svc_->DrainShadow());
+  }
+
+  const Value* MustFind(const Value& v, const std::string& key) {
+    const Value* found = v.Find(key);
+    EXPECT_NE(found, nullptr) << "missing key: " << key;
+    return found;
+  }
+
+  std::unique_ptr<EstimationService> svc_;
+};
+
+TEST_F(StatszSchemaTest, TopLevelSectionsAndScrapedKeys) {
+  XEE_REQUIRES_OBS();
+  Result<Value> parsed = json::Parse(svc_->StatszJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Value& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+
+  // The four top-level sections, all objects.
+  for (const char* section : {"counters", "gauges", "histograms",
+                              "accuracy"}) {
+    const Value* s = MustFind(root, section);
+    ASSERT_NE(s, nullptr);
+    EXPECT_TRUE(s->is_object()) << section;
+  }
+
+  // Counters dashboards alert on. Values are JSON numbers.
+  const Value& counters = *root.Find("counters");
+  for (const char* key : {
+           "service.requests",
+           "service.plan_cache{outcome=exact_hit}",
+           "service.plan_cache{outcome=canonical_hit}",
+           "service.plan_cache{outcome=miss}",
+           "service.outcome{reason=deadline_exceeded}",
+           "accuracy.samples{phase=started}",
+           "accuracy.samples{phase=recorded}",
+       }) {
+    const Value* c = MustFind(counters, key);
+    ASSERT_NE(c, nullptr);
+    EXPECT_TRUE(c->is_number()) << key;
+  }
+  // The exercised paths counted.
+  EXPECT_EQ(counters.Find("service.requests")->number, 6.0);
+  EXPECT_EQ(counters.Find("service.plan_cache{outcome=exact_hit}")->number,
+            1.0);
+  EXPECT_EQ(
+      counters.Find("service.plan_cache{outcome=canonical_hit}")->number,
+      1.0);
+
+  // Plan-cache occupancy gauges.
+  const Value& gauges = *root.Find("gauges");
+  for (const char* key : {"service.plan_cache.entries",
+                          "service.plan_cache.bytes",
+                          "service.plan_cache.evictions"}) {
+    const Value* g = MustFind(gauges, key);
+    ASSERT_NE(g, nullptr);
+    EXPECT_TRUE(g->is_number()) << key;
+  }
+
+  // Histogram rendering: each entry is an object carrying the quantile
+  // fields scrapers read.
+  const Value& hists = *root.Find("histograms");
+  const Value* request_ns = MustFind(hists, "service.request_ns");
+  ASSERT_NE(request_ns, nullptr);
+  for (const char* field :
+       {"count", "sum", "mean", "p50", "p90", "p95", "p99", "max"}) {
+    const Value* f = MustFind(*request_ns, field);
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(f->is_number()) << field;
+  }
+  // Per-stage spans render under their stage names.
+  EXPECT_TRUE(hists.Has("service.stage.parse_ns"));
+  EXPECT_TRUE(hists.Has("service.stage.snapshot_ns"));
+}
+
+TEST_F(StatszSchemaTest, AccuracySectionSchema) {
+  XEE_REQUIRES_OBS();
+  Result<Value> parsed = json::Parse(svc_->StatszJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Value& acc = *MustFind(parsed.value(), "accuracy");
+
+  EXPECT_TRUE(MustFind(acc, "enabled")->is_bool());
+  EXPECT_TRUE(MustFind(acc, "sample")->is_number());
+  EXPECT_TRUE(MustFind(acc, "drift_qerror_limit")->is_number());
+  EXPECT_TRUE(MustFind(acc, "drift_min_samples")->is_number());
+
+  const Value& samples = *MustFind(acc, "samples");
+  for (const char* phase :
+       {"started", "recorded", "skipped_no_document", "deadline_suppressed",
+        "backlog_suppressed", "eval_error", "pending"}) {
+    const Value* p = MustFind(samples, phase);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(p->is_number()) << phase;
+  }
+  // Conservation holds in the export itself.
+  EXPECT_EQ(samples.Find("started")->number,
+            samples.Find("recorded")->number +
+                samples.Find("skipped_no_document")->number +
+                samples.Find("deadline_suppressed")->number +
+                samples.Find("backlog_suppressed")->number +
+                samples.Find("eval_error")->number);
+
+  // Per-class rows: label-keyed objects with the exact-mean fields.
+  const Value& classes = *MustFind(acc, "classes");
+  ASSERT_TRUE(classes.is_object());
+  ASSERT_FALSE(classes.members.empty());
+  for (const auto& [label, cls] : classes.members) {
+    EXPECT_NE(label.find("axis="), std::string::npos) << label;
+    for (const char* field : {"count", "mean_signed_error", "mean_abs_error",
+                              "mean_qerror", "max_qerror"}) {
+      const Value* f = cls.Find(field);
+      ASSERT_NE(f, nullptr) << label << "." << field;
+      EXPECT_TRUE(f->is_number());
+    }
+  }
+
+  // Drift rows and the offender ring.
+  const Value& synopses = *MustFind(acc, "synopses");
+  const Value* paper = MustFind(synopses, "paper");
+  ASSERT_NE(paper, nullptr);
+  EXPECT_TRUE(paper->Find("epoch")->is_number());
+  EXPECT_TRUE(paper->Find("samples")->is_number());
+  EXPECT_TRUE(paper->Find("ewma_qerror")->is_number());
+  EXPECT_TRUE(paper->Find("stale")->is_bool());
+
+  const Value& offenders = *MustFind(acc, "offenders");
+  ASSERT_TRUE(offenders.is_array());
+  ASSERT_FALSE(offenders.items.empty());
+  for (const char* field :
+       {"synopsis", "query", "class", "estimate", "truth", "qerror"}) {
+    EXPECT_TRUE(offenders.items[0].Has(field)) << field;
+  }
+
+  // ACCZ is the same document standalone.
+  Result<Value> accz = json::Parse(svc_->AccuracyJson());
+  ASSERT_TRUE(accz.ok()) << accz.status().ToString();
+  EXPECT_TRUE(accz.value().Has("samples"));
+}
+
+TEST_F(StatszSchemaTest, TracezSchema) {
+  XEE_REQUIRES_OBS();
+  Result<Value> parsed = json::Parse(svc_->traces().ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Value& root = parsed.value();
+  const Value* recent = MustFind(root, "recent");
+  ASSERT_NE(recent, nullptr);
+  ASSERT_TRUE(recent->is_array());
+  ASSERT_FALSE(recent->items.empty());
+  const Value& entry = recent->items[0];
+  for (const char* field : {"seq", "total_ns", "synopsis", "query",
+                            "outcome", "degraded", "stages_ns"}) {
+    EXPECT_TRUE(entry.Has(field)) << field;
+  }
+  EXPECT_TRUE(MustFind(root, "slow")->is_array());
+}
+
+TEST_F(StatszSchemaTest, HealthzSchema) {
+  // Healthz is registry-driven and meaningful even under XEE_OBS_OFF
+  // (health stays "unknown" there), so no XEE_REQUIRES_OBS.
+  Result<Value> parsed = json::Parse(svc_->HealthzJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Value& root = parsed.value();
+  const Value* status = MustFind(root, "status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_TRUE(status->is_string());
+  EXPECT_TRUE(status->str == "ok" || status->str == "stale");
+  const Value* paper = MustFind(*MustFind(root, "synopses"), "paper");
+  ASSERT_NE(paper, nullptr);
+  EXPECT_TRUE(paper->Find("epoch")->is_number());
+  EXPECT_TRUE(paper->Find("health")->is_string());
+  EXPECT_TRUE(paper->Find("order_quarantined")->is_bool());
+  EXPECT_TRUE(paper->Find("has_truth")->is_bool());
+  EXPECT_TRUE(MustFind(root, "quarantined")->is_array());
+}
+
+}  // namespace
+}  // namespace xee::service
