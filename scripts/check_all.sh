@@ -8,8 +8,11 @@
 #   3. ThreadSanitizer slice   (scripts/check_tsan.sh)
 #   4. ASan/UBSan slice        (scripts/check_asan.sh)
 #
-# The fuzz and chaos smokes run inside step 1 via their ctest entries
-# (label `smoke`), and again under ASan in step 3. Run from the
+# The fuzz, chaos, and simulator smokes run inside step 1 via their
+# ctest entries (label `smoke`; simulate_smoke runs every scenario
+# family time-scaled and fails on any drain-invariant violation), and
+# the fuzz/chaos smokes run again under ASan in step 4; the TSan slice
+# also drives one simulator scenario in concurrent mode. Run from the
 # repository root:
 #
 #   scripts/check_all.sh            # everything

@@ -16,6 +16,13 @@ FILTER="${1:-ServiceTest|CanonicalTest|EstimatorTest|ObsTest|AccuracyTrackerTest
 cmake -B build-tsan -S . -DXEE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
   --target service_test canonical_test estimator_test obs_test \
-  accuracy_obs_test accuracy_shadow_test
+  accuracy_obs_test accuracy_shadow_test simulate
 (cd build-tsan && ctest -R "$FILTER" --output-on-failure)
+
+# One simulator scenario in concurrent mode: real Estimate() calls
+# racing across a worker pool against reloads, shadow evaluation, and
+# admission control (fingerprints are not stable here; the run still
+# must hold every drain invariant, and TSan must stay quiet).
+build-tsan/bench/simulate --scenario=bursty_overload_chaos \
+  --workers=4 --duration-ms=2000 >/dev/null
 echo "TSan checks passed."

@@ -48,3 +48,29 @@ raw="$("$BUILD"/bench/bench_service_throughput "${ARGS[@]}")"
 
 rows="$(grep -c '"bench"' "$OUT" || true)"
 echo "record_bench: wrote $OUT ($rows rows)"
+
+# --- simulator trajectories (PR 6) -------------------------------------
+# The three scenario families at their pinned seeds and full durations:
+# per-window trajectory rows plus one summary row (fingerprint +
+# invariant verdicts) each. The deterministic columns are reproducible
+# anywhere; the latency quantiles are machine-dependent like the rows
+# above. SIM_OUT overrides the output path.
+SIM_OUT="${SIM_OUT:-BENCH_pr6.json}"
+
+cmake --build "$BUILD" -j"$(nproc)" --target simulate >/dev/null
+
+sim_raw="$("$BUILD"/bench/simulate --scenario=all)"
+
+{
+  printf '{"bench_file_version":1,"recorded":{"bench":"simulate","args":"--scenario=all"},"rows":[\n'
+  first=1
+  while IFS= read -r line; do
+    [[ "$line" == \{\"bench\"* ]] || continue
+    if [[ "$first" == 1 ]]; then first=0; else printf ',\n'; fi
+    printf '%s' "$line"
+  done <<<"$sim_raw"
+  printf '\n]}\n'
+} >"$SIM_OUT"
+
+sim_rows="$(grep -c '"bench"' "$SIM_OUT" || true)"
+echo "record_bench: wrote $SIM_OUT ($sim_rows rows)"

@@ -12,7 +12,9 @@ FaultInjector& FaultInjector::Global() {
 void FaultInjector::Arm(const std::string& site, const FaultConfig& config) {
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = sites_.insert_or_assign(
-      site, Site{config, Rng(config.seed), /*hits=*/0, /*fires=*/0});
+      site,
+      Site{config, Rng(config.seed), /*hits=*/0, /*windowed_hits=*/0,
+           /*fires=*/0});
   (void)it;
   if (inserted) armed_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -28,6 +30,7 @@ void FaultInjector::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   armed_.fetch_sub(sites_.size(), std::memory_order_relaxed);
   sites_.clear();
+  schedule_now_.store(0, std::memory_order_relaxed);
 }
 
 bool FaultInjector::Fire(std::string_view site, uint64_t* payload) {
@@ -36,7 +39,16 @@ bool FaultInjector::Fire(std::string_view site, uint64_t* payload) {
   if (it == sites_.end()) return false;
   Site& s = it->second;
   ++s.hits;
-  if (s.hits <= s.config.skip) return false;
+  // The schedule window gates everything below it: a hit outside the
+  // window counts as a hit but consumes neither a skip slot nor a
+  // probability draw, so the in-window behavior is independent of when
+  // the window opens.
+  const uint64_t now = schedule_now_.load(std::memory_order_relaxed);
+  if (now < s.config.window_start || now >= s.config.window_end) {
+    return false;
+  }
+  ++s.windowed_hits;
+  if (s.windowed_hits <= s.config.skip) return false;
   if (s.fires >= s.config.max_fires) return false;
   if (!s.rng.Bernoulli(s.config.probability)) return false;
   ++s.fires;

@@ -31,6 +31,18 @@ struct FaultConfig {
   uint64_t max_fires = UINT64_MAX;
   /// Seed of the site's probability stream.
   uint64_t seed = 1;
+  /// Time-windowed schedule: the site only fires while the injector's
+  /// schedule clock (AdvanceTime) reads inside [window_start,
+  /// window_end). The defaults cover all of time, so plain arms keep
+  /// the purely probabilistic behavior. Clock units are the driver's
+  /// choice — the traffic simulator (src/sim/) feeds virtual
+  /// microseconds, a wall-clock driver can feed epoch milliseconds —
+  /// and windows are interpreted in whatever the driver feeds. Hits
+  /// outside the window are counted but never fire and never consume a
+  /// skip slot or probability draw, so a window shifts *when* a
+  /// schedule fires without changing *what* it fires once active.
+  uint64_t window_start = 0;
+  uint64_t window_end = UINT64_MAX;
 };
 
 /// Deterministic fault-injection registry (DESIGN.md §9). Production
@@ -55,8 +67,21 @@ class FaultInjector {
   void Arm(const std::string& site, const FaultConfig& config = {});
   /// Disarms `site`; its hit/fire counters are forgotten.
   void Disarm(const std::string& site);
-  /// Disarms every site.
+  /// Disarms every site and rewinds the schedule clock to 0.
   void Reset();
+
+  /// Sets the schedule clock consulted by time-windowed configs
+  /// (FaultConfig::window_start/window_end). Drivers normally advance
+  /// it monotonically — the simulator calls this on every virtual-time
+  /// step — but the clock is simply whatever was last set, so tests may
+  /// rewind it. A relaxed atomic store: safe (and cheap) to call from
+  /// any thread, including per-event in a hot simulation loop.
+  void AdvanceTime(uint64_t now) {
+    schedule_now_.store(now, std::memory_order_relaxed);
+  }
+  uint64_t ScheduleTime() const {
+    return schedule_now_.load(std::memory_order_relaxed);
+  }
 
   /// True when at least one site is armed (the fast gate).
   bool any_armed() const {
@@ -78,12 +103,17 @@ class FaultInjector {
     FaultConfig config;
     Rng rng;
     uint64_t hits = 0;
+    /// Hits that landed inside the schedule window — the count `skip`
+    /// is measured against, so windows shift schedules in time without
+    /// re-interpreting their skip budgets.
+    uint64_t windowed_hits = 0;
     uint64_t fires = 0;
   };
 
   mutable std::mutex mu_;
   std::map<std::string, Site, std::less<>> sites_;  // guarded by mu_
   std::atomic<size_t> armed_{0};
+  std::atomic<uint64_t> schedule_now_{0};
 };
 
 /// The one-liner production sites use:

@@ -7,16 +7,30 @@
 
 namespace xee::obs {
 
-HistogramSnapshot Histogram::Snap() const {
-  uint64_t counts[HistogramBuckets::kBuckets] = {};
-  HistogramSnapshot s;
+uint64_t Histogram::SnapBuckets(
+    uint64_t out[HistogramBuckets::kBuckets]) const {
+  uint64_t sum = 0;
+  for (int b = 0; b < HistogramBuckets::kBuckets; ++b) out[b] = 0;
   for (const Shard& shard : shards_) {
     for (int b = 0; b < HistogramBuckets::kBuckets; ++b) {
-      counts[b] += shard.buckets[b].load(std::memory_order_relaxed);
+      out[b] += shard.buckets[b].load(std::memory_order_relaxed);
     }
-    s.sum += shard.sum.load(std::memory_order_relaxed);
+    sum += shard.sum.load(std::memory_order_relaxed);
   }
-  for (uint64_t c : counts) s.count += c;
+  return sum;
+}
+
+HistogramSnapshot Histogram::Snap() const {
+  uint64_t counts[HistogramBuckets::kBuckets];
+  const uint64_t sum = SnapBuckets(counts);
+  return SnapshotFromBuckets(counts, sum);
+}
+
+HistogramSnapshot SnapshotFromBuckets(
+    const uint64_t counts[HistogramBuckets::kBuckets], uint64_t sum) {
+  HistogramSnapshot s;
+  s.sum = sum;
+  for (int b = 0; b < HistogramBuckets::kBuckets; ++b) s.count += counts[b];
   if (s.count == 0) return s;
   s.mean = static_cast<double>(s.sum) / static_cast<double>(s.count);
 

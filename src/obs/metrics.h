@@ -124,6 +124,11 @@ class Histogram {
 
   HistogramSnapshot Snap() const;
 
+  /// Merges the shards' per-bucket counts into `out` and returns the
+  /// merged value sum — the raw material for windowed (delta) scraping
+  /// (obs/window.h). Approximate under concurrent writes, like Snap().
+  uint64_t SnapBuckets(uint64_t out[HistogramBuckets::kBuckets]) const;
+
  private:
   struct alignas(64) Shard {
     std::atomic<uint64_t> buckets[HistogramBuckets::kBuckets] = {};
@@ -139,6 +144,14 @@ class Histogram {
 
   Shard shards_[kShards];
 };
+
+/// Quantile/mean math over one merged bucket array (`sum` is the sum of
+/// the recorded values, `counts` their bucket tallies). Shared by
+/// Histogram::Snap and the windowed scraper (obs/window.h), which feeds
+/// it bucket *deltas* to get per-window quantiles out of cumulative
+/// histograms.
+HistogramSnapshot SnapshotFromBuckets(
+    const uint64_t counts[HistogramBuckets::kBuckets], uint64_t sum);
 
 /// One row of Registry::Rows(): a metric's identity plus its current
 /// value (kind selects which payload field is meaningful).

@@ -85,7 +85,9 @@ void EstimationService::Release(size_t slots) {
   stats_.inflight.Sub(static_cast<int64_t>(slots));
 }
 
-EstimateOutcome EstimationService::ShedOutcome(size_t depth) {
+EstimateOutcome EstimationService::ShedOutcome(size_t depth, bool batch) {
+  stats_.shed.Inc();
+  (batch ? stats_.shed_batch : stats_.shed_single).Inc();
   EstimateOutcome out;
   out.shed = true;
   // Escalate the hint with the shed depth: the more of one batch we had
@@ -94,6 +96,7 @@ EstimateOutcome EstimationService::ShedOutcome(size_t depth) {
       static_cast<uint64_t>(options_.retry_after_ms) * (depth + 1);
   hint = std::clamp<uint64_t>(hint, 1, 1000);
   out.retry_after_ms = static_cast<uint32_t>(hint);
+  stats_.retry_after_ms.Record(hint);
   out.estimate =
       Status(StatusCode::kOverloaded,
              "shed by admission control (" +
@@ -106,8 +109,7 @@ EstimateOutcome EstimationService::ShedOutcome(size_t depth) {
 EstimateOutcome EstimationService::Estimate(const QueryRequest& request) {
   if (TryAdmit(1) == 0) {
     stats_.requests.Inc();
-    stats_.shed.Inc();
-    return ShedOutcome(0);
+    return ShedOutcome(0, /*batch=*/false);
   }
   EstimateOutcome out = EstimateAdmitted(request);
   Release(1);
@@ -596,8 +598,7 @@ std::vector<EstimateOutcome> EstimationService::EstimateBatch(
   const size_t admitted = TryAdmit(n);
   for (size_t i = admitted; i < n; ++i) {
     stats_.requests.Inc();
-    stats_.shed.Inc();
-    results[i] = ShedOutcome(i - admitted);
+    results[i] = ShedOutcome(i - admitted, /*batch=*/true);
   }
   if (admitted == 0) return results;
 

@@ -204,6 +204,18 @@ class EstimationService {
 
   size_t threads() const { return pool_.size(); }
 
+  /// Virtual-load hooks for the traffic simulator (src/sim/): occupy /
+  /// release one admission slot without running a request, so an
+  /// open-loop driver can make the service see N requests in flight in
+  /// *virtual* time while issuing real calls one at a time on a single
+  /// thread. Hold fails (false) when the in-flight budget is exhausted;
+  /// for an unbounded service (max_inflight == 0) it always "succeeds"
+  /// and both calls are no-ops, matching Estimate's own admission.
+  /// Callers must balance every successful Hold with exactly one
+  /// Release.
+  bool HoldInflightSlot() { return TryAdmit(1) == 1; }
+  void ReleaseInflightSlot() { Release(1); }
+
  private:
   /// Namespaced cache key: kind ('x' exact string / 'c' canonical /
   /// 'd' degraded order-free), synopsis epoch, and the query body.
@@ -215,9 +227,12 @@ class EstimationService {
   size_t TryAdmit(size_t want);
   void Release(size_t slots);
 
-  /// An outcome for a shed request. `depth` escalates the retry hint
-  /// when several requests shed at once.
-  EstimateOutcome ShedOutcome(size_t depth);
+  /// An outcome for a shed request, with the shed counters (aggregate,
+  /// by-reason attribution, retry-hint histogram) bumped as a side
+  /// effect. `depth` escalates the retry hint when several requests
+  /// shed at once; `batch` attributes the shed to EstimateBatch tail
+  /// refusal rather than single-call admission.
+  EstimateOutcome ShedOutcome(size_t depth, bool batch);
 
   /// The estimation ladder, run after admission.
   EstimateOutcome EstimateAdmitted(const QueryRequest& request);

@@ -13,12 +13,17 @@ ServiceStats::ServiceStats(obs::Registry* registry)
           registry->GetCounter("service.plan_cache", "outcome=canonical_hit")),
       misses(registry->GetCounter("service.plan_cache", "outcome=miss")),
       shed(registry->GetCounter("service.outcome", "reason=shed")),
+      shed_single(
+          registry->GetCounter("service.shed", "reason=admission_single")),
+      shed_batch(
+          registry->GetCounter("service.shed", "reason=admission_batch")),
       degraded(registry->GetCounter("service.outcome", "reason=degraded")),
       deadline_exceeded(
           registry->GetCounter("service.outcome", "reason=deadline_exceeded")),
       quarantined(
           registry->GetCounter("service.outcome", "reason=quarantined")),
       inflight(registry->GetGauge("service.inflight")),
+      retry_after_ms(registry->GetHistogram("service.retry_after_ms")),
       request_ns(registry->GetHistogram("service.request_ns")) {
   for (size_t i = 0; i < obs::kStageCount; ++i) {
     stage[i] = &registry->GetHistogram(
@@ -35,6 +40,8 @@ ServiceStatsSnapshot ServiceStats::Snap(const LruStats& cache) const {
   s.canonical_hits = canonical_hits.value();
   s.misses = misses.value();
   s.shed = shed.value();
+  s.shed_single = shed_single.value();
+  s.shed_batch = shed_batch.value();
   s.degraded = degraded.value();
   s.deadline_exceeded = deadline_exceeded.value();
   s.quarantined = quarantined.value();
@@ -49,6 +56,7 @@ ServiceStatsSnapshot ServiceStats::Snap(const LruStats& cache) const {
   s.join = StageHist(obs::Stage::kJoin)->Snap();
   s.formula = StageHist(obs::Stage::kFormula)->Snap();
   s.request = request_ns.Snap();
+  s.retry_after_ms = retry_after_ms.Snap();
   return s;
 }
 
@@ -73,9 +81,11 @@ std::string ServiceStatsSnapshot::ToString() const {
                    HumanBytes(cache_bytes).c_str(),
                    static_cast<unsigned long long>(cache_evictions));
   out += StrFormat(
-      "robustness: %llu shed, %llu degraded, %llu deadline-exceeded, "
-      "%llu quarantined\n",
+      "robustness: %llu shed (%llu single, %llu batch), %llu degraded, "
+      "%llu deadline-exceeded, %llu quarantined\n",
       static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(shed_single),
+      static_cast<unsigned long long>(shed_batch),
       static_cast<unsigned long long>(degraded),
       static_cast<unsigned long long>(deadline_exceeded),
       static_cast<unsigned long long>(quarantined));

@@ -35,6 +35,12 @@ struct ServiceStatsSnapshot {
   uint64_t deadline_exceeded = 0;
   uint64_t quarantined = 0;
 
+  // Shed attribution: single-call admission refusals vs batch members
+  // beyond the in-flight budget. Always sums to `shed`, so trajectory
+  // scrapers can attribute shed load without parsing server text.
+  uint64_t shed_single = 0;
+  uint64_t shed_batch = 0;
+
   // Requests currently estimating. Mirrors the admission budget, so it
   // is only maintained when max_inflight > 0 (unbounded services report
   // 0 rather than paying two atomics per request).
@@ -57,6 +63,11 @@ struct ServiceStatsSnapshot {
   obs::HistogramSnapshot formula;
   obs::HistogramSnapshot request;
 
+  /// Distribution of the retry-after hints attached to shed requests
+  /// (milliseconds; one sample per shed). Unlike the stage histograms
+  /// this is exact, not sampled — shedding is off the hot path.
+  obs::HistogramSnapshot retry_after_ms;
+
   /// Multi-line human-readable rendering for the CLI.
   std::string ToString() const;
 };
@@ -76,10 +87,13 @@ struct ServiceStats {
   obs::Counter& canonical_hits;
   obs::Counter& misses;
   obs::Counter& shed;
+  obs::Counter& shed_single;
+  obs::Counter& shed_batch;
   obs::Counter& degraded;
   obs::Counter& deadline_exceeded;
   obs::Counter& quarantined;
   obs::Gauge& inflight;
+  obs::Histogram& retry_after_ms;
 
   /// Indexed by obs::Stage; `stage[kJoin]` is "service.stage.join_ns".
   obs::Histogram* stage[obs::kStageCount];

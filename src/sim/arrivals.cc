@@ -1,0 +1,92 @@
+#include "sim/arrivals.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace xee::sim {
+namespace {
+
+/// Exponentially distributed gap at `rate_qps`, in microseconds,
+/// clamped to >= 1 (virtual time is integral; a zero gap would let one
+/// instant absorb unbounded arrivals).
+uint64_t ExpGapUs(Rng& rng, double rate_qps) {
+  XEE_CHECK(rate_qps > 0);
+  // 1 - U in (0, 1]: log() never sees 0.
+  const double u = 1.0 - rng.UniformDouble();
+  const double gap_us = -std::log(u) * 1e6 / rate_qps;
+  if (gap_us < 1.0) return 1;
+  if (gap_us > 1e15) return static_cast<uint64_t>(1e15);  // effectively never
+  return static_cast<uint64_t>(gap_us);
+}
+
+}  // namespace
+
+std::string_view ArrivalKindName(ArrivalModel::Kind kind) {
+  switch (kind) {
+    case ArrivalModel::Kind::kPoisson:
+      return "poisson";
+    case ArrivalModel::Kind::kBursty:
+      return "bursty";
+    case ArrivalModel::Kind::kDiurnal:
+      return "diurnal";
+  }
+  return "unknown";
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalModel& model, Rng rng)
+    : model_(model), rng_(rng) {}
+
+uint64_t ArrivalProcess::Next(uint64_t now_us) {
+  switch (model_.kind) {
+    case ArrivalModel::Kind::kPoisson:
+      return now_us + ExpGapUs(rng_, model_.rate_qps);
+    case ArrivalModel::Kind::kBursty:
+      return NextBursty(now_us);
+    case ArrivalModel::Kind::kDiurnal:
+      return NextDiurnal(now_us);
+  }
+  return now_us + 1;
+}
+
+uint64_t ArrivalProcess::NextBursty(uint64_t now_us) {
+  // Walk phase boundaries until a candidate arrival lands inside its
+  // own phase. Phase durations are exponential, so the process is a
+  // two-state MMPP; the phase machine advances deterministically with
+  // the stream, not with the wall clock.
+  uint64_t t = now_us;
+  for (;;) {
+    if (t >= phase_end_us_) {
+      burst_on_ = !burst_on_;
+      const uint64_t mean = burst_on_ ? model_.mean_on_us : model_.mean_off_us;
+      // Exponential phase length with mean `mean` (>= 1us).
+      const double u = 1.0 - rng_.UniformDouble();
+      uint64_t len = static_cast<uint64_t>(
+          -std::log(u) * static_cast<double>(mean));
+      if (len < 1) len = 1;
+      phase_end_us_ = t + len;
+    }
+    const double rate = burst_on_ ? model_.burst_rate_qps : model_.rate_qps;
+    const uint64_t candidate = t + ExpGapUs(rng_, rate);
+    if (candidate < phase_end_us_) return candidate;
+    t = phase_end_us_;  // no arrival this phase; roll into the next
+  }
+}
+
+uint64_t ArrivalProcess::NextDiurnal(uint64_t now_us) {
+  // Thinning (Lewis-Shedler): candidates at the peak rate, accepted
+  // with probability rate(t)/peak — exact for any bounded rate curve.
+  const double amp = model_.amplitude;
+  const double peak = model_.rate_qps * (1.0 + amp);
+  uint64_t t = now_us;
+  for (;;) {
+    t += ExpGapUs(rng_, peak);
+    const double phase = 2.0 * M_PI *
+                         static_cast<double>(t % model_.period_us) /
+                         static_cast<double>(model_.period_us);
+    const double rate = model_.rate_qps * (1.0 + amp * std::sin(phase));
+    if (rng_.UniformDouble() * peak < rate) return t;
+  }
+}
+
+}  // namespace xee::sim

@@ -1,0 +1,66 @@
+#ifndef XEE_SIM_ARRIVALS_H_
+#define XEE_SIM_ARRIVALS_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace xee::sim {
+
+/// Open-loop arrival processes (DESIGN.md §12): the next arrival's
+/// timestamp depends only on the seed and the clock, never on how long
+/// the service took to answer — the property that distinguishes
+/// production bursts from the closed-loop peak-qps benches, where a
+/// slow server conveniently slows its own offered load.
+struct ArrivalModel {
+  enum class Kind {
+    kPoisson,  ///< memoryless at `rate_qps`
+    kBursty,   ///< on/off modulated: base rate, bursts at `burst_rate_qps`
+    kDiurnal,  ///< sinusoidal ramp: rate_qps * (1 + amplitude*sin(2πt/period))
+  };
+  Kind kind = Kind::kPoisson;
+
+  /// Base (off-state / mean-of-ramp) arrival rate, queries per second.
+  double rate_qps = 100.0;
+
+  // kBursty: alternating exponential on/off phases; arrivals come at
+  // `burst_rate_qps` during on-phases and `rate_qps` between them.
+  double burst_rate_qps = 1000.0;
+  uint64_t mean_on_us = 500'000;
+  uint64_t mean_off_us = 1'500'000;
+
+  // kDiurnal: a compressed day. amplitude in [0,1); period the virtual
+  // "day" length.
+  double amplitude = 0.8;
+  uint64_t period_us = 10'000'000;
+};
+
+std::string_view ArrivalKindName(ArrivalModel::Kind kind);
+
+/// One seeded arrival stream over an ArrivalModel. Stateful (the bursty
+/// process carries its phase); equal (model, seed) pairs produce
+/// identical arrival sequences.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalModel& model, Rng rng);
+
+  /// Absolute virtual time of the next arrival at or after `now_us`
+  /// (strictly after: gaps are clamped to >= 1us so arrivals never
+  /// stack infinitely on one instant).
+  uint64_t Next(uint64_t now_us);
+
+ private:
+  uint64_t NextBursty(uint64_t now_us);
+  uint64_t NextDiurnal(uint64_t now_us);
+
+  ArrivalModel model_;
+  Rng rng_;
+  // kBursty phase machine.
+  bool burst_on_ = false;
+  uint64_t phase_end_us_ = 0;
+};
+
+}  // namespace xee::sim
+
+#endif  // XEE_SIM_ARRIVALS_H_

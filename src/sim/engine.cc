@@ -1,0 +1,36 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xee::sim {
+
+void Engine::At(uint64_t t_us, EventFn fn) {
+  heap_.push_back(Event{std::max(t_us, now_us_), seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void Engine::AdvanceTo(uint64_t t_us) {
+  if (t_us <= now_us_) return;
+  now_us_ = t_us;
+  if (on_time_advance) on_time_advance(now_us_);
+}
+
+void Engine::DispatchNext() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  AdvanceTo(ev.t);
+  ev.fn();  // may schedule further events
+}
+
+void Engine::Run(uint64_t until_us) {
+  while (!heap_.empty() && heap_.front().t <= until_us) DispatchNext();
+  AdvanceTo(until_us);
+}
+
+void Engine::Drain() {
+  while (!heap_.empty()) DispatchNext();
+}
+
+}  // namespace xee::sim

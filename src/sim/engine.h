@@ -1,0 +1,77 @@
+#ifndef XEE_SIM_ENGINE_H_
+#define XEE_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace xee::sim {
+
+/// Deterministic discrete-event engine (DESIGN.md §12): a virtual clock
+/// in microseconds over a min-heap of scheduled closures. Events fire
+/// in (time, schedule order) — two events at the same timestamp run in
+/// the order they were scheduled — so a run is a pure function of
+/// whatever seeded randomness drove the scheduling, never of wall time
+/// or thread timing. Virtual time costs nothing to skip: a 10-minute
+/// simulated soak takes however long its events take to execute.
+///
+/// Single-threaded by contract: Run/Drain dispatch on the calling
+/// thread, and handlers may schedule further events freely (including
+/// at the current instant, which runs them later within that instant).
+class Engine {
+ public:
+  using EventFn = std::function<void()>;
+
+  uint64_t now_us() const { return now_us_; }
+
+  /// Schedules `fn` at absolute virtual time `t_us`. Scheduling into
+  /// the past is clamped to the current instant — virtual time never
+  /// runs backwards.
+  void At(uint64_t t_us, EventFn fn);
+
+  void After(uint64_t delay_us, EventFn fn) {
+    At(now_us_ + delay_us, std::move(fn));
+  }
+
+  /// Dispatches every event with time <= until_us in order and leaves
+  /// the clock at until_us (a horizon, not a truncation: later events
+  /// stay queued for a further Run or Drain).
+  void Run(uint64_t until_us);
+
+  /// Dispatches everything left — completions draining past the
+  /// arrival horizon — leaving the clock at the last event's time.
+  void Drain();
+
+  size_t pending() const { return heap_.size(); }
+
+  /// Observes every clock advance, before the events at the new time
+  /// dispatch. The simulator points this at FaultInjector::AdvanceTime
+  /// so time-windowed chaos schedules follow virtual time.
+  std::function<void(uint64_t)> on_time_advance;
+
+ private:
+  struct Event {
+    uint64_t t = 0;
+    uint64_t seq = 0;  ///< tie-break: FIFO within one timestamp
+    EventFn fn;
+  };
+  struct Later {
+    // std::push_heap keeps the *smallest* (t, seq) on top under this
+    // "greater-than" comparison.
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs the earliest event; advances the clock to it.
+  void DispatchNext();
+  void AdvanceTo(uint64_t t_us);
+
+  std::vector<Event> heap_;
+  uint64_t now_us_ = 0;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace xee::sim
+
+#endif  // XEE_SIM_ENGINE_H_

@@ -1,0 +1,204 @@
+#include "sim/scenario.h"
+
+#include <cmath>
+
+#include "common/deadline.h"
+#include "estimator/estimator.h"
+#include "service/synopsis_registry.h"
+
+namespace xee::sim {
+namespace {
+
+uint64_t ScaleUs(uint64_t us, double factor) {
+  const double scaled = static_cast<double>(us) * factor;
+  if (scaled < 1.0) return us == 0 ? 0 : 1;
+  return static_cast<uint64_t>(scaled);
+}
+
+}  // namespace
+
+Scenario ScaledScenario(Scenario s, double factor) {
+  s.duration_us = ScaleUs(s.duration_us, factor);
+  s.window_us = ScaleUs(s.window_us, factor);
+  s.arrival.mean_on_us = ScaleUs(s.arrival.mean_on_us, factor);
+  s.arrival.mean_off_us = ScaleUs(s.arrival.mean_off_us, factor);
+  s.arrival.period_us = ScaleUs(s.arrival.period_us, factor);
+  s.reload_period_us = ScaleUs(s.reload_period_us, factor);
+  for (ChaosWindow& w : s.chaos) {
+    w.config.window_start = ScaleUs(w.config.window_start, factor);
+    if (w.config.window_end != UINT64_MAX) {
+      w.config.window_end = ScaleUs(w.config.window_end, factor);
+    }
+  }
+  return s;
+}
+
+Scenario PoissonSteady() {
+  Scenario s;
+  s.name = "poisson_steady";
+  s.seed = 601;
+  s.duration_us = 10'000'000;
+  s.window_us = 1'000'000;
+
+  s.arrival.kind = ArrivalModel::Kind::kPoisson;
+  s.arrival.rate_qps = 400.0;
+
+  // Offered virtual concurrency ~= 400 qps * 20ms = 8 slots on average,
+  // far under the budget: the healthy baseline. A trickle of garbage,
+  // aliases, and pre-expired deadlines keeps every outcome counter
+  // nonzero without changing the steady-state story.
+  s.tenants = 4;
+  s.dataset = "ssplays";
+  s.dataset_scale = 0.05;
+  s.max_inflight = 64;
+  s.accuracy_sample = 4;
+  s.service_min_us = 1'000;
+  s.service_exp_us = 19'000;
+
+  s.traffic.tenant_zipf_s = 1.1;
+  s.traffic.families_per_tenant = 48;
+  s.traffic.query_zipf_s = 1.0;
+  s.traffic.alias_prob = 0.10;
+  s.traffic.garbage_prob = 0.02;
+  s.traffic.unknown_tenant_prob = 0.01;
+  s.traffic.p_infinite = 0.85;
+  s.traffic.p_expired = 0.02;
+  s.traffic.finite_ms = 1'000;
+  return s;
+}
+
+Scenario BurstyOverloadChaos() {
+  Scenario s;
+  s.name = "bursty_overload_chaos";
+  s.seed = 602;
+  s.duration_us = 12'000'000;
+  s.window_us = 500'000;
+
+  s.arrival.kind = ArrivalModel::Kind::kBursty;
+  s.arrival.rate_qps = 100.0;
+  s.arrival.burst_rate_qps = 3'000.0;
+  s.arrival.mean_on_us = 800'000;
+  s.arrival.mean_off_us = 1'200'000;
+
+  // Virtual capacity ~= 8 slots / 30ms = 266 qps: bursts at 3000 qps
+  // must shed hard, the off-phases drain. Shadow sampling stays off —
+  // shadow evaluation calls Deadline::HasExpired from pool threads,
+  // which would consume deadline.expire probability draws in
+  // thread-timing order and break the fingerprint.
+  s.tenants = 3;
+  s.dataset = "dblp";
+  s.dataset_scale = 0.05;
+  s.max_inflight = 8;
+  s.accuracy_sample = 0;
+  s.service_min_us = 2'000;
+  s.service_exp_us = 28'000;
+
+  s.traffic.tenant_zipf_s = 1.0;
+  s.traffic.families_per_tenant = 32;
+  s.traffic.query_zipf_s = 1.1;
+  s.traffic.alias_prob = 0.05;
+  s.traffic.garbage_prob = 0.05;
+  s.traffic.unknown_tenant_prob = 0.02;
+  s.traffic.p_infinite = 0.80;
+  s.traffic.p_expired = 0.02;
+  s.traffic.finite_ms = 2'000;
+
+  // Mid-run chaos: deadlines start lying (every 4th check expires
+  // spuriously) for the middle third, with an allocation-failure streak
+  // overlapping it. Both sites are only reached from the main thread
+  // here, so the draw order — and the fingerprint — stay deterministic.
+  {
+    ChaosWindow w;
+    w.site = std::string(Deadline::kFaultSite);
+    w.config.probability = 0.25;
+    w.config.seed = 71;
+    w.config.window_start = 4'000'000;
+    w.config.window_end = 8'000'000;
+    s.chaos.push_back(w);
+  }
+  {
+    ChaosWindow w;
+    w.site = std::string(estimator::Estimator::kAllocFaultSite);
+    // The alloc site is only hit on plan-cache misses — rare once the
+    // cache warms — so the probability is high to make the window
+    // visible in the fire trajectory.
+    w.config.probability = 0.35;
+    w.config.seed = 72;
+    w.config.max_fires = 200;
+    w.config.window_start = 5'000'000;
+    w.config.window_end = 7'000'000;
+    s.chaos.push_back(w);
+  }
+  return s;
+}
+
+Scenario DiurnalAliasStorm() {
+  Scenario s;
+  s.name = "diurnal_alias_storm";
+  s.seed = 603;
+  s.duration_us = 12'000'000;
+  s.window_us = 1'000'000;
+
+  s.arrival.kind = ArrivalModel::Kind::kDiurnal;
+  s.arrival.rate_qps = 300.0;
+  s.arrival.amplitude = 0.8;
+  s.arrival.period_us = 6'000'000;  // two compressed "days"
+
+  // The cache-adversarial mix: 70% of requests respell their family
+  // under a fresh exact key against a deliberately small plan cache,
+  // periodic reloads bump epochs (every cached key dies with its
+  // epoch), and a bitrot window corrupts two of the reloads — one
+  // tenant rides the salvage/quarantine path while traffic continues.
+  s.tenants = 8;
+  s.dataset = "xmark";
+  s.dataset_scale = 0.05;
+  s.max_inflight = 128;
+  s.plan_cache_bytes = 256 << 10;
+  s.accuracy_sample = 8;
+  s.service_min_us = 500;
+  s.service_exp_us = 4'500;
+  s.reload_period_us = 1'500'000;
+
+  s.traffic.tenant_zipf_s = 1.2;
+  s.traffic.families_per_tenant = 96;
+  s.traffic.query_zipf_s = 1.0;
+  s.traffic.alias_prob = 0.70;
+  s.traffic.garbage_prob = 0.01;
+  s.traffic.unknown_tenant_prob = 0.0;
+  s.traffic.p_infinite = 0.90;
+  s.traffic.p_expired = 0.01;
+  s.traffic.finite_ms = 2'000;
+
+  {
+    // registry.bitrot is reached only from the main thread's reload
+    // events, so it is fingerprint-safe. probability 1: every reload
+    // inside the window ingests a corrupted blob.
+    ChaosWindow w;
+    w.site = std::string(service::SynopsisRegistry::kBitrotFaultSite);
+    w.config.probability = 1.0;
+    w.config.seed = 73;
+    w.config.window_start = 6'000'000;
+    w.config.window_end = 9'000'000;
+    s.chaos.push_back(w);
+  }
+  return s;
+}
+
+std::vector<std::string> ScenarioNames() {
+  return {"poisson_steady", "bursty_overload_chaos", "diurnal_alias_storm"};
+}
+
+bool ScenarioByName(const std::string& name, Scenario* out) {
+  if (name == "poisson_steady") {
+    *out = PoissonSteady();
+  } else if (name == "bursty_overload_chaos") {
+    *out = BurstyOverloadChaos();
+  } else if (name == "diurnal_alias_storm") {
+    *out = DiurnalAliasStorm();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace xee::sim

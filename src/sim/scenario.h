@@ -1,0 +1,92 @@
+#ifndef XEE_SIM_SCENARIO_H_
+#define XEE_SIM_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "sim/arrivals.h"
+#include "sim/traffic.h"
+
+namespace xee::sim {
+
+/// A chaos entry: arm `site` with `config` for the whole run. The
+/// window_start / window_end fields of the config are in *virtual
+/// microseconds* — the simulator feeds the engine clock to
+/// FaultInjector::AdvanceTime, so the fault can only fire while the
+/// virtual clock is inside the window.
+struct ChaosWindow {
+  std::string site;
+  FaultConfig config;
+};
+
+/// Everything that defines one reproducible simulation run. Two runs of
+/// the same Scenario produce the same arrival sequence, the same
+/// queries, the same shed/degrade decisions, and the same trajectory
+/// fingerprint (workers == 0; see Scenario::workers).
+struct Scenario {
+  std::string name;
+  uint64_t seed = 1;
+
+  /// Arrival horizon; completions past it still drain.
+  uint64_t duration_us = 10'000'000;
+  /// Trajectory sampling period (one WindowRow per window).
+  uint64_t window_us = 1'000'000;
+
+  ArrivalModel arrival;
+  TrafficModel traffic;
+
+  // --- service shape ---
+  size_t tenants = 4;
+  std::string dataset = "ssplays";  ///< datagen dataset per tenant
+  double dataset_scale = 0.05;
+  size_t max_inflight = 64;
+  size_t plan_cache_bytes = 8ull << 20;
+  size_t accuracy_sample = 0;  ///< 0 = shadow sampling off
+
+  /// Virtual service time of an admitted, successful request:
+  /// service_min_us plus an exponential with mean service_exp_us. This
+  /// is how long the request *holds its admission slot* in virtual
+  /// time; the real single-threaded Estimate() call is instantaneous
+  /// as far as the virtual clock is concerned.
+  uint64_t service_min_us = 1'000;
+  uint64_t service_exp_us = 19'000;
+
+  /// Re-register each tenant from its serialized blob every period (0 =
+  /// never): exercises epoch bumps, cache invalidation by epoch key,
+  /// and — with a registry.bitrot chaos window — the salvage /
+  /// quarantine paths mid-traffic.
+  uint64_t reload_period_us = 0;
+
+  std::vector<ChaosWindow> chaos;
+
+  /// 0 = deterministic single-threaded virtual-time mode (the default;
+  /// fingerprints are stable). > 0 = dispatch real Estimate() calls to
+  /// a thread pool of this size — virtual slot-holding is skipped, the
+  /// fingerprint is not stable, but drain invariants must still hold.
+  /// This is the TSan mode.
+  size_t workers = 0;
+};
+
+/// Multiplies every duration-like knob (duration, window, arrival
+/// phases/period, chaos windows, reload period) by `factor`, keeping
+/// rates and sizes fixed — a 0.1-scaled scenario is the same shape, ten
+/// times shorter. Used by --duration-ms and the smoke test.
+Scenario ScaledScenario(Scenario s, double factor);
+
+/// The three named scenario families (ISSUE: Poisson steady-state,
+/// bursty overload with a chaos window, diurnal ramp with an alias
+/// storm).
+Scenario PoissonSteady();
+Scenario BurstyOverloadChaos();
+Scenario DiurnalAliasStorm();
+
+std::vector<std::string> ScenarioNames();
+
+/// Scenario by name, or false when unknown.
+bool ScenarioByName(const std::string& name, Scenario* out);
+
+}  // namespace xee::sim
+
+#endif  // XEE_SIM_SCENARIO_H_

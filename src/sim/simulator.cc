@@ -1,0 +1,376 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/check.h"
+#include "common/fault.h"
+#include "common/thread_pool.h"
+#include "datagen/datagen.h"
+#include "estimator/synopsis.h"
+#include "obs/window.h"
+#include "service/service.h"
+#include "sim/engine.h"
+#include "xpath/canonical.h"
+
+namespace xee::sim {
+namespace {
+
+std::string Format(const char* fmt, ...) {
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+std::string HistJson(const obs::HistogramSnapshot& h) {
+  return Format("{\"count\":%llu,\"p50\":%llu,\"p90\":%llu,\"p99\":%llu,"
+                "\"max\":%llu}",
+                static_cast<unsigned long long>(h.count),
+                static_cast<unsigned long long>(h.p50),
+                static_cast<unsigned long long>(h.p90),
+                static_cast<unsigned long long>(h.p99),
+                static_cast<unsigned long long>(h.max));
+}
+
+/// Exponential draw with mean `mean_us`, clamped to >= 1.
+uint64_t ExpUs(Rng& rng, uint64_t mean_us) {
+  if (mean_us == 0) return 1;
+  const double u = 1.0 - rng.UniformDouble();
+  const double v = -std::log(u) * static_cast<double>(mean_us);
+  return v < 1.0 ? 1 : static_cast<uint64_t>(v);
+}
+
+/// Files `out` into exactly one outcome bucket of both ledgers.
+void Classify(const service::EstimateOutcome& out, SimTotals* totals,
+              WindowRow* window) {
+  uint64_t SimTotals::* t = nullptr;
+  uint64_t WindowRow::* w = nullptr;
+  if (out.shed) {
+    t = &SimTotals::shed;
+    w = &WindowRow::shed;
+  } else if (out.ok()) {
+    t = out.degraded ? &SimTotals::ok_degraded : &SimTotals::ok_full;
+    w = out.degraded ? &WindowRow::ok_degraded : &WindowRow::ok_full;
+  } else {
+    switch (out.status().code()) {
+      case StatusCode::kDeadlineExceeded:
+        t = &SimTotals::deadline_exceeded;
+        w = &WindowRow::deadline_exceeded;
+        break;
+      case StatusCode::kNotFound:
+        t = &SimTotals::not_found;
+        w = &WindowRow::not_found;
+        break;
+      case StatusCode::kUnavailable:
+        t = &SimTotals::unavailable;
+        w = &WindowRow::unavailable;
+        break;
+      default:
+        t = &SimTotals::errored;
+        w = &WindowRow::errored;
+        break;
+    }
+  }
+  ++(totals->*t);
+  ++(window->*w);
+}
+
+void AppendU64(std::string* s, uint64_t v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%llx,", static_cast<unsigned long long>(v));
+  *s += buf;
+}
+
+}  // namespace
+
+std::string WindowRow::ToJson(const std::string& scenario) const {
+  std::string out = Format(
+      "{\"bench\":\"simulate\",\"scenario\":\"%s\",\"t_ms\":%llu,"
+      "\"arrivals\":%llu,\"ok\":%llu,\"degraded\":%llu,\"shed\":%llu,"
+      "\"deadline\":%llu,\"not_found\":%llu,\"unavailable\":%llu,"
+      "\"errored\":%llu,\"vqueue\":%llu",
+      scenario.c_str(), static_cast<unsigned long long>(t_end_us / 1000),
+      static_cast<unsigned long long>(arrivals),
+      static_cast<unsigned long long>(ok_full),
+      static_cast<unsigned long long>(ok_degraded),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(not_found),
+      static_cast<unsigned long long>(unavailable),
+      static_cast<unsigned long long>(errored),
+      static_cast<unsigned long long>(vqueue));
+  if (!fault_fires.empty()) {
+    out += ",\"fault_fires\":{";
+    for (size_t i = 0; i < fault_fires.size(); ++i) {
+      if (i) out += ",";
+      out += Format("\"%s\":%llu", fault_fires[i].first.c_str(),
+                    static_cast<unsigned long long>(fault_fires[i].second));
+    }
+    out += "}";
+  }
+  out += ",\"request_ns\":" + HistJson(request_ns);
+  out += ",\"retry_after_ms\":" + HistJson(retry_after_ms);
+  out += Format(",\"shadow_recorded\":%llu}",
+                static_cast<unsigned long long>(shadow_recorded));
+  return out;
+}
+
+uint64_t TrajectoryFingerprint(const std::vector<WindowRow>& trajectory,
+                               const SimTotals& totals) {
+  // Serialize the deterministic columns into a canonical byte string
+  // and hash once: cheap, order-sensitive, and easy to reason about.
+  std::string bytes;
+  bytes.reserve(trajectory.size() * 96);
+  for (const WindowRow& r : trajectory) {
+    AppendU64(&bytes, r.t_end_us);
+    AppendU64(&bytes, r.arrivals);
+    AppendU64(&bytes, r.ok_full);
+    AppendU64(&bytes, r.ok_degraded);
+    AppendU64(&bytes, r.shed);
+    AppendU64(&bytes, r.deadline_exceeded);
+    AppendU64(&bytes, r.not_found);
+    AppendU64(&bytes, r.unavailable);
+    AppendU64(&bytes, r.errored);
+    AppendU64(&bytes, r.vqueue);
+    for (const auto& [site, fires] : r.fault_fires) {
+      bytes += site;
+      AppendU64(&bytes, fires);
+    }
+    bytes += ";";
+  }
+  AppendU64(&bytes, totals.arrivals);
+  AppendU64(&bytes, totals.Accounted());
+  AppendU64(&bytes, totals.holds);
+  AppendU64(&bytes, totals.releases);
+  AppendU64(&bytes, totals.reloads);
+  return xpath::StableHash64(bytes);
+}
+
+std::string SimResult::SummaryJson() const {
+  std::string out = Format(
+      "{\"bench\":\"simulate\",\"scenario\":\"%s\",\"summary\":true,"
+      "\"seed\":%llu,\"duration_ms\":%llu,\"windows\":%zu,"
+      "\"arrivals\":%llu,\"ok\":%llu,\"degraded\":%llu,\"shed\":%llu,"
+      "\"deadline\":%llu,\"not_found\":%llu,\"unavailable\":%llu,"
+      "\"errored\":%llu,\"reloads\":%llu,"
+      "\"fingerprint\":\"%016llx\",\"invariants_ok\":%s,\"invariants\":",
+      scenario.name.c_str(), static_cast<unsigned long long>(scenario.seed),
+      static_cast<unsigned long long>(scenario.duration_us / 1000),
+      trajectory.size(), static_cast<unsigned long long>(totals.arrivals),
+      static_cast<unsigned long long>(totals.ok_full),
+      static_cast<unsigned long long>(totals.ok_degraded),
+      static_cast<unsigned long long>(totals.shed),
+      static_cast<unsigned long long>(totals.deadline_exceeded),
+      static_cast<unsigned long long>(totals.not_found),
+      static_cast<unsigned long long>(totals.unavailable),
+      static_cast<unsigned long long>(totals.errored),
+      static_cast<unsigned long long>(totals.reloads),
+      static_cast<unsigned long long>(fingerprint),
+      invariants.ok() ? "true" : "false");
+  out += invariants.ToJson();
+  out += "}";
+  return out;
+}
+
+SimResult RunScenario(const Scenario& sc) {
+  FaultInjector& faults = FaultInjector::Global();
+  faults.Reset();
+
+  SimResult result;
+  result.scenario = sc;
+
+  service::ServiceOptions opt;
+  opt.plan_cache_bytes = sc.plan_cache_bytes;
+  opt.max_inflight = sc.max_inflight;
+  opt.accuracy_sample = sc.accuracy_sample;
+  // workers == 0 still needs a (small) pool: shadow evaluation runs
+  // there. The determinism analysis in DESIGN.md §12 covers why pool
+  // threads cannot perturb the fingerprint in the shipped scenarios.
+  opt.threads = sc.workers == 0 ? 1 : sc.workers;
+  service::EstimationService svc(opt);
+
+  // Seed plan: one child stream per stochastic component, so e.g. a
+  // different arrival model cannot shift which queries the traffic
+  // source generates.
+  Rng root(sc.seed);
+  Rng arrival_rng = root.Split();
+  Rng traffic_rng = root.Split();
+  Rng service_rng = root.Split();
+
+  // Dataset, synopsis, tenants. All tenants share one synopsis version
+  // lineage (same blob), which is what the reload/bitrot machinery
+  // stresses; tenant identity still matters for cache keys, Zipf skew,
+  // and quarantine blast radius.
+  datagen::GenOptions gopt;
+  gopt.seed = sc.seed ^ 0xda7a5e3dull;
+  gopt.scale = sc.dataset_scale;
+  auto doc_result = datagen::GenerateByName(sc.dataset, gopt);
+  XEE_CHECK(doc_result.ok());
+  auto doc =
+      std::make_shared<xml::Document>(std::move(doc_result).value());
+
+  estimator::Synopsis built =
+      estimator::Synopsis::Build(*doc, estimator::SynopsisOptions{});
+  const std::string blob = built.Serialize();
+  auto synopsis =
+      std::make_shared<const estimator::Synopsis>(std::move(built));
+
+  std::vector<std::string> tenants;
+  tenants.reserve(sc.tenants);
+  for (size_t i = 0; i < sc.tenants; ++i) {
+    tenants.push_back(Format("%s-t%zu", sc.dataset.c_str(), i));
+  }
+  for (const std::string& name : tenants) {
+    svc.registry().Register(name, synopsis, doc);
+  }
+
+  std::vector<std::string> tags;
+  tags.reserve(doc->TagCount());
+  for (size_t t = 0; t < doc->TagCount(); ++t) {
+    tags.push_back(doc->TagNameOf(static_cast<xml::TagId>(t)));
+  }
+
+  TrafficSource traffic(sc.traffic, tenants, tags, traffic_rng);
+  ArrivalProcess arrivals(sc.arrival, arrival_rng);
+
+  // Chaos arms after the initial registrations: the schedule clock is
+  // still 0, so windowed faults stay dormant until the engine advances
+  // into their window.
+  for (const ChaosWindow& w : sc.chaos) faults.Arm(w.site, w.config);
+
+  Engine eng;
+  eng.on_time_advance = [&faults](uint64_t t) { faults.AdvanceTime(t); };
+
+  SimTotals totals;
+  uint64_t vqueue = 0;
+  WindowRow acc;  // deterministic deltas since the last window close
+  std::mutex mu;  // guards totals/acc in workers > 0 mode
+  std::optional<ThreadPool> pool;
+  if (sc.workers > 0) pool.emplace(sc.workers);
+
+  // Windowed scrape cursors over the service's obs registry.
+  obs::Histogram& req_hist = svc.obs().GetHistogram("service.request_ns");
+  obs::Histogram& retry_hist =
+      svc.obs().GetHistogram("service.retry_after_ms");
+  obs::Counter& recorded_ctr =
+      svc.obs().GetCounter("accuracy.samples", "phase=recorded");
+  obs::HistogramWindow req_win, retry_win;
+  obs::CounterWindow recorded_win;
+  std::vector<uint64_t> fire_prev(sc.chaos.size(), 0);
+
+  auto close_window = [&](uint64_t t_end) {
+    WindowRow row;
+    {
+      std::unique_lock<std::mutex> lock(mu, std::defer_lock);
+      if (pool) lock.lock();
+      row = acc;
+      acc = WindowRow{};
+    }
+    row.t_end_us = t_end;
+    row.vqueue = vqueue;
+    for (size_t i = 0; i < sc.chaos.size(); ++i) {
+      const uint64_t cum = faults.FireCount(sc.chaos[i].site);
+      row.fault_fires.emplace_back(sc.chaos[i].site, cum - fire_prev[i]);
+      fire_prev[i] = cum;
+    }
+    row.request_ns = req_win.Advance(req_hist);
+    row.retry_after_ms = retry_win.Advance(retry_hist);
+    row.shadow_recorded = recorded_win.Advance(recorded_ctr.value());
+    result.trajectory.push_back(std::move(row));
+  };
+
+  // Window closes, scheduled up front so they dispatch before any
+  // same-instant arrival (FIFO within a timestamp).
+  for (uint64_t t = sc.window_us;; t += sc.window_us) {
+    const uint64_t end = t < sc.duration_us ? t : sc.duration_us;
+    eng.At(end, [&close_window, end] { close_window(end); });
+    if (end == sc.duration_us) break;
+  }
+
+  // Reload cadence: re-register tenants round-robin from the serialized
+  // blob (epoch bump, cache invalidation by key epoch; bitrot chaos
+  // corrupts the blob in flight when its window is open), then re-attach
+  // the ground-truth oracle (a reload would otherwise drop it).
+  if (sc.reload_period_us > 0) {
+    size_t k = 0;
+    for (uint64_t t = sc.reload_period_us; t <= sc.duration_us;
+         t += sc.reload_period_us, ++k) {
+      const size_t tenant = k % tenants.size();
+      eng.At(t, [&svc, &tenants, &blob, &doc, &totals, tenant] {
+        svc.registry().RegisterSerialized(tenants[tenant], blob);
+        svc.registry().AttachDocument(tenants[tenant], doc);
+        ++totals.reloads;
+      });
+    }
+  }
+
+  // The open-loop arrival chain: each arrival schedules its successor
+  // from the arrival process alone before doing any work, so offered
+  // load never depends on service behavior.
+  std::function<void()> arrive = [&] {
+    const uint64_t now = eng.now_us();
+    const uint64_t next = arrivals.Next(now);
+    if (next < sc.duration_us) eng.At(next, [&arrive] { arrive(); });
+
+    service::QueryRequest req = traffic.Make();
+    // Drawn for every arrival (not just admitted ones) so the stream
+    // stays aligned no matter how outcomes fall.
+    const uint64_t service_us =
+        sc.service_min_us + ExpUs(service_rng, sc.service_exp_us);
+
+    if (!pool) {
+      ++totals.arrivals;
+      ++acc.arrivals;
+      const service::EstimateOutcome out = svc.Estimate(req);
+      Classify(out, &totals, &acc);
+      if (out.ok()) {
+        // The request's *virtual* residency: hold a real admission slot
+        // until the completion event, so later arrivals see the load.
+        if (svc.HoldInflightSlot()) {
+          ++totals.holds;
+          ++vqueue;
+          eng.At(now + service_us, [&svc, &totals, &vqueue] {
+            svc.ReleaseInflightSlot();
+            ++totals.releases;
+            --vqueue;
+          });
+        }
+      }
+    } else {
+      // Concurrent mode (TSan): real thread concurrency, no virtual
+      // residency, fingerprint not stable — invariants still must hold.
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++totals.arrivals;
+        ++acc.arrivals;
+      }
+      pool->Submit([&svc, &mu, &totals, &acc, req] {
+        const service::EstimateOutcome out = svc.Estimate(req);
+        std::lock_guard<std::mutex> lock(mu);
+        Classify(out, &totals, &acc);
+      });
+    }
+  };
+  const uint64_t first = arrivals.Next(0);
+  if (first < sc.duration_us) eng.At(first, [&arrive] { arrive(); });
+
+  eng.Run(sc.duration_us);
+  eng.Drain();  // completions past the arrival horizon
+  pool.reset();  // joins the workers; all concurrent tallies are in
+  svc.DrainShadow();
+
+  result.totals = totals;
+  result.fingerprint = TrajectoryFingerprint(result.trajectory, totals);
+  result.invariants = CheckDrainInvariants(totals, svc, sc, eng.pending());
+  faults.Reset();
+  return result;
+}
+
+}  // namespace xee::sim

@@ -1,0 +1,115 @@
+#include "sim/traffic.h"
+
+#include <cctype>
+#include <utility>
+
+#include "common/check.h"
+#include "fuzz/fuzz.h"
+
+namespace xee::sim {
+namespace {
+
+/// Parse-error traffic: shapes covering the parser's major reject
+/// paths (empty step, dangling predicate, bad axis, stray bytes).
+constexpr const char* kGarbage[] = {
+    "///",       "/a[",      "/a]b",        "//following-sibling::x",
+    "/a/b[.=\"", "child::",  "/a/*[1 2]",   "/9bad",
+    "",          "/a//[b]",
+};
+
+}  // namespace
+
+TrafficSource::TrafficSource(const TrafficModel& model,
+                             std::vector<std::string> tenant_names,
+                             const std::vector<std::string>& tags, Rng rng)
+    : model_(model), tenants_(std::move(tenant_names)), rng_(rng) {
+  XEE_CHECK(!tenants_.empty());
+  XEE_CHECK(!tags.empty());
+  // Family tables draw from a dedicated child stream so the per-request
+  // draws below are independent of how many families were generated.
+  Rng family_rng = rng_.Split();
+  families_.resize(tenants_.size());
+  for (std::vector<std::string>& fams : families_) {
+    fams.reserve(model_.families_per_tenant);
+    for (size_t k = 0; k < model_.families_per_tenant; ++k) {
+      fams.push_back(fuzz::GenerateQueryString(family_rng, tags));
+    }
+  }
+}
+
+std::string TrafficSource::AliasSpelling(Rng& rng, const std::string& query) {
+  std::string out;
+  out.reserve(query.size() + 16);
+  size_t i = 0;
+  while (i < query.size()) {
+    if (query[i] != '/') {
+      out.push_back(query[i++]);
+      continue;
+    }
+    // A separator: one '/' or two.
+    size_t slashes = 1;
+    if (i + 1 < query.size() && query[i + 1] == '/') slashes = 2;
+    out.append(slashes, '/');
+    i += slashes;
+    // Insert an explicit axis only before a plain name step — never
+    // before '*' (the parser's axis grammar takes names), and never
+    // when the step already spells an axis ("name::" ahead), which an
+    // inserted prefix would corrupt.
+    size_t j = i;
+    while (j < query.size() &&
+           (std::isalnum(static_cast<unsigned char>(query[j])) ||
+            query[j] == '_' || query[j] == '-' || query[j] == '.')) {
+      ++j;
+    }
+    const bool plain_name =
+        j > i && std::isalpha(static_cast<unsigned char>(query[i])) &&
+        !(j + 1 < query.size() && query[j] == ':' && query[j + 1] == ':');
+    if (plain_name && rng.Bernoulli(0.6)) {
+      // '//x' expands to descendant::, '/x' to child:: — the axes the
+      // separators already imply, so the canonical plan is unchanged
+      // while the exact-key spelling is new.
+      out += slashes == 2 ? "descendant::" : "child::";
+    }
+  }
+  return out;
+}
+
+service::QueryRequest TrafficSource::Make() {
+  service::QueryRequest req;
+
+  // Tenant: Zipf rank 1 maps to tenants_[0], so the skew is stable
+  // across runs (tenant order is fixed at construction).
+  const size_t tenant =
+      static_cast<size_t>(
+          rng_.Zipf(static_cast<uint64_t>(tenants_.size()),
+                    model_.tenant_zipf_s)) -
+      1;
+  req.synopsis = rng_.Bernoulli(model_.unknown_tenant_prob)
+                     ? "sim-unknown-tenant"
+                     : tenants_[tenant];
+
+  if (rng_.Bernoulli(model_.garbage_prob)) {
+    req.xpath = kGarbage[rng_.Index(std::size(kGarbage))];
+  } else {
+    const std::vector<std::string>& fams = families_[tenant];
+    const size_t f =
+        static_cast<size_t>(rng_.Zipf(static_cast<uint64_t>(fams.size()),
+                                      model_.query_zipf_s)) -
+        1;
+    req.xpath = rng_.Bernoulli(model_.alias_prob)
+                    ? AliasSpelling(rng_, fams[f])
+                    : fams[f];
+  }
+
+  const double u = rng_.UniformDouble();
+  if (u < model_.p_infinite) {
+    req.deadline = Deadline::Infinite();
+  } else if (u < model_.p_infinite + model_.p_expired) {
+    req.deadline = Deadline::AlreadyExpired();
+  } else {
+    req.deadline = Deadline::AfterMs(model_.finite_ms);
+  }
+  return req;
+}
+
+}  // namespace xee::sim
