@@ -223,6 +223,7 @@ int main(int argc, char** argv) {
     const auto after = service.Stats();
     const char* outcome = after.exact_hits > before.exact_hits
                               ? "exact-hit"
+                          : after.memo_hits > before.memo_hits ? "memo-hit"
                           : after.canonical_hits > before.canonical_hits
                               ? "canonical-hit"
                               : "miss";

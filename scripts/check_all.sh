@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # The full pre-merge battery, in increasing order of cost:
 #
-#   1. tier-1 build + ctest (unit, accuracy, smoke labels)
+#   1. tier-1 build + ctest (unit, accuracy, smoke labels — includes
+#      the formula-tail differential suites: estimate_opt_diff_test
+#      pins the memoized/precompiled paths bitwise-equal to the
+#      unoptimized estimator, bitset_kernel_test pins the word-parallel
+#      kernels against their scalar references)
 #   2. quality slice: the accuracy-observability suite (shadow-sampling
 #      correctness, drift detection, export schema + export fuzz;
 #      ctest label `quality`)

@@ -11,11 +11,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER="${1:-ServiceTest|CanonicalTest|EstimatorTest|ObsTest|AccuracyTrackerTest|ShadowSamplingTest}"
+FILTER="${1:-ServiceTest|EstimateOptDiff|CanonicalTest|EstimatorTest|ObsTest|AccuracyTrackerTest|ShadowSamplingTest}"
 
 cmake -B build-tsan -S . -DXEE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
   --target service_test canonical_test estimator_test obs_test \
+  estimate_opt_diff_test \
   accuracy_obs_test accuracy_shadow_test simulate
 (cd build-tsan && ctest -R "$FILTER" --output-on-failure)
 

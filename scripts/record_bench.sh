@@ -1,24 +1,29 @@
 #!/usr/bin/env bash
 # Records the serving-layer benchmark trajectory as machine-readable
 # JSON at the repository root, so PRs can diff throughput and shadow-
-# sampling cost instead of eyeballing stdout. Runs
-# bench_service_throughput (qps + per-stage latency + the accuracy-
-# sampling sweep) and wraps its JSON rows with the run configuration:
+# sampling cost instead of eyeballing stdout. One combined file carries
+# bench_service_throughput (qps + delta-scraped per-stage latency + the
+# estimate-memo comparison + the accuracy-sampling sweep) followed by
+# the simulator trajectories (the three scenario families at their
+# pinned seeds: per-window rows plus one summary row each, including
+# the formula_memo column):
 #
-#   {"bench_file_version":1,"recorded":{...config...},"rows":[...]}
+#   {"bench_file_version":2,"recorded":{...config...},"rows":[...]}
 #
 # Usage, from the repository root (flags pass through to the bench):
 #
-#   scripts/record_bench.sh                         # -> BENCH_pr5.json
+#   scripts/record_bench.sh                         # -> BENCH_pr7.json
 #   OUT=BENCH_tmp.json scripts/record_bench.sh --scale=0.1
 #
-# The environment knobs: OUT (output path, default BENCH_pr5.json),
+# The environment knobs: OUT (output path, default BENCH_pr7.json),
 # BUILD (build tree, default build). Numbers are machine-dependent —
-# compare rows recorded on the same box only.
+# compare rows recorded on the same box only. Stage rows measured with
+# more threads than cores carry "oversubscribed":true; exclude them
+# from latency trend comparisons.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_pr5.json}"
+OUT="${OUT:-BENCH_pr7.json}"
 BUILD="${BUILD:-build}"
 ARGS=("$@")
 if [[ "${#ARGS[@]}" -eq 0 ]]; then
@@ -30,47 +35,23 @@ fi
 
 cmake --build "$BUILD" -j"$(nproc)" --target bench_service_throughput \
   >/dev/null
+cmake --build "$BUILD" -j"$(nproc)" --target simulate >/dev/null
 
 raw="$("$BUILD"/bench/bench_service_throughput "${ARGS[@]}")"
+sim_raw="$("$BUILD"/bench/simulate --scenario=all)"
 
 {
-  printf '{"bench_file_version":1,"recorded":{"bench":"service_throughput","args":"%s"},"rows":[\n' \
+  printf '{"bench_file_version":2,"recorded":{"bench":"service_throughput+simulate","args":"%s","sim_args":"--scenario=all"},"rows":[\n' \
     "${ARGS[*]}"
-  # Keep only the JSON rows; the bench interleaves human-readable text.
+  # Keep only the JSON rows; the benches interleave human-readable text.
   first=1
   while IFS= read -r line; do
     [[ "$line" == \{\"bench\"* ]] || continue
     if [[ "$first" == 1 ]]; then first=0; else printf ',\n'; fi
     printf '%s' "$line"
-  done <<<"$raw"
+  done <<<"$raw"$'\n'"$sim_raw"
   printf '\n]}\n'
 } >"$OUT"
 
 rows="$(grep -c '"bench"' "$OUT" || true)"
 echo "record_bench: wrote $OUT ($rows rows)"
-
-# --- simulator trajectories (PR 6) -------------------------------------
-# The three scenario families at their pinned seeds and full durations:
-# per-window trajectory rows plus one summary row (fingerprint +
-# invariant verdicts) each. The deterministic columns are reproducible
-# anywhere; the latency quantiles are machine-dependent like the rows
-# above. SIM_OUT overrides the output path.
-SIM_OUT="${SIM_OUT:-BENCH_pr6.json}"
-
-cmake --build "$BUILD" -j"$(nproc)" --target simulate >/dev/null
-
-sim_raw="$("$BUILD"/bench/simulate --scenario=all)"
-
-{
-  printf '{"bench_file_version":1,"recorded":{"bench":"simulate","args":"--scenario=all"},"rows":[\n'
-  first=1
-  while IFS= read -r line; do
-    [[ "$line" == \{\"bench\"* ]] || continue
-    if [[ "$first" == 1 ]]; then first=0; else printf ',\n'; fi
-    printf '%s' "$line"
-  done <<<"$sim_raw"
-  printf '\n]}\n'
-} >"$SIM_OUT"
-
-sim_rows="$(grep -c '"bench"' "$SIM_OUT" || true)"
-echo "record_bench: wrote $SIM_OUT ($sim_rows rows)"

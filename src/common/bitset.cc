@@ -3,6 +3,125 @@
 #include <bit>
 
 namespace xee {
+namespace bitkernel {
+
+// The block kernels accumulate across 8 words (one 64-byte line) before
+// branching, so the inner loop is straight-line word ops the compiler can
+// keep in registers or vectorize; only the reductions with early-exit
+// semantics (IsZero/Covers) test once per block.
+
+size_t PopCountWords(const uint64_t* w, size_t n) {
+  size_t total = 0;
+  size_t i = 0;
+  for (; i + kBlockWords <= n; i += kBlockWords) {
+    size_t block = 0;
+    for (size_t j = 0; j < kBlockWords; ++j) {
+      block += static_cast<size_t>(std::popcount(w[i + j]));
+    }
+    total += block;
+  }
+  for (; i < n; ++i) total += static_cast<size_t>(std::popcount(w[i]));
+  return total;
+}
+
+size_t AndPopCountWords(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t total = 0;
+  size_t i = 0;
+  for (; i + kBlockWords <= n; i += kBlockWords) {
+    size_t block = 0;
+    for (size_t j = 0; j < kBlockWords; ++j) {
+      block += static_cast<size_t>(std::popcount(a[i + j] & b[i + j]));
+    }
+    total += block;
+  }
+  for (; i < n; ++i) {
+    total += static_cast<size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+bool IsZeroWords(const uint64_t* w, size_t n) {
+  size_t i = 0;
+  for (; i + kBlockWords <= n; i += kBlockWords) {
+    uint64_t acc = 0;
+    for (size_t j = 0; j < kBlockWords; ++j) acc |= w[i + j];
+    if (acc != 0) return false;
+  }
+  uint64_t acc = 0;
+  for (; i < n; ++i) acc |= w[i];
+  return acc == 0;
+}
+
+bool CoversWords(const uint64_t* a, const uint64_t* b, size_t n) {
+  // (a & b) == b  ⇔  (~a & b) == 0; accumulate the violation mask per
+  // block so the early-exit branch runs once per 64 bytes.
+  size_t i = 0;
+  for (; i + kBlockWords <= n; i += kBlockWords) {
+    uint64_t acc = 0;
+    for (size_t j = 0; j < kBlockWords; ++j) acc |= ~a[i + j] & b[i + j];
+    if (acc != 0) return false;
+  }
+  uint64_t acc = 0;
+  for (; i < n; ++i) acc |= ~a[i] & b[i];
+  return acc == 0;
+}
+
+void OrWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + kBlockWords <= n; i += kBlockWords) {
+    for (size_t j = 0; j < kBlockWords; ++j) dst[i + j] |= src[i + j];
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void AndWords(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + kBlockWords <= n; i += kBlockWords) {
+    for (size_t j = 0; j < kBlockWords; ++j) dst[i + j] = a[i + j] & b[i + j];
+  }
+  for (; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+size_t PopCountWordsScalar(const uint64_t* w, size_t n) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<size_t>(std::popcount(w[i]));
+  }
+  return total;
+}
+
+size_t AndPopCountWordsScalar(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+bool IsZeroWordsScalar(const uint64_t* w, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (w[i] != 0) return false;
+  }
+  return true;
+}
+
+bool CoversWordsScalar(const uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if ((a[i] & b[i]) != b[i]) return false;
+  }
+  return true;
+}
+
+void OrWordsScalar(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void AndWordsScalar(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                    size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+}  // namespace bitkernel
 
 PathIdBits PathIdBits::FromBitString(const std::string& bits) {
   PathIdBits r(bits.size());
@@ -13,30 +132,40 @@ PathIdBits PathIdBits::FromBitString(const std::string& bits) {
   return r;
 }
 
+void PathIdBits::Resize(size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.resize((num_bits + 63) / 64, 0);
+  // Clear any bits past the new width in the (possibly shrunk) last word;
+  // otherwise a shrink followed by a grow would resurrect stale bits and
+  // popcount kernels would disagree with bit-by-bit Test().
+  if (num_bits_ & 63) {
+    words_.back() &= (uint64_t{1} << (num_bits_ & 63)) - 1;
+  }
+}
+
 void PathIdBits::OrWith(const PathIdBits& other) {
   XEE_CHECK(num_bits_ == other.num_bits_);
-  for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  bitkernel::OrWords(words_.data(), other.words_.data(), words_.size());
 }
 
 bool PathIdBits::IsZero() const {
-  for (uint64_t w : words_) {
-    if (w != 0) return false;
-  }
-  return true;
+  return bitkernel::IsZeroWords(words_.data(), words_.size());
 }
 
 size_t PathIdBits::PopCount() const {
-  size_t n = 0;
-  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
-  return n;
+  return bitkernel::PopCountWords(words_.data(), words_.size());
+}
+
+size_t PathIdBits::AndPopCount(const PathIdBits& other) const {
+  XEE_CHECK(num_bits_ == other.num_bits_);
+  return bitkernel::AndPopCountWords(words_.data(), other.words_.data(),
+                                     words_.size());
 }
 
 bool PathIdBits::Covers(const PathIdBits& other) const {
   XEE_CHECK(num_bits_ == other.num_bits_);
-  for (size_t w = 0; w < words_.size(); ++w) {
-    if ((words_[w] & other.words_[w]) != other.words_[w]) return false;
-  }
-  return true;
+  return bitkernel::CoversWords(words_.data(), other.words_.data(),
+                                words_.size());
 }
 
 void PathIdBits::ForEachSetBit(const std::function<void(size_t)>& fn) const {
@@ -63,12 +192,16 @@ std::string PathIdBits::ToBitString() const {
   return s;
 }
 
+bool PathIdBits::TailIsClear() const {
+  if ((num_bits_ & 63) == 0) return true;
+  return (words_.back() & ~((uint64_t{1} << (num_bits_ & 63)) - 1)) == 0;
+}
+
 PathIdBits operator&(const PathIdBits& a, const PathIdBits& b) {
   XEE_CHECK(a.num_bits_ == b.num_bits_);
   PathIdBits r(a.num_bits_);
-  for (size_t w = 0; w < r.words_.size(); ++w) {
-    r.words_[w] = a.words_[w] & b.words_[w];
-  }
+  bitkernel::AndWords(r.words_.data(), a.words_.data(), b.words_.data(),
+                      r.words_.size());
   return r;
 }
 

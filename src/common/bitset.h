@@ -11,6 +11,36 @@
 
 namespace xee {
 
+/// Word-parallel kernels over raw uint64_t spans, shared by `PathIdBits`
+/// and anything else that walks path-id words (the structural join, the
+/// collapsed pid tree). Each kernel processes 64-byte blocks (8 words) per
+/// iteration with a scalar tail, which compilers autovectorize cleanly; a
+/// straight scalar reference of each kernel is exported alongside so
+/// differential tests can pin the two bitwise-equal over fuzzed inputs.
+namespace bitkernel {
+
+/// Words per 64-byte block.
+inline constexpr size_t kBlockWords = 8;
+
+size_t PopCountWords(const uint64_t* w, size_t n);
+size_t AndPopCountWords(const uint64_t* a, const uint64_t* b, size_t n);
+bool IsZeroWords(const uint64_t* w, size_t n);
+/// True iff (a & b) == b word-wise, i.e. every set bit of b is set in a.
+bool CoversWords(const uint64_t* a, const uint64_t* b, size_t n);
+void OrWords(uint64_t* dst, const uint64_t* src, size_t n);
+void AndWords(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n);
+
+/// Scalar one-word-at-a-time references for differential testing.
+size_t PopCountWordsScalar(const uint64_t* w, size_t n);
+size_t AndPopCountWordsScalar(const uint64_t* a, const uint64_t* b, size_t n);
+bool IsZeroWordsScalar(const uint64_t* w, size_t n);
+bool CoversWordsScalar(const uint64_t* a, const uint64_t* b, size_t n);
+void OrWordsScalar(uint64_t* dst, const uint64_t* src, size_t n);
+void AndWordsScalar(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                    size_t n);
+
+}  // namespace bitkernel
+
 /// A fixed-width dynamic bit sequence used to represent path ids.
 ///
 /// Bit positions are 1-based, matching the paper: bit `i` corresponds to
@@ -18,6 +48,10 @@ namespace xee {
 /// "leftmost" bit of the paper's bit strings is bit 1. Width is the number
 /// of distinct root-to-leaf paths in the document and is identical for all
 /// ids of one document; binary operations require equal widths.
+///
+/// Invariant: bits past `num_bits()` in the last storage word are always
+/// zero. Every mutating operation preserves it (`TailIsClear` checks it),
+/// so popcount/compare kernels never need per-call masking.
 class PathIdBits {
  public:
   /// Constructs an all-zero id of `num_bits` bits (num_bits may be 0).
@@ -41,6 +75,11 @@ class PathIdBits {
     return (words_[(i - 1) >> 6] >> ((i - 1) & 63)) & 1;
   }
 
+  /// Changes the width to `num_bits`. Existing bits at positions that
+  /// survive are preserved; bits past the new width are cleared so the
+  /// tail-word invariant holds (a later grow must not resurrect them).
+  void Resize(size_t num_bits);
+
   /// In-place bit-or with `other` (equal widths required).
   void OrWith(const PathIdBits& other);
 
@@ -49,6 +88,10 @@ class PathIdBits {
 
   /// Number of set bits.
   size_t PopCount() const;
+
+  /// Number of set bits in `*this & other` without materializing the
+  /// intersection (equal widths required).
+  size_t AndPopCount(const PathIdBits& other) const;
 
   /// True iff every set bit of `other` is also set here (subset-or-equal).
   /// This is the paper's `(PidX & PidY) == PidY`.
@@ -67,6 +110,13 @@ class PathIdBits {
 
   /// Renders as a '0'/'1' string with bit 1 leftmost (paper notation).
   std::string ToBitString() const;
+
+  /// Raw storage words, little-endian bit order within a word. Exposed for
+  /// the kernel differential tests; bits past num_bits() are zero.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// True iff the tail-word invariant holds (bits past num_bits are 0).
+  bool TailIsClear() const;
 
   friend PathIdBits operator|(const PathIdBits& a, const PathIdBits& b) {
     PathIdBits r = a;

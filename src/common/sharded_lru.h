@@ -94,6 +94,23 @@ class ShardedLru {
     }
   }
 
+  /// Debug audit: recomputes every shard's charged bytes from its live
+  /// entries and compares against the running totals kept by Put/evict —
+  /// the overwrite-with-different-size path in particular must credit
+  /// the old charge before debiting the new one. O(entries); tests call
+  /// this after randomized insert/overwrite/evict sequences.
+  bool DebugCheckBalanced() const {
+    for (size_t i = 0; i < shard_count_; ++i) {
+      Shard& s = shards_[i];
+      std::lock_guard<std::mutex> lock(s.mu);
+      size_t sum = 0;
+      for (const Entry& e : s.lru) sum += e.bytes;
+      if (sum != s.bytes) return false;
+      if (s.lru.size() != s.map.size()) return false;
+    }
+    return true;
+  }
+
   /// Sums counters across shards. The result is a consistent snapshot
   /// per shard, not across shards (adequate for monitoring).
   LruStats stats() const {
@@ -119,7 +136,11 @@ class ShardedLru {
   struct Shard {
     mutable std::mutex mu;
     std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<K, typename std::list<Entry>::iterator> map;
+    // The custom Hash must reach the map too, not just ShardFor — a key
+    // type without a std::hash specialization fails to compile (and one
+    // with a *different* std::hash would shard on one function and
+    // bucket on another).
+    std::unordered_map<K, typename std::list<Entry>::iterator, Hash> map;
     size_t bytes = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;

@@ -45,7 +45,43 @@ Status DeadlineError(const char* when) {
                 std::string("deadline expired ") + when);
 }
 
+/// True iff the plan needs the general path (order constraints or value
+/// predicates restructure the computation before the top-level join
+/// matters).
+bool NeedsGeneralPath(const Query& q) {
+  bool general = !q.orders.empty();
+  for (const auto& n : q.nodes) general |= n.value_filter.has_value();
+  return general;
+}
+
+/// Injective serialization of everything PathJoin reads from a query:
+/// the node structure (tag, axis, parent) and the root mode. Orders,
+/// target, and value filters do not influence the join, so subqueries
+/// differing only there share a memo slot.
+std::string JoinStructureKey(const Query& q) {
+  std::string key;
+  key.reserve(q.nodes.size() * 12);
+  key.push_back(q.root_mode == RootMode::kAbsolute ? 'A' : 'R');
+  for (const auto& n : q.nodes) {
+    key.push_back(n.axis == StructAxis::kChild ? 'c' : 'd');
+    key += std::to_string(n.parent);
+    key.push_back(':');
+    key += std::to_string(n.tag.size());
+    key.push_back(':');
+    key += n.tag;
+  }
+  return key;
+}
+
 }  // namespace
+
+struct Estimator::JoinMemo {
+  struct Entry {
+    bool ok;
+    std::vector<CandList> cands;
+  };
+  std::map<std::string, Entry> by_structure;
+};
 
 bool Estimator::RunCtx::CheckCoarse() {
   if (expired) return true;
@@ -207,6 +243,10 @@ size_t Estimator::Compiled::ApproxBytes() const {
   for (const CandList& l : join) {
     b += sizeof(CandList) + l.capacity() * sizeof(Cand);
   }
+  if (consts.has_value()) {
+    b += sizeof(FormulaConsts) +
+         consts->node_selectivity.capacity() * sizeof(double);
+  }
   return b;
 }
 
@@ -227,9 +267,50 @@ Result<Estimator::Compiled> Estimator::Compile(
     return plan;
   }
   if (!PathJoin(plan.query, plan.tags, &plan.join, &ctx)) plan.zero = true;
+  if (!ctx.expired) PrecomputeConsts(&plan, &ctx);
   FlushCounters(ctx, limits);
   if (ctx.expired) return DeadlineError("during the path join");
   return plan;
+}
+
+void Estimator::PrecomputeConsts(Compiled* plan, RunCtx* ctx) const {
+  const Query& q = plan->query;
+  JoinMemo memo;
+  // Seed the memo with the top-level join Compile already ran (general
+  // queries re-join the full structure inside EstimateImpl; this makes
+  // that a lookup). An unknown-tag zero never ran the join, so only seed
+  // when tags resolved.
+  if (!plan->tags.empty()) {
+    memo.by_structure.emplace(JoinStructureKey(q),
+                              JoinMemo::Entry{!plan->zero, plan->join});
+  }
+
+  // A fresh ctx, same deadline: an expiry mid-walk must not convert the
+  // already-successful compile into a deadline error — the plan simply
+  // ships without constants and requests take the legacy path.
+  RunCtx pctx{ctx->deadline};
+  pctx.join_memo = &memo;
+  FormulaConsts fc;
+  bool store = true;
+  if (NeedsGeneralPath(q)) {
+    Result<double> r = EstimateImpl(q, &pctx);
+    fc.estimate = std::move(r);
+  } else if (plan->zero) {
+    fc.estimate = 0.0;
+  } else {
+    // Flat per-node arena; the request-time answer is the target's cell.
+    fc.node_selectivity.resize(q.nodes.size(), 0.0);
+    for (size_t i = 0; i < q.nodes.size(); ++i) {
+      fc.node_selectivity[i] = NodeSelectivity(q, plan->tags, plan->join,
+                                               static_cast<int>(i), &pctx);
+    }
+    fc.estimate = fc.node_selectivity[q.target];
+  }
+  if (pctx.expired) store = false;
+  ctx->containment_tests += pctx.containment_tests;
+  ctx->join_probes += pctx.join_probes;
+  ctx->fixpoint_rounds += pctx.fixpoint_rounds;
+  if (store) plan->consts = std::move(fc);
 }
 
 Result<double> Estimator::EstimateCompiled(const Compiled& plan,
@@ -239,13 +320,14 @@ Result<double> Estimator::EstimateCompiled(const Compiled& plan,
   // clock read here, never a join.
   RunCtx ctx{limits.deadline};
   if (ctx.CheckCoarse()) return DeadlineError("before estimation began");
+  // Constants present: the whole formula walk already ran at compile
+  // time against the same frozen synopsis; the answer is a load.
+  if (plan.consts.has_value()) return plan.consts->estimate;
   // Order constraints and value predicates restructure the computation
   // (truncated subqueries, rewrites, scaling) before the top-level join
   // matters; route them through the general path. Estimate() revalidates
   // the stored AST, which is cheap next to the joins it runs.
-  bool general = !q.orders.empty();
-  for (const auto& n : q.nodes) general |= n.value_filter.has_value();
-  if (general) {
+  if (NeedsGeneralPath(q)) {
     Result<double> r = EstimateImpl(q, &ctx);
     FlushCounters(ctx, limits);
     if (ctx.expired) return DeadlineError("during estimation");
@@ -276,6 +358,26 @@ bool Estimator::ResolveTags(const Query& q,
 
 bool Estimator::PathJoin(const Query& q, const std::vector<xml::TagId>& tags,
                          std::vector<CandList>* cands, RunCtx* ctx) const {
+  if (ctx->join_memo == nullptr) return PathJoinImpl(q, tags, cands, ctx);
+  // The join is a pure function of (node structure, synopsis); orders,
+  // target, and value filters play no part. Never cache a join cut short
+  // by an expired deadline — its survivor lists are partial.
+  const std::string key = JoinStructureKey(q);
+  auto it = ctx->join_memo->by_structure.find(key);
+  if (it != ctx->join_memo->by_structure.end()) {
+    *cands = it->second.cands;
+    return it->second.ok;
+  }
+  const bool ok = PathJoinImpl(q, tags, cands, ctx);
+  if (!ctx->expired) {
+    ctx->join_memo->by_structure.emplace(key, JoinMemo::Entry{ok, *cands});
+  }
+  return ok;
+}
+
+bool Estimator::PathJoinImpl(const Query& q,
+                             const std::vector<xml::TagId>& tags,
+                             std::vector<CandList>* cands, RunCtx* ctx) const {
   cands->assign(q.nodes.size(), CandList{});
   for (size_t i = 0; i < q.nodes.size(); ++i) {
     if (ctx->CheckCoarse()) return false;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -56,6 +57,26 @@ class Estimator {
   };
   using CandList = std::vector<Cand>;
 
+  /// Formula constants pre-resolved at Compile time. Everything in the
+  /// paper's Eqs. 2-5 depends only on the plan and the synopsis, both
+  /// frozen for the life of a compiled plan (plans are cached under
+  /// epoch-scoped keys, so a synopsis swap retires them wholesale) — so
+  /// the whole formula walk is evaluated once at compile time and
+  /// EstimateCompiled degenerates to returning a constant.
+  struct FormulaConsts {
+    /// The estimate (or its deterministic error, e.g. kUnsupported),
+    /// bit-identical to what the legacy per-request recomputation
+    /// produces. Deadline errors are never stored: if the compile-time
+    /// walk is cut short by the caller's deadline, the plan simply
+    /// carries no constants and requests fall back to the legacy path.
+    Result<double> estimate = 0.0;
+    /// Flat per-node arena: the Eq. 2 / Theorem 4.1 selectivity of every
+    /// query node under the top-level join, indexed by node id. Filled
+    /// for order-free predicate-free plans (where `estimate` equals
+    /// `node_selectivity[query.target]`); introspection + test surface.
+    std::vector<double> node_selectivity;
+  };
+
   /// A compiled query plan: the validated AST, its resolved tag ids and
   /// the survivor sets of the top-level path-id join of Section 4 —
   /// everything per-query preparation produces, reusable across
@@ -67,6 +88,10 @@ class Estimator {
     /// The estimate is already known to be 0 (a tag absent from the
     /// document, or the join pruned some candidate list to empty).
     bool zero = false;
+    /// Pre-evaluated formula constants; absent when the compile deadline
+    /// expired mid-walk (or a test reset it to exercise the legacy
+    /// path). EstimateCompiled answers from here when present.
+    std::optional<FormulaConsts> consts;
 
     /// Approximate heap footprint, for cache byte budgets.
     size_t ApproxBytes() const;
@@ -90,11 +115,13 @@ class Estimator {
                            const EstimateLimits& limits = {}) const;
 
   /// Estimates from a compiled plan, with a result bit-identical to
-  /// Estimate(plan.query). Order-free queries without value predicates
-  /// skip validation, tag resolution and the top-level path join;
-  /// other query classes fall back to the stored AST (still skipping
-  /// the string parse that produced it). An already-expired deadline
-  /// returns kDeadlineExceeded before any join work.
+  /// Estimate(plan.query). Plans carrying precomputed formula constants
+  /// (the normal case) answer with a single load. Without constants,
+  /// order-free queries without value predicates skip validation, tag
+  /// resolution and the top-level path join; other query classes fall
+  /// back to the stored AST (still skipping the string parse that
+  /// produced it). An already-expired deadline returns
+  /// kDeadlineExceeded before any join work.
   Result<double> EstimateCompiled(const Compiled& plan,
                                   const EstimateLimits& limits = {}) const;
 
@@ -116,6 +143,14 @@ class Estimator {
   void set_join_to_fixpoint(bool v) { join_to_fixpoint_ = v; }
 
  private:
+  /// Compile-scoped memo of PathJoin results keyed by subquery
+  /// structure; defined in the .cc. The formula walk for branch and
+  /// order queries re-joins overlapping truncated subqueries (Q', Q_x,
+  /// Q_t share most of their edges); within one precompute call those
+  /// joins are pure functions of (structure, synopsis), so the memo
+  /// collapses the duplicates.
+  struct JoinMemo;
+
   /// Per-call deadline state threaded through the recursive estimation
   /// helpers. Once `expired` latches, joins collapse to empty and the
   /// public entry point replaces whatever partial value bubbled up with
@@ -124,6 +159,10 @@ class Estimator {
     Deadline deadline;
     uint32_t ticks = 0;
     bool expired = false;
+    /// When set (Compile-time precompute only), PathJoin consults and
+    /// fills it. Never set on the per-request paths, whose work counters
+    /// must reflect real work.
+    JoinMemo* join_memo = nullptr;
     /// Work counters, accumulated as plain integers on the hot path and
     /// flushed once per public entry point (to the estimator's member
     /// atomic, the global obs registry, and limits.trace when set).
@@ -143,6 +182,12 @@ class Estimator {
   /// deadline (never null).
   Result<double> EstimateImpl(const xpath::Query& query, RunCtx* ctx) const;
 
+  /// Runs the formula walk once at Compile time and stores the result in
+  /// `plan->consts` — unless the deadline expires mid-walk, in which
+  /// case the plan is left without constants (legacy path at request
+  /// time). Counter flushing stays with the caller's ctx convention.
+  void PrecomputeConsts(Compiled* plan, RunCtx* ctx) const;
+
   /// Drains ctx's work counters into the member atomic, the global obs
   /// registry, and `limits.trace` (when set). Called exactly once per
   /// public entry point, on every exit path.
@@ -153,8 +198,13 @@ class Estimator {
 
   /// Runs the path-id join of Section 4. Returns false when some node's
   /// candidate list becomes empty (estimate 0) or the deadline expires.
+  /// Consults/fills ctx->join_memo when set.
   bool PathJoin(const xpath::Query& q, const std::vector<xml::TagId>& tags,
                 std::vector<CandList>* cands, RunCtx* ctx) const;
+
+  /// The uncached join body behind PathJoin's memo check.
+  bool PathJoinImpl(const xpath::Query& q, const std::vector<xml::TagId>& tags,
+                    std::vector<CandList>* cands, RunCtx* ctx) const;
 
   static double FreqSum(const CandList& l);
 

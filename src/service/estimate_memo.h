@@ -1,0 +1,111 @@
+#ifndef XEE_SERVICE_ESTIMATE_MEMO_H_
+#define XEE_SERVICE_ESTIMATE_MEMO_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/sharded_lru.h"
+#include "common/status.h"
+#include "xpath/canonical.h"
+
+namespace xee::service {
+
+/// The final-estimate memo (DESIGN.md §13): a sharded byte-budgeted LRU
+/// from `(canonical plan hash, synopsis epoch)` to the finished estimate.
+///
+/// This sits one rung below the compiled-plan cache in the serving
+/// ladder. A memo entry is ~100 bytes where a cached plan is kilobytes,
+/// so under byte pressure (alias storms, small budgets) estimates
+/// outlive their plans by orders of magnitude: a warm repeat whose plan
+/// was evicted costs parse + canonicalize + one probe here instead of a
+/// recompile (path join + formula walk).
+///
+/// Invalidation is free: the epoch is part of the key, and the registry
+/// bumps the epoch on every snapshot swap, so entries of a replaced
+/// synopsis can never be returned — they age out of the LRU.
+///
+/// Keys are 64-bit StableHash64 digests of the kind-tagged canonical
+/// body. A hash collision must never surface a wrong estimate (the
+/// differential suite pins bitwise equality with the unoptimized
+/// estimator), so each entry stores its exact body and a Lookup whose
+/// body does not match reports a miss.
+class EstimateMemo {
+ public:
+  struct Entry {
+    char kind;         ///< 'c' full fidelity / 'd' degraded order-free
+    std::string body;  ///< canonical serialized query (collision guard)
+    Result<double> estimate{0.0};
+  };
+
+  /// `byte_budget` 0 disables the memo entirely: lookups miss without
+  /// touching counters and inserts are dropped.
+  EstimateMemo(size_t byte_budget, size_t shards)
+      : enabled_(byte_budget > 0), lru_(byte_budget, shards) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Returns the memoized estimate for (kind, epoch, body), or nullopt.
+  std::optional<Result<double>> Lookup(char kind, uint64_t epoch,
+                                       const std::string& body) {
+    if (!enabled_) return std::nullopt;
+    const Key key{BodyHash(kind, body), epoch};
+    const std::shared_ptr<const Entry> e = lru_.Get(key);
+    if (e == nullptr) return std::nullopt;
+    if (e->kind != kind || e->body != body) return std::nullopt;  // collision
+    return e->estimate;
+  }
+
+  /// Memoizes `estimate` under (kind, epoch, body). Deadline errors are
+  /// never a property of the query and must not be passed here.
+  void Insert(char kind, uint64_t epoch, const std::string& body,
+              Result<double> estimate) {
+    if (!enabled_) return;
+    const Key key{BodyHash(kind, body), epoch};
+    auto entry = std::make_shared<Entry>();
+    entry->kind = kind;
+    entry->body = body;
+    entry->estimate = std::move(estimate);
+    const size_t bytes = sizeof(Entry) + entry->body.capacity() +
+                         (entry->estimate.ok()
+                              ? 0
+                              : entry->estimate.status().message().size()) +
+                         kEntryOverhead;
+    lru_.Put(key, std::move(entry), bytes);
+  }
+
+  LruStats stats() const { return lru_.stats(); }
+  void Clear() { lru_.Clear(); }
+
+ private:
+  /// Per-entry bookkeeping charge (list/map nodes, shared_ptr block).
+  static constexpr size_t kEntryOverhead = 96;
+
+  struct Key {
+    uint64_t hash;
+    uint64_t epoch;
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.hash == b.hash && a.epoch == b.epoch;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const noexcept {
+      return static_cast<size_t>(k.hash ^ (k.epoch * 0x9e3779b97f4a7c15ull));
+    }
+  };
+
+  static uint64_t BodyHash(char kind, const std::string& body) {
+    return xpath::StableHash64(body) ^
+           (static_cast<uint64_t>(static_cast<unsigned char>(kind)) *
+            0xff51afd7ed558ccdull);
+  }
+
+  const bool enabled_;
+  ShardedLru<Key, Entry, KeyHash> lru_;
+};
+
+}  // namespace xee::service
+
+#endif  // XEE_SERVICE_ESTIMATE_MEMO_H_

@@ -43,6 +43,8 @@ EstimationService::EstimationService(ServiceOptions options)
     : options_(options),
       cache_(options.plan_cache_bytes,
              options.cache_shards < 1 ? 1 : options.cache_shards),
+      memo_(options.estimate_memo_bytes,
+            options.cache_shards < 1 ? 1 : options.cache_shards),
       stats_(&obs_),
       traces_(options.trace_capacity < 1 ? 1 : options.trace_capacity,
               options.slow_trace_ns),
@@ -253,6 +255,26 @@ EstimateOutcome EstimationService::EstimateAdmitted(
       canonical = xpath::Canonicalize(parsed.value());
       body = xpath::SerializeKey(canonical);
     }
+    // Estimate-memo probe: the finished number under (canonical hash,
+    // epoch). Entries are ~100 bytes, so they outlive evicted plans —
+    // this rung turns a plan-cache eviction into one probe instead of a
+    // recompile. Timed under cache-lookup: it is one.
+    if (memo_.enabled()) {
+      std::optional<Result<double>> m;
+      {
+        obs::ScopedStageTimer t(&spans, Stage::kCacheLookup,
+                                stats_.StageHist(Stage::kCacheLookup), timed);
+        m = memo_.Lookup('c', snap->epoch, body);
+      }
+      if (m.has_value()) {
+        outcome_label = "memo-hit";
+        stats_.memo_hits.Inc();
+        out.estimate = std::move(*m);
+        return out;
+      }
+      stats_.memo_misses.Inc();
+    }
+
     const std::string canonical_key = MakeKey('c', snap->epoch, body);
     {
       std::shared_ptr<const CachedPlan> hit;
@@ -265,6 +287,7 @@ EstimateOutcome EstimationService::EstimateAdmitted(
         outcome_label = "canonical-hit";
         stats_.canonical_hits.Inc();
         cache_.PutAlias(exact_key, hit);
+        memo_.Insert('c', snap->epoch, body, hit->estimate);
         out.estimate = hit->estimate;
         return out;
       }
@@ -282,6 +305,22 @@ EstimateOutcome EstimationService::EstimateAdmitted(
     auto run_degraded = [&](bool alias_exact) -> EstimateOutcome {
       EstimateOutcome d;
       d.degraded = true;
+      if (memo_.enabled()) {
+        std::optional<Result<double>> m;
+        {
+          obs::ScopedStageTimer t(&spans, Stage::kCacheLookup,
+                                  stats_.StageHist(Stage::kCacheLookup),
+                                  timed);
+          m = memo_.Lookup('d', snap->epoch, body);
+        }
+        if (m.has_value()) {
+          outcome_label = "memo-hit";
+          stats_.memo_hits.Inc();
+          d.estimate = std::move(*m);
+          return d;
+        }
+        stats_.memo_misses.Inc();
+      }
       const std::string degraded_key = MakeKey('d', snap->epoch, body);
       {
         std::shared_ptr<const CachedPlan> hit;
@@ -294,6 +333,7 @@ EstimateOutcome EstimationService::EstimateAdmitted(
           outcome_label = "canonical-hit";
           stats_.canonical_hits.Inc();
           if (alias_exact) cache_.PutAlias(exact_key, hit);
+          memo_.Insert('d', snap->epoch, body, hit->estimate);
           d.estimate = hit->estimate;
           return d;
         }
@@ -324,6 +364,7 @@ EstimateOutcome EstimationService::EstimateAdmitted(
           CachedPlan{std::move(compiled).value(), estimate, /*degraded=*/true});
       cache_.PutCanonical(degraded_key, plan);
       if (alias_exact) cache_.PutAlias(exact_key, std::move(plan));
+      memo_.Insert('d', snap->epoch, body, estimate);
       stats_.misses.Inc();
       return d;
     };
@@ -385,6 +426,7 @@ EstimateOutcome EstimationService::EstimateAdmitted(
         CachedPlan{std::move(compiled).value(), estimate, /*degraded=*/false});
     cache_.PutCanonical(canonical_key, plan);
     cache_.PutAlias(exact_key, std::move(plan));
+    memo_.Insert('c', snap->epoch, body, estimate);
     stats_.misses.Inc();
     out.estimate = estimate;
     return out;
@@ -537,6 +579,13 @@ std::string EstimationService::StatszJson() {
       .Set(static_cast<int64_t>(cache.bytes));
   obs_.GetGauge("service.plan_cache.evictions")
       .Set(static_cast<int64_t>(cache.evictions));
+  const LruStats memo = memo_.stats();
+  obs_.GetGauge("service.estimate_memo.entries")
+      .Set(static_cast<int64_t>(memo.entries));
+  obs_.GetGauge("service.estimate_memo.bytes")
+      .Set(static_cast<int64_t>(memo.bytes));
+  obs_.GetGauge("service.estimate_memo.evictions")
+      .Set(static_cast<int64_t>(memo.evictions));
   // Splice the accuracy section in as a fourth top-level key, keeping
   // the registry's counters/gauges/histograms rendering untouched.
   std::string j = obs_.ToJson();

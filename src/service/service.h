@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "xpath/query.h"
+#include "service/estimate_memo.h"
 #include "service/plan_cache.h"
 #include "service/service_stats.h"
 #include "service/synopsis_registry.h"
@@ -27,7 +28,16 @@ struct ServiceOptions {
   /// caching: every Put immediately evicts down to one entry per shard).
   size_t plan_cache_bytes = 8ull << 20;
   /// Plan-cache shard count (contention vs. bookkeeping overhead).
+  /// Shared by the estimate memo.
   size_t cache_shards = 8;
+  /// Byte budget of the final-estimate memo (service/estimate_memo.h):
+  /// a sharded LRU from (canonical plan hash, synopsis epoch) to the
+  /// finished estimate. Entries are ~100 bytes vs kilobytes for a
+  /// cached plan, so estimates survive plan evictions; a warm repeat
+  /// against an unchanged synopsis costs parse + canonicalize + one
+  /// probe. Epoch-keyed, so snapshot swaps invalidate for free.
+  /// 0 disables the memo.
+  size_t estimate_memo_bytes = 1ull << 20;
   /// Worker threads for EstimateBatch; 0 = hardware concurrency.
   size_t threads = 0;
   /// Admission control: maximum requests estimating at once (single
@@ -165,7 +175,9 @@ class EstimationService {
       std::span<const QueryRequest> requests);
 
   /// Cache outcome counters, occupancy, and per-stage latency.
-  ServiceStatsSnapshot Stats() const { return stats_.Snap(cache_.stats()); }
+  ServiceStatsSnapshot Stats() const {
+    return stats_.Snap(cache_.stats(), memo_.stats());
+  }
 
   /// This service's metrics registry (every ServiceStats counter lives
   /// here). Process-wide subsystems (estimator, thread pool, faults)
@@ -200,7 +212,10 @@ class EstimationService {
   /// Tests and benches use this to observe a quiesced accuracy state.
   bool DrainShadow(uint64_t timeout_ms = 10'000) const;
 
-  void ClearPlanCache() { cache_.Clear(); }
+  void ClearPlanCache() {
+    cache_.Clear();
+    memo_.Clear();
+  }
 
   size_t threads() const { return pool_.size(); }
 
@@ -264,6 +279,7 @@ class EstimationService {
   ServiceOptions options_;
   SynopsisRegistry registry_;
   PlanCache cache_;
+  EstimateMemo memo_;
   obs::Registry obs_;  // must precede stats_/accuracy_ (handle resolution)
   ServiceStats stats_;
   obs::TraceRing traces_;

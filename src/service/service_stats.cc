@@ -12,6 +12,9 @@ ServiceStats::ServiceStats(obs::Registry* registry)
       canonical_hits(
           registry->GetCounter("service.plan_cache", "outcome=canonical_hit")),
       misses(registry->GetCounter("service.plan_cache", "outcome=miss")),
+      memo_hits(registry->GetCounter("service.estimate_memo", "outcome=hit")),
+      memo_misses(
+          registry->GetCounter("service.estimate_memo", "outcome=miss")),
       shed(registry->GetCounter("service.outcome", "reason=shed")),
       shed_single(
           registry->GetCounter("service.shed", "reason=admission_single")),
@@ -32,13 +35,19 @@ ServiceStats::ServiceStats(obs::Registry* registry)
   }
 }
 
-ServiceStatsSnapshot ServiceStats::Snap(const LruStats& cache) const {
+ServiceStatsSnapshot ServiceStats::Snap(const LruStats& cache,
+                                        const LruStats& memo) const {
   ServiceStatsSnapshot s;
   s.requests = requests.value();
   s.batches = batches.value();
   s.exact_hits = exact_hits.value();
   s.canonical_hits = canonical_hits.value();
   s.misses = misses.value();
+  s.memo_hits = memo_hits.value();
+  s.memo_misses = memo_misses.value();
+  s.memo_evictions = memo.evictions;
+  s.memo_bytes = memo.bytes;
+  s.memo_entries = memo.entries;
   s.shed = shed.value();
   s.shed_single = shed_single.value();
   s.shed_batch = shed_batch.value();
@@ -80,6 +89,14 @@ std::string ServiceStatsSnapshot::ToString() const {
                    static_cast<unsigned long long>(cache_entries),
                    HumanBytes(cache_bytes).c_str(),
                    static_cast<unsigned long long>(cache_evictions));
+  out += StrFormat(
+      "estimate memo: %llu hits, %llu misses; %llu entries, %s charged, "
+      "%llu evictions\n",
+      static_cast<unsigned long long>(memo_hits),
+      static_cast<unsigned long long>(memo_misses),
+      static_cast<unsigned long long>(memo_entries),
+      HumanBytes(memo_bytes).c_str(),
+      static_cast<unsigned long long>(memo_evictions));
   out += StrFormat(
       "robustness: %llu shed (%llu single, %llu batch), %llu degraded, "
       "%llu deadline-exceeded, %llu quarantined\n",

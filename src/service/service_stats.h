@@ -27,6 +27,13 @@ struct ServiceStatsSnapshot {
   uint64_t canonical_hits = 0;
   uint64_t misses = 0;
 
+  // Estimate-memo outcome: a memo hit ran the parse but answered from
+  // the (canonical hash, epoch) final-estimate memo — no plan-cache
+  // value copy, no compile. Misses count probes that went on to the
+  // plan cache or a full compile.
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+
   // Robustness outcomes: requests shed by admission control, answered
   // degraded (order statistics dropped), rejected for an expired
   // deadline, or refused because the synopsis is quarantined.
@@ -50,6 +57,11 @@ struct ServiceStatsSnapshot {
   uint64_t cache_evictions = 0;
   uint64_t cache_bytes = 0;
   uint64_t cache_entries = 0;
+
+  // Estimate-memo occupancy, from its own sharded LRU.
+  uint64_t memo_evictions = 0;
+  uint64_t memo_bytes = 0;
+  uint64_t memo_entries = 0;
 
   // Per-stage latency over the full pipeline (nanosecond histograms)
   // plus end-to-end. Fed by the 1-in-trace_sample timed requests, so
@@ -86,6 +98,8 @@ struct ServiceStats {
   obs::Counter& exact_hits;
   obs::Counter& canonical_hits;
   obs::Counter& misses;
+  obs::Counter& memo_hits;
+  obs::Counter& memo_misses;
   obs::Counter& shed;
   obs::Counter& shed_single;
   obs::Counter& shed_batch;
@@ -103,8 +117,8 @@ struct ServiceStats {
     return stage[static_cast<size_t>(s)];
   }
 
-  /// Folds in the plan cache's LRU counters.
-  ServiceStatsSnapshot Snap(const LruStats& cache) const;
+  /// Folds in the plan cache's and the estimate memo's LRU counters.
+  ServiceStatsSnapshot Snap(const LruStats& cache, const LruStats& memo) const;
 };
 
 }  // namespace xee::service

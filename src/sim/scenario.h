@@ -43,6 +43,10 @@ struct Scenario {
   double dataset_scale = 0.05;
   size_t max_inflight = 64;
   size_t plan_cache_bytes = 8ull << 20;
+  /// Final-estimate memo budget (0 disables). Kept at the service
+  /// default so alias-storm scenarios exercise the memo rung under the
+  /// same pressure production would see.
+  size_t estimate_memo_bytes = 1ull << 20;
   size_t accuracy_sample = 0;  ///< 0 = shadow sampling off
 
   /// Virtual service time of an admitted, successful request:

@@ -117,8 +117,9 @@ std::string WindowRow::ToJson(const std::string& scenario) const {
   }
   out += ",\"request_ns\":" + HistJson(request_ns);
   out += ",\"retry_after_ms\":" + HistJson(retry_after_ms);
-  out += Format(",\"shadow_recorded\":%llu}",
-                static_cast<unsigned long long>(shadow_recorded));
+  out += Format(",\"shadow_recorded\":%llu,\"formula_memo\":%llu}",
+                static_cast<unsigned long long>(shadow_recorded),
+                static_cast<unsigned long long>(formula_memo));
   return out;
 }
 
@@ -188,6 +189,7 @@ SimResult RunScenario(const Scenario& sc) {
 
   service::ServiceOptions opt;
   opt.plan_cache_bytes = sc.plan_cache_bytes;
+  opt.estimate_memo_bytes = sc.estimate_memo_bytes;
   opt.max_inflight = sc.max_inflight;
   opt.accuracy_sample = sc.accuracy_sample;
   // workers == 0 still needs a (small) pool: shadow evaluation runs
@@ -261,8 +263,10 @@ SimResult RunScenario(const Scenario& sc) {
       svc.obs().GetHistogram("service.retry_after_ms");
   obs::Counter& recorded_ctr =
       svc.obs().GetCounter("accuracy.samples", "phase=recorded");
+  obs::Counter& memo_hit_ctr =
+      svc.obs().GetCounter("service.estimate_memo", "outcome=hit");
   obs::HistogramWindow req_win, retry_win;
-  obs::CounterWindow recorded_win;
+  obs::CounterWindow recorded_win, memo_hit_win;
   std::vector<uint64_t> fire_prev(sc.chaos.size(), 0);
 
   auto close_window = [&](uint64_t t_end) {
@@ -283,6 +287,7 @@ SimResult RunScenario(const Scenario& sc) {
     row.request_ns = req_win.Advance(req_hist);
     row.retry_after_ms = retry_win.Advance(retry_hist);
     row.shadow_recorded = recorded_win.Advance(recorded_ctr.value());
+    row.formula_memo = memo_hit_win.Advance(memo_hit_ctr.value());
     result.trajectory.push_back(std::move(row));
   };
 

@@ -39,6 +39,7 @@ struct WindowRow {
   obs::HistogramSnapshot request_ns;      ///< timed-request latency, delta
   obs::HistogramSnapshot retry_after_ms;  ///< shed retry hints, delta
   uint64_t shadow_recorded = 0;           ///< accuracy samples, delta
+  uint64_t formula_memo = 0;              ///< estimate-memo hits, delta
 
   /// One BENCH-style JSON object (bench "simulate").
   std::string ToJson(const std::string& scenario) const;

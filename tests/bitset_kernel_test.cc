@@ -1,0 +1,175 @@
+// Differential and invariant tests for the word-parallel bit kernels
+// (common/bitset.{h,cc}).
+//
+// Two obligations, both fuzzed over widths that straddle the 64-byte
+// block boundary and deliberately avoid multiples of 64:
+//
+//  1. Kernel == scalar reference, bitwise, for every kernel — the block
+//     kernels are the hot path of the structural join and the collapsed
+//     pid tree, and the scalar loops are the spec.
+//  2. The tail-word invariant (bits past num_bits() in the last word
+//     stay zero) survives every constructor and mutator. A dirty tail
+//     would silently corrupt PopCount/Covers for every later consumer,
+//     which is exactly the class of bug the invariant exists to prevent.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/bitset.h"
+#include "gtest/gtest.h"
+
+namespace xee {
+namespace {
+
+// Widths around word and block boundaries, mostly non-multiples of 64.
+const size_t kWidths[] = {1,   3,   63,  64,  65,  127, 128, 129,
+                          191, 255, 256, 257, 300, 511, 512, 513, 1000};
+
+std::vector<uint64_t> RandomWords(std::mt19937_64& rng, size_t n) {
+  std::vector<uint64_t> w(n);
+  for (uint64_t& x : w) {
+    // Mix dense, sparse, and structured words so carries/saturation in
+    // the popcount accumulation see varied inputs.
+    switch (rng() % 4) {
+      case 0: x = rng(); break;
+      case 1: x = rng() & rng() & rng(); break;
+      case 2: x = ~uint64_t{0}; break;
+      default: x = 0; break;
+    }
+  }
+  return w;
+}
+
+PathIdBits RandomBits(std::mt19937_64& rng, size_t width, double density) {
+  PathIdBits b(width);
+  for (size_t i = 1; i <= width; ++i) {
+    if (std::uniform_real_distribution<double>(0, 1)(rng) < density) b.Set(i);
+  }
+  return b;
+}
+
+TEST(BitKernel, MatchesScalarReferenceOverFuzzedSpans) {
+  std::mt19937_64 rng(0xb1735e7);
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t n = rng() % 40;  // word counts across several blocks
+    const std::vector<uint64_t> a = RandomWords(rng, n);
+    const std::vector<uint64_t> b = RandomWords(rng, n);
+
+    EXPECT_EQ(bitkernel::PopCountWords(a.data(), n),
+              bitkernel::PopCountWordsScalar(a.data(), n));
+    EXPECT_EQ(bitkernel::AndPopCountWords(a.data(), b.data(), n),
+              bitkernel::AndPopCountWordsScalar(a.data(), b.data(), n));
+    EXPECT_EQ(bitkernel::IsZeroWords(a.data(), n),
+              bitkernel::IsZeroWordsScalar(a.data(), n));
+    EXPECT_EQ(bitkernel::CoversWords(a.data(), b.data(), n),
+              bitkernel::CoversWordsScalar(a.data(), b.data(), n));
+
+    std::vector<uint64_t> kernel_dst = a, scalar_dst = a;
+    bitkernel::OrWords(kernel_dst.data(), b.data(), n);
+    bitkernel::OrWordsScalar(scalar_dst.data(), b.data(), n);
+    EXPECT_EQ(kernel_dst, scalar_dst);
+
+    std::vector<uint64_t> kernel_and(n), scalar_and(n);
+    bitkernel::AndWords(kernel_and.data(), a.data(), b.data(), n);
+    bitkernel::AndWordsScalar(scalar_and.data(), a.data(), b.data(), n);
+    EXPECT_EQ(kernel_and, scalar_and);
+  }
+}
+
+TEST(BitKernel, CoversCatchesViolationInEveryBlockPosition) {
+  // A single violating bit must be detected wherever it lands within
+  // the 8-word block (the kernel folds a whole block's violation mask
+  // before branching).
+  for (size_t n : {size_t{1}, size_t{7}, size_t{8}, size_t{9}, size_t{24}}) {
+    for (size_t word = 0; word < n; ++word) {
+      std::vector<uint64_t> a(n, ~uint64_t{0});
+      std::vector<uint64_t> b(n, 0);
+      a[word] &= ~(uint64_t{1} << (word % 64));
+      b[word] |= uint64_t{1} << (word % 64);
+      EXPECT_FALSE(bitkernel::CoversWords(a.data(), b.data(), n));
+      b[word] = 0;
+      EXPECT_TRUE(bitkernel::CoversWords(a.data(), b.data(), n));
+    }
+  }
+}
+
+TEST(PathIdBitsKernel, OpsMatchNaiveBitLoops) {
+  std::mt19937_64 rng(0xfeed);
+  for (size_t width : kWidths) {
+    for (double density : {0.02, 0.5, 0.98}) {
+      const PathIdBits a = RandomBits(rng, width, density);
+      const PathIdBits b = RandomBits(rng, width, 1.0 - density);
+
+      size_t pop = 0, and_pop = 0;
+      bool zero = true, covers = true;
+      for (size_t i = 1; i <= width; ++i) {
+        pop += a.Test(i);
+        and_pop += a.Test(i) && b.Test(i);
+        zero = zero && !a.Test(i);
+        covers = covers && (!b.Test(i) || a.Test(i));
+      }
+      EXPECT_EQ(a.PopCount(), pop) << "width " << width;
+      EXPECT_EQ(a.AndPopCount(b), and_pop) << "width " << width;
+      EXPECT_EQ(a.IsZero(), zero) << "width " << width;
+      EXPECT_EQ(a.Covers(b), covers) << "width " << width;
+      EXPECT_EQ((a & b).PopCount(), and_pop) << "width " << width;
+
+      PathIdBits ored = a;
+      ored.OrWith(b);
+      for (size_t i = 1; i <= width; ++i) {
+        EXPECT_EQ(ored.Test(i), a.Test(i) || b.Test(i));
+      }
+    }
+  }
+}
+
+TEST(PathIdBitsTail, EveryMutatorPreservesTheTailInvariant) {
+  std::mt19937_64 rng(0x7a11);
+  for (size_t width : kWidths) {
+    PathIdBits a = RandomBits(rng, width, 0.5);
+    PathIdBits b = RandomBits(rng, width, 0.5);
+    ASSERT_TRUE(a.TailIsClear()) << "Set, width " << width;
+
+    std::string s;
+    for (size_t i = 1; i <= width; ++i) s += a.Test(i) ? '1' : '0';
+    EXPECT_TRUE(PathIdBits::FromBitString(s).TailIsClear())
+        << "FromBitString, width " << width;
+
+    a.OrWith(b);
+    EXPECT_TRUE(a.TailIsClear()) << "OrWith, width " << width;
+    EXPECT_TRUE((a & b).TailIsClear()) << "operator&, width " << width;
+  }
+}
+
+TEST(PathIdBitsTail, ResizePreservesSurvivingBitsAndClearsTheRest) {
+  std::mt19937_64 rng(0x5123);
+  for (size_t from : kWidths) {
+    for (size_t to : kWidths) {
+      PathIdBits b = RandomBits(rng, from, 0.7);
+      const PathIdBits orig = b;
+      b.Resize(to);
+      ASSERT_TRUE(b.TailIsClear()) << from << " -> " << to;
+      EXPECT_EQ(b.num_bits(), to);
+      const size_t kept = from < to ? from : to;
+      for (size_t i = 1; i <= kept; ++i) {
+        EXPECT_EQ(b.Test(i), orig.Test(i)) << from << " -> " << to;
+      }
+      for (size_t i = kept + 1; i <= to; ++i) {
+        EXPECT_FALSE(b.Test(i)) << from << " -> " << to;
+      }
+      // A shrink-then-grow must not resurrect the truncated bits.
+      b.Resize(from);
+      ASSERT_TRUE(b.TailIsClear());
+      for (size_t i = kept + 1; i <= from; ++i) {
+        EXPECT_FALSE(b.Test(i)) << from << " -> " << to << " -> " << from;
+      }
+      EXPECT_EQ(b.PopCount(),
+                bitkernel::PopCountWordsScalar(b.words().data(),
+                                               b.words().size()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xee

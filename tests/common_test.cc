@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <memory>
+#include <random>
 #include <set>
 #include <string>
 #include <vector>
@@ -270,6 +272,76 @@ TEST(ShardedLru, EvictedValueSurvivesThroughSharedPtr) {
   lru.Put("b", std::make_shared<const int>(42), 90);  // evicts a
   EXPECT_EQ(lru.Get("a"), nullptr);
   EXPECT_EQ(*held, 41);
+}
+
+// Byte accounting audit: after any randomized interleaving of inserts,
+// same-key overwrites with *different* sizes (the path the estimate
+// memo makes hot), and the evictions they force, the running byte total
+// must equal the sum over live entries — charges and credits balance to
+// zero. A shadow map tracks what should be resident so the live-entry
+// check is independent of the cache's own bookkeeping.
+TEST(ShardedLru, RandomizedOverwriteAndEvictAccountingBalances) {
+  std::mt19937_64 rng(0xacc7);
+  for (size_t shards : {size_t{1}, size_t{4}}) {
+    ShardedLru<int, int> lru(/*byte_budget=*/4096, shards);
+    std::map<int, size_t> shadow_bytes;  // key -> last charged size
+    for (int op = 0; op < 5000; ++op) {
+      const int key = static_cast<int>(rng() % 40);
+      if (rng() % 4 == 0) {
+        (void)lru.Get(key);
+      } else {
+        // Sizes spanning two orders of magnitude force frequent
+        // overwrites-with-different-size and frequent evictions.
+        const size_t bytes = 1 + rng() % 1500;
+        lru.Put(key, std::make_shared<const int>(op), bytes);
+        shadow_bytes[key] = bytes;
+      }
+      if (op % 97 == 0) {
+        ASSERT_TRUE(lru.DebugCheckBalanced()) << "op " << op;
+      }
+    }
+    ASSERT_TRUE(lru.DebugCheckBalanced());
+    // Every surviving entry must carry its *latest* charge: re-probe all
+    // keys and cross-check the aggregate against the shadow ledger.
+    LruStats s = lru.stats();
+    uint64_t expected = 0;
+    size_t live = 0;
+    for (const auto& [key, bytes] : shadow_bytes) {
+      if (lru.Get(key) != nullptr) {
+        expected += bytes;
+        ++live;
+      }
+    }
+    EXPECT_EQ(s.bytes, expected);
+    EXPECT_EQ(s.entries, live);
+    lru.Clear();
+    EXPECT_EQ(lru.stats().bytes, 0u);
+    EXPECT_EQ(lru.stats().entries, 0u);
+    EXPECT_TRUE(lru.DebugCheckBalanced());
+  }
+}
+
+// The Hash template parameter must drive the inner hash map, not just
+// shard selection: a key type with no std::hash specialization has to
+// compile and work end to end. (It once compiled only by accident of
+// K=std::string; the map silently defaulted to std::hash<K>.)
+TEST(ShardedLru, CustomHashKeyTypeWorksWithoutStdHash) {
+  struct PairKey {
+    uint64_t a, b;
+    bool operator==(const PairKey& o) const { return a == o.a && b == o.b; }
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& k) const noexcept {
+      return static_cast<size_t>(k.a * 0x9e3779b97f4a7c15ull ^ k.b);
+    }
+  };
+  ShardedLru<PairKey, int, PairKeyHash> lru(1024, 4);
+  lru.Put(PairKey{1, 2}, std::make_shared<const int>(12), 10);
+  lru.Put(PairKey{3, 4}, std::make_shared<const int>(34), 10);
+  ASSERT_NE(lru.Get(PairKey{1, 2}), nullptr);
+  EXPECT_EQ(*lru.Get(PairKey{1, 2}), 12);
+  EXPECT_EQ(lru.Get(PairKey{2, 1}), nullptr);
+  EXPECT_TRUE(lru.DebugCheckBalanced());
 }
 
 // --- ThreadPool -------------------------------------------------------

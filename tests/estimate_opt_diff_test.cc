@@ -1,0 +1,294 @@
+// Differential suite for the formula-tail optimizations: the memoized,
+// precompiled, and kernelized paths must be *bitwise* equal to the
+// unoptimized estimator — not approximately, not within epsilon.
+//
+//  - Estimator level: EstimateCompiled over a plan carrying precomputed
+//    FormulaConsts == EstimateCompiled over the same plan with its
+//    consts stripped (the legacy re-walk) == Estimate(query), for every
+//    query class the workload generator produces plus the paper's
+//    running example.
+//  - Service level: a memo-enabled service and a memo-disabled service
+//    answer identical request streams identically, including when the
+//    memo path is forced (plan cache starved so repeats can only be
+//    served from the memo) and across synopsis swaps (epoch bumps must
+//    never let a stale memo entry leak through).
+//  - A concurrency slice drives EstimateBatch against the shared memo
+//    from many threads (the TSan build turns data races into failures).
+//  - A bench-regression slice pins stage-histogram sample counts stable
+//    across identically configured runs (the bug where per-mode stage
+//    rows drifted 56 vs 58 came from cumulative scrapes + a parked
+//    sampling cursor).
+//
+// Everything here compiles in both obs modes; under XEE_OBS_OFF the
+// stage-count checks degenerate to comparing empty snapshots.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "estimator/estimator.h"
+#include "obs/window.h"
+#include "paper_fixture.h"
+#include "service/service.h"
+#include "workload/workload.h"
+#include "xpath/parser.h"
+
+namespace xee {
+namespace {
+
+// Bitwise equality of value-or-status results: equal doubles (by ==,
+// i.e. identical reals — both paths must do the same arithmetic in the
+// same order) or equal error codes.
+void ExpectSameResult(const Result<double>& a, const Result<double>& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.ok(), b.ok()) << what << ": " << (a.ok() ? b : a).status().ToString();
+  if (a.ok()) {
+    EXPECT_EQ(a.value(), b.value()) << what;
+  } else {
+    EXPECT_EQ(a.status().code(), b.status().code()) << what;
+  }
+}
+
+struct Corpus {
+  xml::Document doc;
+  std::vector<xpath::Query> queries;
+};
+
+// A small datagen document plus every workload class (simple chains,
+// branches, both order-query families) — the Table 2 protocol at test
+// scale — with the paper's Figure 1 example appended separately.
+const Corpus& SharedCorpus() {
+  static const Corpus* corpus = [] {
+    auto* c = new Corpus;
+    datagen::GenOptions gopt;
+    gopt.scale = 0.03;
+    c->doc = datagen::GenerateByName("ssplays", gopt).value();
+    workload::WorkloadOptions wopt;
+    wopt.simple_count = 60;
+    wopt.branch_count = 60;
+    const workload::Workload w = workload::GenerateWorkload(c->doc, wopt);
+    for (const auto* list : {&w.simple, &w.branch, &w.order_branch_target,
+                             &w.order_trunk_target}) {
+      for (const workload::WorkloadQuery& wq : *list) {
+        c->queries.push_back(wq.query);
+      }
+    }
+    return c;
+  }();
+  return *corpus;
+}
+
+void CheckAllPathsAgree(const estimator::Estimator& est,
+                        const std::vector<xpath::Query>& queries) {
+  size_t compiled_ok = 0, with_consts = 0;
+  for (const xpath::Query& q : queries) {
+    const std::string name = q.ToString();
+    const Result<double> baseline = est.Estimate(q);
+    Result<estimator::Estimator::Compiled> compiled = est.Compile(q);
+    ASSERT_EQ(compiled.ok(), baseline.ok()) << name;
+    if (!compiled.ok()) {
+      EXPECT_EQ(compiled.status().code(), baseline.status().code()) << name;
+      continue;
+    }
+    ++compiled_ok;
+    with_consts += compiled.value().consts.has_value();
+
+    // Precompiled path: the plan carries its constants.
+    ExpectSameResult(est.EstimateCompiled(compiled.value()), baseline,
+                     "precompiled: " + name);
+
+    // Legacy path: same plan, constants stripped — the full formula
+    // re-walk the precompute replaced.
+    estimator::Estimator::Compiled legacy = std::move(compiled).value();
+    legacy.consts.reset();
+    ExpectSameResult(est.EstimateCompiled(legacy), baseline,
+                     "legacy re-walk: " + name);
+  }
+  // The precompute must actually engage (every plan compiled without a
+  // deadline carries constants), or this suite is vacuous.
+  EXPECT_GT(compiled_ok, 0u);
+  EXPECT_EQ(with_consts, compiled_ok);
+}
+
+TEST(EstimateOptDiff, CompiledPathsMatchUnoptimizedEstimatorOnWorkload) {
+  const Corpus& c = SharedCorpus();
+  ASSERT_GT(c.queries.size(), 50u);
+  const estimator::Synopsis syn = estimator::Synopsis::Build(c.doc, {});
+  CheckAllPathsAgree(estimator::Estimator(syn), c.queries);
+}
+
+TEST(EstimateOptDiff, CompiledPathsMatchOnPaperExample) {
+  const xml::Document doc = testing::MakePaperDocument();
+  const estimator::Synopsis syn = estimator::Synopsis::Build(doc, {});
+  std::vector<xpath::Query> queries;
+  for (const char* s :
+       {"/Root/A/B", "/Root/A/B/D", "//B/D", "//A//E", "//A[/C/F]/B/D",
+        "//A[/B[/D]/E]", "//A/C/preceding-sibling::B",
+        "//A[/C/following-sibling::B/D]", "//A[/C/following::D]",
+        "/A[.=\"x\"]"}) {
+    auto q = xpath::ParseXPath(s);
+    if (q.ok()) queries.push_back(std::move(q).value());
+  }
+  ASSERT_GT(queries.size(), 6u);
+  CheckAllPathsAgree(estimator::Estimator(syn), queries);
+}
+
+// --- service-level memo differential ---------------------------------
+
+std::vector<service::QueryRequest> ServiceRequests(const std::string& name) {
+  std::vector<service::QueryRequest> reqs;
+  for (const xpath::Query& q : SharedCorpus().queries) {
+    reqs.push_back(service::QueryRequest{name, q.ToString()});
+  }
+  return reqs;
+}
+
+void ExpectSameOutcomes(const std::vector<service::EstimateOutcome>& a,
+                        const std::vector<service::EstimateOutcome>& b,
+                        const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ExpectSameResult(a[i].estimate, b[i].estimate,
+                     std::string(what) + " #" + std::to_string(i));
+    EXPECT_EQ(a[i].degraded, b[i].degraded) << what << " #" << i;
+  }
+}
+
+std::vector<service::EstimateOutcome> RunAll(
+    service::EstimationService& svc,
+    const std::vector<service::QueryRequest>& reqs) {
+  std::vector<service::EstimateOutcome> out;
+  out.reserve(reqs.size());
+  for (const service::QueryRequest& r : reqs) out.push_back(svc.Estimate(r));
+  return out;
+}
+
+TEST(EstimateOptDiff, MemoOnServiceMatchesMemoOffService) {
+  const Corpus& c = SharedCorpus();
+  auto syn = std::make_shared<const estimator::Synopsis>(
+      estimator::Synopsis::Build(c.doc, {}));
+  const std::vector<service::QueryRequest> reqs = ServiceRequests("d");
+
+  service::ServiceOptions off_opt;
+  off_opt.threads = 1;
+  off_opt.estimate_memo_bytes = 0;  // memo disabled entirely
+  service::EstimationService off(off_opt);
+  off.registry().Register("d", syn);
+
+  // Memo on, plan cache starved to one resident plan: from the second
+  // pass on, almost every answer can only come from the memo.
+  service::ServiceOptions on_opt;
+  on_opt.threads = 1;
+  on_opt.plan_cache_bytes = 0;
+  on_opt.cache_shards = 1;
+  service::EstimationService on(on_opt);
+  on.registry().Register("d", syn);
+
+  for (int pass = 0; pass < 3; ++pass) {
+    ExpectSameOutcomes(RunAll(on, reqs), RunAll(off, reqs), "pass");
+  }
+#ifndef XEE_OBS_OFF
+  const service::ServiceStatsSnapshot s = on.Stats();
+  EXPECT_GT(s.memo_hits, reqs.size());  // the memo path actually served
+#endif
+}
+
+TEST(EstimateOptDiff, EpochBumpNeverServesStaleMemoEntries) {
+  const Corpus& c = SharedCorpus();
+  auto syn_a = std::make_shared<const estimator::Synopsis>(
+      estimator::Synopsis::Build(c.doc, {}));
+  // A structurally different second synopsis: same document, coarser
+  // histograms — estimates genuinely differ, so a stale hit would show.
+  estimator::SynopsisOptions coarse;
+  coarse.p_variance = 1e9;
+  coarse.o_variance = 1e9;
+  auto syn_b = std::make_shared<const estimator::Synopsis>(
+      estimator::Synopsis::Build(c.doc, coarse));
+  const std::vector<service::QueryRequest> reqs = ServiceRequests("d");
+
+  service::EstimationService memo_svc({.threads = 1});
+  memo_svc.registry().Register("d", syn_a);
+  (void)RunAll(memo_svc, reqs);  // fill the memo at epoch 1
+  memo_svc.registry().Register("d", syn_b);  // epoch bump
+
+  service::ServiceOptions off_opt;
+  off_opt.threads = 1;
+  off_opt.estimate_memo_bytes = 0;
+  service::EstimationService fresh(off_opt);
+  fresh.registry().Register("d", syn_b);
+
+  ExpectSameOutcomes(RunAll(memo_svc, reqs), RunAll(fresh, reqs),
+                     "post-swap");
+}
+
+TEST(EstimateOptDiff, ConcurrentBatchesShareTheMemoRaceFree) {
+  const Corpus& c = SharedCorpus();
+  auto syn = std::make_shared<const estimator::Synopsis>(
+      estimator::Synopsis::Build(c.doc, {}));
+  const std::vector<service::QueryRequest> reqs = ServiceRequests("d");
+
+  service::EstimationService svc({.threads = 4});
+  svc.registry().Register("d", syn);
+  const std::vector<service::EstimateOutcome> reference = RunAll(svc, reqs);
+  for (int round = 0; round < 4; ++round) {
+    if (round == 2) svc.registry().Register("d", syn);  // epoch bump mid-run
+    ExpectSameOutcomes(svc.EstimateBatch(reqs), reference, "batch");
+  }
+#ifndef XEE_OBS_OFF
+  EXPECT_GT(svc.Stats().memo_hits + svc.Stats().exact_hits, 0u);
+#endif
+}
+
+// --- bench stage-row regression --------------------------------------
+
+// With trace_sample=1 and delta scraping, two identically configured
+// runs must time exactly the same number of stage executions: the stage
+// rows the throughput bench emits are counts, not samples, and may not
+// drift between repeats or depend on warm-up leftovers.
+TEST(EstimateOptDiff, StageSampleCountsAreStableAcrossIdenticalRuns) {
+  const Corpus& c = SharedCorpus();
+  auto syn = std::make_shared<const estimator::Synopsis>(
+      estimator::Synopsis::Build(c.doc, {}));
+  const std::vector<service::QueryRequest> reqs = ServiceRequests("d");
+
+  auto measure = [&]() -> std::vector<uint64_t> {
+    service::ServiceOptions opt;
+    opt.threads = 1;
+    opt.trace_sample = 1;
+    opt.accuracy_sample = 0;
+    service::EstimationService svc(opt);
+    svc.registry().Register("d", syn);
+    (void)RunAll(svc, reqs);  // warm-up pass
+    std::vector<obs::HistogramWindow> wins(obs::kStageCount);
+    std::vector<obs::Histogram*> hists;
+    for (size_t i = 0; i < obs::kStageCount; ++i) {
+      hists.push_back(&svc.obs().GetHistogram(
+          "service.stage." +
+          std::string(obs::StageName(static_cast<obs::Stage>(i))) + "_ns"));
+      (void)wins[i].Advance(*hists[i]);  // park the cursor post-warm-up
+    }
+    (void)RunAll(svc, reqs);  // measured pass
+    std::vector<uint64_t> counts;
+    for (size_t i = 0; i < obs::kStageCount; ++i) {
+      counts.push_back(wins[i].Advance(*hists[i]).count);
+    }
+    return counts;
+  };
+
+  const std::vector<uint64_t> first = measure();
+  const std::vector<uint64_t> second = measure();
+  EXPECT_EQ(first, second);
+#ifndef XEE_OBS_OFF
+  // The measured warm pass is probe-only: parse must not appear (its
+  // presence would mean warm-up samples leaked into the window).
+  EXPECT_EQ(first[static_cast<size_t>(obs::Stage::kParse)], 0u);
+  EXPECT_EQ(first[static_cast<size_t>(obs::Stage::kCacheLookup)],
+            reqs.size());
+#endif
+}
+
+}  // namespace
+}  // namespace xee

@@ -104,7 +104,11 @@ TEST(ServiceTest, MatchesDirectEstimatorAndCountsCacheOutcomes) {
 
 TEST(ServiceTest, SemanticallyEqualSpellingsShareOnePlan) {
   XEE_REQUIRES_OBS();
-  EstimationService svc({.threads = 1});
+  // Memo disabled: with it on, the respelling is answered one rung
+  // earlier (estimate memo, keyed by the same canonical hash) and never
+  // reaches the canonical plan-cache probe this test pins. The memo
+  // rung has its own tests below.
+  EstimationService svc({.estimate_memo_bytes = 0, .threads = 1});
   svc.registry().Register("paper", PaperSynopsis());
 
   ASSERT_TRUE(svc.Estimate("paper", "//A[B][C]/B/D").ok());
@@ -655,6 +659,124 @@ TEST(ServiceTest, ConcurrentRegistryChaosUnderFaultInjection) {
   }
   for (std::thread& th : threads) th.join();
   EXPECT_EQ(violations.load(), 0);
+}
+
+// --- estimate memo (DESIGN.md §13) ------------------------------------
+
+TEST(ServiceTest, MemoServesRepeatsAfterPlanEviction) {
+  XEE_REQUIRES_OBS();
+  // Plan cache starved to one resident entry: a repeat can only be
+  // answered by recompiling or by the estimate memo.
+  EstimationService svc({.plan_cache_bytes = 0, .cache_shards = 1,
+                         .threads = 1});
+  estimator::Synopsis reference = PaperSynopsis();
+  svc.registry().Register("paper", PaperSynopsis());
+
+  for (const char* q : kPaperQueries) (void)svc.Estimate("paper", q);
+  const uint64_t misses_cold = svc.Stats().misses;
+  for (const char* q : kPaperQueries) {
+    EstimateOutcome got = svc.Estimate("paper", q);
+    Result<double> want = Direct(reference, q);
+    ASSERT_EQ(got.ok(), want.ok()) << q;
+    if (want.ok()) EXPECT_EQ(got.value(), want.value()) << q;  // bit-for-bit
+  }
+  const ServiceStatsSnapshot s = svc.Stats();
+  EXPECT_GT(s.memo_hits, 0u);
+  // The repeat pass never recompiled: every plan-cache miss is from the
+  // cold pass.
+  EXPECT_EQ(s.misses, misses_cold);
+  EXPECT_GT(s.memo_entries, 0u);
+  EXPECT_GT(s.memo_bytes, 0u);
+}
+
+TEST(ServiceTest, MemoDisabledByZeroBudgetStaysCorrect) {
+  XEE_REQUIRES_OBS();
+  EstimationService svc({.plan_cache_bytes = 0, .cache_shards = 1,
+                         .estimate_memo_bytes = 0, .threads = 1});
+  estimator::Synopsis reference = PaperSynopsis();
+  svc.registry().Register("paper", PaperSynopsis());
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const char* q : kPaperQueries) {
+      EstimateOutcome got = svc.Estimate("paper", q);
+      Result<double> want = Direct(reference, q);
+      ASSERT_EQ(got.ok(), want.ok()) << q;
+      if (want.ok()) EXPECT_EQ(got.value(), want.value()) << q;
+    }
+  }
+  const ServiceStatsSnapshot s = svc.Stats();
+  EXPECT_EQ(s.memo_hits, 0u);
+  EXPECT_EQ(s.memo_misses, 0u);  // disabled probes don't count as misses
+  EXPECT_EQ(s.memo_entries, 0u);
+}
+
+TEST(ServiceTest, MemoEntriesDieWithTheirEpoch) {
+  XEE_REQUIRES_OBS();
+  EstimationService svc({.threads = 1});
+  svc.registry().Register("paper", PaperSynopsis());
+  (void)svc.Estimate("paper", "//A/B");
+  (void)svc.Estimate("paper", "//A/B");
+  const uint64_t hits_before = svc.Stats().memo_hits;
+
+  // Same synopsis, new epoch: the old memo entries are unreachable (the
+  // epoch is part of the key), so the next request misses the memo and
+  // recompiles under the new epoch.
+  svc.registry().Register("paper", PaperSynopsis());
+  const uint64_t misses_before = svc.Stats().memo_misses;
+  (void)svc.Estimate("paper", "//A/B");
+  EXPECT_EQ(svc.Stats().memo_hits, hits_before);
+  EXPECT_GT(svc.Stats().memo_misses, misses_before);
+}
+
+TEST(ServiceTest, DegradedMemoNeverLeaksIntoStrictRequests) {
+  XEE_REQUIRES_OBS();
+  estimator::SynopsisOptions no_order;
+  no_order.build_order = false;
+  // Starved plan cache so strict requests can't be answered (or
+  // refused) from a cached plan either — both rungs must re-derive the
+  // refusal.
+  EstimationService svc({.plan_cache_bytes = 0, .cache_shards = 1,
+                         .threads = 1});
+  svc.registry().Register(
+      "paper",
+      estimator::Synopsis::Build(testing::MakePaperDocument(), no_order));
+
+  const char* order_query = "//A/B/following-sibling::C";
+  EstimateOutcome first = svc.Estimate("paper", order_query);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.degraded);
+  // Push the one residual plan out (the starved cache holds a single
+  // entry — the order query's own alias, which would serve the repeat
+  // as an exact hit and bypass the memo rung under test).
+  (void)svc.Estimate("paper", "//A/B");
+  // The repeat is served from the 'd' memo and stays flagged degraded.
+  EstimateOutcome repeat = svc.Estimate("paper", order_query);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat.degraded);
+  EXPECT_EQ(repeat.value(), first.value());
+  EXPECT_GT(svc.Stats().memo_hits, 0u);
+
+  // A strict request must still be refused — the memoized degraded
+  // answer exists but is only reachable once degradation is permitted.
+  QueryRequest strict;
+  strict.synopsis = "paper";
+  strict.xpath = order_query;
+  strict.allow_degraded = false;
+  EstimateOutcome refused = svc.Estimate(strict);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ServiceTest, ClearPlanCacheAlsoClearsTheMemo) {
+  XEE_REQUIRES_OBS();
+  EstimationService svc({.threads = 1});
+  svc.registry().Register("paper", PaperSynopsis());
+  (void)svc.Estimate("paper", "//A/B");
+  EXPECT_GT(svc.Stats().memo_entries, 0u);
+  svc.ClearPlanCache();
+  EXPECT_EQ(svc.Stats().memo_entries, 0u);
+  EXPECT_EQ(svc.Stats().memo_bytes, 0u);
+  // Still answers correctly after the flush (recompile path).
+  EXPECT_TRUE(svc.Estimate("paper", "//A/B").ok());
 }
 
 }  // namespace

@@ -49,7 +49,9 @@ class StatszSchemaTest : public ::testing::Test {
     ASSERT_TRUE(svc_->Estimate("paper", "//A/B").ok());  // miss
     ASSERT_TRUE(svc_->Estimate("paper", "//A/B").ok());  // exact hit
     ASSERT_TRUE(svc_->Estimate("paper", "//A[B][C]/B/D").ok());  // miss
-    // Different text, same canonical plan: a canonical hit.
+    // Different text, same canonical plan: with the estimate memo at
+    // its production default this is answered by the memo rung, one
+    // probe before the canonical plan cache.
     ASSERT_TRUE(svc_->Estimate("paper", " //A[C][B] / B / child::D ").ok());
     ASSERT_FALSE(svc_->Estimate("paper", "((").ok());    // parse error
     QueryRequest expired{"paper", "//A/B"};
@@ -89,6 +91,8 @@ TEST_F(StatszSchemaTest, TopLevelSectionsAndScrapedKeys) {
            "service.plan_cache{outcome=exact_hit}",
            "service.plan_cache{outcome=canonical_hit}",
            "service.plan_cache{outcome=miss}",
+           "service.estimate_memo{outcome=hit}",
+           "service.estimate_memo{outcome=miss}",
            "service.outcome{reason=deadline_exceeded}",
            "accuracy.samples{phase=started}",
            "accuracy.samples{phase=recorded}",
@@ -101,15 +105,22 @@ TEST_F(StatszSchemaTest, TopLevelSectionsAndScrapedKeys) {
   EXPECT_EQ(counters.Find("service.requests")->number, 6.0);
   EXPECT_EQ(counters.Find("service.plan_cache{outcome=exact_hit}")->number,
             1.0);
+  // The respelling memo-hit before the canonical plan-cache probe, so
+  // the canonical_hit counter stays at zero (the key still exports).
   EXPECT_EQ(
       counters.Find("service.plan_cache{outcome=canonical_hit}")->number,
-      1.0);
+      0.0);
+  EXPECT_EQ(counters.Find("service.estimate_memo{outcome=hit}")->number,
+            1.0);
 
   // Plan-cache occupancy gauges.
   const Value& gauges = *root.Find("gauges");
   for (const char* key : {"service.plan_cache.entries",
                           "service.plan_cache.bytes",
-                          "service.plan_cache.evictions"}) {
+                          "service.plan_cache.evictions",
+                          "service.estimate_memo.entries",
+                          "service.estimate_memo.bytes",
+                          "service.estimate_memo.evictions"}) {
     const Value* g = MustFind(gauges, key);
     ASSERT_NE(g, nullptr);
     EXPECT_TRUE(g->is_number()) << key;
