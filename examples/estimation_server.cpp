@@ -19,6 +19,14 @@
 //                               worst offenders (DESIGN.md §11)
 //   .healthz (or HEALTHZ)       per-synopsis health (JSON): "ok" until
 //                               some synopsis drifts stale
+//   .delta <name> clone <rank>  (--live) clone the subtree at preorder
+//                               rank under its own parent — the exactly
+//                               patchable mutation
+//   .delta <name> delete <rank> (--live) delete that subtree
+//   .delta <name> insert <rank> a/b/c
+//                               (--live) insert a tag chain (novel tags
+//                               charge the patch-error budget)
+//   .rebuild <name>             (--live) schedule a background rebuild
 //   .clear                      drop the compiled-plan cache
 //   .quit                       exit (EOF works too)
 //
@@ -59,6 +67,8 @@ struct Flags {
   size_t accuracy_sample = 256;   // shadow-sample 1-in-N; 0 = off
   double drift_limit = 2.0;       // q-error EWMA stale threshold
   bool stale_downgrade = false;   // enforce (degrade) vs report-only
+  bool live = false;              // register datasets live (mutable)
+  bool auto_rebuild = false;      // self-heal stale live synopses
   std::string datasets = "xmark,dblp,ssplays";
 };
 
@@ -88,6 +98,11 @@ Flags ParseFlags(int argc, char** argv) {
       f.drift_limit = std::atof(v);
     } else if (arg == "--stale-downgrade") {
       f.stale_downgrade = true;
+    } else if (arg == "--live") {
+      f.live = true;
+    } else if (arg == "--auto-rebuild") {
+      f.live = true;  // self-healing only applies to live synopses
+      f.auto_rebuild = true;
     } else if (const char* v = value("--datasets=")) {
       f.datasets = v;
     } else {
@@ -95,7 +110,8 @@ Flags ParseFlags(int argc, char** argv) {
                    "usage: estimation_server [--scale=f] [--threads=n] "
                    "[--cache-mb=m] [--max-inflight=n] [--deadline-ms=t] "
                    "[--slow-ms=t] [--accuracy-sample=n] [--drift-limit=q] "
-                   "[--stale-downgrade] [--datasets=a,b,c]\n");
+                   "[--stale-downgrade] [--live] [--auto-rebuild] "
+                   "[--datasets=a,b,c]\n");
       std::exit(2);
     }
   }
@@ -123,6 +139,7 @@ int main(int argc, char** argv) {
       .accuracy_sample = flags.accuracy_sample,
       .drift_qerror_limit = flags.drift_limit,
       .stale_downgrade = flags.stale_downgrade,
+      .auto_rebuild = flags.auto_rebuild,
   });
 
   for (const std::string& name : xee::SplitString(flags.datasets, ',')) {
@@ -133,6 +150,15 @@ int main(int argc, char** argv) {
     if (!doc.ok()) {
       std::fprintf(stderr, "skipping %s: %s\n", name.c_str(),
                    doc.status().ToString().c_str());
+      continue;
+    }
+    if (flags.live) {
+      // Live registration: the service owns the document and keeps the
+      // synopsis current under .delta mutations and .rebuild requests.
+      const size_t elements = doc.value().NodeCount();
+      service.RegisterLive(name, std::move(doc.value()));
+      std::printf("registered %-8s %7zu elements (live)\n", name.c_str(),
+                  elements);
       continue;
     }
     xee::estimator::Synopsis synopsis =
@@ -194,8 +220,73 @@ int main(int argc, char** argv) {
         std::printf("plan cache cleared\n");
         continue;
       }
+      // .delta <name> clone <rank> | delete <rank> | insert <rank> a/b/c
+      // — one-op batches against a --live synopsis. Clone is the
+      // exactly-patchable mutation; insert grows a (possibly novel)
+      // tag chain, charging the patch-error budget when it is.
+      if (line.rfind(".delta ", 0) == 0) {
+        const auto words = xee::SplitString(Trim(line.substr(7)), ' ');
+        xee::delta::DocumentDelta batch;
+        if (words.size() >= 3 && words[1] == "clone") {
+          auto op = service.maintenance().CloneOp(
+              words[0], static_cast<uint32_t>(std::atoll(words[2].c_str())));
+          if (!op.ok()) {
+            std::printf("error: %s\n", op.status().ToString().c_str());
+            continue;
+          }
+          batch.ops.push_back(std::move(op).value());
+        } else if (words.size() >= 3 && words[1] == "delete") {
+          xee::delta::DeltaOp op;
+          op.kind = xee::delta::DeltaOp::Kind::kDelete;
+          op.target = static_cast<uint32_t>(std::atoll(words[2].c_str()));
+          batch.ops.push_back(std::move(op));
+        } else if (words.size() >= 4 && words[1] == "insert") {
+          xee::delta::DeltaOp op;
+          op.kind = xee::delta::DeltaOp::Kind::kInsert;
+          op.target = static_cast<uint32_t>(std::atoll(words[2].c_str()));
+          for (const std::string& tag : xee::SplitString(words[3], '/')) {
+            op.subtree.tags.push_back(tag);
+            op.subtree.parent.push_back(
+                static_cast<int32_t>(op.subtree.tags.size()) - 2);
+          }
+          batch.ops.push_back(std::move(op));
+        } else {
+          std::printf("error: expected \".delta <name> clone <rank>\", "
+                      "\".delta <name> delete <rank>\" or "
+                      "\".delta <name> insert <rank> tag/tag\"\n");
+          continue;
+        }
+        auto applied = service.ApplyDelta(words[0], batch);
+        if (!applied.ok()) {
+          std::printf("error: %s\n", applied.status().ToString().c_str());
+          continue;
+        }
+        const auto& a = applied.value();
+        std::printf("epoch %llu: +%llu/-%llu nodes, %llu histos rebuilt, "
+                    "%llu patched, patch error %.4f%s\n",
+                    static_cast<unsigned long long>(a.epoch),
+                    static_cast<unsigned long long>(a.apply.nodes_inserted),
+                    static_cast<unsigned long long>(a.apply.nodes_deleted),
+                    static_cast<unsigned long long>(a.apply.histos_rebuilt),
+                    static_cast<unsigned long long>(a.apply.histos_patched),
+                    a.apply.patch_error,
+                    a.budget_exhausted ? " (budget exhausted: stale)" : "");
+        continue;
+      }
+      if (line.rfind(".rebuild ", 0) == 0) {
+        const std::string name = Trim(line.substr(9));
+        if (service.ScheduleRebuild(name)) {
+          std::printf("rebuild scheduled for %s (watch .healthz)\n",
+                      name.c_str());
+        } else {
+          std::printf("error: %s is not a live synopsis (start with "
+                      "--live)\n", name.c_str());
+        }
+        continue;
+      }
       std::printf("error: unknown command \"%s\" (try .names, .stats, "
-                  ".statsz, .tracez, .accz, .healthz, .clear, .quit)\n",
+                  ".statsz, .tracez, .accz, .healthz, .delta, .rebuild, "
+                  ".clear, .quit)\n",
                   line.c_str());
       continue;
     }

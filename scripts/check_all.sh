@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # The full pre-merge battery, in increasing order of cost:
 #
-#   1. tier-1 build + ctest (unit, accuracy, smoke labels — includes
-#      the formula-tail differential suites: estimate_opt_diff_test
-#      pins the memoized/precompiled paths bitwise-equal to the
-#      unoptimized estimator, bitset_kernel_test pins the word-parallel
-#      kernels against their scalar references)
+#   1. tier-1 build + ctest (unit, accuracy, smoke, live labels —
+#      includes the formula-tail differential suites and the live-
+#      document maintenance suite: delta_test pins the sibling-clone
+#      bitwise-exactness contract, maintenance_test the rebuild
+#      retry/abandon ledger and self-healing policy)
 #   2. quality slice: the accuracy-observability suite (shadow-sampling
 #      correctness, drift detection, export schema + export fuzz;
 #      ctest label `quality`)
@@ -14,9 +14,11 @@
 #
 # The fuzz, chaos, and simulator smokes run inside step 1 via their
 # ctest entries (label `smoke`; simulate_smoke runs every scenario
-# family time-scaled and fails on any drain-invariant violation), and
-# the fuzz/chaos smokes run again under ASan in step 4; the TSan slice
-# also drives one simulator scenario in concurrent mode. Run from the
+# family — live_update_churn included — time-scaled and fails on any
+# drain-invariant violation), and the fuzz/chaos smokes plus the live
+# maintenance tests run again under ASan in step 4; the TSan slice
+# also drives two simulator scenarios in concurrent mode, one of them
+# the live-churn scenario with rebuilds racing traffic. Run from the
 # repository root:
 #
 #   scripts/check_all.sh            # everything

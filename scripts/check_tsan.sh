@@ -11,12 +11,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER="${1:-ServiceTest|EstimateOptDiff|CanonicalTest|EstimatorTest|ObsTest|AccuracyTrackerTest|ShadowSamplingTest}"
+FILTER="${1:-ServiceTest|EstimateOptDiff|CanonicalTest|EstimatorTest|ObsTest|AccuracyTrackerTest|ShadowSamplingTest|MaintenanceTest}"
 
 cmake -B build-tsan -S . -DXEE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
   --target service_test canonical_test estimator_test obs_test \
-  estimate_opt_diff_test \
+  estimate_opt_diff_test maintenance_test \
   accuracy_obs_test accuracy_shadow_test simulate
 (cd build-tsan && ctest -R "$FILTER" --output-on-failure)
 
@@ -26,4 +26,9 @@ cmake --build build-tsan -j"$(nproc)" \
 # must hold every drain invariant, and TSan must stay quiet).
 build-tsan/bench/simulate --scenario=bursty_overload_chaos \
   --workers=4 --duration-ms=2000 >/dev/null
+# The live-churn scenario in concurrent mode: deltas and background
+# rebuild publishes racing real Estimate() traffic (the maintenance
+# tentpole's data-race surface).
+build-tsan/bench/simulate --scenario=live_update_churn \
+  --workers=2 --duration-ms=2000 >/dev/null
 echo "TSan checks passed."

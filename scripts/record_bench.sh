@@ -3,19 +3,22 @@
 # JSON at the repository root, so PRs can diff throughput and shadow-
 # sampling cost instead of eyeballing stdout. One combined file carries
 # bench_service_throughput (qps + delta-scraped per-stage latency + the
-# estimate-memo comparison + the accuracy-sampling sweep) followed by
-# the simulator trajectories (the three scenario families at their
-# pinned seeds: per-window rows plus one summary row each, including
-# the formula_memo column):
+# estimate-memo comparison + the accuracy-sampling sweep),
+# bench_update_throughput (incremental delta maintenance vs the
+# rebuild-per-delta and position-histogram baselines, plus estimate
+# latency quantiles with background rebuilds in flight), and the
+# simulator trajectories (every scenario family at its pinned seed,
+# live_update_churn included: per-window rows plus one summary row
+# each):
 #
 #   {"bench_file_version":2,"recorded":{...config...},"rows":[...]}
 #
 # Usage, from the repository root (flags pass through to the bench):
 #
-#   scripts/record_bench.sh                         # -> BENCH_pr7.json
+#   scripts/record_bench.sh                         # -> BENCH_pr8.json
 #   OUT=BENCH_tmp.json scripts/record_bench.sh --scale=0.1
 #
-# The environment knobs: OUT (output path, default BENCH_pr7.json),
+# The environment knobs: OUT (output path, default BENCH_pr8.json),
 # BUILD (build tree, default build). Numbers are machine-dependent —
 # compare rows recorded on the same box only. Stage rows measured with
 # more threads than cores carry "oversubscribed":true; exclude them
@@ -23,7 +26,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_pr7.json}"
+OUT="${OUT:-BENCH_pr8.json}"
 BUILD="${BUILD:-build}"
 ARGS=("$@")
 if [[ "${#ARGS[@]}" -eq 0 ]]; then
@@ -35,13 +38,16 @@ fi
 
 cmake --build "$BUILD" -j"$(nproc)" --target bench_service_throughput \
   >/dev/null
+cmake --build "$BUILD" -j"$(nproc)" --target bench_update_throughput \
+  >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" --target simulate >/dev/null
 
 raw="$("$BUILD"/bench/bench_service_throughput "${ARGS[@]}")"
+update_raw="$("$BUILD"/bench/bench_update_throughput "${ARGS[@]}")"
 sim_raw="$("$BUILD"/bench/simulate --scenario=all)"
 
 {
-  printf '{"bench_file_version":2,"recorded":{"bench":"service_throughput+simulate","args":"%s","sim_args":"--scenario=all"},"rows":[\n' \
+  printf '{"bench_file_version":3,"recorded":{"bench":"service_throughput+update_throughput+simulate","args":"%s","sim_args":"--scenario=all"},"rows":[\n' \
     "${ARGS[*]}"
   # Keep only the JSON rows; the benches interleave human-readable text.
   first=1
@@ -49,7 +55,7 @@ sim_raw="$("$BUILD"/bench/simulate --scenario=all)"
     [[ "$line" == \{\"bench\"* ]] || continue
     if [[ "$first" == 1 ]]; then first=0; else printf ',\n'; fi
     printf '%s' "$line"
-  done <<<"$raw"$'\n'"$sim_raw"
+  done <<<"$raw"$'\n'"$update_raw"$'\n'"$sim_raw"
   printf '\n]}\n'
 } >"$OUT"
 

@@ -1,0 +1,161 @@
+#include "delta/document_delta.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault.h"
+
+namespace xee::delta {
+namespace {
+
+Status Invalid(const char* what) {
+  return Status(StatusCode::kInvalidArgument,
+                std::string("invalid delta: ") + what);
+}
+
+}  // namespace
+
+LiveDocument::LiveDocument(xml::Document doc) : doc_(std::move(doc)) {
+  XEE_CHECK(!doc_.empty());
+  live_count_ = doc_.NodeCount();
+  detached_.assign(live_count_, 0);
+}
+
+std::vector<xml::NodeId> LiveDocument::PreorderNodes() const {
+  std::vector<xml::NodeId> out;
+  out.reserve(live_count_);
+  std::vector<xml::NodeId> stack{doc_.root()};
+  while (!stack.empty()) {
+    xml::NodeId n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    const std::vector<xml::NodeId>& kids = doc_.Children(n);
+    for (size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]);
+  }
+  XEE_CHECK(out.size() == live_count_);
+  return out;
+}
+
+Result<std::vector<xml::NodeId>> LiveDocument::ResolveTargets(
+    const DocumentDelta& delta) {
+  if (delta.ops.empty()) return Invalid("empty batch");
+  uint64_t corrupt_payload = 0;
+  const bool corrupted = FaultFires(kCorruptFaultSite, &corrupt_payload);
+  const std::vector<xml::NodeId> by_rank = PreorderNodes();
+  std::vector<xml::NodeId> resolved;
+  resolved.reserve(delta.ops.size());
+  for (size_t i = 0; i < delta.ops.size(); ++i) {
+    const DeltaOp& op = delta.ops[i];
+    uint64_t rank = op.target;
+    if (corrupted && i == 0) rank += live_count_ + corrupt_payload + 1;
+    if (rank >= by_rank.size()) return Invalid("target rank out of range");
+    if (op.kind == DeltaOp::Kind::kDelete) {
+      if (rank == 0) return Invalid("cannot delete the document root");
+    } else {
+      const SubtreeSpec& spec = op.subtree;
+      if (spec.size() == 0) return Invalid("empty insert spec");
+      if (spec.tags.size() != spec.parent.size()) {
+        return Invalid("spec tag/parent size mismatch");
+      }
+      for (size_t k = 0; k < spec.size(); ++k) {
+        if (spec.tags[k].empty()) return Invalid("empty spec tag");
+        const int32_t p = spec.parent[k];
+        if (k == 0 ? p != -1 : (p < 0 || static_cast<size_t>(p) >= k)) {
+          return Invalid("spec parent out of preorder");
+        }
+      }
+    }
+    resolved.push_back(by_rank[rank]);
+  }
+  return resolved;
+}
+
+std::vector<xml::NodeId> LiveDocument::InsertSubtree(xml::NodeId parent,
+                                                     const SubtreeSpec& spec) {
+  XEE_CHECK(!detached(parent));
+  std::vector<xml::NodeId> ids;
+  ids.reserve(spec.size());
+  for (size_t k = 0; k < spec.size(); ++k) {
+    const xml::NodeId at =
+        spec.parent[k] < 0 ? parent : ids[static_cast<size_t>(spec.parent[k])];
+    ids.push_back(doc_.AppendChild(at, spec.tags[k]));
+    detached_.push_back(0);
+  }
+  live_count_ += spec.size();
+  ++seq_;
+  return ids;
+}
+
+std::vector<xml::NodeId> LiveDocument::CollectSubtree(xml::NodeId root) const {
+  XEE_CHECK(!detached(root));
+  std::vector<xml::NodeId> out;
+  std::vector<xml::NodeId> stack{root};
+  while (!stack.empty()) {
+    xml::NodeId n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    const std::vector<xml::NodeId>& kids = doc_.Children(n);
+    for (size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]);
+  }
+  return out;
+}
+
+void LiveDocument::DeleteSubtree(xml::NodeId root) {
+  const std::vector<xml::NodeId> sub = CollectSubtree(root);
+  XEE_CHECK(doc_.DetachSubtree(root));
+  for (xml::NodeId n : sub) detached_[n] = 1;
+  XEE_CHECK(live_count_ >= sub.size());
+  live_count_ -= sub.size();
+  ++seq_;
+}
+
+xml::Document LiveDocument::Materialize() const {
+  xml::Document out;
+  // Pre-intern every tag so the copy reproduces the live tag-id
+  // assignment even for tags whose last element was deleted.
+  for (size_t t = 0; t < doc_.TagCount(); ++t) {
+    out.EnsureTag(doc_.TagNameOf(static_cast<xml::TagId>(t)));
+  }
+  const std::vector<xml::NodeId> order = PreorderNodes();
+  std::vector<xml::NodeId> mapped(doc_.NodeCount(), xml::kNullNode);
+  for (xml::NodeId old : order) {
+    xml::NodeId copy;
+    if (old == doc_.root()) {
+      copy = out.CreateRoot(doc_.TagName(old));
+    } else {
+      copy = out.AppendChild(mapped[doc_.Parent(old)], doc_.TagName(old));
+    }
+    mapped[old] = copy;
+    if (!doc_.Text(old).empty()) out.AppendText(copy, doc_.Text(old));
+    for (const xml::Attribute& a : doc_.Attributes(old)) {
+      out.AddAttribute(copy, a.name, a.value);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+void LiveDocument::Compact(xml::Document compacted) {
+  XEE_CHECK(compacted.NodeCount() == live_count_);
+  XEE_CHECK(compacted.TagCount() == doc_.TagCount());
+  doc_ = std::move(compacted);
+  detached_.assign(live_count_, 0);
+  ++seq_;
+}
+
+SubtreeSpec SpecFromSubtree(const LiveDocument& live, xml::NodeId root) {
+  const std::vector<xml::NodeId> sub = live.CollectSubtree(root);
+  std::vector<int32_t> spec_index(live.doc().NodeCount(), -1);
+  SubtreeSpec spec;
+  spec.tags.reserve(sub.size());
+  spec.parent.reserve(sub.size());
+  for (size_t k = 0; k < sub.size(); ++k) {
+    spec_index[sub[k]] = static_cast<int32_t>(k);
+    spec.tags.push_back(live.doc().TagName(sub[k]));
+    spec.parent.push_back(k == 0 ? -1
+                                 : spec_index[live.doc().Parent(sub[k])]);
+  }
+  return spec;
+}
+
+}  // namespace xee::delta

@@ -15,9 +15,10 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Alphabetic rank of every tag among all document tags (the o-histogram
-/// row order of Algorithm 2).
-std::vector<uint32_t> AlphabeticRanks(const std::vector<std::string>& names) {
+}  // namespace
+
+std::vector<uint32_t> Synopsis::AlphabeticRanks(
+    const std::vector<std::string>& names) {
   std::vector<uint32_t> order(names.size());
   for (uint32_t i = 0; i < names.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&names](uint32_t a, uint32_t b) {
@@ -27,8 +28,6 @@ std::vector<uint32_t> AlphabeticRanks(const std::vector<std::string>& names) {
   for (uint32_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
   return rank;
 }
-
-}  // namespace
 
 Synopsis Synopsis::Build(const xml::Document& doc,
                          const SynopsisOptions& options,
@@ -88,10 +87,31 @@ Synopsis Synopsis::Build(const xml::Document& doc,
   }
 
   // Path-id binary tree plus the decoded cache the join works from.
-  s.pid_tree_ = std::make_unique<pidtree::CollapsedPidTree>(labeling);
-  s.pid_bits_ = std::move(labeling.distinct_pids);
+  s.pid_tree_ = std::make_shared<const pidtree::CollapsedPidTree>(labeling);
+  s.pid_bits_ = std::make_shared<const std::vector<PathIdBits>>(
+      std::move(labeling.distinct_pids));
+  s.table_ = std::make_shared<const encoding::EncodingTable>(
+      std::move(labeling.table));
+  return s;
+}
 
-  s.table_ = std::move(labeling.table);
+Synopsis Synopsis::PatchedClone(const Synopsis& base,
+                                std::vector<histogram::PHistogram> p_histos,
+                                std::vector<histogram::OHistogram> o_histos,
+                                std::optional<stats::ValueStats> value_stats) {
+  XEE_CHECK(p_histos.size() == base.tag_names_.size());
+  XEE_CHECK(o_histos.empty() || o_histos.size() == base.tag_names_.size());
+  Synopsis s;
+  s.tag_names_ = base.tag_names_;
+  s.tag_ids_ = base.tag_ids_;
+  s.root_tag_ = base.root_tag_;
+  s.root_pid_ = base.root_pid_;
+  s.table_ = base.table_;
+  s.pid_tree_ = base.pid_tree_;
+  s.pid_bits_ = base.pid_bits_;
+  s.p_histos_ = std::move(p_histos);
+  s.o_histos_ = std::move(o_histos);
+  s.value_stats_ = std::move(value_stats);
   return s;
 }
 

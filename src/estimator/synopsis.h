@@ -97,6 +97,23 @@ class Synopsis {
                                       const DeserializeOptions& options = {},
                                       DeserializeReport* report = nullptr);
 
+  /// Clones `base` sharing its immutable path structures (encoding
+  /// table, pid tree, decoded pid cache) and replacing the per-tag
+  /// histograms and value statistics — the shape of an incremental
+  /// maintenance publish (delta/). Cost is O(histograms), never
+  /// O(document). `o_histos` may be empty for an order-free clone;
+  /// otherwise both histogram vectors must cover every tag of `base`.
+  static Synopsis PatchedClone(const Synopsis& base,
+                               std::vector<histogram::PHistogram> p_histos,
+                               std::vector<histogram::OHistogram> o_histos,
+                               std::optional<stats::ValueStats> value_stats);
+
+  /// Alphabetic rank of every tag among `names` — the o-histogram row
+  /// order of Algorithm 2. Shared by Build, Deserialize, and the
+  /// incremental o-histogram rebuilds in delta/.
+  static std::vector<uint32_t> AlphabeticRanks(
+      const std::vector<std::string>& names);
+
   // --- Tag metadata ----------------------------------------------------
 
   size_t TagCount() const { return tag_names_.size(); }
@@ -110,7 +127,7 @@ class Synopsis {
 
   // --- Path structures --------------------------------------------------
 
-  const encoding::EncodingTable& table() const { return table_; }
+  const encoding::EncodingTable& table() const { return *table_; }
   /// The stored pid-integer -> bit-sequence index. The synopsis uses the
   /// path-compressed CollapsedPidTree (DESIGN.md extension); the paper's
   /// per-bit structure lives in pidtree::PathIdBinaryTree and is compared
@@ -119,10 +136,13 @@ class Synopsis {
   /// Decoded bit sequence of a pid ref (cached; identical to
   /// pid_tree().Lookup(ref)).
   const PathIdBits& PidBits(encoding::PidRef ref) const {
-    XEE_CHECK(ref >= 1 && ref <= pid_bits_.size());
-    return pid_bits_[ref - 1];
+    XEE_CHECK(ref >= 1 && ref <= pid_bits_->size());
+    return (*pid_bits_)[ref - 1];
   }
-  size_t DistinctPidCount() const { return pid_bits_.size(); }
+  size_t DistinctPidCount() const { return pid_bits_->size(); }
+  /// The full lex-sorted decoded pid table (1-based refs index it at
+  /// ref - 1). Shared with patched clones.
+  const std::vector<PathIdBits>& AllPidBits() const { return *pid_bits_; }
 
   // --- Histograms -------------------------------------------------------
 
@@ -143,7 +163,7 @@ class Synopsis {
 
   // --- Size accounting (paper Tables 3-5, Figures 9-13 x-axes) ----------
 
-  size_t EncodingTableBytes() const { return table_.SizeBytes(); }
+  size_t EncodingTableBytes() const { return table_->SizeBytes(); }
   size_t PidTreeBytes() const { return pid_tree_->SizeBytes(); }
   size_t PHistogramBytes() const;
   size_t OHistogramBytes() const;
@@ -161,9 +181,13 @@ class Synopsis {
   xml::TagId root_tag_ = 0;
   encoding::PidRef root_pid_ = 0;
 
-  encoding::EncodingTable table_;
-  std::unique_ptr<pidtree::CollapsedPidTree> pid_tree_;
-  std::vector<PathIdBits> pid_bits_;
+  // The path structures are immutable after construction and shared
+  // (not copied) into PatchedClone results, so an incremental publish
+  // costs O(histograms) while concurrent readers of the previous epoch
+  // keep their references alive.
+  std::shared_ptr<const encoding::EncodingTable> table_;
+  std::shared_ptr<const pidtree::CollapsedPidTree> pid_tree_;
+  std::shared_ptr<const std::vector<PathIdBits>> pid_bits_;
 
   std::vector<histogram::PHistogram> p_histos_;  // by TagId
   std::vector<histogram::OHistogram> o_histos_;  // by TagId; empty if no order

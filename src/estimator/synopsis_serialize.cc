@@ -29,16 +29,16 @@ std::string Synopsis::Serialize() const {
   w.PutU32(root_pid_);
 
   // Encoding table: paths in encoding order.
-  w.PutU32(static_cast<uint32_t>(table_.PathCount()));
-  for (uint32_t enc = 1; enc <= table_.PathCount(); ++enc) {
-    const encoding::TagPath& p = table_.Path(enc);
+  w.PutU32(static_cast<uint32_t>(table_->PathCount()));
+  for (uint32_t enc = 1; enc <= table_->PathCount(); ++enc) {
+    const encoding::TagPath& p = table_->Path(enc);
     w.PutU32(static_cast<uint32_t>(p.size()));
     for (xml::TagId t : p) w.PutU32(t);
   }
 
   // Distinct pids as set-bit lists (sparse; already lex-sorted).
-  w.PutU32(static_cast<uint32_t>(pid_bits_.size()));
-  for (const PathIdBits& bits : pid_bits_) {
+  w.PutU32(static_cast<uint32_t>(pid_bits_->size()));
+  for (const PathIdBits& bits : *pid_bits_) {
     std::vector<uint32_t> set = bits.SetBits();
     w.PutU32(static_cast<uint32_t>(set.size()));
     for (uint32_t b : set) w.PutU32(b);
@@ -102,6 +102,10 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data,
   }
 
   Synopsis out;
+  // The shared immutable path structures are assembled in locals and
+  // wrapped on every successful exit path.
+  encoding::EncodingTable table;
+  std::vector<PathIdBits> pid_bits;
 
   uint32_t tag_count = 0;
   s = r.GetU32(&tag_count);
@@ -140,7 +144,7 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data,
       if (tag >= tag_count) return Corrupt("path tag");
       p.push_back(tag);
     }
-    if (out.table_.GetOrAssign(p) != i + 1) return Corrupt("duplicate path");
+    if (table.GetOrAssign(p) != i + 1) return Corrupt("duplicate path");
   }
 
   uint32_t pid_count = 0;
@@ -167,10 +171,10 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data,
       prev_pos = pos;
       pid.Set(pos);
     }
-    if (i > 0 && !PathIdBits::LexLess(out.pid_bits_.back(), pid)) {
+    if (i > 0 && !PathIdBits::LexLess(pid_bits.back(), pid)) {
       return Corrupt("pid order");
     }
-    out.pid_bits_.push_back(std::move(pid));
+    pid_bits.push_back(std::move(pid));
   }
   if (out.root_pid_ < 1 || out.root_pid_ > pid_count) {
     return Corrupt("root pid");
@@ -222,13 +226,7 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data,
     if (has_order > 1) return Corrupt("order flag");
     if (has_order == 0) return Status::Ok();
     // Alphabetic tag ranks are derivable from the tag names.
-    std::vector<uint32_t> order(tag_count);
-    for (uint32_t i = 0; i < tag_count; ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&out](uint32_t a, uint32_t b) {
-      return out.tag_names_[a] < out.tag_names_[b];
-    });
-    std::vector<uint32_t> ranks(tag_count);
-    for (uint32_t i = 0; i < tag_count; ++i) ranks[order[i]] = i;
+    std::vector<uint32_t> ranks = AlphabeticRanks(out.tag_names_);
 
     for (uint32_t t = 0; t < tag_count; ++t) {
       uint32_t buckets = 0;
@@ -270,7 +268,12 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data,
       report->order_dropped = true;
       report->order_error = s.message();
     }
-    out.pid_tree_ = std::make_unique<pidtree::CollapsedPidTree>(out.pid_bits_);
+    out.table_ = std::make_shared<const encoding::EncodingTable>(
+        std::move(table));
+    out.pid_bits_ = std::make_shared<const std::vector<PathIdBits>>(
+        std::move(pid_bits));
+    out.pid_tree_ =
+        std::make_shared<const pidtree::CollapsedPidTree>(*out.pid_bits_);
     return out;
   }
   uint8_t has_values = 0;
@@ -305,7 +308,12 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data,
   if (!r.AtEnd()) return Corrupt("trailing bytes");
 
   // Rebuild the (deterministic) path-id binary tree from the pids.
-  out.pid_tree_ = std::make_unique<pidtree::CollapsedPidTree>(out.pid_bits_);
+  out.table_ = std::make_shared<const encoding::EncodingTable>(
+      std::move(table));
+  out.pid_bits_ = std::make_shared<const std::vector<PathIdBits>>(
+      std::move(pid_bits));
+  out.pid_tree_ =
+      std::make_shared<const pidtree::CollapsedPidTree>(*out.pid_bits_);
   return out;
 }
 

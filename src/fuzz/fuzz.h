@@ -137,6 +137,14 @@ class Harness {
   /// Service battery: EstimateBatch through the plan cache (cold, warm,
   /// after invalidation) against the bare estimator, bit-for-bit.
   Report RunServiceFuzz(const FuzzOptions& options) const;
+  /// Delta battery: randomized mutation streams (sibling clones,
+  /// novel-tag inserts, subtree deletes) through LiveSynopsis against a
+  /// scratch rebuild of the materialized document. Oracles: zero
+  /// charged patch error implies a bit-identical synopsis; charged
+  /// error bounds the probe-estimate gap; ResetToBase restores
+  /// exactness; a delta.corrupt-torn batch is rejected without moving
+  /// the document. Resets the global FaultInjector on entry and exit.
+  Report RunDeltaFuzz(const FuzzOptions& options) const;
   /// Chaos battery: the service under deterministic fault injection
   /// (forced deadline expiry, allocation failures, blob bit-rot),
   /// expired/tight/infinite deadline mixes and admission pressure.
@@ -155,8 +163,9 @@ class Harness {
   /// JSON, whatever bytes they were fed.
   Report RunExportFuzz(const FuzzOptions& options) const;
   /// All of the above except chaos, splitting options.iterations
-  /// roughly 8:6:4:2:1 (chaos mutates the global fault injector, so it
-  /// runs only when asked for).
+  /// roughly 8:6:4:2:2:1 across query/synopsis/xml/service/delta/export
+  /// (chaos mutates the global fault injector, so it runs only when
+  /// asked for).
   Report RunAll(const FuzzOptions& options) const;
 
   /// Replays one corpus entry through the matching oracle battery and

@@ -1,11 +1,13 @@
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/deadline.h"
@@ -14,6 +16,7 @@
 #include "common/mutate.h"
 #include "common/strings.h"
 #include "datagen/datagen.h"
+#include "delta/document_delta.h"
 #include "estimator/estimator.h"
 #include "fuzz/fuzz.h"
 #include "service/service.h"
@@ -927,6 +930,213 @@ Report Harness::RunChaosFuzz(const FuzzOptions& options) const {
   }
   check_fault_budgets();
   faults.Reset();
+
+  // Live-churn interleavings: a second service with a live-registered
+  // document takes concurrent ApplyDelta / Estimate / ScheduleRebuild
+  // traffic while rebuild.alloc and rebuild.slow are armed. Thread
+  // scheduling is nondeterministic, so the oracles here are the
+  // schedule-independent serving invariants: every delta attempt is
+  // either applied or cleanly rejected, the rebuild ledger balances
+  // after a drain (scheduled = completed + abandoned), the drained
+  // state machine is out of `rebuilding`, and once the faults clear a
+  // final rebuild completes, bumps the epoch, and lands the version in
+  // `healthy`. Run under TSan this block is first of all a data-race
+  // net over the maintenance paths.
+  const TestBed& churn_bed = *beds_.front();  // paper bed's tag alphabet
+  const size_t churn_rounds = options.iterations / 64 + 1;
+  for (size_t round = 0; round < churn_rounds; ++round) {
+    Rng it = master.Split();
+    service::ServiceOptions churn_opt;
+    churn_opt.threads = 2;
+    churn_opt.auto_rebuild = true;
+    churn_opt.patch_error_budget = 0.02;  // tiny: novel churn trips it
+    service::EstimationService svc(churn_opt);
+    svc.RegisterLive("live", MakeFigure1Document());
+
+    FaultConfig alloc;
+    alloc.probability = 0.5;
+    alloc.max_fires = 2;
+    alloc.seed = it.Next();
+    faults.Arm(service::MaintenanceManager::kAllocFaultSite, alloc);
+    armed_budgets.emplace_back(service::MaintenanceManager::kAllocFaultSite,
+                               alloc.max_fires);
+    FaultConfig slow;
+    slow.probability = 0.5;
+    slow.payload = 1;  // ms: widens the estimate-during-rebuild window
+    slow.max_fires = 2;
+    slow.seed = it.Next();
+    faults.Arm(service::MaintenanceManager::kSlowFaultSite, slow);
+    armed_budgets.emplace_back(service::MaintenanceManager::kSlowFaultSite,
+                               slow.max_fires);
+
+    constexpr size_t kDeltas = 8;
+    constexpr size_t kEstimates = 24;
+    constexpr size_t kSchedules = 3;
+    size_t delta_attempts = 0;
+    std::vector<Finding> mutator_findings, estimator_findings;
+
+    std::thread mutator([&, seed = it.Next()]() {
+      Rng rng(seed);
+      uint64_t novel = 0;
+      for (size_t k = 0; k < kDeltas; ++k) {
+        delta::DocumentDelta dd;
+        // Only this thread mutates, and compaction preserves both the
+        // live node count and preorder ranks, so counts and ranks read
+        // here stay valid through the concurrent rebuilds.
+        const size_t nodes = svc.maintenance().LiveNodeCount("live");
+        const double r = rng.UniformDouble();
+        if (r < 0.5 && nodes >= 2) {
+          auto op = svc.maintenance().CloneOp(
+              "live", static_cast<uint32_t>(rng.UniformInt(1, nodes - 1)));
+          if (!op.ok()) {
+            mutator_findings.push_back(
+                MakeFinding("chaos", "churn-delta",
+                            "in-range clone op rejected: " +
+                                op.status().ToString(),
+                            "live"));
+            continue;
+          }
+          dd.ops.push_back(std::move(op).value());
+        } else if (r < 0.85 || nodes < 4) {
+          delta::DeltaOp op;
+          op.kind = delta::DeltaOp::Kind::kInsert;
+          op.target = static_cast<uint32_t>(rng.UniformInt(0, nodes - 1));
+          op.subtree.tags.push_back(StrFormat(
+              "churn%llu", static_cast<unsigned long long>(novel++)));
+          op.subtree.parent.push_back(-1);
+          dd.ops.push_back(std::move(op));
+        } else {
+          delta::DeltaOp op;
+          op.kind = delta::DeltaOp::Kind::kDelete;
+          op.target = static_cast<uint32_t>(rng.UniformInt(1, nodes - 1));
+          dd.ops.push_back(std::move(op));
+        }
+        ++delta_attempts;
+        auto out = svc.ApplyDelta("live", dd);
+        if (!out.ok() &&
+            out.status().code() != StatusCode::kInvalidArgument) {
+          mutator_findings.push_back(MakeFinding(
+              "chaos", "churn-delta",
+              "delta rejected outside the contract: " +
+                  out.status().ToString(),
+              "live"));
+        }
+      }
+    });
+    std::thread estimator([&, seed = it.Next()]() {
+      Rng rng(seed);
+      for (size_t k = 0; k < kEstimates; ++k) {
+        const std::string qs = GenerateQueryString(rng, churn_bed.tags);
+        const service::EstimateOutcome g = svc.Estimate("live", qs);
+        const StatusCode code = g.status().code();
+        const bool legal =
+            code == StatusCode::kOk || code == StatusCode::kDeadlineExceeded ||
+            code == StatusCode::kOverloaded || code == StatusCode::kNotFound ||
+            code == StatusCode::kUnavailable ||
+            code == StatusCode::kUnsupported ||
+            code == StatusCode::kParseError ||
+            code == StatusCode::kInvalidArgument ||
+            code == StatusCode::kInternal;
+        if (!legal) {
+          estimator_findings.push_back(MakeFinding(
+              "chaos", "status-surface",
+              "status outside the serving contract under churn: " +
+                  g.status().ToString(),
+              qs));
+        }
+        if (g.ok() && (!std::isfinite(g.value()) || g.value() < 0)) {
+          estimator_findings.push_back(MakeFinding(
+              "chaos", "estimate-range",
+              StrFormat("estimate %.17g not finite/non-negative under churn",
+                        g.value()),
+              qs));
+        }
+      }
+    });
+    std::thread scheduler([&]() {
+      for (size_t k = 0; k < kSchedules; ++k) {
+        svc.ScheduleRebuild("live", "manual");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    mutator.join();
+    estimator.join();
+    scheduler.join();
+    rep.estimates_checked += kEstimates;
+    for (Finding& f : mutator_findings) rep.findings.push_back(std::move(f));
+    for (Finding& f : estimator_findings) rep.findings.push_back(std::move(f));
+
+    if (!svc.DrainMaintenance(10'000)) {
+      rep.findings.push_back(MakeFinding(
+          "chaos", "churn-drain", "maintenance did not drain within 10s",
+          "live"));
+    }
+    check_fault_budgets();
+    faults.Reset();
+
+    auto live_row = [&]() -> service::MaintenanceRow {
+      for (service::MaintenanceRow& r : svc.maintenance().Rows()) {
+        if (r.name == "live") return std::move(r);
+      }
+      return {};
+    };
+    const service::MaintenanceRow drained = live_row();
+    if (drained.state == service::MaintenanceState::kRebuilding) {
+      rep.findings.push_back(MakeFinding(
+          "chaos", "churn-ledger", "drained but still `rebuilding`", "live"));
+    }
+    if (drained.rebuilds_scheduled !=
+        drained.rebuilds_completed + drained.rebuilds_abandoned) {
+      rep.findings.push_back(MakeFinding(
+          "chaos", "churn-ledger",
+          StrFormat("rebuild ledger unbalanced after drain: scheduled=%llu "
+                    "completed=%llu abandoned=%llu",
+                    static_cast<unsigned long long>(
+                        drained.rebuilds_scheduled),
+                    static_cast<unsigned long long>(
+                        drained.rebuilds_completed),
+                    static_cast<unsigned long long>(
+                        drained.rebuilds_abandoned)),
+          "live"));
+    }
+    if (drained.deltas_applied + drained.deltas_rejected != delta_attempts) {
+      rep.findings.push_back(MakeFinding(
+          "chaos", "churn-ledger",
+          StrFormat("delta ledger unbalanced: applied=%llu rejected=%llu "
+                    "attempts=%zu",
+                    static_cast<unsigned long long>(drained.deltas_applied),
+                    static_cast<unsigned long long>(drained.deltas_rejected),
+                    delta_attempts),
+          "live"));
+    }
+
+    // Faults are clear and the mutator is quiet: one more scheduled
+    // rebuild must complete, bump the epoch, and land in `healthy`.
+    svc.ScheduleRebuild("live", "manual");
+    if (!svc.DrainMaintenance(10'000)) {
+      rep.findings.push_back(MakeFinding(
+          "chaos", "churn-recovery",
+          "fault-free rebuild did not drain within 10s", "live"));
+    }
+    const service::MaintenanceRow healed = live_row();
+    if (healed.state != service::MaintenanceState::kHealthy ||
+        healed.rebuilds_completed != drained.rebuilds_completed + 1 ||
+        healed.epoch <= drained.epoch) {
+      rep.findings.push_back(MakeFinding(
+          "chaos", "churn-recovery",
+          StrFormat("fault-free rebuild: state=%s completed %llu -> %llu "
+                    "epoch %llu -> %llu",
+                    MaintenanceStateName(healed.state),
+                    static_cast<unsigned long long>(
+                        drained.rebuilds_completed),
+                    static_cast<unsigned long long>(
+                        healed.rebuilds_completed),
+                    static_cast<unsigned long long>(drained.epoch),
+                    static_cast<unsigned long long>(healed.epoch)),
+          "live"));
+    }
+  }
+  faults.Reset();
   return rep;
 }
 
@@ -1015,27 +1225,30 @@ Report Harness::RunExportFuzz(const FuzzOptions& options) const {
 }
 
 Report Harness::RunAll(const FuzzOptions& options) const {
-  // 8:6:4:2:1 across query/synopsis/xml/service/export, distinct seed
-  // streams (same per-generator shares as the historical 4:3:2:1, with
-  // the export battery carved from the tail).
+  // 8:6:4:2:2:1 across query/synopsis/xml/service/delta/export,
+  // distinct seed streams (the historical 8:6:4:2:1 split with the
+  // delta battery carved in alongside the service share).
   FuzzOptions part = options;
   Report rep;
-  part.iterations = options.iterations * 8 / 21;
+  part.iterations = options.iterations * 8 / 23;
   part.seed = options.seed;
   rep.Merge(RunQueryFuzz(part));
-  part.iterations = options.iterations * 6 / 21;
+  part.iterations = options.iterations * 6 / 23;
   part.seed = options.seed ^ 0x9e3779b97f4a7c15ull;
   rep.Merge(RunSynopsisFuzz(part));
-  part.iterations = options.iterations * 4 / 21;
+  part.iterations = options.iterations * 4 / 23;
   part.seed = options.seed ^ 0xbf58476d1ce4e5b9ull;
   rep.Merge(RunXmlFuzz(part));
-  part.iterations = options.iterations * 2 / 21;
+  part.iterations = options.iterations * 2 / 23;
   part.seed = options.seed ^ 0x94d049bb133111ebull;
   rep.Merge(RunServiceFuzz(part));
-  part.iterations = options.iterations - options.iterations * 8 / 21 -
-                    options.iterations * 6 / 21 -
-                    options.iterations * 4 / 21 -
-                    options.iterations * 2 / 21;
+  part.iterations = options.iterations * 2 / 23;
+  part.seed = options.seed ^ 0x2545f4914f6cdd1dull;
+  rep.Merge(RunDeltaFuzz(part));
+  part.iterations = options.iterations - options.iterations * 8 / 23 -
+                    options.iterations * 6 / 23 -
+                    options.iterations * 4 / 23 -
+                    2 * (options.iterations * 2 / 23);
   part.seed = options.seed ^ 0xd6e8feb86659fd93ull;
   rep.Merge(RunExportFuzz(part));
   return rep;

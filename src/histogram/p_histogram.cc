@@ -107,6 +107,17 @@ PHistogram PHistogram::FromBuckets(std::vector<Bucket> buckets) {
   return h;
 }
 
+PHistogram PHistogram::FromExactRows(
+    const std::map<encoding::PidRef, uint64_t>& rows,
+    double variance_threshold, bool equi_count) {
+  std::vector<stats::PidFreq> list;
+  list.reserve(rows.size());
+  for (const auto& [pid, freq] : rows) list.push_back({pid, freq});
+  PHistogram h = Build(list, variance_threshold);
+  if (equi_count) h = BuildEquiCount(list, h.BucketCount());
+  return h;
+}
+
 double PHistogram::Frequency(encoding::PidRef pid) const {
   auto it = bucket_of_.find(pid);
   if (it == bucket_of_.end()) return 0;

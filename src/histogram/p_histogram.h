@@ -2,6 +2,7 @@
 #define XEE_HISTOGRAM_P_HISTOGRAM_H_
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +40,14 @@ class PHistogram {
   /// Reassembles a histogram from stored buckets (deserialization); the
   /// buckets must partition the tag's pids.
   static PHistogram FromBuckets(std::vector<Bucket> buckets);
+
+  /// Rebuild for incremental maintenance (delta/LiveSynopsis): builds
+  /// from a tag's exact pid -> frequency map, applying the equi-count
+  /// ablation when the scratch build would. Keeping this one call site
+  /// is what makes a patched synopsis bit-identical to a rebuild.
+  static PHistogram FromExactRows(
+      const std::map<encoding::PidRef, uint64_t>& rows,
+      double variance_threshold, bool equi_count);
 
   /// The summarized frequency of `pid`: the containing bucket's average,
   /// or 0 when the tag never carries this pid.

@@ -122,7 +122,13 @@ SynopsisAccuracy AccuracyTracker::Record(const std::string& synopsis,
   if (ds.samples == 0 || ds.epoch != epoch) {
     // First sample, or the synopsis was re-registered under a new epoch:
     // drift state restarts (the old synopsis's errors say nothing about
-    // the new one).
+    // the new one). A stale verdict cleared this way is a *recovery* —
+    // the self-healing loop's terminal transition: a rebuild (or manual
+    // re-registration) published a new epoch and the conviction no
+    // longer applies.
+    if (ds.stale) {
+      registry_->GetCounter("accuracy.drift", "transition=recovered").Inc();
+    }
     ds = DriftState{};
     ds.epoch = epoch;
     ds.ewma = qerror;
@@ -130,9 +136,13 @@ SynopsisAccuracy AccuracyTracker::Record(const std::string& synopsis,
     ds.ewma = options_.drift_alpha * qerror +
               (1.0 - options_.drift_alpha) * ds.ewma;
   }
+  const bool was_stale = ds.stale;
   ds.samples += 1;
   ds.stale = ds.samples >= options_.drift_min_samples &&
              ds.ewma > options_.drift_qerror_limit;
+  if (!was_stale && ds.stale) {
+    registry_->GetCounter("accuracy.drift", "transition=stale").Inc();
+  }
 
   if (options_.offender_capacity > 0) {
     const bool full = offenders_.size() >= options_.offender_capacity;

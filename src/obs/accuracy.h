@@ -23,7 +23,11 @@
 ///     obs::Histograms for quantiles, labeled by QueryClass;
 ///   - per-synopsis drift state: an EWMA of q-error that, past a
 ///     sample-count gate, flips the synopsis to a `stale` health
-///     verdict (the caller carries it into the SynopsisRegistry);
+///     verdict (the caller carries it into the SynopsisRegistry).
+///     Verdict transitions are counted as `accuracy.drift`
+///     {transition=stale|recovered}: a conviction, and its clearing by
+///     a new epoch (a rebuild publish or re-registration) — the pair
+///     that makes a self-healing round trip auditable after the fact;
 ///   - a bounded worst-offenders ring (top-K sampled queries by
 ///     q-error) for error attribution, same spirit as the slow-trace
 ///     ring;

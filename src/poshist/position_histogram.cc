@@ -69,6 +69,12 @@ PositionHistogramEstimator PositionHistogramEstimator::Build(
   return e;
 }
 
+void PositionHistogramEstimator::Rebuild(const xml::Document& doc) {
+  PositionHistogramOptions options;
+  options.grid = grid_;
+  *this = Build(doc, options);
+}
+
 int PositionHistogramEstimator::FindTag(const std::string& name) const {
   if (name == "*") return kAnyTag;
   for (size_t t = 0; t < tag_names_.size(); ++t) {

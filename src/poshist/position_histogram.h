@@ -37,6 +37,14 @@ class PositionHistogramEstimator {
   static PositionHistogramEstimator Build(
       const xml::Document& doc, const PositionHistogramOptions& options = {});
 
+  /// Refreshes this estimator against a mutated document, keeping its
+  /// grid resolution. This baseline has no incremental maintenance
+  /// story: the start/end numbering of *every* node shifts under a
+  /// single insert, so any mutation invalidates the whole grid and a
+  /// refresh is a full O(document) pass — the cost the
+  /// update-throughput bench holds against incremental patching.
+  void Rebuild(const xml::Document& doc);
+
   /// Estimated selectivity of `q.target`; kUnsupported for order
   /// constraints.
   Result<double> Estimate(const xpath::Query& q) const;

@@ -49,7 +49,47 @@ EstimationService::EstimationService(ServiceOptions options)
       traces_(options.trace_capacity < 1 ? 1 : options.trace_capacity,
               options.slow_trace_ns),
       accuracy_(&obs_, MakeAccuracyOptions(options)),
-      pool_(options.ResolvedThreads()) {}
+      pool_(options.ResolvedThreads()) {
+  MaintenanceManager::Options maint;
+  maint.error_budget = options.patch_error_budget;
+  maint.histo_patch_tolerance = options.patch_tolerance;
+  maint.attach_truth = options.live_truth;
+  maint.max_retries = options.rebuild_max_retries;
+  maint.max_restarts = options.rebuild_max_restarts;
+  maint.backoff.initial_ms = options.rebuild_backoff_ms;
+  // Constructed in the body, not the init list: the executor captures
+  // pool_, which is the last-declared member.
+  maint_ = std::make_unique<MaintenanceManager>(
+      &registry_, &obs_, maint, [this](std::function<void()> task) {
+        if (draining_.load(std::memory_order_acquire)) {
+          task();  // pool is shutting down; run on the caller
+        } else {
+          pool_.Submit(std::move(task));
+        }
+      });
+}
+
+EstimationService::~EstimationService() {
+  // Runs before member destruction: from here on, rebuild schedules
+  // (e.g. from shadow tasks the pool drains) execute inline instead of
+  // submitting to the dying pool.
+  draining_.store(true, std::memory_order_release);
+}
+
+uint64_t EstimationService::RegisterLive(
+    const std::string& name, xml::Document doc,
+    const estimator::SynopsisOptions& build) {
+  return maint_->RegisterLive(name, std::move(doc), build);
+}
+
+Result<ApplyOutcome> EstimationService::ApplyDelta(
+    const std::string& name, const delta::DocumentDelta& delta) {
+  Result<ApplyOutcome> out = maint_->ApplyDelta(name, delta);
+  if (out.ok() && out.value().budget_exhausted && options_.auto_rebuild) {
+    maint_->ScheduleRebuild(name, "budget");
+  }
+  return out;
+}
 
 std::string EstimationService::MakeKey(char kind, uint64_t epoch,
                                        const std::string& body) {
@@ -520,9 +560,17 @@ void EstimationService::ShadowEvaluate(
   // "healthy" off one lucky sample would be as wrong as flapping to
   // "stale" off one unlucky one.
   if (drift.samples >= accuracy_.options().drift_min_samples) {
-    registry_.MarkHealth(synopsis, epoch,
-                         drift.stale ? SynopsisHealth::kStale
-                                     : SynopsisHealth::kHealthy);
+    const bool applied =
+        registry_.MarkHealth(synopsis, epoch,
+                             drift.stale ? SynopsisHealth::kStale
+                                         : SynopsisHealth::kHealthy);
+    // Self-healing: a drift conviction of the *current* version of a
+    // live synopsis schedules its rebuild (no-op for names not
+    // registered live; repeat convictions coalesce into the in-flight
+    // rebuild).
+    if (applied && drift.stale && options_.auto_rebuild) {
+      maint_->ScheduleRebuild(synopsis, "drift");
+    }
   }
 }
 
@@ -629,7 +677,40 @@ std::string EstimationService::HealthzJson() const {
     j += obs::JsonEscape(quarantined[i].first);
     j += "\"";
   }
-  j += "]}";
+  j += "],\"maintenance\":{";
+  const std::vector<MaintenanceRow> maint = maint_->Rows();
+  for (size_t i = 0; i < maint.size(); ++i) {
+    const MaintenanceRow& row = maint[i];
+    if (i != 0) j += ",";
+    j += "\"";
+    j += obs::JsonEscape(row.name);
+    j += "\":{\"state\":\"";
+    j += MaintenanceStateName(row.state);
+    j += "\",\"epoch\":";
+    j += std::to_string(row.epoch);
+    j += ",\"patch_error\":";
+    j += std::to_string(row.patch_error);
+    j += ",\"budget_exhausted\":";
+    j += row.budget_exhausted ? "true" : "false";
+    j += ",\"deltas_applied\":";
+    j += std::to_string(row.deltas_applied);
+    j += ",\"deltas_rejected\":";
+    j += std::to_string(row.deltas_rejected);
+    j += ",\"rebuilds\":{\"scheduled\":";
+    j += std::to_string(row.rebuilds_scheduled);
+    j += ",\"completed\":";
+    j += std::to_string(row.rebuilds_completed);
+    j += ",\"retried\":";
+    j += std::to_string(row.rebuilds_retried);
+    j += ",\"restarted\":";
+    j += std::to_string(row.rebuilds_restarted);
+    j += ",\"abandoned\":";
+    j += std::to_string(row.rebuilds_abandoned);
+    j += ",\"coalesced\":";
+    j += std::to_string(row.rebuilds_coalesced);
+    j += "}}";
+  }
+  j += "}}";
   return j;
 }
 

@@ -16,6 +16,7 @@
 #include "obs/trace.h"
 #include "xpath/query.h"
 #include "service/estimate_memo.h"
+#include "service/maintenance.h"
 #include "service/plan_cache.h"
 #include "service/service_stats.h"
 #include "service/synopsis_registry.h"
@@ -94,6 +95,32 @@ struct ServiceOptions {
   /// refused with kUnavailable when it insists on full fidelity.
   bool stale_downgrade = false;
 
+  /// Self-healing (DESIGN.md §14): when a *live* synopsis (one
+  /// registered through RegisterLive) is convicted stale — by the
+  /// shadow-sampled drift EWMA or by exhausting its patch-error budget
+  /// — automatically schedule a background rebuild. Off by default,
+  /// like stale_downgrade: observability first, policy opt-in.
+  bool auto_rebuild = false;
+  /// Patch-error budget of live synopses, as a fraction of the
+  /// document: once the accumulated error of incremental patching
+  /// crosses it, the snapshot is marked stale and (under auto_rebuild)
+  /// a rebuild is scheduled.
+  double patch_error_budget = 0.05;
+  /// Per-tag staleness tolerance below which a dirty histogram is left
+  /// un-rebuilt on the delta path (see delta::PatchOptions). 0 = always
+  /// rebuild dirty histograms from the exact maintained rows.
+  double patch_tolerance = 0.0;
+  /// Rebuild retry budget under rebuild.alloc-style failures, and the
+  /// restart budget when the document moves mid-build.
+  size_t rebuild_max_retries = 3;
+  size_t rebuild_max_restarts = 3;
+  /// Initial delay of the jittered-exponential rebuild retry backoff.
+  uint64_t rebuild_backoff_ms = 1;
+  /// Attach a materialized ground-truth document to every snapshot a
+  /// live synopsis publishes, so shadow sampling keeps auditing the
+  /// patched estimates (one document copy per publish).
+  bool live_truth = true;
+
   /// `threads` with the 0 = hardware default resolved, clamped to >= 1
   /// (hardware_concurrency() may legitimately report 0).
   size_t ResolvedThreads() const {
@@ -151,6 +178,7 @@ struct EstimateOutcome {
 class EstimationService {
  public:
   explicit EstimationService(ServiceOptions options = {});
+  ~EstimationService();
 
   /// Named synopses: register/swap/remove datasets here.
   SynopsisRegistry& registry() { return registry_; }
@@ -231,6 +259,39 @@ class EstimationService {
   bool HoldInflightSlot() { return TryAdmit(1) == 1; }
   void ReleaseInflightSlot() { Release(1); }
 
+  /// Registers `doc` as a *live* document: the service owns it, builds
+  /// and publishes its synopsis, and keeps the published snapshot
+  /// current under ApplyDelta / background rebuilds. Returns the first
+  /// epoch.
+  uint64_t RegisterLive(const std::string& name, xml::Document doc,
+                        const estimator::SynopsisOptions& build = {});
+
+  /// Applies a delta batch to a live synopsis: patches incrementally,
+  /// publishes a new epoch (plan-cache and memo entries for the old
+  /// epoch die with it), and — when the patch-error budget is blown —
+  /// marks the snapshot stale and (under auto_rebuild) schedules a
+  /// rebuild. In-flight estimates are never blocked: they hold
+  /// refcounted snapshots.
+  Result<ApplyOutcome> ApplyDelta(const std::string& name,
+                                  const delta::DocumentDelta& delta);
+
+  /// Schedules a background rebuild of a live synopsis (reason label:
+  /// "manual" from operators, "drift"/"budget" from self-healing).
+  /// False for names not registered live.
+  bool ScheduleRebuild(const std::string& name,
+                       const std::string& reason = "manual") {
+    return maint_->ScheduleRebuild(name, reason);
+  }
+
+  /// Blocks until no rebuild is in flight (or timeout); true = drained.
+  bool DrainMaintenance(uint64_t timeout_ms = 10'000) {
+    return maint_->DrainMaintenance(timeout_ms);
+  }
+
+  /// Maintenance state of every live synopsis (the healthz
+  /// "maintenance" section).
+  const MaintenanceManager& maintenance() const { return *maint_; }
+
  private:
   /// Namespaced cache key: kind ('x' exact string / 'c' canonical /
   /// 'd' degraded order-free), synopsis epoch, and the query body.
@@ -286,9 +347,19 @@ class EstimationService {
   obs::AccuracyTracker accuracy_;
   std::atomic<size_t> inflight_{0};
   std::atomic<uint64_t> trace_tick_{0};  // sampling counter
+  /// Set by the destructor body before member destruction starts: the
+  /// pool's drain may still run shadow tasks that schedule rebuilds,
+  /// and those must run inline rather than Submit to a pool that has
+  /// begun shutting down.
+  std::atomic<bool> draining_{false};
+  /// Constructed in the constructor body (its executor captures pool_)
+  /// but declared before pool_ on purpose: queued rebuild tasks touch
+  /// the manager, so the pool's destructor must drain before the
+  /// manager dies.
+  std::unique_ptr<MaintenanceManager> maint_;
   /// Declared last on purpose: the pool's destructor drains queued
-  /// shadow tasks, which touch accuracy_, registry_ and obs_ — those
-  /// must still be alive while the drain runs.
+  /// shadow and rebuild tasks, which touch accuracy_, registry_, obs_
+  /// and maint_ — those must still be alive while the drain runs.
   ThreadPool pool_;
 };
 

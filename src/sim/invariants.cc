@@ -163,6 +163,64 @@ InvariantReport CheckDrainInvariants(const SimTotals& totals,
                  fires, hits, w.config.max_fires));
   }
 
+  // 8. Live-maintenance ledgers (after DrainMaintenance).
+  if (scenario.live) {
+    uint64_t applied = 0, rejected = 0, scheduled = 0, completed = 0,
+             abandoned = 0;
+    bool drained = true;   // no row still mid-rebuild
+    bool settled = true;   // no row left stale (self-heal ran)
+    for (const service::MaintenanceRow& r : service.maintenance().Rows()) {
+      applied += r.deltas_applied;
+      rejected += r.deltas_rejected;
+      scheduled += r.rebuilds_scheduled;
+      completed += r.rebuilds_completed;
+      abandoned += r.rebuilds_abandoned;
+      drained = drained && r.state != service::MaintenanceState::kRebuilding;
+      settled = settled && r.state != service::MaintenanceState::kStale;
+    }
+
+    // Delta conservation: the simulator's own attempt ledger matches
+    // the applied + rejected split, and the manager counted the same
+    // events.
+    Check(&report, "delta-conservation",
+          totals.deltas_attempted ==
+                  totals.deltas_applied + totals.deltas_rejected &&
+              applied == totals.deltas_applied &&
+              rejected == totals.deltas_rejected,
+          Format("attempted=%" PRIu64 " applied=%" PRIu64 " rejected=%" PRIu64
+                 " maint.applied=%" PRIu64 " maint.rejected=%" PRIu64,
+                 totals.deltas_attempted, totals.deltas_applied,
+                 totals.deltas_rejected, applied, rejected));
+
+    // Rebuild conservation: every non-coalesced schedule terminated —
+    // completed or abandoned — and nothing is still in flight after
+    // the drain. Retries and restarts are intermediate states, not
+    // terminal ones, so they don't appear in the balance.
+    Check(&report, "rebuild-ledger",
+          drained && scheduled == completed + abandoned,
+          Format("scheduled=%" PRIu64 " completed=%" PRIu64
+                 " abandoned=%" PRIu64 " drained=%d",
+                 scheduled, completed, abandoned, drained ? 1 : 0));
+
+    // Epoch monotonicity: every ApplyDelta publish strictly advanced
+    // the tenant's epoch — an estimate can never have been answered
+    // from a retired snapshot's cache namespace.
+    Check(&report, "epoch-monotonic", totals.epoch_regressions == 0,
+          Format("regressions=%" PRIu64, totals.epoch_regressions));
+
+    // Self-healing closed the loop: if any batch exhausted the budget
+    // (healthy -> stale), at least one rebuild published and no tenant
+    // is still stale at drain. Only meaningful under the auto_rebuild
+    // policy — report-only scenarios legitimately end stale.
+    if (scenario.auto_rebuild) {
+      Check(&report, "self-heal",
+            totals.stale_marks == 0 || (completed >= 1 && settled),
+            Format("stale_marks=%" PRIu64 " completed=%" PRIu64
+                   " settled=%d",
+                   totals.stale_marks, completed, settled ? 1 : 0));
+    }
+  }
+
   return report;
 }
 

@@ -34,6 +34,18 @@ struct SimTotals {
 
   uint64_t reloads = 0;  ///< RegisterSerialized reload events executed
 
+  // Live-maintenance ledger (all zero unless Scenario::live). Every
+  // attempted delta batch is either applied or cleanly rejected;
+  // stale_marks counts applied batches that exhausted the patch-error
+  // budget (each one is an auto-rebuild trigger under auto_rebuild);
+  // epoch_regressions counts ApplyDelta outcomes whose published epoch
+  // failed to strictly increase — always a bug, never load-dependent.
+  uint64_t deltas_attempted = 0;
+  uint64_t deltas_applied = 0;
+  uint64_t deltas_rejected = 0;
+  uint64_t stale_marks = 0;
+  uint64_t epoch_regressions = 0;
+
   uint64_t Answered() const { return ok_full + ok_degraded; }
   uint64_t Accounted() const {
     return Answered() + shed + deadline_exceeded + not_found + unavailable +

@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "common/deadline.h"
+#include "delta/document_delta.h"
 #include "estimator/estimator.h"
+#include "service/maintenance.h"
 #include "service/synopsis_registry.h"
 
 namespace xee::sim {
@@ -24,6 +26,10 @@ Scenario ScaledScenario(Scenario s, double factor) {
   s.arrival.mean_off_us = ScaleUs(s.arrival.mean_off_us, factor);
   s.arrival.period_us = ScaleUs(s.arrival.period_us, factor);
   s.reload_period_us = ScaleUs(s.reload_period_us, factor);
+  for (DeltaBurst& b : s.deltas) {
+    b.start_us = ScaleUs(b.start_us, factor);
+    b.period_us = ScaleUs(b.period_us, factor);
+  }
   for (ChaosWindow& w : s.chaos) {
     w.config.window_start = ScaleUs(w.config.window_start, factor);
     if (w.config.window_end != UINT64_MAX) {
@@ -184,8 +190,117 @@ Scenario DiurnalAliasStorm() {
   return s;
 }
 
+Scenario LiveUpdateChurn() {
+  Scenario s;
+  s.name = "live_update_churn";
+  s.seed = 604;
+  s.duration_us = 8'000'000;
+  s.window_us = 1'000'000;
+
+  s.arrival.kind = ArrivalModel::Kind::kPoisson;
+  s.arrival.rate_qps = 250.0;
+
+  // Two live tenants under moderate steady traffic: the story here is
+  // maintenance, not admission control. Shadow sampling stays on so the
+  // drift pipeline audits the *patched* estimates end to end.
+  s.tenants = 2;
+  s.dataset = "ssplays";
+  s.dataset_scale = 0.02;
+  s.max_inflight = 64;
+  s.accuracy_sample = 4;
+  s.service_min_us = 1'000;
+  s.service_exp_us = 15'000;
+
+  s.traffic.tenant_zipf_s = 1.0;
+  s.traffic.families_per_tenant = 32;
+  s.traffic.query_zipf_s = 1.0;
+  s.traffic.alias_prob = 0.05;
+  s.traffic.garbage_prob = 0.01;
+  s.traffic.unknown_tenant_prob = 0.01;
+  s.traffic.p_infinite = 0.90;
+  s.traffic.p_expired = 0.01;
+  s.traffic.finite_ms = 1'000;
+
+  s.live = true;
+  s.auto_rebuild = true;
+  // A handful of novel-tag chains (each charging ~3 units against a
+  // few-thousand-node baseline) exhausts this, flipping the tenant
+  // stale and triggering the self-heal rebuild mid-skew.
+  s.patch_error_budget = 0.004;
+  s.drift_min_samples = 16;
+
+  // Phase one: patch-friendly churn — sibling clones (charge zero,
+  // bit-exact patches) with a trickle of deletes. The synopsis rides
+  // healthy -> patched and back without ever going stale.
+  {
+    DeltaBurst b;
+    b.start_us = 500'000;
+    b.period_us = 100'000;
+    b.count = 25;
+    b.ops_per_delta = 2;
+    b.delete_prob = 0.15;
+    s.deltas.push_back(b);
+  }
+  // Phase two: novel-tag skew — the document grows structure the base
+  // synopsis has never seen, patch error accumulates past the budget,
+  // and auto-rebuild kicks in while the alloc fault window fails the
+  // first attempts. The quiet tail after ~5.3s lets the retries land
+  // and health return before drain.
+  {
+    DeltaBurst b;
+    b.start_us = 3'500'000;
+    b.period_us = 150'000;
+    b.count = 12;
+    b.ops_per_delta = 2;
+    b.novel_prob = 0.7;
+    b.delete_prob = 0.1;
+    s.deltas.push_back(b);
+  }
+
+  {
+    // One torn batch: delta.corrupt fires exactly once inside the clone
+    // churn, and the batch must be rejected without moving the
+    // document (the deltas_rejected ledger column comes from here).
+    ChaosWindow w;
+    w.site = std::string(delta::LiveDocument::kCorruptFaultSite);
+    w.config.probability = 1.0;
+    w.config.seed = 74;
+    w.config.max_fires = 1;
+    w.config.window_start = 1'000'000;
+    w.config.window_end = 2'000'000;
+    s.chaos.push_back(w);
+  }
+  {
+    // Fail the first rebuild attempts in the publish path: the patched
+    // synopsis keeps serving while the backoff retries run.
+    ChaosWindow w;
+    w.site = std::string(service::MaintenanceManager::kAllocFaultSite);
+    w.config.probability = 1.0;
+    w.config.seed = 75;
+    w.config.max_fires = 2;
+    w.config.window_start = 3'500'000;
+    w.background = true;
+    s.chaos.push_back(w);
+  }
+  {
+    // Stall rebuild attempts 2ms each, widening the window in which
+    // estimates must keep serving from the patched snapshot.
+    ChaosWindow w;
+    w.site = std::string(service::MaintenanceManager::kSlowFaultSite);
+    w.config.probability = 1.0;
+    w.config.payload = 2;
+    w.config.seed = 76;
+    w.config.max_fires = 2;
+    w.config.window_start = 3'500'000;
+    w.background = true;
+    s.chaos.push_back(w);
+  }
+  return s;
+}
+
 std::vector<std::string> ScenarioNames() {
-  return {"poisson_steady", "bursty_overload_chaos", "diurnal_alias_storm"};
+  return {"poisson_steady", "bursty_overload_chaos", "diurnal_alias_storm",
+          "live_update_churn"};
 }
 
 bool ScenarioByName(const std::string& name, Scenario* out) {
@@ -195,6 +310,8 @@ bool ScenarioByName(const std::string& name, Scenario* out) {
     *out = BurstyOverloadChaos();
   } else if (name == "diurnal_alias_storm") {
     *out = DiurnalAliasStorm();
+  } else if (name == "live_update_churn") {
+    *out = LiveUpdateChurn();
   } else {
     return false;
   }

@@ -19,6 +19,27 @@ namespace xee::sim {
 struct ChaosWindow {
   std::string site;
   FaultConfig config;
+  /// The site fires from a background thread (rebuild workers), so its
+  /// per-window fire attribution is wall-clock-dependent: reported in
+  /// the trajectory but excluded from the determinism fingerprint.
+  /// Sites reached only from the driving thread leave this false.
+  bool background = false;
+};
+
+/// A periodic stream of delta batches against the live tenants
+/// (round-robin across batches), applied on the driving thread at
+/// virtual times. Each batch draws ops_per_delta mutations: a
+/// novel-tag subtree insert with probability novel_prob (charges patch
+/// error — the knob that drives the budget toward exhaustion), a
+/// subtree delete with probability delete_prob, a sibling clone
+/// otherwise (exactly patchable, charges nothing).
+struct DeltaBurst {
+  uint64_t start_us = 0;
+  uint64_t period_us = 100'000;
+  size_t count = 0;
+  size_t ops_per_delta = 1;
+  double novel_prob = 0.0;
+  double delete_prob = 0.0;
 };
 
 /// Everything that defines one reproducible simulation run. Two runs of
@@ -63,6 +84,21 @@ struct Scenario {
   /// quarantine paths mid-traffic.
   uint64_t reload_period_us = 0;
 
+  // --- live maintenance (DESIGN.md §14) ---
+  /// Register every tenant as a *live document* through the maintenance
+  /// manager (RegisterLive) instead of a frozen blob: delta bursts
+  /// patch the synopsis incrementally under traffic and background
+  /// rebuilds restore exactness. Do not combine with reload_period_us —
+  /// a blob reload would replace the live snapshot lineage.
+  bool live = false;
+  /// Self-healing policy for live tenants (ServiceOptions fields of the
+  /// same names): a stale verdict — budget exhaustion or drift
+  /// conviction — auto-schedules a background rebuild.
+  bool auto_rebuild = false;
+  double patch_error_budget = 0.05;
+  uint64_t drift_min_samples = 32;
+  std::vector<DeltaBurst> deltas;
+
   std::vector<ChaosWindow> chaos;
 
   /// 0 = deterministic single-threaded virtual-time mode (the default;
@@ -79,12 +115,13 @@ struct Scenario {
 /// times shorter. Used by --duration-ms and the smoke test.
 Scenario ScaledScenario(Scenario s, double factor);
 
-/// The three named scenario families (ISSUE: Poisson steady-state,
-/// bursty overload with a chaos window, diurnal ramp with an alias
-/// storm).
+/// The named scenario families: Poisson steady-state, bursty overload
+/// with a chaos window, diurnal ramp with an alias storm, and live
+/// documents under delta churn with drift-triggered self-healing.
 Scenario PoissonSteady();
 Scenario BurstyOverloadChaos();
 Scenario DiurnalAliasStorm();
+Scenario LiveUpdateChurn();
 
 std::vector<std::string> ScenarioNames();
 

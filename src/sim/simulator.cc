@@ -11,6 +11,7 @@
 #include "common/fault.h"
 #include "common/thread_pool.h"
 #include "datagen/datagen.h"
+#include "delta/document_delta.h"
 #include "estimator/synopsis.h"
 #include "obs/window.h"
 #include "service/service.h"
@@ -106,12 +107,20 @@ std::string WindowRow::ToJson(const std::string& scenario) const {
       static_cast<unsigned long long>(unavailable),
       static_cast<unsigned long long>(errored),
       static_cast<unsigned long long>(vqueue));
-  if (!fault_fires.empty()) {
+  out += Format(",\"deltas\":%llu,\"delta_rejects\":%llu,\"rebuilds\":%llu",
+                static_cast<unsigned long long>(deltas_applied),
+                static_cast<unsigned long long>(deltas_rejected),
+                static_cast<unsigned long long>(rebuilds_done));
+  if (!fault_fires.empty() || !background_fires.empty()) {
     out += ",\"fault_fires\":{";
-    for (size_t i = 0; i < fault_fires.size(); ++i) {
-      if (i) out += ",";
-      out += Format("\"%s\":%llu", fault_fires[i].first.c_str(),
-                    static_cast<unsigned long long>(fault_fires[i].second));
+    bool first = true;
+    for (const auto& list : {&fault_fires, &background_fires}) {
+      for (const auto& [site, fires] : *list) {
+        if (!first) out += ",";
+        first = false;
+        out += Format("\"%s\":%llu", site.c_str(),
+                      static_cast<unsigned long long>(fires));
+      }
     }
     out += "}";
   }
@@ -140,6 +149,8 @@ uint64_t TrajectoryFingerprint(const std::vector<WindowRow>& trajectory,
     AppendU64(&bytes, r.unavailable);
     AppendU64(&bytes, r.errored);
     AppendU64(&bytes, r.vqueue);
+    AppendU64(&bytes, r.deltas_applied);
+    AppendU64(&bytes, r.deltas_rejected);
     for (const auto& [site, fires] : r.fault_fires) {
       bytes += site;
       AppendU64(&bytes, fires);
@@ -151,6 +162,12 @@ uint64_t TrajectoryFingerprint(const std::vector<WindowRow>& trajectory,
   AppendU64(&bytes, totals.holds);
   AppendU64(&bytes, totals.releases);
   AppendU64(&bytes, totals.reloads);
+  AppendU64(&bytes, totals.deltas_attempted);
+  AppendU64(&bytes, totals.deltas_applied);
+  AppendU64(&bytes, totals.deltas_rejected);
+  // stale_marks and epoch values are rebuild-timing-dependent (a
+  // background publish resets the patch-error ledger whenever it lands)
+  // and stay out of the fingerprint.
   return xpath::StableHash64(bytes);
 }
 
@@ -161,6 +178,7 @@ std::string SimResult::SummaryJson() const {
       "\"arrivals\":%llu,\"ok\":%llu,\"degraded\":%llu,\"shed\":%llu,"
       "\"deadline\":%llu,\"not_found\":%llu,\"unavailable\":%llu,"
       "\"errored\":%llu,\"reloads\":%llu,"
+      "\"deltas\":%llu,\"delta_rejects\":%llu,\"stale_marks\":%llu,"
       "\"fingerprint\":\"%016llx\",\"invariants_ok\":%s,\"invariants\":",
       scenario.name.c_str(), static_cast<unsigned long long>(scenario.seed),
       static_cast<unsigned long long>(scenario.duration_us / 1000),
@@ -173,6 +191,9 @@ std::string SimResult::SummaryJson() const {
       static_cast<unsigned long long>(totals.unavailable),
       static_cast<unsigned long long>(totals.errored),
       static_cast<unsigned long long>(totals.reloads),
+      static_cast<unsigned long long>(totals.deltas_applied),
+      static_cast<unsigned long long>(totals.deltas_rejected),
+      static_cast<unsigned long long>(totals.stale_marks),
       static_cast<unsigned long long>(fingerprint),
       invariants.ok() ? "true" : "false");
   out += invariants.ToJson();
@@ -192,6 +213,9 @@ SimResult RunScenario(const Scenario& sc) {
   opt.estimate_memo_bytes = sc.estimate_memo_bytes;
   opt.max_inflight = sc.max_inflight;
   opt.accuracy_sample = sc.accuracy_sample;
+  opt.auto_rebuild = sc.auto_rebuild;
+  opt.patch_error_budget = sc.patch_error_budget;
+  opt.drift_min_samples = sc.drift_min_samples;
   // workers == 0 still needs a (small) pool: shadow evaluation runs
   // there. The determinism analysis in DESIGN.md §12 covers why pool
   // threads cannot perturb the fingerprint in the shipped scenarios.
@@ -230,7 +254,17 @@ SimResult RunScenario(const Scenario& sc) {
     tenants.push_back(Format("%s-t%zu", sc.dataset.c_str(), i));
   }
   for (const std::string& name : tenants) {
-    svc.registry().Register(name, synopsis, doc);
+    if (sc.live) {
+      // Each live tenant owns its document, so regenerate a private
+      // copy (Document is move-only by design). RegisterLive builds the
+      // synopsis, attaches the materialized ground truth, and publishes
+      // the first epoch.
+      auto tdoc = datagen::GenerateByName(sc.dataset, gopt);
+      XEE_CHECK(tdoc.ok());
+      svc.RegisterLive(name, std::move(tdoc).value());
+    } else {
+      svc.registry().Register(name, synopsis, doc);
+    }
   }
 
   std::vector<std::string> tags;
@@ -268,6 +302,7 @@ SimResult RunScenario(const Scenario& sc) {
   obs::HistogramWindow req_win, retry_win;
   obs::CounterWindow recorded_win, memo_hit_win;
   std::vector<uint64_t> fire_prev(sc.chaos.size(), 0);
+  uint64_t rebuilds_prev = 0;
 
   auto close_window = [&](uint64_t t_end) {
     WindowRow row;
@@ -281,13 +316,23 @@ SimResult RunScenario(const Scenario& sc) {
     row.vqueue = vqueue;
     for (size_t i = 0; i < sc.chaos.size(); ++i) {
       const uint64_t cum = faults.FireCount(sc.chaos[i].site);
-      row.fault_fires.emplace_back(sc.chaos[i].site, cum - fire_prev[i]);
+      auto& dest =
+          sc.chaos[i].background ? row.background_fires : row.fault_fires;
+      dest.emplace_back(sc.chaos[i].site, cum - fire_prev[i]);
       fire_prev[i] = cum;
     }
     row.request_ns = req_win.Advance(req_hist);
     row.retry_after_ms = retry_win.Advance(retry_hist);
     row.shadow_recorded = recorded_win.Advance(recorded_ctr.value());
     row.formula_memo = memo_hit_win.Advance(memo_hit_ctr.value());
+    if (sc.live) {
+      uint64_t cum = 0;
+      for (const service::MaintenanceRow& r : svc.maintenance().Rows()) {
+        cum += r.rebuilds_completed;
+      }
+      row.rebuilds_done = cum - rebuilds_prev;
+      rebuilds_prev = cum;
+    }
     result.trajectory.push_back(std::move(row));
   };
 
@@ -313,6 +358,81 @@ SimResult RunScenario(const Scenario& sc) {
         svc.registry().AttachDocument(tenants[tenant], doc);
         ++totals.reloads;
       });
+    }
+  }
+
+  // Delta bursts (live scenarios): batched mutations applied on the
+  // driving thread at virtual times, round-robin across tenants. All
+  // draws come from a dedicated stream, and only this thread mutates
+  // the live documents, so the applied/rejected trajectory is
+  // deterministic even while background rebuilds race the bursts.
+  Rng delta_rng = root.Split();
+  std::vector<uint64_t> last_epoch(tenants.size(), 0);
+  size_t novel_counter = 0;
+  auto apply_delta = [&](size_t burst_idx, size_t tenant_idx) {
+    const DeltaBurst& b = sc.deltas[burst_idx];
+    const std::string& name = tenants[tenant_idx];
+    delta::DocumentDelta dd;
+    const size_t nodes = svc.maintenance().LiveNodeCount(name);
+    for (size_t i = 0; i < b.ops_per_delta; ++i) {
+      const double r = delta_rng.UniformDouble();
+      if (r < b.novel_prob || nodes < 2) {
+        // A chain of tags the base synopsis has never seen: always
+        // applies, always charges patch error.
+        delta::DeltaOp op;
+        op.kind = delta::DeltaOp::Kind::kInsert;
+        op.target = nodes < 2 ? 0
+                              : static_cast<uint32_t>(
+                                    delta_rng.UniformInt(0, nodes - 1));
+        const size_t chain = 1 + delta_rng.UniformInt(0, 1);
+        for (size_t c = 0; c < chain; ++c) {
+          op.subtree.tags.push_back(Format("sim%zu", novel_counter++));
+          op.subtree.parent.push_back(static_cast<int32_t>(c) - 1);
+        }
+        dd.ops.push_back(std::move(op));
+      } else if (r < b.novel_prob + b.delete_prob && nodes > 8) {
+        delta::DeltaOp op;
+        op.kind = delta::DeltaOp::Kind::kDelete;
+        op.target =
+            static_cast<uint32_t>(delta_rng.UniformInt(1, nodes - 1));
+        dd.ops.push_back(std::move(op));
+      } else {
+        // Sibling clone: the canonical exactly-patchable mutation.
+        auto clone = svc.maintenance().CloneOp(
+            name,
+            static_cast<uint32_t>(delta_rng.UniformInt(1, nodes - 1)));
+        if (clone.ok()) dd.ops.push_back(std::move(clone).value());
+      }
+    }
+    const auto out = svc.ApplyDelta(name, dd);
+    {
+      std::unique_lock<std::mutex> lock(mu, std::defer_lock);
+      if (pool) lock.lock();
+      ++totals.deltas_attempted;
+      if (out.ok()) {
+        ++totals.deltas_applied;
+        ++acc.deltas_applied;
+        if (out.value().budget_exhausted) ++totals.stale_marks;
+        if (out.value().epoch <= last_epoch[tenant_idx]) {
+          ++totals.epoch_regressions;
+        }
+        last_epoch[tenant_idx] = out.value().epoch;
+      } else {
+        ++totals.deltas_rejected;
+        ++acc.deltas_rejected;
+      }
+    }
+  };
+  if (sc.live) {
+    size_t k = 0;
+    for (size_t bi = 0; bi < sc.deltas.size(); ++bi) {
+      const DeltaBurst& b = sc.deltas[bi];
+      for (size_t j = 0; j < b.count; ++j, ++k) {
+        const uint64_t t = b.start_us + j * b.period_us;
+        if (t > sc.duration_us) break;
+        const size_t tenant = k % tenants.size();
+        eng.At(t, [&apply_delta, bi, tenant] { apply_delta(bi, tenant); });
+      }
     }
   }
 
@@ -369,7 +489,10 @@ SimResult RunScenario(const Scenario& sc) {
   eng.Run(sc.duration_us);
   eng.Drain();  // completions past the arrival horizon
   pool.reset();  // joins the workers; all concurrent tallies are in
+  // Shadow first: a late drift verdict may still schedule a rebuild,
+  // which the maintenance drain then waits out (retries included).
   svc.DrainShadow();
+  if (sc.live) svc.DrainMaintenance(60'000);
 
   result.totals = totals;
   result.fingerprint = TrajectoryFingerprint(result.trajectory, totals);

@@ -32,7 +32,11 @@ struct WindowRow {
   uint64_t unavailable = 0;
   uint64_t errored = 0;
   uint64_t vqueue = 0;  ///< virtual slots held at window close
-  /// Chaos fires per armed site, delta over this window.
+  /// Delta batches applied / rejected this window (live scenarios;
+  /// driving-thread events at virtual times, so deterministic).
+  uint64_t deltas_applied = 0;
+  uint64_t deltas_rejected = 0;
+  /// Chaos fires per armed driving-thread site, delta over this window.
   std::vector<std::pair<std::string, uint64_t>> fault_fires;
 
   // Measured (reported, not fingerprinted).
@@ -40,6 +44,12 @@ struct WindowRow {
   obs::HistogramSnapshot retry_after_ms;  ///< shed retry hints, delta
   uint64_t shadow_recorded = 0;           ///< accuracy samples, delta
   uint64_t formula_memo = 0;              ///< estimate-memo hits, delta
+  uint64_t rebuilds_done = 0;  ///< background rebuilds published, delta;
+                               ///< wall-clock timing, hence not
+                               ///< fingerprinted
+  /// Fires of ChaosWindow::background sites (rebuild workers): window
+  /// attribution is wall-clock timing, hence not fingerprinted.
+  std::vector<std::pair<std::string, uint64_t>> background_fires;
 
   /// One BENCH-style JSON object (bench "simulate").
   std::string ToJson(const std::string& scenario) const;

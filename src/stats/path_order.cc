@@ -15,6 +15,19 @@ void PathOrderTable::Add(OrderRegion region, xml::TagId other,
   rows_[OrderRowKey{region, other}][pid] += delta;
 }
 
+void PathOrderTable::Sub(OrderRegion region, xml::TagId other,
+                         encoding::PidRef pid, uint64_t delta) {
+  auto row = rows_.find(OrderRowKey{region, other});
+  XEE_CHECK(row != rows_.end());
+  auto cell = row->second.find(pid);
+  XEE_CHECK(cell != row->second.end() && cell->second >= delta);
+  cell->second -= delta;
+  if (cell->second == 0) {
+    row->second.erase(cell);
+    if (row->second.empty()) rows_.erase(row);
+  }
+}
+
 size_t PathOrderTable::CellCount() const {
   size_t n = 0;
   for (const auto& [key, cells] : rows_) n += cells.size();
@@ -69,6 +82,52 @@ OrderStats OrderStats::Build(const xml::Document& doc,
     sweep(children, OrderRegion::kAfter);
   }
   return stats;
+}
+
+void OrderStats::ApplyGroup(const xml::Document& doc,
+                            const std::vector<xml::NodeId>& children,
+                            const std::vector<encoding::PidRef>& node_refs,
+                            bool add) {
+  if (children.size() < 2) return;
+  const xml::TagId tag_limit = static_cast<xml::TagId>(tables_.size());
+  std::vector<uint32_t> tag_count(tag_limit, 0);
+  std::vector<xml::TagId> present;
+
+  auto sweep = [&](OrderRegion region) {
+    present.clear();
+    auto emit = [&](xml::NodeId child) {
+      xml::TagId x = doc.Tag(child);
+      if (x >= tag_limit) return;
+      encoding::PidRef pid = node_refs[child];
+      if (pid == 0) return;
+      for (xml::TagId y : present) {
+        if (add) {
+          tables_[x].Add(region, y, pid, 1);
+        } else {
+          tables_[x].Sub(region, y, pid, 1);
+        }
+      }
+    };
+    auto grow = [&](xml::NodeId child) {
+      xml::TagId t = doc.Tag(child);
+      if (t >= tag_limit) return;
+      if (tag_count[t]++ == 0) present.push_back(t);
+    };
+    if (region == OrderRegion::kBefore) {
+      for (size_t i = children.size(); i-- > 0;) {
+        emit(children[i]);
+        grow(children[i]);
+      }
+    } else {
+      for (size_t i = 0; i < children.size(); ++i) {
+        emit(children[i]);
+        grow(children[i]);
+      }
+    }
+    for (xml::TagId t : present) tag_count[t] = 0;
+  };
+  sweep(OrderRegion::kBefore);
+  sweep(OrderRegion::kAfter);
 }
 
 size_t OrderStats::TotalCells() const {

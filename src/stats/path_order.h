@@ -52,6 +52,17 @@ class PathOrderTable {
   void Add(OrderRegion region, xml::TagId other, encoding::PidRef pid,
            uint64_t delta);
 
+  /// Subtracts `delta` from a cell; the cell must hold at least `delta`
+  /// (XEE_CHECK otherwise — a retraction of counts never added is a
+  /// maintenance bug, not data). Cells and rows reaching zero are
+  /// erased, keeping the sparse representation canonical: a table
+  /// maintained by Add/Sub compares equal to one rebuilt from scratch.
+  void Sub(OrderRegion region, xml::TagId other, encoding::PidRef pid,
+           uint64_t delta);
+
+  friend bool operator==(const PathOrderTable&,
+                         const PathOrderTable&) = default;
+
  private:
   std::map<OrderRowKey, std::map<encoding::PidRef, uint64_t>> rows_;
 };
@@ -73,6 +84,23 @@ class OrderStats {
 
   /// Total non-empty cells over all tags (drives o-histogram cost).
   size_t TotalCells() const;
+
+  /// Applies (`add` = true) or retracts (`add` = false) the sibling-order
+  /// contributions of one parent's child list — the incremental-
+  /// maintenance counterpart of one Build group. `node_refs` maps NodeId
+  /// -> PidRef; a child with ref 0 (unrepresented in the base synopsis)
+  /// is emitted into no cell but still counts as a sibling of the
+  /// represented children, matching what a scratch rebuild would see.
+  /// Children whose tag is outside the maintained tag range are
+  /// invisible entirely — the delta layer charges such subtrees to the
+  /// patch-error budget instead of patching them. Groups of fewer than
+  /// two children contribute nothing. Retraction with the same
+  /// (children, refs) exactly undoes the matching application.
+  void ApplyGroup(const xml::Document& doc,
+                  const std::vector<xml::NodeId>& children,
+                  const std::vector<encoding::PidRef>& node_refs, bool add);
+
+  friend bool operator==(const OrderStats&, const OrderStats&) = default;
 
  private:
   std::vector<PathOrderTable> tables_;  // indexed by TagId

@@ -30,6 +30,8 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "datagen/datagen.h"
+#include "delta/document_delta.h"
+#include "delta/live_synopsis.h"
 #include "encoding/containment.h"
 #include "encoding/encoding_table.h"
 #include "encoding/labeling.h"
@@ -45,6 +47,7 @@
 #include "stats/path_order.h"
 #include "stats/pathid_frequency.h"
 #include "join/structural_join.h"
+#include "service/maintenance.h"
 #include "service/plan_cache.h"
 #include "service/service.h"
 #include "service/service_stats.h"

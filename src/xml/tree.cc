@@ -34,6 +34,22 @@ void Document::AddAttribute(NodeId node, std::string_view name,
       Attribute{std::string(name), std::string(value)});
 }
 
+bool Document::DetachSubtree(NodeId n) {
+  Node& node = At(n);
+  if (node.parent == kNullNode) return false;
+  std::vector<NodeId>& kids = nodes_[node.parent].children;
+  const size_t at = node.sibling_index;
+  XEE_CHECK(at < kids.size() && kids[at] == n);
+  kids.erase(kids.begin() + static_cast<ptrdiff_t>(at));
+  for (size_t i = at; i < kids.size(); ++i) {
+    nodes_[kids[i]].sibling_index = static_cast<uint32_t>(i);
+  }
+  node.parent = kNullNode;
+  node.sibling_index = 0;
+  finalized_ = false;
+  return true;
+}
+
 void Document::Finalize() {
   if (finalized_) return;
   XEE_CHECK(!nodes_.empty());

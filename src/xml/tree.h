@@ -61,6 +61,17 @@ class Document {
   void AddAttribute(NodeId node, std::string_view name,
                     std::string_view value);
 
+  /// Interns `name` without creating a node; returns its TagId. Lets a
+  /// compaction copy reproduce a source document's tag-id assignment
+  /// before any nodes are appended (delta/ materialization).
+  TagId EnsureTag(std::string_view name) { return InternTag(name); }
+
+  /// Unlinks the subtree rooted at `n` from its parent. The arena slots
+  /// stay allocated — NodeIds of the remaining tree are stable — but the
+  /// subtree is no longer reachable from the root. Clears the finalized
+  /// state. Returns false for the root, which cannot be detached.
+  bool DetachSubtree(NodeId n);
+
   /// Computes pre-order intervals; idempotent. Must be called before
   /// IsBefore / IsAncestorOf / PreorderIndex.
   void Finalize();

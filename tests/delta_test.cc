@@ -1,0 +1,302 @@
+// Unit tests for the delta module (DESIGN.md §14): LiveDocument
+// mutation semantics, the LiveSynopsis exactness contract (sibling
+// clones bitwise-equal to a scratch rebuild), patch-error accounting
+// against the budget, delta.corrupt rejection atomicity, and the
+// Add/Sub algebra of the maintained path-order tables. The randomized
+// differential battery lives in the fuzzer (src/fuzz/delta_fuzz.cc);
+// these are the deterministic anchors.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "delta/document_delta.h"
+#include "delta/live_synopsis.h"
+#include "encoding/labeling.h"
+#include "estimator/synopsis.h"
+#include "histogram/p_histogram.h"
+#include "stats/path_order.h"
+#include "stats/pathid_frequency.h"
+#include "xml/tree.h"
+
+namespace xee {
+namespace {
+
+// The paper's Figure 1 document (same shape the fuzz harness anchors
+// on): three A subtrees with B/C/D/E/F leaves, enough sibling-tag
+// variety that clone inserts move other tags' order cells.
+xml::Document Figure1() {
+  xml::Document doc;
+  auto root = doc.CreateRoot("Root");
+  auto a1 = doc.AppendChild(root, "A");
+  auto b1 = doc.AppendChild(a1, "B");
+  doc.AppendChild(b1, "D");
+  doc.AppendChild(b1, "E");
+  auto a2 = doc.AppendChild(root, "A");
+  auto b2 = doc.AppendChild(a2, "B");
+  doc.AppendChild(b2, "D");
+  auto c2 = doc.AppendChild(a2, "C");
+  doc.AppendChild(c2, "E");
+  doc.AppendChild(c2, "F");
+  auto b3 = doc.AppendChild(a2, "B");
+  doc.AppendChild(b3, "D");
+  auto a3 = doc.AppendChild(root, "A");
+  auto c3 = doc.AppendChild(a3, "C");
+  doc.AppendChild(c3, "E");
+  auto b4 = doc.AppendChild(a3, "B");
+  doc.AppendChild(b4, "D");
+  doc.Finalize();
+  return doc;
+}
+
+struct Bed {
+  std::unique_ptr<delta::LiveDocument> live;
+  std::unique_ptr<delta::LiveSynopsis> syn;
+};
+
+Bed MakeBed(double budget = 0.05) {
+  Bed bed;
+  bed.live = std::make_unique<delta::LiveDocument>(Figure1());
+  estimator::SynopsisOptions build;
+  auto base = std::make_shared<estimator::Synopsis>(
+      estimator::Synopsis::Build(bed.live->doc(), build));
+  delta::PatchOptions popt;
+  popt.error_budget = budget;
+  popt.build = build;
+  bed.syn = std::make_unique<delta::LiveSynopsis>(std::move(base),
+                                                  bed.live.get(), popt);
+  return bed;
+}
+
+delta::DeltaOp CloneOfRank(const delta::LiveDocument& live, uint32_t rank) {
+  const std::vector<xml::NodeId> by_rank = live.PreorderNodes();
+  const xml::NodeId node = by_rank[rank];
+  const xml::NodeId parent = live.doc().Parent(node);
+  delta::DeltaOp op;
+  op.kind = delta::DeltaOp::Kind::kInsert;
+  op.subtree = delta::SpecFromSubtree(live, node);
+  for (size_t i = 0; i < by_rank.size(); ++i) {
+    if (by_rank[i] == parent) op.target = static_cast<uint32_t>(i);
+  }
+  return op;
+}
+
+delta::DeltaOp NovelInsert(uint32_t target, const std::string& tag) {
+  delta::DeltaOp op;
+  op.kind = delta::DeltaOp::Kind::kInsert;
+  op.target = target;
+  op.subtree.tags = {tag};
+  op.subtree.parent = {-1};
+  return op;
+}
+
+TEST(LiveDocumentTest, InsertDeleteMaterialize) {
+  delta::LiveDocument live(Figure1());
+  const size_t n0 = live.live_nodes();
+  const uint64_t seq0 = live.seq();
+
+  delta::DocumentDelta d;
+  d.ops.push_back(CloneOfRank(live, 2));  // clone the first B subtree
+  auto targets = live.ResolveTargets(d);
+  ASSERT_TRUE(targets.ok());
+  const auto ids =
+      live.InsertSubtree(targets.value()[0], d.ops[0].subtree);
+  EXPECT_EQ(ids.size(), 3u);  // B + D + E
+  EXPECT_EQ(live.live_nodes(), n0 + 3);
+  EXPECT_GT(live.seq(), seq0);
+
+  // Materialize compacts to exactly the live shape, pristine.
+  xml::Document mat = live.Materialize();
+  EXPECT_EQ(mat.NodeCount(), live.live_nodes());
+  EXPECT_TRUE(mat.finalized());
+
+  // Delete the inserted subtree: nodes are detached, not reused.
+  live.DeleteSubtree(ids[0]);
+  EXPECT_EQ(live.live_nodes(), n0);
+  EXPECT_TRUE(live.detached(ids[0]));
+  EXPECT_TRUE(live.detached(ids[2]));
+}
+
+TEST(LiveDocumentTest, RejectsInvalidTargets) {
+  delta::LiveDocument live(Figure1());
+  delta::DocumentDelta d;
+  delta::DeltaOp del;
+  del.kind = delta::DeltaOp::Kind::kDelete;
+  del.target = 0;  // the root is never deletable
+  d.ops.push_back(del);
+  EXPECT_FALSE(live.ResolveTargets(d).ok());
+
+  d.ops[0].target = static_cast<uint32_t>(live.live_nodes());  // past end
+  EXPECT_FALSE(live.ResolveTargets(d).ok());
+}
+
+// The exactness contract, and the order-only-dirt regression: a clone
+// of an earlier sibling charges nothing, and the patched synopsis —
+// including the o-histograms of *other* tags in the sibling group,
+// whose frequencies did not change but whose order cells did — is
+// bitwise identical to a scratch rebuild of the mutated document.
+TEST(LiveSynopsisTest, SiblingCloneIsBitwiseExact) {
+  Bed bed = MakeBed();
+  delta::DocumentDelta d;
+  d.ops.push_back(CloneOfRank(*bed.live, 6));  // clone a2's B subtree
+  auto res = bed.syn->Apply(d);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().charged_nodes, 0.0);
+  EXPECT_EQ(res.value().patch_error, 0.0);
+  EXPECT_FALSE(res.value().budget_exhausted);
+
+  const xml::Document mat = bed.live->Materialize();
+  const estimator::Synopsis scratch =
+      estimator::Synopsis::Build(mat, estimator::SynopsisOptions{});
+  EXPECT_EQ(res.value().synopsis->Serialize(), scratch.Serialize());
+}
+
+TEST(LiveSynopsisTest, NovelInsertChargesBudget) {
+  Bed bed = MakeBed(/*budget=*/0.5);
+  delta::DocumentDelta d;
+  d.ops.push_back(NovelInsert(/*target=*/1, "Zed"));  // new path under A
+  auto res = bed.syn->Apply(d);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res.value().charged_nodes, 0.0);
+  EXPECT_GT(bed.syn->patch_error(), 0.0);
+  EXPECT_FALSE(bed.syn->budget_exhausted());
+}
+
+TEST(LiveSynopsisTest, BudgetExhaustsAndSticks) {
+  Bed bed = MakeBed(/*budget=*/0.01);  // one novel insert blows it
+  delta::DocumentDelta d;
+  d.ops.push_back(NovelInsert(1, "Zed"));
+  auto res = bed.syn->Apply(d);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().budget_exhausted);
+  EXPECT_TRUE(bed.syn->budget_exhausted());
+
+  // A later exact batch cannot un-blow the budget: charged error is
+  // cumulative until a rebuild re-bases.
+  delta::DocumentDelta clone;
+  clone.ops.push_back(CloneOfRank(*bed.live, 2));
+  auto res2 = bed.syn->Apply(clone);
+  ASSERT_TRUE(res2.ok());
+  EXPECT_TRUE(bed.syn->budget_exhausted());
+}
+
+TEST(LiveSynopsisTest, ResetToBaseClearsBudget) {
+  Bed bed = MakeBed(/*budget=*/0.01);
+  delta::DocumentDelta d;
+  d.ops.push_back(NovelInsert(1, "Zed"));
+  ASSERT_TRUE(bed.syn->Apply(d).ok());
+  ASSERT_TRUE(bed.syn->budget_exhausted());
+
+  // The rebuild-publish path: compact the document, rebuild, re-base.
+  xml::Document mat = bed.live->Materialize();
+  auto rebuilt = std::make_shared<estimator::Synopsis>(
+      estimator::Synopsis::Build(mat, estimator::SynopsisOptions{}));
+  bed.live->Compact(std::move(mat));
+  bed.syn->ResetToBase(rebuilt);
+  EXPECT_EQ(bed.syn->patch_error(), 0.0);
+  EXPECT_FALSE(bed.syn->budget_exhausted());
+
+  // And the previously-novel path is now represented: a clone of it is
+  // exact again.
+  delta::DocumentDelta clone;
+  clone.ops.push_back(CloneOfRank(*bed.live, 2));
+  auto res = bed.syn->Apply(clone);
+  ASSERT_TRUE(res.ok());
+  const estimator::Synopsis scratch = estimator::Synopsis::Build(
+      bed.live->Materialize(), estimator::SynopsisOptions{});
+  EXPECT_EQ(res.value().synopsis->Serialize(), scratch.Serialize());
+}
+
+TEST(LiveSynopsisTest, CorruptFaultRejectsAtomically) {
+  Bed bed = MakeBed();
+  const size_t n0 = bed.live->live_nodes();
+  const uint64_t seq0 = bed.live->seq();
+
+  FaultConfig cfg;
+  cfg.probability = 1.0;
+  cfg.max_fires = 1;
+  FaultInjector::Global().Arm(delta::LiveDocument::kCorruptFaultSite, cfg);
+  delta::DocumentDelta d;
+  d.ops.push_back(CloneOfRank(*bed.live, 2));
+  auto res = bed.syn->Apply(d);
+  FaultInjector::Global().Reset();
+
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+  // Nothing moved: document untouched, no error charged.
+  EXPECT_EQ(bed.live->live_nodes(), n0);
+  EXPECT_EQ(bed.live->seq(), seq0);
+  EXPECT_EQ(bed.syn->patch_error(), 0.0);
+
+  // Disarmed, the same batch applies and stays exact.
+  auto res2 = bed.syn->Apply(d);
+  ASSERT_TRUE(res2.ok());
+  EXPECT_EQ(res2.value().charged_nodes, 0.0);
+}
+
+// Ops whose target was removed by an earlier op of the same batch are
+// skipped and counted, not errors (the documented batch semantics).
+TEST(LiveSynopsisTest, OpsOnRemovedSubtreeAreSkipped) {
+  Bed bed = MakeBed();
+  delta::DocumentDelta d;
+  delta::DeltaOp del;
+  del.kind = delta::DeltaOp::Kind::kDelete;
+  del.target = 2;  // the first B subtree (B, D, E)
+  d.ops.push_back(del);
+  d.ops.push_back(CloneOfRank(*bed.live, 3));  // D inside it: now gone
+  auto res = bed.syn->Apply(d);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().ops_applied, 1u);
+  EXPECT_EQ(res.value().ops_skipped, 1u);
+  EXPECT_EQ(res.value().nodes_deleted, 3u);
+}
+
+TEST(PathOrderTableTest, SubErasesZeroCells) {
+  stats::PathOrderTable t;
+  t.Add(stats::OrderRegion::kBefore, /*other=*/1, /*pid=*/2, 3);
+  t.Add(stats::OrderRegion::kBefore, 1, 2, 2);
+  t.Add(stats::OrderRegion::kAfter, 1, 2, 1);
+  EXPECT_EQ(t.Get(stats::OrderRegion::kBefore, 1, 2), 5u);
+  EXPECT_EQ(t.CellCount(), 2u);
+
+  t.Sub(stats::OrderRegion::kBefore, 1, 2, 5);
+  t.Sub(stats::OrderRegion::kAfter, 1, 2, 1);
+  EXPECT_EQ(t.Get(stats::OrderRegion::kBefore, 1, 2), 0u);
+  EXPECT_EQ(t.CellCount(), 0u);
+  // Canonical sparseness: fully retracted == never touched.
+  EXPECT_EQ(t, stats::PathOrderTable{});
+}
+
+TEST(PHistogramTest, FromExactRowsMatchesBuild) {
+  std::map<encoding::PidRef, uint64_t> rows;
+  rows[3] = 40;
+  rows[5] = 7;
+  rows[9] = 12;
+  std::vector<stats::PidFreq> list;
+  for (const auto& [pid, freq] : rows) list.push_back({pid, freq});
+
+  for (const bool equi : {false, true}) {
+    const histogram::PHistogram direct =
+        histogram::PHistogram::FromExactRows(rows, /*variance=*/0.1, equi);
+    histogram::PHistogram expect =
+        histogram::PHistogram::Build(list, /*variance=*/0.1);
+    if (equi) {
+      expect = histogram::PHistogram::BuildEquiCount(list,
+                                                     expect.BucketCount());
+    }
+    ASSERT_EQ(direct.buckets().size(), expect.buckets().size());
+    for (size_t i = 0; i < direct.buckets().size(); ++i) {
+      EXPECT_EQ(direct.buckets()[i].pids, expect.buckets()[i].pids)
+          << "bucket " << i << " equi=" << equi;
+      EXPECT_EQ(direct.buckets()[i].avg_freq, expect.buckets()[i].avg_freq)
+          << "bucket " << i << " equi=" << equi;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xee

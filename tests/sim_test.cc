@@ -380,6 +380,27 @@ TEST(SimulatorTest, ChaosScenarioIsDeterministicAndBudgeted) {
   EXPECT_GT(a.totals.shed, 0u);
 }
 
+TEST(SimulatorTest, LiveChurnScenarioIsDeterministicAndSelfHeals) {
+  // Half-scale keeps both delta bursts and the budget-blowing novel
+  // skew inside the horizon. Run twice: same fingerprint (rebuild
+  // completions and background fault fires are wall-clock-dependent and
+  // deliberately outside it), and the self-healing loop must actually
+  // engage — patches blow the budget (stale marks) and the drained run
+  // ends settled, which the "self-heal" invariant checks.
+  sim::Scenario sc = sim::ScaledScenario(sim::LiveUpdateChurn(), 0.5);
+  const sim::SimResult a = sim::RunScenario(sc);
+  const sim::SimResult b = sim::RunScenario(sc);
+  EXPECT_TRUE(a.ok()) << a.invariants.Summary();
+  EXPECT_TRUE(b.ok()) << b.invariants.Summary();
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_GT(a.totals.deltas_applied, 0u);
+  EXPECT_EQ(a.totals.deltas_attempted,
+            a.totals.deltas_applied + a.totals.deltas_rejected);
+  EXPECT_GT(a.totals.stale_marks, 0u);
+  EXPECT_EQ(a.totals.epoch_regressions, 0u);
+  EXPECT_EQ(a.totals.deltas_applied, b.totals.deltas_applied);
+}
+
 TEST(SimulatorTest, ConcurrentModeHoldsInvariants) {
   sim::Scenario sc = sim::ScaledScenario(sim::PoissonSteady(), 0.05);
   sc.workers = 4;
