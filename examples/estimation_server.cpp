@@ -319,8 +319,9 @@ int main(int argc, char** argv) {
                               ? "canonical-hit"
                               : "miss";
     if (r.ok()) {
-      std::printf("%.1f  (%s%s, %.1fus)\n", r.value(), outcome,
-                  r.degraded ? ", degraded" : "", us);
+      std::printf("%.1f  (%s%s%s, %.1fus)\n", r.value(), outcome,
+                  r.pruned ? ", pruned" : "", r.degraded ? ", degraded" : "",
+                  us);
     } else if (r.shed) {
       std::printf("overloaded: retry in %ums (see common/backoff.h)\n",
                   r.retry_after_ms);

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # The full pre-merge battery, in increasing order of cost:
 #
-#   1. tier-1 build + ctest (unit, accuracy, smoke, live labels —
-#      includes the formula-tail differential suites and the live-
-#      document maintenance suite: delta_test pins the sibling-clone
-#      bitwise-exactness contract, maintenance_test the rebuild
-#      retry/abandon ledger and self-healing policy)
+#   1. tier-1 build + ctest (unit, accuracy, smoke, live, intel labels
+#      — includes the formula-tail differential suites, the live-
+#      document maintenance suite, and the query-intelligence suite:
+#      analyze_test pins the prune/rewrite soundness contracts against
+#      exact counts and bitwise differentials, prune_fuzz_smoke runs
+#      the 30k-iteration prune-soundness oracle)
 #   2. quality slice: the accuracy-observability suite (shadow-sampling
 #      correctness, drift detection, export schema + export fuzz;
 #      ctest label `quality`)
@@ -14,11 +15,13 @@
 #
 # The fuzz, chaos, and simulator smokes run inside step 1 via their
 # ctest entries (label `smoke`; simulate_smoke runs every scenario
-# family — live_update_churn included — time-scaled and fails on any
-# drain-invariant violation), and the fuzz/chaos smokes plus the live
-# maintenance tests run again under ASan in step 4; the TSan slice
-# also drives two simulator scenarios in concurrent mode, one of them
-# the live-churn scenario with rebuilds racing traffic. Run from the
+# family — live_update_churn and the intel_alias_storm on/off pair
+# included — time-scaled and fails on any drain-invariant violation),
+# and the fuzz/chaos/prune smokes plus the live maintenance and
+# analyzer tests run again under ASan in step 4; the TSan slice also
+# drives simulator scenarios in concurrent mode: the live-churn
+# scenario with rebuilds racing traffic, and the analyzer alias storm
+# with shared pruned/rewritten plans probed across a worker pool. Run from the
 # repository root:
 #
 #   scripts/check_all.sh            # everything

@@ -11,12 +11,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER="${1:-ServiceTest|EstimateOptDiff|CanonicalTest|EstimatorTest|ObsTest|AccuracyTrackerTest|ShadowSamplingTest|MaintenanceTest}"
+FILTER="${1:-ServiceTest|EstimateOptDiff|CanonicalTest|EstimatorTest|ObsTest|AccuracyTrackerTest|ShadowSamplingTest|MaintenanceTest|ServiceIntel}"
 
 cmake -B build-tsan -S . -DXEE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
   --target service_test canonical_test estimator_test obs_test \
-  estimate_opt_diff_test maintenance_test \
+  estimate_opt_diff_test maintenance_test analyze_test \
   accuracy_obs_test accuracy_shadow_test simulate
 (cd build-tsan && ctest -R "$FILTER" --output-on-failure)
 
@@ -31,4 +31,10 @@ build-tsan/bench/simulate --scenario=bursty_overload_chaos \
 # tentpole's data-race surface).
 build-tsan/bench/simulate --scenario=live_update_churn \
   --workers=2 --duration-ms=2000 >/dev/null
+# The analyzer alias storm in concurrent mode: workers racing to probe
+# and insert shared pruned/rewritten plans, against a small cache that
+# keeps evicting them (the query-intelligence data-race surface;
+# ServiceIntel's concurrent-batch test covers the same paths in-process).
+build-tsan/bench/simulate --scenario=intel_alias_storm \
+  --workers=4 --duration-ms=2000 >/dev/null
 echo "TSan checks passed."

@@ -3,22 +3,23 @@
 # JSON at the repository root, so PRs can diff throughput and shadow-
 # sampling cost instead of eyeballing stdout. One combined file carries
 # bench_service_throughput (qps + delta-scraped per-stage latency + the
-# estimate-memo comparison + the accuracy-sampling sweep),
+# estimate-memo comparison + the analyzer alias-storm contrast + the
+# accuracy-sampling sweep),
 # bench_update_throughput (incremental delta maintenance vs the
 # rebuild-per-delta and position-histogram baselines, plus estimate
 # latency quantiles with background rebuilds in flight), and the
 # simulator trajectories (every scenario family at its pinned seed,
-# live_update_churn included: per-window rows plus one summary row
-# each):
+# live_update_churn and the intel_alias_storm on/off pair included:
+# per-window rows plus one summary row each):
 #
 #   {"bench_file_version":2,"recorded":{...config...},"rows":[...]}
 #
 # Usage, from the repository root (flags pass through to the bench):
 #
-#   scripts/record_bench.sh                         # -> BENCH_pr8.json
+#   scripts/record_bench.sh                         # -> BENCH_pr9.json
 #   OUT=BENCH_tmp.json scripts/record_bench.sh --scale=0.1
 #
-# The environment knobs: OUT (output path, default BENCH_pr8.json),
+# The environment knobs: OUT (output path, default BENCH_pr9.json),
 # BUILD (build tree, default build). Numbers are machine-dependent —
 # compare rows recorded on the same box only. Stage rows measured with
 # more threads than cores carry "oversubscribed":true; exclude them
@@ -26,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_pr8.json}"
+OUT="${OUT:-BENCH_pr9.json}"
 BUILD="${BUILD:-build}"
 ARGS=("$@")
 if [[ "${#ARGS[@]}" -eq 0 ]]; then

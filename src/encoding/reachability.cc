@@ -1,0 +1,74 @@
+#include "encoding/reachability.h"
+
+namespace xee::encoding {
+
+TagReachability TagReachability::Build(const EncodingTable& table,
+                                       size_t tag_count) {
+  TagReachability r;
+  r.tag_count_ = tag_count;
+  r.desc_.assign(tag_count, PathIdBits(tag_count));
+  r.child_.assign(tag_count, PathIdBits(tag_count));
+  r.gap_.assign(tag_count, PathIdBits(tag_count));
+  r.depth2_.assign(tag_count, 0);
+  r.depth3_.assign(tag_count, 0);
+  r.nonleaf_.assign(tag_count, 0);
+  r.deep_above_.assign(tag_count, 0);
+
+  for (uint32_t enc = 1; enc <= table.PathCount(); ++enc) {
+    const TagPath& path = table.Path(enc);
+    const size_t len = path.size();
+    if (len >= 2) r.any_depth2_ = true;
+    if (len >= 3) r.any_depth3_ = true;
+    for (size_t i = 0; i < len; ++i) {
+      const xml::TagId a = path[i];
+      if (!r.InRange(a)) continue;
+      if (i >= 1) r.depth2_[a] = 1;
+      if (i >= 2) r.depth3_[a] = 1;
+      if (i + 1 < len) r.nonleaf_[a] = 1;
+      if (i + 2 < len) r.deep_above_[a] = 1;
+      for (size_t j = i + 1; j < len; ++j) {
+        const xml::TagId b = path[j];
+        if (!r.InRange(b)) continue;
+        r.desc_[a].Set(b + 1);
+        if (j == i + 1) r.child_[a].Set(b + 1);
+        if (j >= i + 2) r.gap_[a].Set(b + 1);
+      }
+    }
+  }
+  return r;
+}
+
+bool TagReachability::Below(xml::TagId above, xml::TagId below,
+                            bool immediate) const {
+  // On a root-to-leaf path, "has any strict descendant" and "has a child"
+  // coincide (as do "has a proper ancestor" and "has a parent"), so the
+  // wildcard answers are immediate-agnostic.
+  if (above == kWildcardTag && below == kWildcardTag) return any_depth2_;
+  if (above == kWildcardTag) return InRange(below) && depth2_[below] != 0;
+  if (below == kWildcardTag) return InRange(above) && nonleaf_[above] != 0;
+  if (!InRange(above) || !InRange(below)) return false;
+  return (immediate ? child_ : desc_)[above].Test(below + 1);
+}
+
+bool TagReachability::BelowGap(xml::TagId above, xml::TagId below) const {
+  if (above == kWildcardTag && below == kWildcardTag) return any_depth3_;
+  if (above == kWildcardTag) return InRange(below) && depth3_[below] != 0;
+  if (below == kWildcardTag) return InRange(above) && deep_above_[above] != 0;
+  if (!InRange(above) || !InRange(below)) return false;
+  return gap_[above].Test(below + 1);
+}
+
+bool TagReachability::HasProperAncestor(xml::TagId t) const {
+  return InRange(t) && depth2_[t] != 0;
+}
+
+size_t TagReachability::SizeBytes() const {
+  size_t b = sizeof(TagReachability);
+  for (const PathIdBits& row : desc_) b += row.words().size() * 8;
+  for (const PathIdBits& row : child_) b += row.words().size() * 8;
+  for (const PathIdBits& row : gap_) b += row.words().size() * 8;
+  b += depth2_.size() + depth3_.size() + nonleaf_.size() + deep_above_.size();
+  return b;
+}
+
+}  // namespace xee::encoding

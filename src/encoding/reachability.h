@@ -1,0 +1,78 @@
+#ifndef XEE_ENCODING_REACHABILITY_H_
+#define XEE_ENCODING_REACHABILITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitset.h"
+#include "encoding/encoding_table.h"
+
+namespace xee::encoding {
+
+/// Tag-pair reachability closure over an encoding table (DESIGN.md §15).
+///
+/// Every element pair related by ancestor/descendant in the document lies
+/// on a common root-to-leaf tag path, and every such path is a row of the
+/// encoding table. The closure therefore over-approximates the document's
+/// tag-pair containment relation: `Below(a, b, ...)` false is a proof that
+/// no element tagged `b` sits below an element tagged `a` anywhere, which
+/// is what makes the static analyzer's satisfiability prunes sound. The
+/// converse direction is not claimed (a tag pair can co-occur on a path
+/// without any instance pair being related), so `true` only means "cannot
+/// rule it out".
+///
+/// Built once per synopsis in O(sum of path-length²) and shared immutably
+/// with patched clones: incremental maintenance never extends the path
+/// set (a delta introducing a new root-to-leaf path forces a rebuild), so
+/// a closure over the table stays an over-approximation for the lifetime
+/// of the path structures it was derived from.
+class TagReachability {
+ public:
+  TagReachability() = default;
+
+  /// Builds the closure over every path of `table`. Tag ids in paths must
+  /// be < `tag_count`; out-of-range ids (impossible for tables built by
+  /// LabelDocument or accepted by Synopsis::Deserialize) are ignored.
+  static TagReachability Build(const EncodingTable& table, size_t tag_count);
+
+  size_t tag_count() const { return tag_count_; }
+
+  /// True iff some encoded path has an occurrence of `below` strictly
+  /// below (with `immediate`: directly below) an occurrence of `above`.
+  /// Either side may be kWildcardTag, quantifying over all tags.
+  bool Below(xml::TagId above, xml::TagId below, bool immediate) const;
+
+  /// True iff some encoded path has `below` at distance >= 2 under
+  /// `above`. When false, every below-relationship between the pair is a
+  /// direct parent/child step on every path — the licence for the
+  /// analyzer's descendant->child axis tightening. Wildcards quantify.
+  bool BelowGap(xml::TagId above, xml::TagId below) const;
+
+  /// True iff `t` occurs at depth >= 2 on some path, i.e. some occurrence
+  /// has a proper ancestor. False for a non-recursive root tag: the
+  /// licence for anchoring `//root` to `/root`.
+  bool HasProperAncestor(xml::TagId t) const;
+
+  /// Modeled memory footprint (three T-bit rows per tag plus flags).
+  size_t SizeBytes() const;
+
+ private:
+  bool InRange(xml::TagId t) const { return t < tag_count_; }
+
+  size_t tag_count_ = 0;
+  // Row per tag `a`; bit t+1 of a row marks tag t (PathIdBits is 1-based).
+  std::vector<PathIdBits> desc_;   // t strictly below a on some path
+  std::vector<PathIdBits> child_;  // t directly below a on some path
+  std::vector<PathIdBits> gap_;    // t at distance >= 2 below a
+  // Per-tag occurrence-depth facts.
+  std::vector<uint8_t> depth2_;      // occurs at depth >= 2
+  std::vector<uint8_t> depth3_;      // occurs at depth >= 3
+  std::vector<uint8_t> nonleaf_;     // occurs with >= 1 step below it
+  std::vector<uint8_t> deep_above_;  // occurs with >= 2 steps below it
+  bool any_depth2_ = false;  // some path has length >= 2
+  bool any_depth3_ = false;  // some path has length >= 3
+};
+
+}  // namespace xee::encoding
+
+#endif  // XEE_ENCODING_REACHABILITY_H_

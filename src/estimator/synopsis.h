@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "encoding/encoding_table.h"
 #include "encoding/labeling.h"
+#include "encoding/reachability.h"
 #include "histogram/o_histogram.h"
 #include "histogram/p_histogram.h"
 #include "pidtree/collapsed_pid_tree.h"
@@ -143,6 +144,11 @@ class Synopsis {
   /// The full lex-sorted decoded pid table (1-based refs index it at
   /// ref - 1). Shared with patched clones.
   const std::vector<PathIdBits>& AllPidBits() const { return *pid_bits_; }
+  /// Tag-pair reachability closure over the encoding table, for the
+  /// static analyzer (DESIGN.md §15). Derived from table_ at Build /
+  /// Deserialize time and shared into patched clones like the other
+  /// path structures (deltas never extend the path set).
+  const encoding::TagReachability& reach() const { return *reach_; }
 
   // --- Histograms -------------------------------------------------------
 
@@ -188,6 +194,10 @@ class Synopsis {
   std::shared_ptr<const encoding::EncodingTable> table_;
   std::shared_ptr<const pidtree::CollapsedPidTree> pid_tree_;
   std::shared_ptr<const std::vector<PathIdBits>> pid_bits_;
+  std::shared_ptr<const encoding::TagReachability> reach_;
+
+  /// Derives reach_ from table_ and tag_names_; call after both are set.
+  void BuildReach();
 
   std::vector<histogram::PHistogram> p_histos_;  // by TagId
   std::vector<histogram::OHistogram> o_histos_;  // by TagId; empty if no order

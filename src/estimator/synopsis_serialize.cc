@@ -274,6 +274,7 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data,
         std::move(pid_bits));
     out.pid_tree_ =
         std::make_shared<const pidtree::CollapsedPidTree>(*out.pid_bits_);
+    out.BuildReach();
     return out;
   }
   uint8_t has_values = 0;
@@ -314,6 +315,7 @@ Result<Synopsis> Synopsis::Deserialize(std::string_view data,
       std::move(pid_bits));
   out.pid_tree_ =
       std::make_shared<const pidtree::CollapsedPidTree>(*out.pid_bits_);
+  out.BuildReach();
   return out;
 }
 

@@ -137,6 +137,15 @@ class Harness {
   /// Service battery: EstimateBatch through the plan cache (cold, warm,
   /// after invalidation) against the bare estimator, bit-for-bit.
   Report RunServiceFuzz(const FuzzOptions& options) const;
+  /// Static-analyzer battery (xpath/analyze.h): grammar queries plus
+  /// programmatic unsat mutations (unknown tags, absolute-root
+  /// mismatches, order-constraint cycles) against the exact evaluator.
+  /// Oracles: every kUnsat verdict exact-counts to 0 on the bed's
+  /// document (prune soundness); every prune_safe verdict estimates to
+  /// bitwise 0.0; AnalyzeRewrite preserves the estimate bitwise and the
+  /// exact count, reaches a fixpoint, and leaves the query canonical;
+  /// QueryContains(sup, sub) == true implies count(sup) >= count(sub).
+  Report RunAnalyzeFuzz(const FuzzOptions& options) const;
   /// Delta battery: randomized mutation streams (sibling clones,
   /// novel-tag inserts, subtree deletes) through LiveSynopsis against a
   /// scratch rebuild of the materialized document. Oracles: zero
@@ -163,9 +172,9 @@ class Harness {
   /// JSON, whatever bytes they were fed.
   Report RunExportFuzz(const FuzzOptions& options) const;
   /// All of the above except chaos, splitting options.iterations
-  /// roughly 8:6:4:2:2:1 across query/synopsis/xml/service/delta/export
-  /// (chaos mutates the global fault injector, so it runs only when
-  /// asked for).
+  /// roughly 8:4:6:4:2:2:1 across query/analyze/synopsis/xml/service/
+  /// delta/export (chaos mutates the global fault injector, so it runs
+  /// only when asked for).
   Report RunAll(const FuzzOptions& options) const;
 
   /// Replays one corpus entry through the matching oracle battery and
@@ -187,6 +196,9 @@ class Harness {
   /// Derives monotonic variants of `q` and compares exact counts.
   void CheckMonotonicity(const TestBed& bed, Rng& rng, const xpath::Query& q,
                          Report* rep) const;
+  /// Runs the analyzer-oracle battery on one (valid) query.
+  void CheckAnalyze(const TestBed& bed, Rng& rng, const xpath::Query& q,
+                    Report* rep) const;
 
   std::vector<std::unique_ptr<TestBed>> beds_;
 };

@@ -1,7 +1,8 @@
 // Deterministic fuzz driver: same seed, same report, every run.
 //
-//   fuzz_driver [--iters N] [--seed S] [--generator all|query|synopsis|
-//                xml|service|delta|chaos|export] [--corpus DIR] [--chaos]
+//   fuzz_driver [--iters N] [--seed S] [--generator all|query|analyze|
+//                synopsis|xml|service|delta|chaos|export] [--corpus DIR]
+//                [--chaos]
 //
 // Replays the corpus (when given), then runs N generated iterations.
 // --chaos is shorthand for --generator chaos: the service under
@@ -20,8 +21,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--iters N] [--seed S] [--generator "
-               "all|query|synopsis|xml|service|delta|chaos|export] [--corpus "
-               "DIR] [--chaos]\n",
+               "all|query|analyze|synopsis|xml|service|delta|chaos|export] "
+               "[--corpus DIR] [--chaos]\n",
                argv0);
   return 2;
 }
@@ -90,6 +91,8 @@ int main(int argc, char** argv) {
       generated = harness.RunXmlFuzz(options);
     } else if (generator == "service") {
       generated = harness.RunServiceFuzz(options);
+    } else if (generator == "analyze") {
+      generated = harness.RunAnalyzeFuzz(options);
     } else if (generator == "delta") {
       generated = harness.RunDeltaFuzz(options);
     } else if (generator == "chaos") {

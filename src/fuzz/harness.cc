@@ -22,6 +22,7 @@
 #include "service/service.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
+#include "xpath/analyze.h"
 #include "xpath/canonical.h"
 #include "xpath/parser.h"
 
@@ -168,6 +169,15 @@ Harness::Harness() {
   dblp_opt.seed = 11;
   dblp_opt.scale = 0.01;
   add_bed("dblp", datagen::GenerateDblp(dblp_opt));
+  // Appended last so the historical bed indices (and with them the
+  // replay corpus and seed streams of the older batteries) stay put.
+  // XMark's deep recursive parlist/listitem structure gives the
+  // analyzer battery reachable-pair and non-trivial-gap coverage the
+  // flatter beds cannot.
+  datagen::GenOptions xmark_opt;
+  xmark_opt.seed = 13;
+  xmark_opt.scale = 0.01;
+  add_bed("xmark", datagen::GenerateXMark(xmark_opt));
 }
 
 Harness::~Harness() = default;
@@ -402,6 +412,240 @@ void Harness::CheckQueryString(const TestBed& bed, Rng& rng,
   }
 
   CheckMonotonicity(bed, rng, q, rep);
+}
+
+void Harness::CheckAnalyze(const TestBed& bed, Rng& rng, const xpath::Query& q,
+                           Report* rep) const {
+  const estimator::Synopsis& syn = *bed.exact;
+  xpath::AnalyzerView view;
+  view.reach = &syn.reach();
+  view.find_tag = [&syn](const std::string& name) { return syn.FindTag(name); };
+  view.root_tag = syn.root_tag();
+  view.root_name = syn.TagName(syn.root_tag());
+
+  const xpath::Query canon = xpath::Canonicalize(q);
+  const std::string rendered = q.ToString();
+
+  // Oracle: prune soundness. A kUnsat verdict claims the exact count is
+  // 0 on the very document the synopsis summarizes — the one claim the
+  // whole pruning fast path rests on. The exact evaluator is the judge;
+  // one nonzero count is a finding.
+  const xpath::Analysis analysis = xpath::AnalyzeSatisfiability(canon, view);
+  if (analysis.verdict == xpath::SatVerdict::kUnsat) {
+    auto count = bed.exact_eval->Count(canon);
+    ++rep->monotonic_checked;
+    if (count.ok() && count.value() != 0) {
+      rep->findings.push_back(MakeFinding(
+          "analyze", "prune-unsound",
+          StrFormat("analyzer ruled '%s' unsat (%s) but exact count is %llu "
+                    "[bed %s]",
+                    canon.ToString().c_str(), analysis.reason,
+                    static_cast<unsigned long long>(count.value()),
+                    bed.name.c_str()),
+          rendered));
+    }
+  }
+
+  // Oracle: the prune_safe claim — the baseline estimator itself
+  // answers bitwise 0.0 — against every synopsis variant whose order
+  // support satisfies the service's prune gate. This is what makes the
+  // pruned outcome invisible in served bits.
+  struct Variant {
+    const char* label;
+    const estimator::Synopsis* syn;
+  };
+  const Variant variants[] = {{"exact", bed.exact.get()},
+                              {"coarse", bed.coarse.get()},
+                              {"no-order", bed.no_order.get()}};
+  if (analysis.verdict == xpath::SatVerdict::kUnsat && analysis.prune_safe) {
+    for (const Variant& var : variants) {
+      if (!canon.orders.empty() && !var.syn->has_order()) continue;
+      estimator::Estimator est(*var.syn);
+      auto e = est.Estimate(canon);
+      ++rep->estimates_checked;
+      if (!e.ok() || !BitwiseEq(e.value(), 0.0)) {
+        rep->findings.push_back(MakeFinding(
+            "analyze", "prune-bitwise",
+            StrFormat("prune_safe verdict (%s) but Estimate='%s'/%.17g on "
+                      "'%s' [%s/%s]",
+                      analysis.reason, e.status().ToString().c_str(),
+                      e.ok() ? e.value() : -1.0, canon.ToString().c_str(),
+                      bed.name.c_str(), var.label),
+            rendered));
+      }
+    }
+  }
+
+  // Oracle: rewrite invariance. Whatever AnalyzeRewrite did, the
+  // estimator must not be able to tell — same status, same bits — on
+  // every synopsis variant, and the exact evaluator must count the same
+  // documents. Then the driver must have reached a fixpoint and left
+  // the query canonical (its output is a cache key).
+  xpath::Query rewritten = canon;
+  const int applied = xpath::AnalyzeRewrite(&rewritten, view);
+  if (applied > 0) {
+    for (const Variant& var : variants) {
+      estimator::Estimator est(*var.syn);
+      auto e1 = est.Estimate(canon);
+      auto e2 = est.Estimate(rewritten);
+      ++rep->estimates_checked;
+      if (e1.ok() != e2.ok() ||
+          (!e1.ok() && e1.status().code() != e2.status().code())) {
+        rep->findings.push_back(MakeFinding(
+            "analyze", "rewrite-status",
+            StrFormat("'%s' -> '%s': Estimate %s vs %s [%s/%s]",
+                      canon.ToString().c_str(), rewritten.ToString().c_str(),
+                      e1.status().ToString().c_str(),
+                      e2.status().ToString().c_str(), bed.name.c_str(),
+                      var.label),
+            rendered));
+      } else if (e1.ok() && !BitwiseEq(e1.value(), e2.value())) {
+        rep->findings.push_back(MakeFinding(
+            "analyze", "rewrite-bitwise",
+            StrFormat("'%s' -> '%s': %.17g vs %.17g [%s/%s]",
+                      canon.ToString().c_str(), rewritten.ToString().c_str(),
+                      e1.value(), e2.value(), bed.name.c_str(), var.label),
+            rendered));
+      }
+    }
+    auto c1 = bed.exact_eval->Count(canon);
+    auto c2 = bed.exact_eval->Count(rewritten);
+    ++rep->monotonic_checked;
+    if (c1.ok() && c2.ok() && c1.value() != c2.value()) {
+      rep->findings.push_back(MakeFinding(
+          "analyze", "rewrite-exact",
+          StrFormat("'%s' -> '%s': exact count %llu vs %llu [bed %s]",
+                    canon.ToString().c_str(), rewritten.ToString().c_str(),
+                    static_cast<unsigned long long>(c1.value()),
+                    static_cast<unsigned long long>(c2.value()),
+                    bed.name.c_str()),
+          rendered));
+    }
+    xpath::Query again = rewritten;
+    if (xpath::AnalyzeRewrite(&again, view) != 0) {
+      rep->findings.push_back(MakeFinding(
+          "analyze", "rewrite-fixpoint",
+          "AnalyzeRewrite applied more rules on its own output: '" +
+              rewritten.ToString() + "' -> '" + again.ToString() + "'",
+          rendered));
+    }
+    if (xpath::SerializeKey(xpath::Canonicalize(rewritten)) !=
+        xpath::SerializeKey(rewritten)) {
+      rep->findings.push_back(
+          MakeFinding("analyze", "rewrite-canonical",
+                      "AnalyzeRewrite output is not canonical: '" +
+                          rewritten.ToString() + "'",
+                      rendered));
+    }
+  }
+
+  // Oracle: containment claims imply ordered counts. Self-containment
+  // must hold outright (the identity is a homomorphism); for a random
+  // monotone relaxation, a positive QueryContains answer must agree
+  // with the exact evaluator (a negative one claims nothing).
+  if (canon.size() <= 12 && !xpath::QueryContains(canon, canon)) {
+    rep->findings.push_back(MakeFinding(
+        "analyze", "contain-self",
+        "QueryContains(q, q) is false for '" + canon.ToString() + "'",
+        rendered));
+  }
+  xpath::Query relaxed = canon;
+  switch (rng.Index(3)) {
+    case 0: {  // widen one non-sibling-endpoint child axis
+      std::vector<int> sites;
+      for (int i = 1; i < static_cast<int>(relaxed.size()); ++i) {
+        bool endpoint = false;
+        for (const auto& c : relaxed.orders) {
+          endpoint |= c.kind == xpath::OrderKind::kSibling &&
+                      (c.before == i || c.after == i);
+        }
+        if (!endpoint && relaxed.nodes[i].axis == xpath::StructAxis::kChild) {
+          sites.push_back(i);
+        }
+      }
+      if (!sites.empty()) {
+        relaxed.nodes[sites[rng.Index(sites.size())]].axis =
+            xpath::StructAxis::kDescendant;
+      }
+      break;
+    }
+    case 1:
+      relaxed.root_mode = xpath::RootMode::kAnywhere;
+      break;
+    case 2: {  // drop a predicate leaf
+      std::vector<int> droppable;
+      for (int i = 1; i < static_cast<int>(relaxed.size()); ++i) {
+        if (relaxed.nodes[i].children.empty() && i != relaxed.target) {
+          droppable.push_back(i);
+        }
+      }
+      if (!droppable.empty()) {
+        std::vector<bool> keep(relaxed.size(), true);
+        keep[droppable[rng.Index(droppable.size())]] = false;
+        relaxed = relaxed.SubQuery(keep);
+      }
+      break;
+    }
+  }
+  if (xpath::QueryContains(relaxed, canon)) {
+    auto sup = bed.exact_eval->Count(relaxed);
+    auto sub = bed.exact_eval->Count(canon);
+    ++rep->monotonic_checked;
+    if (sup.ok() && sub.ok() && sup.value() < sub.value()) {
+      rep->findings.push_back(MakeFinding(
+          "analyze", "contain-count",
+          StrFormat("QueryContains('%s' contains '%s') but counts %llu < %llu "
+                    "[bed %s]",
+                    relaxed.ToString().c_str(), canon.ToString().c_str(),
+                    static_cast<unsigned long long>(sup.value()),
+                    static_cast<unsigned long long>(sub.value()),
+                    bed.name.c_str()),
+          rendered));
+    }
+  }
+}
+
+Report Harness::RunAnalyzeFuzz(const FuzzOptions& options) const {
+  Report rep;
+  Rng master(options.seed);
+  for (size_t i = 0; i < options.iterations; ++i) {
+    Rng it = master.Split();
+    const TestBed& bed = *beds_[it.Index(beds_.size())];
+    const std::string s = GenerateQueryString(it, bed.tags);
+    auto parsed = xpath::ParseXPath(xpath::StripWhitespace(s));
+    ++rep.iterations;
+    if (!parsed.ok()) {
+      ++rep.parse_rejected;
+      continue;
+    }
+    ++rep.parse_ok;
+    xpath::Query q = std::move(parsed).value();
+    // Programmatic unsat mutations reach verdicts the string grammar
+    // cannot produce (order cycles) or produces only rarely (absolute
+    // roots off the document root, unknown tags at chosen positions).
+    if (it.Bernoulli(0.3)) {
+      switch (it.Index(3)) {
+        case 0:
+          q.nodes[it.Index(q.size())].tag = "zz-no-such-tag";
+          break;
+        case 1:
+          q.root_mode = xpath::RootMode::kAbsolute;
+          q.nodes[0].axis = xpath::StructAxis::kChild;
+          q.nodes[0].tag = bed.tags[it.Index(bed.tags.size())];
+          break;
+        case 2:
+          if (!q.orders.empty()) {
+            const xpath::OrderConstraint oc =
+                q.orders[it.Index(q.orders.size())];
+            q.orders.push_back({oc.kind, oc.after, oc.before});
+          }
+          break;
+      }
+      if (!q.Validate().ok()) continue;  // mutation broke an invariant
+    }
+    CheckAnalyze(bed, it, q, &rep);
+  }
+  return rep;
 }
 
 void Harness::CheckSynopsisBlob(const TestBed& bed, const std::string& blob,
@@ -1225,30 +1469,33 @@ Report Harness::RunExportFuzz(const FuzzOptions& options) const {
 }
 
 Report Harness::RunAll(const FuzzOptions& options) const {
-  // 8:6:4:2:2:1 across query/synopsis/xml/service/delta/export,
-  // distinct seed streams (the historical 8:6:4:2:1 split with the
-  // delta battery carved in alongside the service share).
+  // 8:4:6:4:2:2:1 across query/analyze/synopsis/xml/service/delta/
+  // export, distinct seed streams (the historical 8:6:4:2:2:1 split
+  // with the analyzer battery carved in after the query share).
   FuzzOptions part = options;
   Report rep;
-  part.iterations = options.iterations * 8 / 23;
+  part.iterations = options.iterations * 8 / 27;
   part.seed = options.seed;
   rep.Merge(RunQueryFuzz(part));
-  part.iterations = options.iterations * 6 / 23;
+  part.iterations = options.iterations * 4 / 27;
+  part.seed = options.seed ^ 0xa0761d6478bd642full;
+  rep.Merge(RunAnalyzeFuzz(part));
+  part.iterations = options.iterations * 6 / 27;
   part.seed = options.seed ^ 0x9e3779b97f4a7c15ull;
   rep.Merge(RunSynopsisFuzz(part));
-  part.iterations = options.iterations * 4 / 23;
+  part.iterations = options.iterations * 4 / 27;
   part.seed = options.seed ^ 0xbf58476d1ce4e5b9ull;
   rep.Merge(RunXmlFuzz(part));
-  part.iterations = options.iterations * 2 / 23;
+  part.iterations = options.iterations * 2 / 27;
   part.seed = options.seed ^ 0x94d049bb133111ebull;
   rep.Merge(RunServiceFuzz(part));
-  part.iterations = options.iterations * 2 / 23;
+  part.iterations = options.iterations * 2 / 27;
   part.seed = options.seed ^ 0x2545f4914f6cdd1dull;
   rep.Merge(RunDeltaFuzz(part));
-  part.iterations = options.iterations - options.iterations * 8 / 23 -
-                    options.iterations * 6 / 23 -
-                    options.iterations * 4 / 23 -
-                    2 * (options.iterations * 2 / 23);
+  part.iterations = options.iterations - options.iterations * 8 / 27 -
+                    options.iterations * 6 / 27 -
+                    2 * (options.iterations * 4 / 27) -
+                    2 * (options.iterations * 2 / 27);
   part.seed = options.seed ^ 0xd6e8feb86659fd93ull;
   rep.Merge(RunExportFuzz(part));
   return rep;

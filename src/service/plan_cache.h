@@ -23,6 +23,12 @@ struct CachedPlan {
   /// (degradation ladder, DESIGN.md §9). Degraded plans live under 'd'
   /// keys so a full-fidelity request never hits one by accident.
   bool degraded = false;
+  /// The static analyzer proved the query unsatisfiable and the plan is
+  /// a synthetic zero (DESIGN.md §15): `plan` carries no join, `estimate`
+  /// is exactly 0.0. The flag keeps the pruned label on cache hits and
+  /// keeps such plans out of the estimate memo (which stores bare
+  /// numbers and would lose it).
+  bool pruned = false;
 
   size_t ApproxBytes() const;
 };

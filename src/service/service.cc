@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "xpath/analyze.h"
 #include "xpath/canonical.h"
 #include "xpath/parser.h"
 
@@ -25,6 +26,18 @@ uint64_t NsSince(Clock::time_point start) {
 }  // namespace
 
 namespace {
+
+/// The static analyzer's window into a pinned synopsis snapshot. The
+/// returned view captures `syn` by reference; it must not outlive the
+/// request's snapshot.
+xpath::AnalyzerView MakeAnalyzerView(const estimator::Synopsis& syn) {
+  xpath::AnalyzerView view;
+  view.reach = &syn.reach();
+  view.find_tag = [&syn](const std::string& name) { return syn.FindTag(name); };
+  view.root_tag = syn.root_tag();
+  view.root_name = syn.TagName(syn.root_tag());
+  return view;
+}
 
 obs::AccuracyOptions MakeAccuracyOptions(const ServiceOptions& o) {
   obs::AccuracyOptions a;
@@ -268,8 +281,10 @@ EstimateOutcome EstimationService::EstimateAdmitted(
       if (hit && (!hit->degraded || req.allow_degraded)) {
         outcome_label = "exact-hit";
         stats_.exact_hits.Inc();
+        if (hit->pruned) stats_.analyzer_pruned.Inc();
         out.estimate = hit->estimate;
         out.degraded = hit->degraded && hit->estimate.ok();
+        out.pruned = hit->pruned;
         return out;
       }
     }
@@ -289,11 +304,63 @@ EstimateOutcome EstimationService::EstimateAdmitted(
 
     std::string body;
     xpath::Query canonical;
+    bool prune_now = false;
     {
       obs::ScopedStageTimer t(&spans, Stage::kCanonicalize,
                               stats_.StageHist(Stage::kCanonicalize), timed);
       canonical = xpath::Canonicalize(parsed.value());
+      // Static analysis (DESIGN.md §15) on the cache-miss path, inside
+      // the canonicalize stage (it is part of producing the plan key).
+      // A prune-safe unsatisfiability proof answers 0 below without a
+      // join; otherwise the estimator-invariant rewrites run, so alias
+      // spellings serialize to one shared plan key. The prune gate
+      // requires the estimator to have answered exactly 0.0 itself —
+      // wildcard-order and missing-order-statistics shapes keep their
+      // kUnsupported / degraded surface, bit-for-bit.
+      if (options_.enable_analyzer) {
+        stats_.analyzer_checked.Inc();
+        const xpath::AnalyzerView view = MakeAnalyzerView(*snap->synopsis);
+        const xpath::Analysis analysis =
+            xpath::AnalyzeSatisfiability(canonical, view);
+        if (analysis.verdict == xpath::SatVerdict::kUnsat &&
+            analysis.prune_safe &&
+            (canonical.orders.empty() || snap->synopsis->has_order())) {
+          prune_now = true;
+        } else if (xpath::AnalyzeRewrite(&canonical, view) > 0) {
+          stats_.analyzer_rewritten.Inc();
+        }
+      }
       body = xpath::SerializeKey(canonical);
+    }
+
+    // Pruned fast path: serve 0 and cache a synthetic zero plan under
+    // the epoch-scoped keys (a synopsis swap re-validates the verdict).
+    // Runs before the memo probe and never inserts into the memo — the
+    // memo stores bare numbers and would drop the pruned label.
+    if (prune_now) {
+      outcome_label = "pruned";
+      stats_.analyzer_pruned.Inc();
+      const std::string canonical_key = MakeKey('c', snap->epoch, body);
+      std::shared_ptr<const CachedPlan> plan;
+      {
+        obs::ScopedStageTimer t(&spans, Stage::kCacheLookup,
+                                stats_.StageHist(Stage::kCacheLookup), timed);
+        plan = cache_.Get(canonical_key);
+      }
+      if (!plan) {
+        estimator::Estimator::Compiled zero;
+        zero.query = canonical;
+        zero.zero = true;
+        zero.consts.emplace();  // estimate defaults to exactly 0.0
+        plan = std::make_shared<const CachedPlan>(
+            CachedPlan{std::move(zero), Result<double>{0.0},
+                       /*degraded=*/false, /*pruned=*/true});
+        cache_.PutCanonical(canonical_key, plan);
+      }
+      cache_.PutAlias(exact_key, std::move(plan));
+      out.estimate = Result<double>{0.0};
+      out.pruned = true;
+      return out;
     }
     // Estimate-memo probe: the finished number under (canonical hash,
     // epoch). Entries are ~100 bytes, so they outlive evicted plans —
@@ -326,9 +393,11 @@ EstimateOutcome EstimationService::EstimateAdmitted(
       if (hit) {
         outcome_label = "canonical-hit";
         stats_.canonical_hits.Inc();
+        if (hit->pruned) stats_.analyzer_pruned.Inc();
         cache_.PutAlias(exact_key, hit);
-        memo_.Insert('c', snap->epoch, body, hit->estimate);
+        if (!hit->pruned) memo_.Insert('c', snap->epoch, body, hit->estimate);
         out.estimate = hit->estimate;
+        out.pruned = hit->pruned;
         return out;
       }
     }

@@ -39,6 +39,13 @@ struct ServiceOptions {
   /// probe. Epoch-keyed, so snapshot swaps invalidate for free.
   /// 0 disables the memo.
   size_t estimate_memo_bytes = 1ull << 20;
+  /// Run the static query analyzer (xpath/analyze.h, DESIGN.md §15) on
+  /// plan-cache misses: answer provably-empty queries 0 in O(plan) with
+  /// outcome "pruned", and rewrite queries to estimator-invariant
+  /// cheaper forms so alias families share one cached plan. Served
+  /// numbers are bit-identical with the analyzer on or off; only the
+  /// pruned/rewritten labels and the cache economics change.
+  bool enable_analyzer = true;
   /// Worker threads for EstimateBatch; 0 = hardware concurrency.
   size_t threads = 0;
   /// Admission control: maximum requests estimating at once (single
@@ -154,6 +161,11 @@ struct EstimateOutcome {
   /// Shed by admission control before any work ran (status is
   /// kOverloaded; retry_after_ms carries the hint).
   bool shed = false;
+  /// Answered 0 by the static analyzer's satisfiability proof — no path
+  /// join or formula ran. The number (exactly 0.0) is what the full
+  /// pipeline would have produced; prune verdicts are epoch-keyed, so a
+  /// synopsis swap re-validates them.
+  bool pruned = false;
   /// Suggested client wait before retrying a shed request.
   uint32_t retry_after_ms = 0;
 

@@ -15,6 +15,12 @@ ServiceStats::ServiceStats(obs::Registry* registry)
       memo_hits(registry->GetCounter("service.estimate_memo", "outcome=hit")),
       memo_misses(
           registry->GetCounter("service.estimate_memo", "outcome=miss")),
+      analyzer_checked(
+          registry->GetCounter("service.analyzer", "outcome=checked")),
+      analyzer_pruned(
+          registry->GetCounter("service.analyzer", "outcome=pruned")),
+      analyzer_rewritten(
+          registry->GetCounter("service.analyzer", "outcome=rewritten")),
       shed(registry->GetCounter("service.outcome", "reason=shed")),
       shed_single(
           registry->GetCounter("service.shed", "reason=admission_single")),
@@ -45,6 +51,9 @@ ServiceStatsSnapshot ServiceStats::Snap(const LruStats& cache,
   s.misses = misses.value();
   s.memo_hits = memo_hits.value();
   s.memo_misses = memo_misses.value();
+  s.analyzer_checked = analyzer_checked.value();
+  s.analyzer_pruned = analyzer_pruned.value();
+  s.analyzer_rewritten = analyzer_rewritten.value();
   s.memo_evictions = memo.evictions;
   s.memo_bytes = memo.bytes;
   s.memo_entries = memo.entries;
@@ -97,6 +106,11 @@ std::string ServiceStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(memo_entries),
       HumanBytes(memo_bytes).c_str(),
       static_cast<unsigned long long>(memo_evictions));
+  out += StrFormat(
+      "analyzer: %llu checked, %llu pruned, %llu rewritten\n",
+      static_cast<unsigned long long>(analyzer_checked),
+      static_cast<unsigned long long>(analyzer_pruned),
+      static_cast<unsigned long long>(analyzer_rewritten));
   out += StrFormat(
       "robustness: %llu shed (%llu single, %llu batch), %llu degraded, "
       "%llu deadline-exceeded, %llu quarantined\n",

@@ -298,9 +298,61 @@ Scenario LiveUpdateChurn() {
   return s;
 }
 
+Scenario IntelAliasStorm() {
+  Scenario s;
+  s.name = "intel_alias_storm";
+  s.seed = 605;
+  s.duration_us = 10'000'000;
+  s.window_us = 1'000'000;
+
+  s.arrival.kind = ArrivalModel::Kind::kPoisson;
+  s.arrival.rate_qps = 350.0;
+
+  // The plan-sharing stress: a long-tail family table (shallow Zipf over
+  // 128 families) against a small plan cache and memo, with *semantic*
+  // respellings on top of the syntactic ones. Every "//x..." family has
+  // up to three live spellings — itself, an axis-expanded alias, and the
+  // root-anchored "/SITE//x..." form. The first two share a canonical
+  // key by construction; only the analyzer's anchor/elide rewrites
+  // reunite the third with the family's plan. Small caches make the
+  // difference measurable as hit-rate, not just entry counts.
+  s.tenants = 4;
+  s.dataset = "xmark";
+  s.dataset_scale = 0.05;
+  s.max_inflight = 128;
+  s.plan_cache_bytes = 256 << 10;
+  s.estimate_memo_bytes = 128 << 10;
+  s.accuracy_sample = 0;
+  s.service_min_us = 500;
+  s.service_exp_us = 4'500;
+
+  s.traffic.tenant_zipf_s = 1.0;
+  s.traffic.families_per_tenant = 128;
+  s.traffic.query_zipf_s = 0.6;  // long tail: cold families keep coming
+  s.traffic.alias_prob = 0.30;
+  s.traffic.semantic_alias_prob = 0.50;
+  s.traffic.garbage_prob = 0.01;
+  s.traffic.unknown_tenant_prob = 0.0;
+  s.traffic.p_infinite = 0.90;
+  s.traffic.p_expired = 0.01;
+  s.traffic.finite_ms = 2'000;
+  return s;
+}
+
+Scenario IntelAliasStormOff() {
+  // Same seed, same traffic, same caches — the control arm. The request
+  // stream and every served estimate are bit-identical to the on-arm
+  // (the analyzer is semantics-preserving), so the two trajectories
+  // share one fingerprint; only the cache-economics columns move.
+  Scenario s = IntelAliasStorm();
+  s.name = "intel_alias_storm_off";
+  s.enable_analyzer = false;
+  return s;
+}
+
 std::vector<std::string> ScenarioNames() {
   return {"poisson_steady", "bursty_overload_chaos", "diurnal_alias_storm",
-          "live_update_churn"};
+          "live_update_churn", "intel_alias_storm", "intel_alias_storm_off"};
 }
 
 bool ScenarioByName(const std::string& name, Scenario* out) {
@@ -312,6 +364,10 @@ bool ScenarioByName(const std::string& name, Scenario* out) {
     *out = DiurnalAliasStorm();
   } else if (name == "live_update_churn") {
     *out = LiveUpdateChurn();
+  } else if (name == "intel_alias_storm") {
+    *out = IntelAliasStorm();
+  } else if (name == "intel_alias_storm_off") {
+    *out = IntelAliasStormOff();
   } else {
     return false;
   }

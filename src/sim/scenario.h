@@ -68,6 +68,13 @@ struct Scenario {
   /// default so alias-storm scenarios exercise the memo rung under the
   /// same pressure production would see.
   size_t estimate_memo_bytes = 1ull << 20;
+  /// Static query analyzer (ServiceOptions::enable_analyzer): prune
+  /// provably-empty queries and rewrite alias families onto shared
+  /// plans. Served bits are analyzer-invariant, so flipping this must
+  /// not move the deterministic trajectory — only cache economics.
+  /// The intel_alias_storm / intel_alias_storm_off pair measures the
+  /// contrast.
+  bool enable_analyzer = true;
   size_t accuracy_sample = 0;  ///< 0 = shadow sampling off
 
   /// Virtual service time of an admitted, successful request:
@@ -116,12 +123,23 @@ struct Scenario {
 Scenario ScaledScenario(Scenario s, double factor);
 
 /// The named scenario families: Poisson steady-state, bursty overload
-/// with a chaos window, diurnal ramp with an alias storm, and live
-/// documents under delta churn with drift-triggered self-healing.
+/// with a chaos window, diurnal ramp with an alias storm, live
+/// documents under delta churn with drift-triggered self-healing, and
+/// the long-tail semantic-alias storm with the analyzer on vs off.
 Scenario PoissonSteady();
 Scenario BurstyOverloadChaos();
 Scenario DiurnalAliasStorm();
 Scenario LiveUpdateChurn();
+/// A long-tail workload (shallow Zipf over many families) where half
+/// the requests respell their family semantically ("/ROOT//..." for
+/// "//..."), against a deliberately small plan cache and memo: the
+/// analyzer's rewrites collapse each family's spellings onto one plan.
+Scenario IntelAliasStorm();
+/// IntelAliasStorm with enable_analyzer = false and a distinct name:
+/// the same seed and traffic, every semantic spelling compiling its own
+/// plan. Fingerprints of the pair must be equal (the analyzer is
+/// invisible in served outcomes); only the cache economics differ.
+Scenario IntelAliasStormOff();
 
 std::vector<std::string> ScenarioNames();
 

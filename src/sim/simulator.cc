@@ -126,9 +126,12 @@ std::string WindowRow::ToJson(const std::string& scenario) const {
   }
   out += ",\"request_ns\":" + HistJson(request_ns);
   out += ",\"retry_after_ms\":" + HistJson(retry_after_ms);
-  out += Format(",\"shadow_recorded\":%llu,\"formula_memo\":%llu}",
-                static_cast<unsigned long long>(shadow_recorded),
-                static_cast<unsigned long long>(formula_memo));
+  out += Format(
+      ",\"shadow_recorded\":%llu,\"formula_memo\":%llu,"
+      "\"analyzer_pruned\":%llu}",
+      static_cast<unsigned long long>(shadow_recorded),
+      static_cast<unsigned long long>(formula_memo),
+      static_cast<unsigned long long>(analyzer_pruned));
   return out;
 }
 
@@ -211,6 +214,7 @@ SimResult RunScenario(const Scenario& sc) {
   service::ServiceOptions opt;
   opt.plan_cache_bytes = sc.plan_cache_bytes;
   opt.estimate_memo_bytes = sc.estimate_memo_bytes;
+  opt.enable_analyzer = sc.enable_analyzer;
   opt.max_inflight = sc.max_inflight;
   opt.accuracy_sample = sc.accuracy_sample;
   opt.auto_rebuild = sc.auto_rebuild;
@@ -273,7 +277,14 @@ SimResult RunScenario(const Scenario& sc) {
     tags.push_back(doc->TagNameOf(static_cast<xml::TagId>(t)));
   }
 
-  TrafficSource traffic(sc.traffic, tenants, tags, traffic_rng);
+  TrafficModel tm = sc.traffic;
+  if (tm.semantic_alias_prob > 0) {
+    // Semantic aliasing anchors "//x..." under the document root; the
+    // root tag is a dataset property, so fill it here rather than in
+    // the scenario table.
+    tm.root_name = doc->TagNameOf(doc->Tag(doc->root()));
+  }
+  TrafficSource traffic(tm, tenants, tags, traffic_rng);
   ArrivalProcess arrivals(sc.arrival, arrival_rng);
 
   // Chaos arms after the initial registrations: the schedule clock is
@@ -299,8 +310,10 @@ SimResult RunScenario(const Scenario& sc) {
       svc.obs().GetCounter("accuracy.samples", "phase=recorded");
   obs::Counter& memo_hit_ctr =
       svc.obs().GetCounter("service.estimate_memo", "outcome=hit");
+  obs::Counter& pruned_ctr =
+      svc.obs().GetCounter("service.analyzer", "outcome=pruned");
   obs::HistogramWindow req_win, retry_win;
-  obs::CounterWindow recorded_win, memo_hit_win;
+  obs::CounterWindow recorded_win, memo_hit_win, pruned_win;
   std::vector<uint64_t> fire_prev(sc.chaos.size(), 0);
   uint64_t rebuilds_prev = 0;
 
@@ -325,6 +338,7 @@ SimResult RunScenario(const Scenario& sc) {
     row.retry_after_ms = retry_win.Advance(retry_hist);
     row.shadow_recorded = recorded_win.Advance(recorded_ctr.value());
     row.formula_memo = memo_hit_win.Advance(memo_hit_ctr.value());
+    row.analyzer_pruned = pruned_win.Advance(pruned_ctr.value());
     if (sc.live) {
       uint64_t cum = 0;
       for (const service::MaintenanceRow& r : svc.maintenance().Rows()) {

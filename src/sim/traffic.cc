@@ -74,6 +74,32 @@ std::string TrafficSource::AliasSpelling(Rng& rng, const std::string& query) {
   return out;
 }
 
+std::string TrafficSource::SemanticAliasSpelling(const std::string& root_name,
+                                                 const std::string& query) {
+  if (root_name.empty() || query.size() < 3 || query[0] != '/' ||
+      query[1] != '/') {
+    return query;
+  }
+  // The first step must be a plain name test: never '*' (it could bind
+  // the root element, which "/root//*" excludes) and never an explicit
+  // "axis::" prefix (the prefix char test below would read the axis
+  // keyword as the name).
+  size_t j = 2;
+  while (j < query.size() &&
+         (std::isalnum(static_cast<unsigned char>(query[j])) ||
+          query[j] == '_' || query[j] == '-' || query[j] == '.')) {
+    ++j;
+  }
+  const bool plain_name =
+      j > 2 && std::isalpha(static_cast<unsigned char>(query[2])) &&
+      !(j + 1 < query.size() && query[j] == ':' && query[j + 1] == ':');
+  if (!plain_name) return query;
+  // "//root/..." is not "/root//root/..." — a recursive first step
+  // naming the root must keep its spelling.
+  if (query.compare(2, j - 2, root_name) == 0) return query;
+  return "/" + root_name + query;
+}
+
 service::QueryRequest TrafficSource::Make() {
   service::QueryRequest req;
 
@@ -99,6 +125,13 @@ service::QueryRequest TrafficSource::Make() {
     req.xpath = rng_.Bernoulli(model_.alias_prob)
                     ? AliasSpelling(rng_, fams[f])
                     : fams[f];
+    // Short-circuit on the probability, not just inside Bernoulli: a
+    // zero-probability model must not consume a draw, or every existing
+    // scenario's request stream (and fingerprint) would shift.
+    if (model_.semantic_alias_prob > 0 &&
+        rng_.Bernoulli(model_.semantic_alias_prob)) {
+      req.xpath = SemanticAliasSpelling(model_.root_name, req.xpath);
+    }
   }
 
   const double u = rng_.UniformDouble();

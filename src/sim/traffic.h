@@ -31,6 +31,20 @@ struct TrafficModel {
   /// canonical-hit path instead of the warm exact-hit path.
   double alias_prob = 0.0;
 
+  /// Probability that a request respells its family *semantically*: a
+  /// "//"-headed query is re-issued as "/<root_name>//..." — a different
+  /// canonical query (new plan-cache AND memo key) that the static
+  /// analyzer's anchor/elide rewrites collapse back onto the family's
+  /// plan. With the analyzer off, every such spelling compiles and
+  /// caches as its own plan; the intel alias-storm scenarios measure
+  /// exactly that contrast. Guarded by `> 0 &&` in the source so a zero
+  /// probability consumes no rng draws and existing scenario
+  /// fingerprints stay bit-identical.
+  double semantic_alias_prob = 0.0;
+  /// Document root tag used by semantic aliasing. The simulator fills
+  /// this from the dataset at run time; empty disables the respelling.
+  std::string root_name;
+
   /// Probability of a syntactically broken query (parse-error traffic).
   double garbage_prob = 0.0;
 
@@ -72,6 +86,17 @@ class TrafficSource {
   /// after `//`, skipping wildcard and explicitly-axised steps. Public
   /// (and static) for the alias-invariant test.
   static std::string AliasSpelling(Rng& rng, const std::string& query);
+
+  /// Respells `query` as the semantically equal "/<root_name>" + query
+  /// when it starts with "//" followed by a plain name other than
+  /// root_name (every element except the root has the root as a proper
+  /// ancestor, so anchoring under the root changes nothing — unless the
+  /// first step could itself bind the root, which the guards exclude).
+  /// Unlike AliasSpelling the result is a *different canonical query*;
+  /// only the analyzer's rewrites reunite it with the original's plan.
+  /// Returns `query` unchanged when the guards fail.
+  static std::string SemanticAliasSpelling(const std::string& root_name,
+                                           const std::string& query);
 
  private:
   TrafficModel model_;

@@ -1,0 +1,366 @@
+#include "xpath/analyze.h"
+
+#include <vector>
+
+#include "xpath/canonical.h"
+
+namespace xee::xpath {
+
+namespace {
+
+using encoding::kWildcardTag;
+
+/// True when the baseline estimator is guaranteed to answer exactly 0.0
+/// (never kUnsupported) for a structurally unsatisfiable `q`, assuming
+/// the synopsis carries order statistics whenever `q` has constraints.
+/// Mirrors the estimator's precedence: zero- and multi-constraint paths
+/// reduce to EstimateNoOrder (multi-constraint returns 0.0 as soon as
+/// the structural factor is 0, before any per-constraint recursion); the
+/// single-constraint path hits kUnsupported first on wildcard endpoints,
+/// a wildcard junction, or a document-order pair with both endpoints
+/// descendant-attached.
+bool EstimatorAnswersZero(const Query& q) {
+  if (q.orders.size() != 1) return true;
+  const OrderConstraint& oc = q.orders[0];
+  const QueryNode& before = q.nodes[oc.before];
+  const QueryNode& after = q.nodes[oc.after];
+  if (before.tag == "*" || after.tag == "*") return false;
+  if (oc.kind == OrderKind::kDocument) {
+    if (q.nodes[before.parent].tag == "*") return false;
+    if (before.axis == StructAxis::kDescendant &&
+        after.axis == StructAxis::kDescendant) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Resolves a name test for the reachability closure: wildcard passes
+/// through, concrete names go through the view's tag lookup.
+std::optional<xml::TagId> ResolveForReach(const AnalyzerView& view,
+                                          const std::string& tag) {
+  if (tag == "*") return kWildcardTag;
+  if (!view.find_tag) return std::nullopt;
+  return view.find_tag(tag);
+}
+
+/// Cycle detection over the strict-order digraph: every constraint —
+/// sibling or document kind — places `before`'s binding strictly earlier
+/// in document order, so a directed cycle is unsatisfiable.
+bool HasOrderCycle(const Query& q) {
+  const size_t n = q.nodes.size();
+  std::vector<std::vector<int>> adj(n);
+  for (const OrderConstraint& oc : q.orders) {
+    adj[oc.before].push_back(oc.after);
+  }
+  // Iterative 3-color DFS; color: 0 white, 1 gray, 2 black.
+  std::vector<uint8_t> color(n, 0);
+  std::vector<std::pair<int, size_t>> stack;
+  for (size_t s = 0; s < n; ++s) {
+    if (color[s] != 0) continue;
+    stack.emplace_back(static_cast<int>(s), 0);
+    color[s] = 1;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < adj[u].size()) {
+        const int v = adj[u][next++];
+        if (color[v] == 1) return true;
+        if (color[v] == 0) {
+          color[v] = 1;
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        color[u] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+bool IsOrderEndpoint(const Query& q, int node) {
+  for (const OrderConstraint& oc : q.orders) {
+    if (oc.before == node || oc.after == node) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Analysis AnalyzeSatisfiability(const Query& query, const AnalyzerView& view) {
+  Analysis out;
+  if (!query.Validate().ok()) return out;
+
+  // P1: a concrete name test naming no tag of the document. The
+  // estimator's tag resolution runs before everything else and maps this
+  // to 0.0 unconditionally, so the verdict is always prune-safe.
+  if (view.find_tag) {
+    for (const QueryNode& node : query.nodes) {
+      if (node.tag != "*" && !view.find_tag(node.tag)) {
+        return {SatVerdict::kUnsat, "unknown-tag", /*prune_safe=*/true};
+      }
+    }
+  }
+
+  // P3: an absolute first step that is not the document root.
+  if (query.root_mode == RootMode::kAbsolute && !view.root_name.empty() &&
+      query.nodes[0].tag != "*" && query.nodes[0].tag != view.root_name) {
+    return {SatVerdict::kUnsat, "root-mismatch", EstimatorAnswersZero(query)};
+  }
+
+  // P2: an edge whose tag pair occurs on no encoded root-to-leaf path
+  // under the required axis. Sound because the closure over-approximates
+  // the document's containment relation.
+  if (view.reach != nullptr) {
+    for (size_t i = 1; i < query.nodes.size(); ++i) {
+      const QueryNode& node = query.nodes[i];
+      const auto above = ResolveForReach(view, query.nodes[node.parent].tag);
+      const auto below = ResolveForReach(view, node.tag);
+      if (!above || !below) continue;  // unresolved and P1 silent: no claim
+      if (!view.reach->Below(*above, *below,
+                             node.axis == StructAxis::kChild)) {
+        return {SatVerdict::kUnsat, "unreachable-pair",
+                EstimatorAnswersZero(query)};
+      }
+    }
+  }
+
+  // P4: a cycle among the order constraints. Never prune-safe — the
+  // estimator composes per-constraint order ratios independently and
+  // does not notice the contradiction.
+  if (query.orders.size() >= 2 && HasOrderCycle(query)) {
+    return {SatVerdict::kUnsat, "order-cycle", /*prune_safe=*/false};
+  }
+
+  return out;
+}
+
+namespace {
+
+/// R3: document-order -> sibling-order when both endpoints attach to the
+/// junction by child axes and the junction is concrete. This is exactly
+/// the estimator's own internal fallback (EstimateDocOrder re-dispatches
+/// such constraints to the sibling path), so the rewrite is bitwise
+/// equal by construction; doing it statically lets the canonical key
+/// unify following:: spellings with following-sibling:: ones. The
+/// wildcard-junction guard preserves the document path's kUnsupported
+/// surface, which the sibling path does not share.
+bool RewriteDocToSibling(Query* q) {
+  bool changed = false;
+  for (OrderConstraint& oc : q->orders) {
+    if (oc.kind != OrderKind::kDocument) continue;
+    const QueryNode& before = q->nodes[oc.before];
+    const QueryNode& after = q->nodes[oc.after];
+    if (before.axis != StructAxis::kChild ||
+        after.axis != StructAxis::kChild) {
+      continue;
+    }
+    if (q->nodes[before.parent].tag == "*") continue;
+    oc.kind = OrderKind::kSibling;
+    changed = true;
+  }
+  return changed;
+}
+
+/// R1: descendant -> child when the closure shows every co-occurrence of
+/// the pair is a direct step (no occurrence at distance >= 2). The path
+/// join then admits exactly the same survivors, so the estimate is
+/// bitwise unchanged. Order endpoints are exempt: EstimateDocOrder
+/// dispatches on endpoint axes, so tightening one would move the query
+/// between formula paths.
+bool RewriteDescToChild(Query* q, const AnalyzerView& view) {
+  bool changed = false;
+  for (size_t i = 1; i < q->nodes.size(); ++i) {
+    QueryNode& node = q->nodes[i];
+    if (node.axis != StructAxis::kDescendant) continue;
+    if (IsOrderEndpoint(*q, static_cast<int>(i))) continue;
+    const auto above = ResolveForReach(view, q->nodes[node.parent].tag);
+    const auto below = ResolveForReach(view, node.tag);
+    if (!above || !below) continue;
+    if (!view.reach->BelowGap(*above, *below)) {
+      node.axis = StructAxis::kChild;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+/// R2: '//root/...' -> '/root/...' when the first step names the root
+/// tag and the closure proves the root tag non-recursive (it occurs at
+/// depth >= 2 on no path): the anywhere-binding set of the first step is
+/// then exactly {document root}, which is what the absolute join
+/// computes, path id for path id.
+bool RewriteAnchorRoot(Query* q, const AnalyzerView& view) {
+  if (q->root_mode != RootMode::kAnywhere) return false;
+  if (view.root_name.empty() || q->nodes[0].tag != view.root_name) {
+    return false;
+  }
+  if (view.reach->HasProperAncestor(view.root_tag)) return false;
+  q->root_mode = RootMode::kAbsolute;
+  // Match the parser's convention for absolute first steps so the
+  // serialized key unifies with natively absolute spellings.
+  q->nodes[0].axis = StructAxis::kChild;
+  return true;
+}
+
+/// R4: '/root//x/...' -> '//x/...' when the head step carries nothing of
+/// its own: no value filter, not the target, exactly one child reached
+/// by '//' with a concrete non-root tag, and no order constraint touches
+/// the head or uses it as junction. Every binding of a concrete non-root
+/// tag sits strictly below the document root, so dropping the vacuous
+/// anchor leaves the join's survivor list — and the estimate's bits —
+/// unchanged.
+bool RewriteElideRootHead(Query* q, const AnalyzerView& view) {
+  if (q->root_mode != RootMode::kAbsolute) return false;
+  if (view.root_name.empty() || q->nodes[0].tag != view.root_name) {
+    return false;
+  }
+  if (q->nodes[0].children.size() != 1 || q->target == 0) return false;
+  if (q->nodes[0].value_filter.has_value()) return false;
+  const int head = q->nodes[0].children[0];
+  const QueryNode& head_node = q->nodes[head];
+  if (head_node.axis != StructAxis::kDescendant) return false;
+  if (head_node.tag == "*" || head_node.tag == view.root_name) return false;
+  for (const OrderConstraint& oc : q->orders) {
+    // Endpoints hanging off node 0 would lose their junction.
+    if (oc.before == 0 || oc.after == 0) return false;
+    if (q->nodes[oc.before].parent == 0) return false;
+  }
+
+  Query out;
+  out.root_mode = RootMode::kAnywhere;
+  out.target = q->target - 1;
+  out.nodes.reserve(q->nodes.size() - 1);
+  for (size_t i = 1; i < q->nodes.size(); ++i) {
+    QueryNode node = q->nodes[i];
+    node.parent = node.parent - 1;
+    for (int& c : node.children) c -= 1;
+    out.nodes.push_back(std::move(node));
+  }
+  // The head keeps its descendant axis, matching the parser's convention
+  // for anywhere-rooted first steps.
+  for (const OrderConstraint& oc : q->orders) {
+    out.orders.push_back({oc.kind, oc.before - 1, oc.after - 1});
+  }
+  *q = std::move(out);
+  return true;
+}
+
+}  // namespace
+
+int AnalyzeRewrite(Query* query, const AnalyzerView& view) {
+  if (query == nullptr || !query->Validate().ok()) return 0;
+  // Rewriting mixes resolved and unresolved names poorly (a later rule
+  // could act on a pair whose unknown member P1 would have zeroed), so
+  // bail outright unless every concrete name resolves.
+  if (!view.find_tag) return 0;
+  for (const QueryNode& node : query->nodes) {
+    if (node.tag != "*" && !view.find_tag(node.tag)) return 0;
+  }
+
+  int applied = 0;
+  for (int round = 0; round < 8; ++round) {
+    int this_round = 0;
+    if (RewriteDocToSibling(query)) ++this_round;
+    if (view.reach != nullptr) {
+      if (RewriteDescToChild(query, view)) ++this_round;
+      if (RewriteAnchorRoot(query, view)) ++this_round;
+    }
+    if (RewriteElideRootHead(query, view)) ++this_round;
+    if (this_round == 0) break;
+    applied += this_round;
+    *query = Canonicalize(*query);
+  }
+  return applied;
+}
+
+namespace {
+
+constexpr size_t kContainMaxNodes = 16;
+constexpr int kContainBudget = 1 << 17;
+
+struct ContainState {
+  const Query& sup;
+  const Query& sub;
+  std::vector<int> h;  // sup node -> sub node, -1 unassigned
+  int budget = kContainBudget;
+};
+
+bool IsStrictAncestorInSub(const Query& sub, int anc, int node) {
+  for (int p = sub.nodes[node].parent; p != -1; p = sub.nodes[p].parent) {
+    if (p == anc) return true;
+  }
+  return false;
+}
+
+bool OrdersCovered(const ContainState& st) {
+  for (const OrderConstraint& want : st.sup.orders) {
+    const int b = st.h[want.before];
+    const int a = st.h[want.after];
+    bool found = false;
+    for (const OrderConstraint& have : st.sub.orders) {
+      if (have.before != b || have.after != a) continue;
+      // A sibling constraint implies the document-order relation (the
+      // earlier sibling's whole subtree precedes the later sibling), so
+      // it may discharge a document-kind requirement; not vice versa.
+      if (have.kind == want.kind ||
+          (want.kind == OrderKind::kDocument &&
+           have.kind == OrderKind::kSibling)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool Extend(ContainState& st, size_t i) {
+  if (i == st.sup.nodes.size()) return OrdersCovered(st);
+  const QueryNode& node = st.sup.nodes[i];
+  for (size_t j = 0; j < st.sub.nodes.size(); ++j) {
+    if (--st.budget <= 0) return false;
+    const QueryNode& cand = st.sub.nodes[j];
+    if (node.tag != "*" && node.tag != cand.tag) continue;
+    if (node.value_filter.has_value() &&
+        node.value_filter != cand.value_filter) {
+      continue;
+    }
+    if (i == 0) {
+      // An absolute sup root must map onto sub's root bound absolutely.
+      if (st.sup.root_mode == RootMode::kAbsolute &&
+          (st.sub.root_mode != RootMode::kAbsolute || j != 0)) {
+        continue;
+      }
+    } else {
+      const int hp = st.h[node.parent];
+      if (node.axis == StructAxis::kChild) {
+        if (cand.parent != hp || cand.axis != StructAxis::kChild) continue;
+      } else {
+        if (!IsStrictAncestorInSub(st.sub, hp, static_cast<int>(j))) continue;
+      }
+    }
+    if (static_cast<int>(i) == st.sup.target &&
+        static_cast<int>(j) != st.sub.target) {
+      continue;
+    }
+    st.h[i] = static_cast<int>(j);
+    if (Extend(st, i + 1)) return true;
+    st.h[i] = -1;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool QueryContains(const Query& sup, const Query& sub) {
+  if (sup.nodes.size() > kContainMaxNodes ||
+      sub.nodes.size() > kContainMaxNodes) {
+    return false;
+  }
+  if (!sup.Validate().ok() || !sub.Validate().ok()) return false;
+  ContainState st{sup, sub, std::vector<int>(sup.nodes.size(), -1)};
+  return Extend(st, 0);
+}
+
+}  // namespace xee::xpath

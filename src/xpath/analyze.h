@@ -1,0 +1,93 @@
+#ifndef XEE_XPATH_ANALYZE_H_
+#define XEE_XPATH_ANALYZE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "encoding/reachability.h"
+#include "xpath/query.h"
+
+namespace xee::xpath {
+
+/// Static query analysis over the encoding table's tag-pair containment
+/// relation (DESIGN.md §15): satisfiability pruning, estimator-invariant
+/// rewrites, and a sound (incomplete) containment test. Everything here
+/// is O(plan) or close to it — the point is to answer or simplify before
+/// the path join and the estimation formulas run.
+
+/// Outcome of the satisfiability pass.
+enum class SatVerdict {
+  /// Nothing provable; estimate normally.
+  kUnknown,
+  /// Provably empty: no document whose path structure the view describes
+  /// can match this query, so its exact count is 0.
+  kUnsat,
+};
+
+struct Analysis {
+  SatVerdict verdict = SatVerdict::kUnknown;
+  /// Static string naming the rule that fired ("" when kUnknown).
+  const char* reason = "";
+  /// True when, additionally, the baseline estimator is guaranteed to
+  /// answer exactly 0.0 — not kUnsupported — for this query against any
+  /// synopsis carrying order statistics. The service prunes only such
+  /// verdicts (and only when the snapshot has order statistics or the
+  /// query none), keeping the analyzer invisible in outcome bits.
+  bool prune_safe = false;
+};
+
+/// What the analyzer reads from a synopsis. `reach` may be null (the
+/// structural pair rules simply stay silent); `find_tag` may be empty
+/// (the unknown-tag rule stays silent).
+struct AnalyzerView {
+  const encoding::TagReachability* reach = nullptr;
+  std::function<std::optional<xml::TagId>(const std::string&)> find_tag;
+  xml::TagId root_tag = 0;
+  std::string root_name;
+};
+
+/// Satisfiability rules, in order:
+///   P1 a concrete name test that is not a tag of the document;
+///   P2 an edge whose (parent tag, child tag, axis) pair occurs on no
+///      encoded root-to-leaf path (wildcard-aware);
+///   P3 an absolute first step whose tag is not the root tag;
+///   P4 a cycle in the strict-order digraph of the order constraints
+///      (both constraint kinds imply strict document order).
+/// Soundness: the reachability closure over-approximates the document's
+/// containment relation, so kUnsat implies an exact count of 0. P4
+/// verdicts are never prune_safe: the estimator's independence-composed
+/// ratio product does not detect cycles and may answer nonzero.
+/// Invalid queries (Validate fails) analyze to kUnknown.
+Analysis AnalyzeSatisfiability(const Query& query, const AnalyzerView& view);
+
+/// Rewrites `query` in place to a cheaper / more canonical equivalent and
+/// returns the number of rule applications (0 = untouched). Every rule
+/// preserves the baseline estimator's result BITWISE (identical join
+/// survivor lists or, for R3, the estimator's own internal rewrite), so
+/// rewritten plans may share caches with unrewritten ones:
+///   R1 descendant -> child when the closure shows every occurrence of
+///      the pair is a direct step (never fires on order endpoints, whose
+///      axis steers EstimateDocOrder's dispatch);
+///   R2 anywhere -> absolute for a first step naming a non-recursive
+///      root tag ('//root/...' == '/root/...');
+///   R3 document-order -> sibling-order when both endpoints are
+///      child-attached and the junction is concrete;
+///   R4 absolute-root head elision: '/root//x/...' == '//x/...' when the
+///      head carries nothing (no filter, not the target, no junction).
+/// The query is re-canonicalized after each changed round, so alias
+/// families meet at one canonical key. No-op on invalid queries or when
+/// a concrete tag fails to resolve.
+int AnalyzeRewrite(Query* query, const AnalyzerView& view);
+
+/// Sound, incomplete containment test in the homomorphism style of
+/// Miklau & Suciu: true means every document satisfies
+/// count(sub) <= count(sup) — each target binding of `sub` is one of
+/// `sup`. False means nothing. Intended for the test oracles and offline
+/// tooling, not the serving path; cost is exponential in query size in
+/// the worst case (inputs beyond a small size return false).
+bool QueryContains(const Query& sup, const Query& sub);
+
+}  // namespace xee::xpath
+
+#endif  // XEE_XPATH_ANALYZE_H_

@@ -10,7 +10,9 @@
 
 #include "common/fault.h"
 #include "common/rng.h"
+#include "eval/exact_evaluator.h"
 #include "fuzz/fuzz.h"
+#include "paper_fixture.h"
 #include "obs/window.h"
 #include "service/service.h"
 #include "sim/arrivals.h"
@@ -171,6 +173,40 @@ TEST(TrafficTest, AliasSpellingPreservesCanonicalPlan) {
   // The generator must actually respell a healthy share of queries —
   // an AliasSpelling that never fires would pass the loop vacuously.
   EXPECT_GT(respelled, 200);
+}
+
+TEST(TrafficTest, SemanticAliasSpellingPreservesExactCounts) {
+  // Unlike AliasSpelling, the semantic respelling produces a *different*
+  // canonical query — so the soundness oracle is the exact evaluator,
+  // not key equality: anchoring "//x..." under the document root must
+  // select the same nodes on the paper document.
+  const xml::Document doc = testing::MakePaperDocument();
+  const eval::ExactEvaluator exact(doc);
+  const std::vector<std::string> tags = {"A", "B", "C", "D", "E", "F"};
+  Rng gen(29);
+  int respelled = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string q = fuzz::GenerateQueryString(gen, tags);
+    auto parsed = xpath::ParseXPath(q);
+    if (!parsed.ok()) continue;  // grammar emits some rejects on purpose
+    const std::string alias =
+        sim::TrafficSource::SemanticAliasSpelling("Root", q);
+    auto reparsed = xpath::ParseXPath(alias);
+    ASSERT_TRUE(reparsed.ok())
+        << "semantic alias broke parse: '" << q << "' -> '" << alias << "'";
+    const auto want = exact.Count(parsed.value());
+    const auto got = exact.Count(reparsed.value());
+    ASSERT_EQ(want.ok(), got.ok()) << "'" << q << "' -> '" << alias << "'";
+    if (want.ok()) {
+      EXPECT_EQ(want.value(), got.value())
+          << "semantic alias changed the answer: '" << q << "' -> '" << alias
+          << "'";
+    }
+    respelled += alias != q ? 1 : 0;
+  }
+  // Only "//name..." queries respell, but the grammar must produce
+  // enough of them for the loop to mean anything.
+  EXPECT_GT(respelled, 100);
 }
 
 TEST(TrafficTest, SameSeedSameRequests) {
@@ -368,6 +404,34 @@ TEST(SimulatorTest, DifferentSeedDifferentFingerprint) {
   EXPECT_TRUE(a.ok());
   EXPECT_TRUE(b.ok());
   EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+TEST(SimulatorTest, AnalyzerOnAndOffShareOneFingerprint) {
+  // The intel pair: identical seed and traffic, analyzer on vs off.
+  // Served outcomes are analyzer-invariant, so the deterministic
+  // trajectories — and hence the fingerprints — must be bit-identical;
+  // only the measured cache-economics columns may differ. This is the
+  // sim-scale restatement of analyze_test's bitwise differentials.
+  const sim::SimResult on =
+      sim::RunScenario(sim::ScaledScenario(sim::IntelAliasStorm(), 0.05));
+  const sim::SimResult off =
+      sim::RunScenario(sim::ScaledScenario(sim::IntelAliasStormOff(), 0.05));
+  EXPECT_TRUE(on.ok()) << on.invariants.Summary();
+  EXPECT_TRUE(off.ok()) << off.invariants.Summary();
+  EXPECT_GT(on.totals.arrivals, 50u);
+  EXPECT_EQ(on.fingerprint, off.fingerprint);
+
+#ifndef XEE_OBS_OFF
+  // The storm's grammar families include impossible tag edges, so the
+  // on-arm must actually prune; the off-arm must never report one.
+  uint64_t pruned_on = 0, pruned_off = 0;
+  for (const sim::WindowRow& r : on.trajectory) pruned_on += r.analyzer_pruned;
+  for (const sim::WindowRow& r : off.trajectory) {
+    pruned_off += r.analyzer_pruned;
+  }
+  EXPECT_GT(pruned_on, 0u);
+  EXPECT_EQ(pruned_off, 0u);
+#endif
 }
 
 TEST(SimulatorTest, ChaosScenarioIsDeterministicAndBudgeted) {
