@@ -18,7 +18,17 @@
 //                               per-class q-error, per-synopsis drift,
 //                               worst offenders (DESIGN.md §11)
 //   .healthz (or HEALTHZ)       per-synopsis health (JSON): "ok" until
-//                               some synopsis drifts stale
+//                               some synopsis drifts stale, plus the
+//                               SLO alert rollup
+//   .tsz (or TSZ)               per-tenant time-series rings (JSON):
+//                               counter deltas, gauge levels and
+//                               histogram quantiles per scrape interval
+//   .alertz (or ALERTZ)         SLO burn-rate alert state (JSON):
+//                               fast/slow window burn, firing state,
+//                               fired/resolved tallies (DESIGN.md §16)
+//   .flightz (or FLIGHTZ)       black-box flight recorder dump (JSON):
+//                               the newest request/shed/epoch/rebuild/
+//                               fault/alert events, in sequence order
 //   .delta <name> clone <rank>  (--live) clone the subtree at preorder
 //                               rank under its own parent — the exactly
 //                               patchable mutation
@@ -44,6 +54,7 @@
 //
 // Build & run:  cmake --build build && ./build/examples/estimation_server
 
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -52,6 +63,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "xee.h"
 
@@ -66,6 +78,11 @@ struct Flags {
   uint64_t slow_ms = 10;     // slow-trace capture threshold; 0 = off
   size_t accuracy_sample = 256;   // shadow-sample 1-in-N; 0 = off
   double drift_limit = 2.0;       // q-error EWMA stale threshold
+  uint64_t ts_interval_ms = 1000;  // obs scrape cadence; 0 = no scraper
+  size_t flight_bytes = 64 << 10;  // flight-recorder budget; 0 = off
+  double slo_availability = 0.999;  // availability objective; 0 = off
+  uint64_t slo_p99_ms = 0;          // latency p99 objective; 0 = off
+  double slo_qerror = 0.0;          // accuracy q-error objective; 0 = off
   bool stale_downgrade = false;   // enforce (degrade) vs report-only
   bool live = false;              // register datasets live (mutable)
   bool auto_rebuild = false;      // self-heal stale live synopses
@@ -96,6 +113,16 @@ Flags ParseFlags(int argc, char** argv) {
       f.accuracy_sample = static_cast<size_t>(std::atoll(v));
     } else if (const char* v = value("--drift-limit=")) {
       f.drift_limit = std::atof(v);
+    } else if (const char* v = value("--ts-interval-ms=")) {
+      f.ts_interval_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--flight-bytes=")) {
+      f.flight_bytes = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--slo-availability=")) {
+      f.slo_availability = std::atof(v);
+    } else if (const char* v = value("--slo-p99-ms=")) {
+      f.slo_p99_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--slo-qerror=")) {
+      f.slo_qerror = std::atof(v);
     } else if (arg == "--stale-downgrade") {
       f.stale_downgrade = true;
     } else if (arg == "--live") {
@@ -110,6 +137,8 @@ Flags ParseFlags(int argc, char** argv) {
                    "usage: estimation_server [--scale=f] [--threads=n] "
                    "[--cache-mb=m] [--max-inflight=n] [--deadline-ms=t] "
                    "[--slow-ms=t] [--accuracy-sample=n] [--drift-limit=q] "
+                   "[--ts-interval-ms=t] [--flight-bytes=n] "
+                   "[--slo-availability=f] [--slo-p99-ms=t] [--slo-qerror=q] "
                    "[--stale-downgrade] [--live] [--auto-rebuild] "
                    "[--datasets=a,b,c]\n");
       std::exit(2);
@@ -140,6 +169,11 @@ int main(int argc, char** argv) {
       .drift_qerror_limit = flags.drift_limit,
       .stale_downgrade = flags.stale_downgrade,
       .auto_rebuild = flags.auto_rebuild,
+      .ts_interval_us = flags.ts_interval_ms * 1'000,
+      .slos = xee::service::DefaultSloSpecs(flags.slo_availability,
+                                            flags.slo_p99_ms * 1'000'000,
+                                            flags.slo_qerror),
+      .flight_bytes = flags.flight_bytes,
   });
 
   for (const std::string& name : xee::SplitString(flags.datasets, ',')) {
@@ -177,6 +211,30 @@ int main(int argc, char** argv) {
               "\"<synopsis> <xpath>\", .names, .stats, .clear, .quit\n",
               service.threads());
 
+  // Wall-clock scrape loop: the service never reads a clock itself, so
+  // a driver must feed ObsTick monotonic time for the time-series store
+  // and the SLO engine to advance. Sleeps in short slices so .quit
+  // stays prompt; joined before `service` goes out of scope.
+  std::atomic<bool> stop_scraper{false};
+  std::thread scraper;
+  if (flags.ts_interval_ms > 0) {
+    scraper = std::thread([&service, &stop_scraper, &flags] {
+      const auto t0 = std::chrono::steady_clock::now();
+      while (!stop_scraper.load(std::memory_order_relaxed)) {
+        const auto now = std::chrono::steady_clock::now();
+        service.ObsTick(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(now - t0)
+                .count()));
+        for (uint64_t slept = 0;
+             slept < flags.ts_interval_ms &&
+             !stop_scraper.load(std::memory_order_relaxed);
+             slept += 50) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    });
+  }
+
   std::string raw;
   while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, raw)) {
     const std::string line = Trim(raw);
@@ -201,6 +259,18 @@ int main(int argc, char** argv) {
     }
     if (line == ".healthz" || line == "HEALTHZ") {
       std::printf("%s\n", service.HealthzJson().c_str());
+      continue;
+    }
+    if (line == ".tsz" || line == "TSZ") {
+      std::printf("%s\n", service.TszJson().c_str());
+      continue;
+    }
+    if (line == ".alertz" || line == "ALERTZ") {
+      std::printf("%s\n", service.AlertzJson().c_str());
+      continue;
+    }
+    if (line == ".flightz" || line == "FLIGHTZ") {
+      std::printf("%s\n", service.FlightzJson().c_str());
       continue;
     }
     if (line[0] == '.') {
@@ -285,8 +355,8 @@ int main(int argc, char** argv) {
         continue;
       }
       std::printf("error: unknown command \"%s\" (try .names, .stats, "
-                  ".statsz, .tracez, .accz, .healthz, .delta, .rebuild, "
-                  ".clear, .quit)\n",
+                  ".statsz, .tracez, .accz, .healthz, .tsz, .alertz, "
+                  ".flightz, .delta, .rebuild, .clear, .quit)\n",
                   line.c_str());
       continue;
     }
@@ -329,5 +399,7 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", r.status().ToString().c_str());
     }
   }
+  stop_scraper.store(true, std::memory_order_relaxed);
+  if (scraper.joinable()) scraper.join();
   return 0;
 }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # The full pre-merge battery, in increasing order of cost:
 #
-#   1. tier-1 build + ctest (unit, accuracy, smoke, live, intel labels
-#      — includes the formula-tail differential suites, the live-
-#      document maintenance suite, and the query-intelligence suite:
+#   1. tier-1 build + ctest (unit, accuracy, smoke, live, intel, flight
+#      labels — includes the formula-tail differential suites, the live-
+#      document maintenance suite, the flight-data observability suite
+#      (time-series store, SLO burn-rate engine, flight recorder,
+#      tail-based trace retention), and the query-intelligence suite:
 #      analyze_test pins the prune/rewrite soundness contracts against
 #      exact counts and bitwise differentials, prune_fuzz_smoke runs
 #      the 30k-iteration prune-soundness oracle)

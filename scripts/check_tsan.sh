@@ -11,13 +11,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER="${1:-ServiceTest|EstimateOptDiff|CanonicalTest|EstimatorTest|ObsTest|AccuracyTrackerTest|ShadowSamplingTest|MaintenanceTest|ServiceIntel}"
+FILTER="${1:-ServiceTest|EstimateOptDiff|CanonicalTest|EstimatorTest|ObsTest|AccuracyTrackerTest|ShadowSamplingTest|MaintenanceTest|ServiceIntel|FlightRecorderTest|TimeSeriesTest|SloEngineTest|ServiceFlightTest}"
 
 cmake -B build-tsan -S . -DXEE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" \
   --target service_test canonical_test estimator_test obs_test \
   estimate_opt_diff_test maintenance_test analyze_test \
-  accuracy_obs_test accuracy_shadow_test simulate
+  accuracy_obs_test accuracy_shadow_test flight_test simulate
 (cd build-tsan && ctest -R "$FILTER" --output-on-failure)
 
 # One simulator scenario in concurrent mode: real Estimate() calls
@@ -36,5 +36,11 @@ build-tsan/bench/simulate --scenario=live_update_churn \
 # keeps evicting them (the query-intelligence data-race surface;
 # ServiceIntel's concurrent-batch test covers the same paths in-process).
 build-tsan/bench/simulate --scenario=intel_alias_storm \
+  --workers=4 --duration-ms=2000 >/dev/null
+# The SLO-burn scenario in concurrent mode: overload sheds and deadline
+# failures racing ObsTick scrapes, alert transitions, and flight-ring
+# appends across a worker pool (the flight-data observability
+# tentpole's data-race surface).
+build-tsan/bench/simulate --scenario=slo_burn \
   --workers=4 --duration-ms=2000 >/dev/null
 echo "TSan checks passed."

@@ -4,22 +4,24 @@
 # sampling cost instead of eyeballing stdout. One combined file carries
 # bench_service_throughput (qps + delta-scraped per-stage latency + the
 # estimate-memo comparison + the analyzer alias-storm contrast + the
-# accuracy-sampling sweep),
+# accuracy-sampling sweep + the service_obs2 flight-data-observability
+# on/off overhead contrast),
 # bench_update_throughput (incremental delta maintenance vs the
 # rebuild-per-delta and position-histogram baselines, plus estimate
 # latency quantiles with background rebuilds in flight), and the
 # simulator trajectories (every scenario family at its pinned seed,
-# live_update_churn and the intel_alias_storm on/off pair included:
-# per-window rows plus one summary row each):
+# live_update_churn, the intel_alias_storm on/off pair, and the
+# slo_burn SLO/flight-recorder scenario included: per-window rows plus
+# one summary row each):
 #
 #   {"bench_file_version":2,"recorded":{...config...},"rows":[...]}
 #
 # Usage, from the repository root (flags pass through to the bench):
 #
-#   scripts/record_bench.sh                         # -> BENCH_pr9.json
+#   scripts/record_bench.sh                         # -> BENCH_pr10.json
 #   OUT=BENCH_tmp.json scripts/record_bench.sh --scale=0.1
 #
-# The environment knobs: OUT (output path, default BENCH_pr9.json),
+# The environment knobs: OUT (output path, default BENCH_pr10.json),
 # BUILD (build tree, default build). Numbers are machine-dependent —
 # compare rows recorded on the same box only. Stage rows measured with
 # more threads than cores carry "oversubscribed":true; exclude them
@@ -27,7 +29,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_pr9.json}"
+OUT="${OUT:-BENCH_pr10.json}"
 BUILD="${BUILD:-build}"
 ARGS=("$@")
 if [[ "${#ARGS[@]}" -eq 0 ]]; then

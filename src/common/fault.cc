@@ -56,8 +56,23 @@ bool FaultInjector::Fire(std::string_view site, uint64_t* payload) {
   // perturb; labeled by site in the global registry (monotonic across
   // Arm/Reset cycles, unlike the per-site `fires`).
   obs::Registry::Global().GetCounter("fault.fires", site).Inc();
+  if (observer_ != nullptr) observer_(observer_ctx_, site, now);
   if (payload != nullptr) *payload = s.config.payload;
   return true;
+}
+
+void FaultInjector::SetFireObserver(FireObserver fn, void* ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = fn;
+  observer_ctx_ = ctx;
+}
+
+void FaultInjector::ClearFireObserver(void* ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (observer_ctx_ == ctx) {
+    observer_ = nullptr;
+    observer_ctx_ = nullptr;
+  }
 }
 
 uint64_t FaultInjector::FireCount(const std::string& site) const {

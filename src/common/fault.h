@@ -93,6 +93,17 @@ class FaultInjector {
   /// Unarmed sites never fire.
   bool Fire(std::string_view site, uint64_t* payload = nullptr);
 
+  /// Observer invoked (under the injector mutex — keep it cheap) each
+  /// time any site fires, with the site name and the schedule clock.
+  /// One observer at a time, last install wins; the flight recorder
+  /// wiring in the serving layer uses this to log fault fires into the
+  /// black-box ring. ClearFireObserver only clears when `ctx` still
+  /// matches, so a dying service cannot unhook a newer one's observer.
+  using FireObserver = void (*)(void* ctx, std::string_view site,
+                                uint64_t schedule_now);
+  void SetFireObserver(FireObserver fn, void* ctx);
+  void ClearFireObserver(void* ctx);
+
   /// Observability for tests: fires/hits since the site was armed
   /// (0 for unarmed sites).
   uint64_t FireCount(const std::string& site) const;
@@ -112,6 +123,8 @@ class FaultInjector {
 
   mutable std::mutex mu_;
   std::map<std::string, Site, std::less<>> sites_;  // guarded by mu_
+  FireObserver observer_ = nullptr;                 // guarded by mu_
+  void* observer_ctx_ = nullptr;                    // guarded by mu_
   std::atomic<size_t> armed_{0};
   std::atomic<uint64_t> schedule_now_{0};
 };

@@ -159,17 +159,22 @@ class Harness {
   /// expired/tight/infinite deadline mixes and admission pressure.
   /// Oracles are the serving invariants — the status surface stays
   /// closed, shed <=> kOverloaded with a retry hint, expired requests
-  /// never serve values, degradation respects allow_degraded, and full
-  /// fidelity returns bit-for-bit once faults clear. Resets the global
-  /// FaultInjector on entry and exit.
+  /// never serve values, degradation respects allow_degraded, full
+  /// fidelity returns bit-for-bit once faults clear, trace stage spans
+  /// sum within wall time on both the head-sampled and tail-retained
+  /// rings, and no trace seq is retained on both rings. Any finding is
+  /// accompanied by a flight-recorder dump that must itself re-parse as
+  /// strict JSON. Resets the global FaultInjector on entry and exit.
   Report RunChaosFuzz(const FuzzOptions& options) const;
   /// Export battery: adversarial query strings and registry names
   /// (quoting characters, control bytes, invalid UTF-8) driven through
-  /// a fully-sampled service — trace ring, slow ring, and the shadow
-  /// accuracy pipeline all capture the hostile strings — then every
-  /// JSON surface (STATSZ, TRACEZ, ACCZ, healthz) is re-parsed by the
-  /// strict common/json parser. Oracle: the exporters always emit valid
-  /// JSON, whatever bytes they were fed.
+  /// a fully-sampled service — trace rings, per-tenant rows, the
+  /// time-series store, the SLO engine, the flight recorder, and the
+  /// shadow accuracy pipeline all capture the hostile strings — then
+  /// every JSON surface (STATSZ, TRACEZ, ACCZ, healthz, TSZ, ALERTZ,
+  /// FLIGHTZ) is re-parsed by the strict common/json parser. Oracle:
+  /// the exporters always emit valid JSON, whatever bytes they were
+  /// fed.
   Report RunExportFuzz(const FuzzOptions& options) const;
   /// All of the above except chaos, splitting options.iterations
   /// roughly 8:4:6:4:2:2:1 across query/analyze/synopsis/xml/service/

@@ -2,6 +2,7 @@
 #include <cctype>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -1062,16 +1063,42 @@ Report Harness::RunChaosFuzz(const FuzzOptions& options) const {
           batch[0].xpath));
     }
     // Trace oracle: stages are disjoint sub-intervals of the request,
-    // so their sum can never exceed the recorded wall time.
-    for (const obs::TraceRecord& t : svc.traces().Recent()) {
+    // so their sum can never exceed the recorded wall time — on the
+    // head-sampled ring and the tail-retained ring alike (chaos drives
+    // plenty of traffic into both: every fault outcome is tail-kept).
+    const std::vector<obs::TraceRecord> recent_traces =
+        svc.traces().Recent();
+    const std::vector<obs::TraceRecord> tail_traces = svc.traces().Tail();
+    auto check_trace_spans = [&](const obs::TraceRecord& t,
+                                 const char* ring) {
       if (t.spans.SumNs() > t.total_ns) {
         rep.findings.push_back(MakeFinding(
             "chaos", "trace-spans",
-            StrFormat("trace seq %llu: stage sum %llu ns > total %llu ns",
-                      static_cast<unsigned long long>(t.seq),
+            StrFormat("%s trace seq %llu: stage sum %llu ns > total %llu ns",
+                      ring, static_cast<unsigned long long>(t.seq),
                       static_cast<unsigned long long>(t.spans.SumNs()),
                       static_cast<unsigned long long>(t.total_ns)),
             t.query));
+      }
+    };
+    for (const obs::TraceRecord& t : recent_traces) {
+      check_trace_spans(t, "recent");
+    }
+    for (const obs::TraceRecord& t : tail_traces) {
+      check_trace_spans(t, "tail");
+    }
+    // Exactly-one-ring routing: a completed request lands on the tail
+    // ring or the recent ring, never both — the same seq on both would
+    // double-count it in the span oracles and the tracez export.
+    for (const obs::TraceRecord& t : tail_traces) {
+      for (const obs::TraceRecord& r : recent_traces) {
+        if (t.seq == r.seq) {
+          rep.findings.push_back(MakeFinding(
+              "chaos", "trace-double-retained",
+              StrFormat("trace seq %llu retained on both rings",
+                        static_cast<unsigned long long>(t.seq)),
+              t.query));
+        }
       }
     }
 #endif
@@ -1380,6 +1407,22 @@ Report Harness::RunChaosFuzz(const FuzzOptions& options) const {
           "live"));
     }
   }
+
+  // Black-box rule: every chaos finding ships with a flight-recorder
+  // dump, and the dump itself must survive a strict JSON re-parse — an
+  // unparseable recorder after a real incident is worth nothing.
+  if (!rep.findings.empty()) {
+    const std::string dump = svc.FlightzJson();
+    if (!json::Parse(dump).ok()) {
+      rep.findings.push_back(MakeFinding(
+          "chaos", "flight-dump",
+          "flight-recorder dump is not valid JSON after chaos findings",
+          dump.substr(0, 128)));
+    } else {
+      std::fprintf(stderr, "chaos flight-recorder dump (%zu findings): %s\n",
+                   rep.findings.size(), dump.c_str());
+    }
+  }
   faults.Reset();
   return rep;
 }
@@ -1411,6 +1454,11 @@ Report Harness::RunExportFuzz(const FuzzOptions& options) const {
   service_opt.accuracy_sample = 1;  // ...and the shadow pipeline
   service_opt.accuracy_max_pending = 1 << 16;
   service_opt.drift_min_samples = 4;
+  // The flight-data surfaces ride along: declarative SLOs over the
+  // scraped time-series (evaluated by the ObsTick calls below), per-
+  // tenant rows keyed by the hostile registry names, and the flight
+  // recorder — all three exporters face the same attack bytes.
+  service_opt.slos = service::DefaultSloSpecs(0.999, 5'000'000'000, 4.0);
   service::EstimationService svc(service_opt);
 
   // Registry names are operator-chosen free text; exporters must quote
@@ -1441,6 +1489,7 @@ Report Harness::RunExportFuzz(const FuzzOptions& options) const {
   };
 
   std::string last_input;
+  uint64_t vnow_us = 0;  // virtual scrape clock for ObsTick
   for (size_t i = 0; i < options.iterations; ++i) {
     Rng it = master.Split();
     const size_t b = it.Index(beds_.size());
@@ -1454,14 +1503,22 @@ Report Harness::RunExportFuzz(const FuzzOptions& options) const {
       (void)svc.Estimate(hostilize(it, "no-such"), qs);
     }
 
-    // Render + strict-parse all four surfaces periodically and at the
-    // end (parsing every iteration would dominate the run).
+    // Render + strict-parse every surface periodically and at the end
+    // (parsing every iteration would dominate the run). The scrape
+    // clock advances past one interval first so the time-series store
+    // holds fresh points and the SLO engine has evaluated — the alertz
+    // and tsz payloads are populated, not trivially empty.
     if (i % 64 == 63 || i + 1 == options.iterations) {
       svc.DrainShadow();
+      vnow_us += service_opt.ts_interval_us + 1;
+      svc.ObsTick(vnow_us);
       check_surface("statsz", svc.StatszJson(), last_input);
       check_surface("tracez", svc.traces().ToJson(), last_input);
       check_surface("accz", svc.AccuracyJson(), last_input);
       check_surface("healthz", svc.HealthzJson(), last_input);
+      check_surface("tsz", svc.TszJson(), last_input);
+      check_surface("alertz", svc.AlertzJson(), last_input);
+      check_surface("flightz", svc.FlightzJson(), last_input);
     }
     ++rep.iterations;
   }

@@ -99,11 +99,21 @@ Histogram& Registry::GetHistogram(std::string_view name,
   return *slot;
 }
 
+void Registry::RegisterDerivedCounter(std::string_view name,
+                                      std::string_view label,
+                                      std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  derived_counters_[Key(name, label)] = std::move(fn);
+}
+
 uint64_t Registry::CounterValue(std::string_view name,
                                 std::string_view label) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = counters_.find(Key(name, label));
-  return it == counters_.end() ? 0 : it->second->value();
+  const std::string key = Key(name, label);
+  auto it = counters_.find(key);
+  if (it != counters_.end()) return it->second->value();
+  auto dit = derived_counters_.find(key);
+  return dit == derived_counters_.end() ? 0 : dit->second();
 }
 
 int64_t Registry::GaugeValue(std::string_view name,
@@ -139,12 +149,28 @@ std::vector<MetricRow> Registry::Rows() const {
 
   std::vector<MetricRow> rows;
   std::lock_guard<std::mutex> lock(mu_);
-  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
-  for (const auto& [key, c] : counters_) {
+  rows.reserve(counters_.size() + derived_counters_.size() + gauges_.size() +
+               histograms_.size());
+  // Counter rows are the key-ordered merge of the physical and derived
+  // maps; a physical row shadows a derived row with the same identity.
+  auto cit = counters_.begin();
+  auto dit = derived_counters_.begin();
+  while (cit != counters_.end() || dit != derived_counters_.end()) {
     MetricRow row;
-    split(key, &row);
     row.kind = MetricRow::Kind::kCounter;
-    row.counter = c->value();
+    const bool take_physical =
+        dit == derived_counters_.end() ||
+        (cit != counters_.end() && cit->first <= dit->first);
+    if (take_physical) {
+      split(cit->first, &row);
+      row.counter = cit->second->value();
+      if (dit != derived_counters_.end() && dit->first == cit->first) ++dit;
+      ++cit;
+    } else {
+      split(dit->first, &row);
+      row.counter = dit->second();
+      ++dit;
+    }
     rows.push_back(std::move(row));
   }
   for (const auto& [key, g] : gauges_) {

@@ -6,6 +6,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -183,6 +184,18 @@ class Registry {
   Gauge& GetGauge(std::string_view name, std::string_view label = {});
   Histogram& GetHistogram(std::string_view name, std::string_view label = {});
 
+  /// Registers a counter row whose value is computed at read time
+  /// instead of stored here — for writers that keep their counts in
+  /// caller-owned cells too hot for a shared fetch_add (the per-tenant
+  /// lanes, see TenantTable). The callback runs under the registry
+  /// mutex on every read surface (CounterValue / Rows / ToJson), so it
+  /// must be lock-free, must not call back into this registry, and must
+  /// stay valid until the registry is destroyed. A physical counter
+  /// with the same (name, label) shadows the derived row. Re-registering
+  /// an identity replaces its callback.
+  void RegisterDerivedCounter(std::string_view name, std::string_view label,
+                              std::function<uint64_t()> fn);
+
   /// Read-side lookups that never create: zero / empty snapshot when
   /// the metric does not exist (the fuzz oracles and tests use these).
   uint64_t CounterValue(std::string_view name,
@@ -209,6 +222,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<uint64_t()>> derived_counters_;
 };
 
 #else  // XEE_OBS_OFF: the whole API degrades to inline no-ops.
@@ -268,6 +282,9 @@ class Registry {
     static Histogram h;
     return h;
   }
+
+  void RegisterDerivedCounter(std::string_view, std::string_view,
+                              std::function<uint64_t()>) {}
 
   uint64_t CounterValue(std::string_view, std::string_view = {}) const {
     return 0;

@@ -10,7 +10,7 @@ namespace xee::obs {
 
 TraceRing::TraceRing(size_t capacity, uint64_t slow_threshold_ns)
     : capacity_(capacity < 1 ? 1 : capacity),
-      slow_capacity_(std::max<size_t>(16, capacity_ / 4)),
+      tail_capacity_(std::max<size_t>(16, capacity_ / 2)),
       slow_threshold_ns_(slow_threshold_ns) {}
 
 void TraceRing::Push(std::vector<TraceRecord>* ring, size_t* pos, size_t cap,
@@ -26,13 +26,25 @@ void TraceRing::Push(std::vector<TraceRecord>* ring, size_t* pos, size_t cap,
 
 void TraceRing::Record(TraceRecord rec) {
   recorded_.fetch_add(1, std::memory_order_relaxed);
-  const bool slow = IsSlow(rec.total_ns);
+  const bool tail = !rec.tail_class.empty();
+  if (tail) tail_recorded_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   rec.seq = ++seq_;
-  if (slow) {
-    Push(&slow_ring_, &slow_pos_, slow_capacity_, rec);
+  if (rec.total_ns > 0) {
+    const int bucket = HistogramBuckets::BucketOf(rec.total_ns);
+    TraceExemplar& ex = exemplars_[bucket / HistogramBuckets::kSub];
+    ex.seq = rec.seq;
+    ex.total_ns = rec.total_ns;
+    ex.bucket = bucket;
+    ex.outcome = rec.outcome;
   }
-  Push(&ring_, &pos_, capacity_, std::move(rec));
+  // Exactly one ring per record: the completion-time classification
+  // decides which, so a request can never be double-retained.
+  if (tail) {
+    Push(&tail_ring_, &tail_pos_, tail_capacity_, std::move(rec));
+  } else {
+    Push(&ring_, &pos_, capacity_, std::move(rec));
+  }
 }
 
 std::vector<TraceRecord> TraceRing::Ordered(
@@ -56,9 +68,18 @@ std::vector<TraceRecord> TraceRing::Recent(size_t max) const {
   return Ordered(ring_, pos_, max);
 }
 
-std::vector<TraceRecord> TraceRing::Slow(size_t max) const {
+std::vector<TraceRecord> TraceRing::Tail(size_t max) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return Ordered(slow_ring_, slow_pos_, max);
+  return Ordered(tail_ring_, tail_pos_, max);
+}
+
+std::vector<TraceExemplar> TraceRing::Exemplars() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceExemplar> out;
+  for (const TraceExemplar& ex : exemplars_) {
+    if (ex.seq != 0) out.push_back(ex);
+  }
+  return out;
 }
 
 namespace {
@@ -75,6 +96,8 @@ void AppendTraceJson(const TraceRecord& t, std::string* out) {
   *out += JsonEscape(t.query);
   *out += "\",\"outcome\":\"";
   *out += JsonEscape(t.outcome);
+  *out += "\",\"tail\":\"";
+  *out += JsonEscape(t.tail_class);
   *out += "\",\"degraded\":";
   *out += t.degraded ? "true" : "false";
   *out += ",\"stages_ns\":{";
@@ -107,12 +130,29 @@ std::string TraceRing::ToJson(size_t max) const {
     first = false;
     AppendTraceJson(t, &out);
   }
-  out += "],\"slow\":[";
+  out += "],\"tail\":[";
   first = true;
-  for (const TraceRecord& t : Slow(max)) {
+  for (const TraceRecord& t : Tail(max)) {
     if (!first) out.push_back(',');
     first = false;
     AppendTraceJson(t, &out);
+  }
+  out += "],\"exemplars\":[";
+  first = true;
+  char buf[160];
+  for (const TraceExemplar& ex : Exemplars()) {
+    if (!first) out.push_back(',');
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"bucket_ns\":%llu,\"seq\":%llu,\"total_ns\":%llu,"
+                  "\"outcome\":\"",
+                  static_cast<unsigned long long>(
+                      HistogramBuckets::BucketBound(ex.bucket)),
+                  static_cast<unsigned long long>(ex.seq),
+                  static_cast<unsigned long long>(ex.total_ns));
+    out += buf;
+    out += JsonEscape(ex.outcome);
+    out += "\"}";
   }
   out += "]}";
   return out;

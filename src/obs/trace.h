@@ -11,12 +11,20 @@
 
 #include "obs/metrics.h"
 
-/// Per-request tracing (DESIGN.md §10): each estimation request carries
-/// a TraceSpans on its stack; the serving pipeline's stages accumulate
-/// wall time into it via ScopedStageTimer, the estimator folds its work
-/// counters in through EstimateLimits, and the finished trace lands in
-/// the service's bounded TraceRing — with slow requests additionally
-/// captured in a separate ring that the fast ring cannot wash out.
+/// Per-request tracing (DESIGN.md §10/§16): each estimation request
+/// carries a TraceSpans on its stack; the serving pipeline's stages
+/// accumulate wall time into it via ScopedStageTimer, the estimator
+/// folds its work counters in through EstimateLimits, and the finished
+/// trace lands in the service's bounded TraceRing.
+///
+/// Retention is tail-based: the keep/drop decision happens at
+/// *completion* time, when the outcome is known. Routine requests are
+/// head-sampled into the recent ring (1-in-N); requests with an
+/// interesting outcome — shed, deadline, error, pruned, degraded, slow
+/// — carry a tail class and always land in the separate tail ring,
+/// regardless of the head sample, where a burst of fast requests cannot
+/// wash them out. Each record lives in exactly one ring, so span-sum
+/// oracles that walk both rings never double-count a request.
 namespace xee::obs {
 
 /// The serving pipeline's stages, in request order. A stage a request
@@ -79,6 +87,21 @@ struct TraceRecord {
   std::string query;
   std::string outcome;  ///< "exact-hit", "miss", "deadline", ...
   bool degraded = false;
+  /// Why completion-time classification retained this record ("shed",
+  /// "deadline", "error", "pruned", "degraded", "slow"); empty for a
+  /// head-sampled routine request. Routes the record: non-empty goes to
+  /// the tail ring, empty to the recent ring — never both.
+  std::string tail_class;
+};
+
+/// One histogram exemplar: the most recent retained trace whose total
+/// latency fell into a given log-bucket octave, so a p99 spike in the
+/// request_ns histogram links to an actual trace in the rings.
+struct TraceExemplar {
+  uint64_t seq = 0;
+  uint64_t total_ns = 0;
+  int bucket = 0;  ///< HistogramBuckets index of total_ns
+  std::string outcome;
 };
 
 #ifndef XEE_OBS_OFF
@@ -125,34 +148,48 @@ class ScopedStageTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Bounded buffer of recent traces plus a separate slow-trace buffer
-/// for requests at or above a configurable threshold (so one burst of
-/// fast requests cannot evict the interesting outliers). Record takes a
-/// mutex — callers sample (ServiceOptions::trace_sample) to keep it off
-/// the per-request critical path.
+/// Bounded buffer of head-sampled recent traces plus a separate
+/// tail-retention buffer for interesting-outcome requests (so one burst
+/// of fast requests cannot evict the records worth debugging). Record
+/// takes a mutex — routine callers sample (ServiceOptions::trace_sample)
+/// and tail-retained outcomes are rare, keeping it off the per-request
+/// critical path.
 class TraceRing {
  public:
-  /// `capacity` bounds the recent ring (clamped to >= 1); the slow ring
-  /// holds max(16, capacity/4). `slow_threshold_ns` of 0 disables slow
-  /// capture.
+  /// Exemplar storage: one slot per histogram octave band.
+  static constexpr int kExemplarBands =
+      HistogramBuckets::kBuckets / HistogramBuckets::kSub + 1;
+
+  /// `capacity` bounds the recent ring (clamped to >= 1); the tail ring
+  /// holds max(16, capacity/2). `slow_threshold_ns` of 0 disables the
+  /// slow tail class.
   explicit TraceRing(size_t capacity, uint64_t slow_threshold_ns = 0);
 
-  /// True when this record would be kept even if unsampled (slow-query
-  /// capture); cheap, lock-free.
+  /// True when a timed record of this latency classifies as "slow"
+  /// (one of the tail-retention classes); cheap, lock-free.
   bool IsSlow(uint64_t total_ns) const {
     const uint64_t t = slow_threshold_ns_.load(std::memory_order_relaxed);
     return t != 0 && total_ns >= t;
   }
 
+  /// Stores `rec` in exactly one ring: the tail ring when
+  /// rec.tail_class is non-empty, the recent ring otherwise. Timed
+  /// records (total_ns > 0) also refresh their octave's exemplar slot.
   void Record(TraceRecord rec);
 
-  /// The most recent `max` traces, oldest first.
+  /// The most recent `max` head-sampled traces, oldest first.
   std::vector<TraceRecord> Recent(size_t max = SIZE_MAX) const;
-  /// The most recent `max` slow traces, oldest first.
-  std::vector<TraceRecord> Slow(size_t max = SIZE_MAX) const;
+  /// The most recent `max` tail-retained traces, oldest first.
+  std::vector<TraceRecord> Tail(size_t max = SIZE_MAX) const;
+  /// The live exemplars, lowest bucket first.
+  std::vector<TraceExemplar> Exemplars() const;
 
   uint64_t recorded() const {
     return recorded_.load(std::memory_order_relaxed);
+  }
+  /// Records that went to the tail ring (subset of recorded()).
+  uint64_t tail_recorded() const {
+    return tail_recorded_.load(std::memory_order_relaxed);
   }
   uint64_t slow_threshold_ns() const {
     return slow_threshold_ns_.load(std::memory_order_relaxed);
@@ -161,9 +198,10 @@ class TraceRing {
     slow_threshold_ns_.store(ns, std::memory_order_relaxed);
   }
 
-  /// The tracez rendering: {"recent":[...],"slow":[...]} with at most
-  /// `max` entries per list, each entry carrying total/stage times and
-  /// estimator counters.
+  /// The tracez rendering:
+  /// {"recent":[...],"tail":[...],"exemplars":[...]} with at most `max`
+  /// entries per trace list, each entry carrying total/stage times and
+  /// estimator counters; exemplars link latency buckets to trace seqs.
   std::string ToJson(size_t max = 32) const;
 
  private:
@@ -173,16 +211,18 @@ class TraceRing {
                                    size_t pos, size_t max) const;
 
   const size_t capacity_;
-  const size_t slow_capacity_;
+  const size_t tail_capacity_;
   std::atomic<uint64_t> slow_threshold_ns_;
   std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> tail_recorded_{0};
 
   mutable std::mutex mu_;
   std::vector<TraceRecord> ring_;       // guarded by mu_
-  std::vector<TraceRecord> slow_ring_;  // guarded by mu_
+  std::vector<TraceRecord> tail_ring_;  // guarded by mu_
   size_t pos_ = 0;                      // next write slot in ring_
-  size_t slow_pos_ = 0;
+  size_t tail_pos_ = 0;
   uint64_t seq_ = 0;
+  TraceExemplar exemplars_[kExemplarBands];  // guarded by mu_
 };
 
 #else  // XEE_OBS_OFF
@@ -196,16 +236,20 @@ class ScopedStageTimer {
 
 class TraceRing {
  public:
+  static constexpr int kExemplarBands =
+      HistogramBuckets::kBuckets / HistogramBuckets::kSub + 1;
   explicit TraceRing(size_t, uint64_t = 0) {}
   bool IsSlow(uint64_t) const { return false; }
   void Record(TraceRecord) {}
   std::vector<TraceRecord> Recent(size_t = SIZE_MAX) const { return {}; }
-  std::vector<TraceRecord> Slow(size_t = SIZE_MAX) const { return {}; }
+  std::vector<TraceRecord> Tail(size_t = SIZE_MAX) const { return {}; }
+  std::vector<TraceExemplar> Exemplars() const { return {}; }
   uint64_t recorded() const { return 0; }
+  uint64_t tail_recorded() const { return 0; }
   uint64_t slow_threshold_ns() const { return 0; }
   void set_slow_threshold_ns(uint64_t) {}
   std::string ToJson(size_t = 32) const {
-    return "{\"recent\":[],\"slow\":[]}";
+    return "{\"recent\":[],\"tail\":[],\"exemplars\":[]}";
   }
 };
 

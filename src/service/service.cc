@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/fault.h"
 #include "xpath/analyze.h"
 #include "xpath/canonical.h"
 #include "xpath/parser.h"
@@ -50,7 +51,190 @@ obs::AccuracyOptions MakeAccuracyOptions(const ServiceOptions& o) {
   return a;
 }
 
+/// The flight recorder stores outcomes as small codes, not strings (no
+/// allocation on the record path). The mapping is append-only: codes
+/// are part of the dump surface tooling reads.
+uint64_t FlightOutcomeCode(std::string_view label) {
+  if (label == "exact-hit") return 1;
+  if (label == "canonical-hit") return 2;
+  if (label == "memo-hit") return 3;
+  if (label == "miss") return 4;
+  if (label == "pruned") return 5;
+  if (label == "deadline") return 6;
+  if (label == "quarantined") return 7;
+  if (label == "not-found") return 8;
+  if (label == "stale") return 9;
+  if (label == "parse-error") return 10;
+  if (label == "unsupported") return 11;
+  if (label == "shed") return 12;
+  return 0;  // "error" and anything future
+}
+
 }  // namespace
+
+std::vector<obs::SloSpec> DefaultSloSpecs(double availability_objective,
+                                          uint64_t p99_objective_ns,
+                                          double qerror_objective) {
+  std::vector<obs::SloSpec> specs;
+  if (availability_objective > 0) {
+    obs::SloSpec s;
+    s.name = "availability";
+    s.kind = obs::SloKind::kAvailability;
+    s.objective = availability_objective;
+    s.total_series = "service.requests";
+    s.bad_series = {"service.outcome{reason=shed}",
+                    "service.outcome{reason=deadline_exceeded}"};
+    specs.push_back(std::move(s));
+  }
+  if (p99_objective_ns > 0) {
+    obs::SloSpec s;
+    s.name = "latency-p99";
+    s.kind = obs::SloKind::kLatency;
+    s.objective = static_cast<double>(p99_objective_ns);
+    s.value_series = "service.request_ns.p99";
+    s.fast_burn = 1.0;
+    s.slow_burn = 1.0;
+    specs.push_back(std::move(s));
+  }
+  if (qerror_objective > 0) {
+    obs::SloSpec s;
+    s.name = "accuracy-qerror";
+    s.kind = obs::SloKind::kThreshold;
+    // The gauge carries milli-q-error (integer gauges), so scale the
+    // objective to match.
+    s.objective = qerror_objective * 1000.0;
+    s.value_series = "service.accuracy.worst_ewma_qerror_milli";
+    s.fast_burn = 1.0;
+    s.slow_burn = 1.0;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+namespace {
+/// Monotonic id source for TenantTable::gen_ (memo invalidation).
+std::atomic<uint64_t> g_tenant_table_gen{1};
+}  // namespace
+
+TenantTable::TenantTable(obs::Registry* registry, size_t max)
+    : registry_(registry),
+      max_(max),
+      gen_(g_tenant_table_gen.fetch_add(1, std::memory_order_relaxed)) {}
+
+namespace {
+/// Small nonzero per-thread id for lane ownership claims.
+uint32_t LaneThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+}  // namespace
+
+TenantTable::Slots* TenantTable::MakeSlots(const std::string& label_name,
+                                           obs::FlightRecorder* flight) {
+  auto s = std::make_unique<Slots>();
+  const std::string label = "tenant=" + label_name;
+  // The registry rows read through to the lanes; the lanes live in the
+  // Slots, which this table never erases, so the callbacks stay valid
+  // as long as the table does (the service destroys the table before
+  // the registry and nothing reads the registry after that).
+  Slots* raw = s.get();
+  registry_->RegisterDerivedCounter("tenant.requests", label, [raw] {
+    return raw->Sum(&Lane::requests);
+  });
+  registry_->RegisterDerivedCounter("tenant.shed", label, [raw] {
+    return raw->Sum(&Lane::shed);
+  });
+  registry_->RegisterDerivedCounter("tenant.errors", label, [raw] {
+    return raw->Sum(&Lane::errors);
+  });
+  registry_->RegisterDerivedCounter("tenant.plan_hits", label, [raw] {
+    return raw->Sum(&Lane::plan_hits);
+  });
+  registry_->RegisterDerivedCounter("tenant.memo_hits", label, [raw] {
+    return raw->Sum(&Lane::memo_hits);
+  });
+  s->request_ns = &registry_->GetHistogram("tenant.request_ns", label);
+  if (flight != nullptr) s->flight_id = flight->Intern(label_name);
+  return s.release();
+}
+
+TenantTable::Handle TenantTable::Get(const std::string& tenant,
+                                     obs::FlightRecorder* flight) {
+#ifdef XEE_OBS_OFF
+  (void)tenant;
+  (void)flight;
+  return {};
+#else
+  if (max_ == 0) return {};
+  // Warm path: the last answer this thread got from this table. Slots
+  // are heap-allocated and never erased, so a memoized handle stays
+  // valid for the table's lifetime; gen_ fences off hits against a
+  // different (or reincarnated) table. One string compare versus a
+  // shared-mutex lock plus a hashed map probe plus the lane claim —
+  // the difference is measurable at serving rates (see bench
+  // "service_obs2").
+  struct LastLookup {
+    uint64_t gen = 0;
+    std::string tenant;
+    Handle handle;
+  };
+  thread_local LastLookup last;
+  if (last.gen == gen_ && last.tenant == tenant) return last.handle;
+  Slots* found = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = slots_.find(tenant);
+    if (it != slots_.end()) {
+      found = it->second.get();
+    } else if (slots_.size() >= max_ && overflow_ != nullptr) {
+      found = overflow_.get();
+    }
+  }
+  if (found == nullptr) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = slots_.find(tenant);
+    if (it != slots_.end()) {
+      found = it->second.get();
+    } else if (slots_.size() >= max_) {
+      if (overflow_ == nullptr) {
+        overflow_.reset(MakeSlots("__other__", flight));
+      }
+      found = overflow_.get();
+    } else {
+      found = MakeSlots(tenant, flight);
+      slots_.emplace(tenant, std::unique_ptr<Slots>(found));
+    }
+  }
+  // Claim (or re-find) this thread's lane: an owned lane makes every
+  // later increment a plain load/store. Threads past kLanes keep a
+  // null lane and write through the shared fetch_add fallback.
+  Lane* lane = nullptr;
+  const uint32_t tid = LaneThreadId();
+  for (Lane& l : found->lanes) {
+    uint32_t owner = l.owner.load(std::memory_order_acquire);
+    if (owner == tid) {
+      lane = &l;
+      break;
+    }
+    if (owner == 0 && l.owner.compare_exchange_strong(
+                          owner, tid, std::memory_order_acq_rel)) {
+      lane = &l;
+      break;
+    }
+  }
+  last.gen = gen_;
+  last.tenant = tenant;
+  last.handle = Handle{found, lane};
+  return last.handle;
+#endif
+}
+
+size_t TenantTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return slots_.size();
+}
 
 EstimationService::EstimationService(ServiceOptions options)
     : options_(options),
@@ -62,7 +246,47 @@ EstimationService::EstimationService(ServiceOptions options)
       traces_(options.trace_capacity < 1 ? 1 : options.trace_capacity,
               options.slow_trace_ns),
       accuracy_(&obs_, MakeAccuracyOptions(options)),
+      tenants_(&obs_, options.tenant_max),
       pool_(options.ResolvedThreads()) {
+  if (options.flight_bytes > 0) {
+    flight_ = std::make_unique<obs::FlightRecorder>(options.flight_bytes);
+    // Fault fires land in the black box next to the requests they
+    // perturbed. One observer process-wide, last service wins; the
+    // destructor unhooks only its own installation.
+    FaultInjector::Global().SetFireObserver(&FlightFaultObserver, this);
+  }
+  if (options.ts_interval_us > 0) {
+    obs::TimeSeriesOptions tso;
+    tso.interval_us = options.ts_interval_us;
+    tso.retention = options.ts_retention;
+    tso.max_series = options.ts_max_series;
+    timeseries_ = std::make_unique<obs::TimeSeriesStore>(&obs_, tso);
+    timeseries_->WatchCounter("service.requests");
+    timeseries_->WatchCounterPrefix("service.outcome");
+    timeseries_->WatchCounterPrefix("service.shed");
+    timeseries_->WatchCounterPrefix("service.trace.tail");
+    timeseries_->WatchCounterPrefix("service.plan_cache");
+    timeseries_->WatchCounterPrefix("service.estimate_memo");
+    timeseries_->WatchCounterPrefix("tenant.");
+    timeseries_->WatchCounterPrefix("slo.alert");
+    timeseries_->WatchGauge("service.inflight");
+    timeseries_->WatchGauge("service.accuracy.worst_ewma_qerror_milli");
+    timeseries_->WatchHistogram("service.request_ns", &stats_.request_ns);
+    if (!options.slos.empty()) {
+      slo_ = std::make_unique<obs::SloEngine>(timeseries_.get(), &obs_,
+                                              options.slos);
+      slo_->SetTransitionHook([this](const obs::SloSpec& spec,
+                                     obs::AlertState from, obs::AlertState to,
+                                     uint64_t now_us) {
+        if (flight_ != nullptr) {
+          flight_->Record(obs::FlightEventType::kAlert,
+                          flight_->Intern(spec.name),
+                          static_cast<uint64_t>(to),
+                          static_cast<uint64_t>(from), now_us);
+        }
+      });
+    }
+  }
   MaintenanceManager::Options maint;
   maint.error_budget = options.patch_error_budget;
   maint.histo_patch_tolerance = options.patch_tolerance;
@@ -83,6 +307,10 @@ EstimationService::EstimationService(ServiceOptions options)
 }
 
 EstimationService::~EstimationService() {
+  // Unhook the fault observer first: fires from pool tasks draining
+  // below must not reach a flight recorder that is about to die. The
+  // ctx check means a newer service's installation is left alone.
+  FaultInjector::Global().ClearFireObserver(this);
   // Runs before member destruction: from here on, rebuild schedules
   // (e.g. from shadow tasks the pool drains) execute inline instead of
   // submitting to the dying pool.
@@ -140,7 +368,8 @@ void EstimationService::Release(size_t slots) {
   stats_.inflight.Sub(static_cast<int64_t>(slots));
 }
 
-EstimateOutcome EstimationService::ShedOutcome(size_t depth, bool batch) {
+EstimateOutcome EstimationService::ShedOutcome(const QueryRequest& req,
+                                               size_t depth, bool batch) {
   stats_.shed.Inc();
   (batch ? stats_.shed_batch : stats_.shed_single).Inc();
   EstimateOutcome out;
@@ -158,13 +387,31 @@ EstimateOutcome EstimationService::ShedOutcome(size_t depth, bool batch) {
                  std::to_string(options_.max_inflight) +
                  " requests in flight); retry after " +
                  std::to_string(out.retry_after_ms) + "ms");
+  // A shed is exactly the kind of request tail-based retention exists
+  // for: it never reaches the timed pipeline, so record it here. The
+  // per-tenant requests counter is bumped too — the caller only counts
+  // the aggregate.
+  const TenantTable::Handle tenant = tenants_.Get(req.synopsis, flight_.get());
+  if (tenant) {
+    tenant.Inc(&TenantTable::Lane::requests);
+    tenant.Inc(&TenantTable::Lane::shed);
+  }
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventType::kShed,
+                    tenant ? tenant.slots->flight_id
+                           : obs::FlightRecorder::kOverflowId,
+                    batch ? 1 : 0, hint);
+  }
+  if (options_.tail_retention) {
+    RecordTrace(req, "shed", out, obs::TraceSpans{}, /*total_ns=*/0, "shed");
+  }
   return out;
 }
 
 EstimateOutcome EstimationService::Estimate(const QueryRequest& request) {
   if (TryAdmit(1) == 0) {
     stats_.requests.Inc();
-    return ShedOutcome(0, /*batch=*/false);
+    return ShedOutcome(request, 0, /*batch=*/false);
   }
   EstimateOutcome out = EstimateAdmitted(request);
   Release(1);
@@ -191,6 +438,10 @@ EstimateOutcome EstimationService::EstimateAdmitted(
   Clock::time_point t_request;
   if (timed) t_request = Clock::now();
   stats_.requests.Inc();
+  // The per-tenant dimension keys on the synopsis name: one sharded-
+  // lock map probe on the warm path, stable slot pointers after.
+  const TenantTable::Handle tenant = tenants_.Get(req.synopsis, flight_.get());
+  if (tenant) tenant.Inc(&TenantTable::Lane::requests);
 
   // The request's trace: stage timers and the estimator's work counters
   // accumulate here; timed requests land in the trace ring.
@@ -561,10 +812,50 @@ EstimateOutcome EstimationService::EstimateAdmitted(
       break;
   }
   if (out.degraded) stats_.degraded.Inc();
+  const std::string_view ol = outcome_label;
+  if (tenant) {
+    if (!out.estimate.ok()) {
+      tenant.Inc(&TenantTable::Lane::errors);
+    } else if (ol == "exact-hit" || ol == "canonical-hit") {
+      tenant.Inc(&TenantTable::Lane::plan_hits);
+    } else if (ol == "memo-hit") {
+      tenant.Inc(&TenantTable::Lane::memo_hits);
+    }
+  }
+  // Tail-based retention (DESIGN.md §16): the keep decision runs at
+  // completion, when the outcome is known. One class per request, in
+  // precedence order; "slow" needs the wall time, so it is judged
+  // below, only for timed requests.
+  const char* tail_class = nullptr;
+  if (options_.tail_retention) {
+    if (out.estimate.status().code() == StatusCode::kDeadlineExceeded) {
+      tail_class = "deadline";
+    } else if (!out.estimate.ok()) {
+      tail_class = "error";
+    } else if (out.pruned) {
+      tail_class = "pruned";
+    } else if (out.degraded) {
+      tail_class = "degraded";
+    }
+  }
+  uint64_t total_ns = 0;
   if (timed) {
-    const uint64_t total_ns = NsSince(t_request);
+    total_ns = NsSince(t_request);
     stats_.request_ns.Record(total_ns);
-    RecordTrace(req, outcome_label, out, spans, total_ns);
+    if (tenant) tenant.slots->request_ns->Record(total_ns);
+    if (tail_class == nullptr && options_.tail_retention &&
+        traces_.IsSlow(total_ns)) {
+      tail_class = "slow";
+    }
+  }
+  if (timed || tail_class != nullptr) {
+    RecordTrace(req, outcome_label, out, spans, total_ns, tail_class);
+  }
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventType::kRequest,
+                    tenant ? tenant.slots->flight_id
+                           : obs::FlightRecorder::kOverflowId,
+                    FlightOutcomeCode(ol), total_ns);
   }
   if (shadow_eligible) {
     MaybeShadow(req, out, std::move(shadow_truth), shadow_epoch);
@@ -674,8 +965,22 @@ void EstimationService::RecordTrace(const QueryRequest& req,
                                     const char* outcome,
                                     const EstimateOutcome& out,
                                     const obs::TraceSpans& spans,
-                                    uint64_t total_ns) {
+                                    uint64_t total_ns,
+                                    const char* tail_class) {
   if (options_.trace_capacity == 0) return;
+#ifdef XEE_OBS_OFF
+  (void)req;
+  (void)outcome;
+  (void)out;
+  (void)spans;
+  (void)total_ns;
+  (void)tail_class;
+#else
+  // The class counter is bumped exactly when a record enters the tail
+  // ring (capacity gate above, routing in TraceRing::Record), so
+  // traces().tail_recorded() == sum of the class counters — the
+  // conservation tail_retention_test pins.
+  if (tail_class != nullptr) stats_.TailCounter(tail_class).Inc();
   obs::TraceRecord rec;
   rec.total_ns = total_ns;
   rec.spans = spans;
@@ -683,7 +988,78 @@ void EstimationService::RecordTrace(const QueryRequest& req,
   rec.query = req.xpath;
   rec.outcome = outcome;
   rec.degraded = out.degraded;
+  if (tail_class != nullptr) rec.tail_class = tail_class;
   traces_.Record(std::move(rec));
+#endif
+}
+
+void EstimationService::FlightFaultObserver(void* ctx, std::string_view site,
+                                            uint64_t schedule_now) {
+  auto* self = static_cast<EstimationService*>(ctx);
+  self->flight_->Record(obs::FlightEventType::kFaultFire,
+                        self->flight_->Intern(site), schedule_now, 0);
+}
+
+void EstimationService::ObsTick(uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  if (flight_ != nullptr) {
+    // Epoch bumps and rebuild transitions, detected by diffing the
+    // registry / maintenance views against the last tick. Transitions
+    // between ticks coalesce to the latest state — the black box
+    // records the trajectory at scrape granularity, the ledger counters
+    // in healthz stay exact.
+    for (const SynopsisHealthRow& row : registry_.HealthRows()) {
+      uint64_t& last = tick_epochs_[row.name];
+      if (row.epoch != last) {
+        flight_->Record(obs::FlightEventType::kEpochBump,
+                        flight_->Intern(row.name), row.epoch, last, now_us);
+        last = row.epoch;
+      }
+    }
+    for (const MaintenanceRow& row : maint_->Rows()) {
+      MaintenanceState& last = tick_states_[row.name];
+      if (row.state != last) {
+        flight_->Record(obs::FlightEventType::kRebuild,
+                        flight_->Intern(row.name),
+                        static_cast<uint64_t>(row.state), row.epoch, now_us);
+        last = row.state;
+      }
+    }
+  }
+  if (timeseries_ == nullptr) return;
+  // Refresh the gauge the accuracy-threshold SLO reads (milli-q-error:
+  // gauges are integral). Worst across synopses: one drifting tenant
+  // should burn the SLO even when the fleet average looks fine.
+  double worst = 0;
+  for (const obs::SynopsisAccuracy& s : accuracy_.Synopses()) {
+    worst = std::max(worst, s.ewma_qerror);
+  }
+  obs_.GetGauge("service.accuracy.worst_ewma_qerror_milli")
+      .Set(static_cast<int64_t>(worst * 1000.0));
+  if (timeseries_->Sample(now_us) && slo_ != nullptr) {
+    slo_->Evaluate(now_us);
+  }
+}
+
+std::string EstimationService::TszJson() const {
+  if (timeseries_ == nullptr) {
+    return "{\"enabled\":false,\"samples\":0,\"series\":{}}";
+  }
+  return timeseries_->ToJson();
+}
+
+std::string EstimationService::AlertzJson() const {
+  if (slo_ == nullptr) {
+    return "{\"enabled\":false,\"evaluations\":0,\"alerts\":[]}";
+  }
+  return slo_->ToJson();
+}
+
+std::string EstimationService::FlightzJson() const {
+  if (flight_ == nullptr) {
+    return "{\"enabled\":false,\"recorded\":0,\"capacity\":0,\"events\":[]}";
+  }
+  return flight_->ToJson();
 }
 
 std::string EstimationService::StatszJson() {
@@ -779,7 +1155,26 @@ std::string EstimationService::HealthzJson() const {
     j += std::to_string(row.rebuilds_coalesced);
     j += "}}";
   }
-  j += "}}";
+  // The SLO alert roll-up: operators watching healthz see burn-rate
+  // state without fetching .alertz.
+  j += "},\"alerts\":[";
+  if (slo_ != nullptr) {
+    const std::vector<obs::AlertStatus> alerts = slo_->Alerts();
+    for (size_t i = 0; i < alerts.size(); ++i) {
+      const obs::AlertStatus& a = alerts[i];
+      if (i != 0) j += ",";
+      j += "{\"slo\":\"";
+      j += obs::JsonEscape(a.slo);
+      j += "\",\"state\":\"";
+      j += obs::AlertStateName(a.state);
+      j += "\",\"fired\":";
+      j += std::to_string(a.fired);
+      j += ",\"resolved\":";
+      j += std::to_string(a.resolved);
+      j += "}";
+    }
+  }
+  j += "]}";
   return j;
 }
 
@@ -797,7 +1192,7 @@ std::vector<EstimateOutcome> EstimationService::EstimateBatch(
   const size_t admitted = TryAdmit(n);
   for (size_t i = admitted; i < n; ++i) {
     stats_.requests.Inc();
-    results[i] = ShedOutcome(i - admitted, /*batch=*/true);
+    results[i] = ShedOutcome(requests[i], i - admitted, /*batch=*/true);
   }
   if (admitted == 0) return results;
 

@@ -3,16 +3,22 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <shared_mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/deadline.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "obs/accuracy.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "xpath/query.h"
 #include "service/estimate_memo.h"
@@ -70,10 +76,10 @@ struct ServiceOptions {
   /// unbiased 1-in-N samples of the distribution; their `count` is the
   /// number of timed requests, not total requests.
   size_t trace_sample = 16;
-  /// Timed requests at or above this wall time are captured in the
-  /// slow-trace ring (in addition to the sampled recent ring). 0
-  /// disables slow capture. Untimed requests can't be detected as slow
-  /// — set trace_sample = 1 to make slow capture exhaustive.
+  /// Timed requests at or above this wall time classify as "slow" and
+  /// are retained in the trace ring's tail buffer. 0 disables slow
+  /// capture. Untimed requests can't be detected as slow — set
+  /// trace_sample = 1 to make slow capture exhaustive.
   uint64_t slow_trace_ns = 10'000'000;  // 10ms
   /// Shadow-evaluate 1-in-N successful full-fidelity requests against
   /// the synopsis's registered ground-truth Document (obs/accuracy.h,
@@ -128,6 +134,38 @@ struct ServiceOptions {
   /// patched estimates (one document copy per publish).
   bool live_truth = true;
 
+  // --- Flight-data observability (DESIGN.md §16) ---
+
+  /// Sampling interval of the time-series store; 0 disables the store
+  /// (and with it the SLO engine). Samples are taken by ObsTick, which
+  /// a driver must call — the server spawns a wall-clock scrape thread,
+  /// the traffic simulator feeds virtual time; the service itself never
+  /// reads a clock for this.
+  uint64_t ts_interval_us = 1'000'000;
+  /// Points retained per time series (the ring size).
+  size_t ts_retention = 240;
+  /// Distinct-series bound of the store (cardinality guard).
+  size_t ts_max_series = 512;
+  /// Per-tenant (synopsis-name) metric dimension: the first tenant_max
+  /// distinct names get their own requests/shed/hit counters and
+  /// latency histogram ("tenant.requests{tenant=NAME}", ...); later
+  /// names share one "__other__" overflow slot, so hostile name
+  /// cardinality cannot grow the registry. 0 disables the dimension.
+  size_t tenant_max = 32;
+  /// Declarative SLOs evaluated by ObsTick over the time-series (see
+  /// obs/slo.h and DefaultSloSpecs below); empty = no SLO engine.
+  std::vector<obs::SloSpec> slos;
+  /// Byte budget of the black-box flight recorder (obs/flight.h);
+  /// 0 disables it.
+  size_t flight_bytes = 64 * 1024;
+  /// Tail-based trace retention: requests whose completion outcome
+  /// classifies as shed / deadline / error / pruned / degraded / slow
+  /// are recorded in the trace ring's tail buffer regardless of the
+  /// head sample (trace_sample). Each retained record bumps
+  /// "service.trace.tail{class=...}", so retention is auditable by
+  /// conservation: traces().tail_recorded() == the sum over classes.
+  bool tail_retention = true;
+
   /// `threads` with the 0 = hardware default resolved, clamped to >= 1
   /// (hardware_concurrency() may legitimately report 0).
   size_t ResolvedThreads() const {
@@ -172,6 +210,131 @@ struct EstimateOutcome {
   bool ok() const { return estimate.ok(); }
   double value() const { return estimate.value(); }
   Status status() const { return estimate.status(); }
+};
+
+/// The standard SLO set the server's --slo-* flags configure:
+/// availability = 1 - (shed + deadline) / requests against
+/// `availability_objective` (skipped when <= 0), request p99 latency
+/// against `p99_objective_ns` (skipped when 0), and the worst
+/// shadow-sampled q-error EWMA against `qerror_objective` (skipped when
+/// <= 0). Threshold-style specs use burn thresholds of 1.0 ("at the
+/// objective"); availability keeps obs::SloSpec's fast/slow-page split.
+std::vector<obs::SloSpec> DefaultSloSpecs(double availability_objective,
+                                          uint64_t p99_objective_ns,
+                                          double qerror_objective);
+
+/// Bounded per-tenant (synopsis-name) metric slots (DESIGN.md §16). The
+/// first `max` distinct tenant names each get their own counter rows
+/// and latency histogram in the service registry; every later name
+/// shares one "__other__" overflow slot, so per-tenant observability
+/// has a hard cardinality ceiling no traffic mix can exceed.
+///
+/// The counts themselves live in single-writer lanes, not registry
+/// counters: each tenant owns a few cache-line cells, a thread claims
+/// one on first contact, and from then on its increments are plain
+/// relaxed load/store pairs on an L1-resident line — no lock-prefixed
+/// RMW on the request path (the difference is about half the obs
+/// layer's per-request cost, see bench "service_obs2"). The registry's
+/// tenant.* rows are derived counters that sum the lanes at read time,
+/// so every read surface (CounterValue, Rows, statsz, the time-series
+/// scrape) sees exact totals. Threads past the lane count fall back to
+/// a shared fetch_add lane; nothing is ever lost.
+class TenantTable {
+ public:
+  /// One cache line of per-tenant counts with at most one writing
+  /// thread (`owner`, claimed by CAS, held for the table's lifetime).
+  /// Single-writer is what makes store(load+1) exact.
+  struct alignas(64) Lane {
+    std::atomic<uint32_t> owner{0};  ///< claiming thread id; 0 = free
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> plan_hits{0};
+    std::atomic<uint64_t> memo_hits{0};
+  };
+  static constexpr size_t kLanes = 4;
+
+  struct Slots {
+    Lane lanes[kLanes];
+    /// Overflow for threads that found every lane owned; multi-writer,
+    /// so increments here use fetch_add (owner is unused).
+    Lane shared;
+    obs::Histogram* request_ns = nullptr;  ///< tenant.request_ns{tenant=X}
+    /// The tenant name's flight-recorder intern id (kOverflowId when no
+    /// recorder was passed to Get).
+    uint32_t flight_id = obs::FlightRecorder::kOverflowId;
+
+    /// Exact total for one count across the shared + owned lanes.
+    uint64_t Sum(std::atomic<uint64_t> Lane::*field) const {
+      uint64_t total = (shared.*field).load(std::memory_order_relaxed);
+      for (const Lane& l : lanes) {
+        total += (l.*field).load(std::memory_order_relaxed);
+      }
+      return total;
+    }
+  };
+
+  /// A thread's view of one tenant: the slots plus the lane this thread
+  /// owns (nullptr when it lost the lane race and writes through the
+  /// shared fallback). Returned by Get and memoized per thread.
+  struct Handle {
+    Slots* slots = nullptr;
+    Lane* lane = nullptr;
+
+    explicit operator bool() const { return slots != nullptr; }
+
+    /// Bumps one count, e.g. h.Inc(&TenantTable::Lane::requests).
+    void Inc(std::atomic<uint64_t> Lane::*field) const {
+      if (lane != nullptr) {
+        std::atomic<uint64_t>& cell = lane->*field;
+        cell.store(cell.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+      } else {
+        (slots->shared.*field).fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  /// `registry` must outlive the table — and reads of the registry's
+  /// tenant.* rows must not outlive the table, since the derived rows
+  /// registered here read lane cells the table owns.
+  /// `max` == 0 disables the dimension: Get always returns a null
+  /// handle.
+  TenantTable(obs::Registry* registry, size_t max);
+
+  TenantTable(const TenantTable&) = delete;
+  TenantTable& operator=(const TenantTable&) = delete;
+
+  /// The handle for `tenant`, created on first sight (the shared
+  /// overflow slot once `max` names exist). `flight` may be null; when
+  /// set, the tenant name is interned once and cached. Slots pointers
+  /// are stable for the table's lifetime. Always null under
+  /// XEE_OBS_OFF — the per-tenant dimension compiles out with the rest
+  /// of the metrics layer.
+  ///
+  /// Warm-path cost: a per-thread memo of the last (tenant, handle)
+  /// pair answers the common same-tenant-again case with one string
+  /// compare — no lock, no hash, and the lane claim already resolved.
+  /// Only a memo miss takes the shared lock and the map probe.
+  Handle Get(const std::string& tenant, obs::FlightRecorder* flight);
+
+  /// Distinct tenant slots created (excluding the overflow slot).
+  size_t size() const;
+
+ private:
+  Slots* MakeSlots(const std::string& label_name,
+                   obs::FlightRecorder* flight);
+
+  obs::Registry* registry_;
+  const size_t max_;
+  /// Distinguishes this table from any other (including one later
+  /// constructed at the same address) in the thread-local lookup memo —
+  /// see Get.
+  const uint64_t gen_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Slots>>
+      slots_;                        // guarded by mu_
+  std::unique_ptr<Slots> overflow_;  // guarded by mu_
 };
 
 /// The serving layer over the paper's estimator: a synopsis registry
@@ -241,6 +404,37 @@ class EstimationService {
 
   /// The ACCZ payload: the accuracy tracker's JSON alone.
   std::string AccuracyJson() const { return accuracy_.ToJson(); }
+
+  /// Driver-clocked observability tick (DESIGN.md §16): diffs synopsis
+  /// epochs and rebuild states into the flight recorder, refreshes the
+  /// worst-q-error gauge, takes a time-series sample when `now_us` has
+  /// advanced past the scrape interval, and — when a sample was taken —
+  /// re-evaluates the SLO burn-rate alerts. The server calls this from
+  /// a wall-clock scrape thread; the traffic simulator feeds virtual
+  /// microseconds, which makes whole alert trajectories replayable
+  /// bit-for-bit. Thread-safe; concurrent ticks serialize.
+  void ObsTick(uint64_t now_us);
+
+  /// The .tsz payload: the time-series store's JSON (disabled stub when
+  /// ts_interval_us == 0).
+  std::string TszJson() const;
+  /// The .alertz payload: the SLO engine's JSON (disabled stub when no
+  /// SLOs are configured).
+  std::string AlertzJson() const;
+  /// The .flightz payload: the flight recorder's JSON (disabled stub
+  /// when flight_bytes == 0).
+  std::string FlightzJson() const;
+
+  /// Null when the corresponding option disabled the subsystem.
+  obs::TimeSeriesStore* timeseries() { return timeseries_.get(); }
+  const obs::TimeSeriesStore* timeseries() const { return timeseries_.get(); }
+  obs::SloEngine* slo() { return slo_.get(); }
+  const obs::SloEngine* slo() const { return slo_.get(); }
+  obs::FlightRecorder* flight() { return flight_.get(); }
+  const obs::FlightRecorder* flight() const { return flight_.get(); }
+
+  /// The per-tenant slot table (see ServiceOptions::tenant_max).
+  TenantTable& tenants() { return tenants_; }
 
   /// The healthz payload, built from the registry (meaningful even
   /// under XEE_OBS_OFF, where health simply stays "unknown"):
@@ -316,11 +510,13 @@ class EstimationService {
   void Release(size_t slots);
 
   /// An outcome for a shed request, with the shed counters (aggregate,
-  /// by-reason attribution, retry-hint histogram) bumped as a side
-  /// effect. `depth` escalates the retry hint when several requests
-  /// shed at once; `batch` attributes the shed to EstimateBatch tail
-  /// refusal rather than single-call admission.
-  EstimateOutcome ShedOutcome(size_t depth, bool batch);
+  /// by-reason attribution, retry-hint histogram, per-tenant), the
+  /// flight-recorder shed event, and the tail-retained shed trace
+  /// bumped as side effects. `depth` escalates the retry hint when
+  /// several requests shed at once; `batch` attributes the shed to
+  /// EstimateBatch tail refusal rather than single-call admission.
+  EstimateOutcome ShedOutcome(const QueryRequest& req, size_t depth,
+                              bool batch);
 
   /// The estimation ladder, run after admission.
   EstimateOutcome EstimateAdmitted(const QueryRequest& request);
@@ -330,10 +526,18 @@ class EstimationService {
   /// Always false in an XEE_OBS_OFF build.
   bool ShouldTime();
 
-  /// Pushes a completed (timed) request into the trace ring.
+  /// Pushes a completed request into the trace ring: head-sampled
+  /// routine records (tail_class == nullptr) into the recent ring,
+  /// tail-classified records into the tail ring, bumping the matching
+  /// "service.trace.tail{class=...}" counter so retention conserves.
   void RecordTrace(const QueryRequest& request, const char* outcome,
                    const EstimateOutcome& out, const obs::TraceSpans& spans,
-                   uint64_t total_ns);
+                   uint64_t total_ns, const char* tail_class);
+
+  /// FaultInjector::FireObserver thunk: logs fired fault sites into the
+  /// flight recorder (`ctx` is the EstimationService that installed it).
+  static void FlightFaultObserver(void* ctx, std::string_view site,
+                                  uint64_t schedule_now);
 
   /// Samples `out` for shadow evaluation and, when sampled and
   /// admitted, submits the shadow task to the pool. Called after the
@@ -357,6 +561,19 @@ class EstimationService {
   ServiceStats stats_;
   obs::TraceRing traces_;
   obs::AccuracyTracker accuracy_;
+  /// Flight-data members, in dependency order: the tenant table caches
+  /// flight intern ids, the time-series store scrapes obs_, the SLO
+  /// engine reads the time-series (reverse destruction unwinds safely).
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  TenantTable tenants_;
+  std::unique_ptr<obs::TimeSeriesStore> timeseries_;
+  std::unique_ptr<obs::SloEngine> slo_;
+  /// ObsTick's scrape-time diffing state: last seen epoch / rebuild
+  /// state per synopsis (guarded by tick_mu_, which also serializes
+  /// concurrent ticks).
+  std::mutex tick_mu_;
+  std::map<std::string, uint64_t> tick_epochs_;
+  std::map<std::string, MaintenanceState> tick_states_;
   std::atomic<size_t> inflight_{0};
   std::atomic<uint64_t> trace_tick_{0};  // sampling counter
   /// Set by the destructor body before member destruction starts: the

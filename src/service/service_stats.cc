@@ -31,6 +31,14 @@ ServiceStats::ServiceStats(obs::Registry* registry)
           registry->GetCounter("service.outcome", "reason=deadline_exceeded")),
       quarantined(
           registry->GetCounter("service.outcome", "reason=quarantined")),
+      tail_shed(registry->GetCounter("service.trace.tail", "class=shed")),
+      tail_deadline(
+          registry->GetCounter("service.trace.tail", "class=deadline")),
+      tail_error(registry->GetCounter("service.trace.tail", "class=error")),
+      tail_pruned(registry->GetCounter("service.trace.tail", "class=pruned")),
+      tail_degraded(
+          registry->GetCounter("service.trace.tail", "class=degraded")),
+      tail_slow(registry->GetCounter("service.trace.tail", "class=slow")),
       inflight(registry->GetGauge("service.inflight")),
       retry_after_ms(registry->GetHistogram("service.retry_after_ms")),
       request_ns(registry->GetHistogram("service.request_ns")) {
@@ -39,6 +47,15 @@ ServiceStats::ServiceStats(obs::Registry* registry)
         "service.stage." +
         std::string(obs::StageName(static_cast<obs::Stage>(i))) + "_ns");
   }
+}
+
+obs::Counter& ServiceStats::TailCounter(std::string_view cls) {
+  if (cls == "shed") return tail_shed;
+  if (cls == "deadline") return tail_deadline;
+  if (cls == "error") return tail_error;
+  if (cls == "pruned") return tail_pruned;
+  if (cls == "degraded") return tail_degraded;
+  return tail_slow;
 }
 
 ServiceStatsSnapshot ServiceStats::Snap(const LruStats& cache,

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/sharded_lru.h"
 #include "obs/metrics.h"
@@ -119,8 +120,23 @@ struct ServiceStats {
   obs::Counter& degraded;
   obs::Counter& deadline_exceeded;
   obs::Counter& quarantined;
+  /// Tail-retention accounting, one counter per tail class
+  /// ("service.trace.tail{class=...}"): bumped exactly when a record
+  /// enters the trace ring's tail buffer, so over any run the sum
+  /// equals TraceRing::tail_recorded() — the conservation the tail
+  /// retention tests pin.
+  obs::Counter& tail_shed;
+  obs::Counter& tail_deadline;
+  obs::Counter& tail_error;
+  obs::Counter& tail_pruned;
+  obs::Counter& tail_degraded;
+  obs::Counter& tail_slow;
   obs::Gauge& inflight;
   obs::Histogram& retry_after_ms;
+
+  /// The tail counter for a classification produced by the service's
+  /// completion-time routing (`cls` must be one of the six classes).
+  obs::Counter& TailCounter(std::string_view cls);
 
   /// Indexed by obs::Stage; `stage[kJoin]` is "service.stage.join_ns".
   obs::Histogram* stage[obs::kStageCount];

@@ -151,7 +151,37 @@ InvariantReport CheckDrainInvariants(const SimTotals& totals,
   }
 #endif  // XEE_OBS_OFF
 
-  // 7. Chaos budgets: no armed site fired more than its max_fires, and
+  // 7. Alert conservation (scenarios with SLOs): over the whole run,
+  // every fired alert either resolved or is still burning at drain —
+  // the state machine cannot lose or double-count a transition. The
+  // per-alert registry counters must agree with the engine's own
+  // tallies. Trivially 0 == 0 + 0 under XEE_OBS_OFF (the stub engine),
+  // which is the correct contract for a compiled-out alerting surface.
+  if (!scenario.slos.empty() && service.slo() != nullptr) {
+    const uint64_t fired = service.slo()->TotalFired();
+    const uint64_t resolved = service.slo()->TotalResolved();
+    const uint64_t burning = service.slo()->BurningCount();
+    bool counters_agree = true;
+#ifndef XEE_OBS_OFF
+    obs::Registry& reg = service.obs();
+    for (const obs::AlertStatus& a : service.slo()->Alerts()) {
+      counters_agree =
+          counters_agree &&
+          reg.CounterValue("slo.alert", "slo=" + a.slo +
+                                            ",transition=fired") == a.fired &&
+          reg.CounterValue("slo.alert", "slo=" + a.slo +
+                                            ",transition=resolved") ==
+              a.resolved;
+    }
+#endif  // XEE_OBS_OFF
+    Check(&report, "alert-conservation",
+          fired == resolved + burning && counters_agree,
+          Format("fired=%" PRIu64 " resolved=%" PRIu64 " burning=%" PRIu64
+                 " counters_agree=%d",
+                 fired, resolved, burning, counters_agree ? 1 : 0));
+  }
+
+  // 8. Chaos budgets: no armed site fired more than its max_fires, and
   // never more often than it was hit.
   FaultInjector& faults = FaultInjector::Global();
   for (const ChaosWindow& w : scenario.chaos) {
@@ -163,7 +193,7 @@ InvariantReport CheckDrainInvariants(const SimTotals& totals,
                  fires, hits, w.config.max_fires));
   }
 
-  // 8. Live-maintenance ledgers (after DrainMaintenance).
+  // 9. Live-maintenance ledgers (after DrainMaintenance).
   if (scenario.live) {
     uint64_t applied = 0, rejected = 0, scheduled = 0, completed = 0,
              abandoned = 0;

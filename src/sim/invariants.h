@@ -76,7 +76,9 @@ struct InvariantReport {
 
 /// Checks every drain invariant: request conservation, slot balance, a
 /// drained engine, obs-counter cross-checks (skipped under XEE_OBS_OFF),
-/// accuracy-sample conservation, and per-site chaos budgets. Call only
+/// accuracy-sample conservation, SLO alert conservation (fired ==
+/// resolved + still-burning, for scenarios with SLOs), and per-site
+/// chaos budgets. Call only
 /// after Engine::Drain() and DrainShadow() — the properties assume a
 /// quiesced system.
 InvariantReport CheckDrainInvariants(const SimTotals& totals,

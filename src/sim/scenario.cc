@@ -6,6 +6,7 @@
 #include "delta/document_delta.h"
 #include "estimator/estimator.h"
 #include "service/maintenance.h"
+#include "service/service.h"
 #include "service/synopsis_registry.h"
 
 namespace xee::sim {
@@ -26,6 +27,11 @@ Scenario ScaledScenario(Scenario s, double factor) {
   s.arrival.mean_off_us = ScaleUs(s.arrival.mean_off_us, factor);
   s.arrival.period_us = ScaleUs(s.arrival.period_us, factor);
   s.reload_period_us = ScaleUs(s.reload_period_us, factor);
+  s.ts_interval_us = ScaleUs(s.ts_interval_us, factor);
+  for (obs::SloSpec& spec : s.slos) {
+    spec.fast_window_us = ScaleUs(spec.fast_window_us, factor);
+    spec.slow_window_us = ScaleUs(spec.slow_window_us, factor);
+  }
   for (DeltaBurst& b : s.deltas) {
     b.start_us = ScaleUs(b.start_us, factor);
     b.period_us = ScaleUs(b.period_us, factor);
@@ -350,9 +356,63 @@ Scenario IntelAliasStormOff() {
   return s;
 }
 
+Scenario SloBurn() {
+  Scenario s;
+  s.name = "slo_burn";
+  s.seed = 606;
+  s.duration_us = 12'000'000;
+  s.window_us = 500'000;
+
+  s.arrival.kind = ArrivalModel::Kind::kBursty;
+  s.arrival.rate_qps = 80.0;
+  s.arrival.burst_rate_qps = 3'000.0;
+  s.arrival.mean_on_us = 900'000;
+  s.arrival.mean_off_us = 1'800'000;
+
+  // The overload shape from bursty_overload_chaos, pointed at the SLO
+  // engine: bursts shed hard against 8 virtual slots, the shed +
+  // deadline failures feed the availability spec's bad series, and the
+  // long off-phases let the fast window recover so the alert resolves
+  // inside the horizon (conservation then proves the full loop ran).
+  // Shadow sampling stays off for the same fingerprint reason as the
+  // chaos scenario; so does per-request timing dependence — the
+  // availability spec reads only exact counters.
+  s.tenants = 3;
+  s.dataset = "dblp";
+  s.dataset_scale = 0.05;
+  s.max_inflight = 8;
+  s.accuracy_sample = 0;
+  s.service_min_us = 2'000;
+  s.service_exp_us = 28'000;
+
+  s.traffic.tenant_zipf_s = 1.0;
+  s.traffic.families_per_tenant = 32;
+  s.traffic.query_zipf_s = 1.1;
+  s.traffic.alias_prob = 0.05;
+  s.traffic.garbage_prob = 0.03;
+  s.traffic.unknown_tenant_prob = 0.01;
+  s.traffic.p_infinite = 0.85;
+  s.traffic.p_expired = 0.02;
+  s.traffic.finite_ms = 2'000;
+
+  // Scrape every half second; the availability SLO (and only it — see
+  // Scenario::slos on why measured specs are excluded) pages when both
+  // the 1.5s and the 6s window burn the 0.1% error budget at 14x/6x.
+  // A burst's ~90% failure ratio burns at ~900x, so the alert fires on
+  // the first scrape inside a burst and resolves once the fast window
+  // is all off-phase.
+  s.ts_interval_us = 500'000;
+  s.slos = service::DefaultSloSpecs(0.999, 0, 0.0);
+  s.slos[0].fast_window_us = 1'500'000;
+  s.slos[0].slow_window_us = 6'000'000;
+  return s;
+}
+
 std::vector<std::string> ScenarioNames() {
-  return {"poisson_steady", "bursty_overload_chaos", "diurnal_alias_storm",
-          "live_update_churn", "intel_alias_storm", "intel_alias_storm_off"};
+  return {"poisson_steady",    "bursty_overload_chaos",
+          "diurnal_alias_storm", "live_update_churn",
+          "intel_alias_storm", "intel_alias_storm_off",
+          "slo_burn"};
 }
 
 bool ScenarioByName(const std::string& name, Scenario* out) {
@@ -368,6 +428,8 @@ bool ScenarioByName(const std::string& name, Scenario* out) {
     *out = IntelAliasStorm();
   } else if (name == "intel_alias_storm_off") {
     *out = IntelAliasStormOff();
+  } else if (name == "slo_burn") {
+    *out = SloBurn();
   } else {
     return false;
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "obs/slo.h"
 #include "sim/arrivals.h"
 #include "sim/traffic.h"
 
@@ -106,6 +107,20 @@ struct Scenario {
   uint64_t drift_min_samples = 32;
   std::vector<DeltaBurst> deltas;
 
+  // --- flight-data observability (DESIGN.md §16) ---
+  /// Virtual-time scrape cadence of the service's time-series store
+  /// (ServiceOptions::ts_interval_us). When > 0 the simulator schedules
+  /// ObsTick events on the engine at this cadence, so the scraped
+  /// series — and every SLO alert transition computed over them — are a
+  /// pure function of the scenario and replay bit-for-bit. 0 keeps
+  /// flight-data scraping off (the historical scenarios).
+  uint64_t ts_interval_us = 0;
+  /// Declarative SLOs evaluated at each scrape. Only counter-derived
+  /// specs (availability) are deterministic under virtual time; latency
+  /// and q-error specs read wall-clock-measured series and would make
+  /// the alert trajectory — which IS fingerprinted — timing-dependent.
+  std::vector<obs::SloSpec> slos;
+
   std::vector<ChaosWindow> chaos;
 
   /// 0 = deterministic single-threaded virtual-time mode (the default;
@@ -140,6 +155,13 @@ Scenario IntelAliasStorm();
 /// plan. Fingerprints of the pair must be equal (the analyzer is
 /// invisible in served outcomes); only the cache economics differ.
 Scenario IntelAliasStormOff();
+/// Bursty overload through the flight-data pipeline: the burst's
+/// shed + deadline failures burn the availability SLO's error budget,
+/// the multi-window alert fires mid-burst and resolves in the off
+/// phase, and the whole alert trajectory (fired/resolved/burning per
+/// window) is part of the determinism fingerprint. The drain invariant
+/// pins alert conservation: fired == resolved + still-burning.
+Scenario SloBurn();
 
 std::vector<std::string> ScenarioNames();
 

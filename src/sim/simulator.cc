@@ -111,6 +111,12 @@ std::string WindowRow::ToJson(const std::string& scenario) const {
                 static_cast<unsigned long long>(deltas_applied),
                 static_cast<unsigned long long>(deltas_rejected),
                 static_cast<unsigned long long>(rebuilds_done));
+  out += Format(
+      ",\"alerts_fired\":%llu,\"alerts_resolved\":%llu,"
+      "\"alerts_burning\":%llu",
+      static_cast<unsigned long long>(alerts_fired),
+      static_cast<unsigned long long>(alerts_resolved),
+      static_cast<unsigned long long>(alerts_burning));
   if (!fault_fires.empty() || !background_fires.empty()) {
     out += ",\"fault_fires\":{";
     bool first = true;
@@ -154,6 +160,9 @@ uint64_t TrajectoryFingerprint(const std::vector<WindowRow>& trajectory,
     AppendU64(&bytes, r.vqueue);
     AppendU64(&bytes, r.deltas_applied);
     AppendU64(&bytes, r.deltas_rejected);
+    AppendU64(&bytes, r.alerts_fired);
+    AppendU64(&bytes, r.alerts_resolved);
+    AppendU64(&bytes, r.alerts_burning);
     for (const auto& [site, fires] : r.fault_fires) {
       bytes += site;
       AppendU64(&bytes, fires);
@@ -220,6 +229,10 @@ SimResult RunScenario(const Scenario& sc) {
   opt.auto_rebuild = sc.auto_rebuild;
   opt.patch_error_budget = sc.patch_error_budget;
   opt.drift_min_samples = sc.drift_min_samples;
+  // Flight-data scraping is driver-clocked: the scenario's cadence, fed
+  // from the virtual clock below. 0 disables store and SLO engine.
+  opt.ts_interval_us = sc.ts_interval_us;
+  opt.slos = sc.slos;
   // workers == 0 still needs a (small) pool: shadow evaluation runs
   // there. The determinism analysis in DESIGN.md §12 covers why pool
   // threads cannot perturb the fingerprint in the shipped scenarios.
@@ -316,6 +329,7 @@ SimResult RunScenario(const Scenario& sc) {
   obs::CounterWindow recorded_win, memo_hit_win, pruned_win;
   std::vector<uint64_t> fire_prev(sc.chaos.size(), 0);
   uint64_t rebuilds_prev = 0;
+  uint64_t alerts_fired_prev = 0, alerts_resolved_prev = 0;
 
   auto close_window = [&](uint64_t t_end) {
     WindowRow row;
@@ -334,6 +348,17 @@ SimResult RunScenario(const Scenario& sc) {
       dest.emplace_back(sc.chaos[i].site, cum - fire_prev[i]);
       fire_prev[i] = cum;
     }
+    if (svc.slo() != nullptr) {
+      // Deterministic columns: the SLO engine only moves on ObsTick
+      // events, which run at virtual times over counter-derived series.
+      const uint64_t fired = svc.slo()->TotalFired();
+      const uint64_t resolved = svc.slo()->TotalResolved();
+      row.alerts_fired = fired - alerts_fired_prev;
+      row.alerts_resolved = resolved - alerts_resolved_prev;
+      row.alerts_burning = svc.slo()->BurningCount();
+      alerts_fired_prev = fired;
+      alerts_resolved_prev = resolved;
+    }
     row.request_ns = req_win.Advance(req_hist);
     row.retry_after_ms = retry_win.Advance(retry_hist);
     row.shadow_recorded = recorded_win.Advance(recorded_ctr.value());
@@ -349,6 +374,17 @@ SimResult RunScenario(const Scenario& sc) {
     }
     result.trajectory.push_back(std::move(row));
   };
+
+  // Flight-data scrape ticks at the scenario's cadence, scheduled
+  // before the window closes so a tick sharing a window boundary lands
+  // in that window's row (FIFO within a timestamp). Each tick samples
+  // the time-series and evaluates the SLOs at the virtual instant.
+  if (sc.ts_interval_us > 0) {
+    for (uint64_t t = sc.ts_interval_us; t <= sc.duration_us;
+         t += sc.ts_interval_us) {
+      eng.At(t, [&svc, t] { svc.ObsTick(t); });
+    }
+  }
 
   // Window closes, scheduled up front so they dispatch before any
   // same-instant arrival (FIFO within a timestamp).
@@ -511,6 +547,14 @@ SimResult RunScenario(const Scenario& sc) {
   result.totals = totals;
   result.fingerprint = TrajectoryFingerprint(result.trajectory, totals);
   result.invariants = CheckDrainInvariants(totals, svc, sc, eng.pending());
+  if (!result.invariants.ok() && svc.flight() != nullptr &&
+      svc.flight()->enabled()) {
+    // Post-mortem: a violated drain invariant dumps the black-box
+    // flight recorder — the event ring right up to the failure — as one
+    // parseable JSON line on stderr next to the invariant report.
+    std::fprintf(stderr, "flight-recorder dump (%s): %s\n", sc.name.c_str(),
+                 svc.FlightzJson().c_str());
+  }
   faults.Reset();
   return result;
 }

@@ -36,6 +36,13 @@ struct WindowRow {
   /// driving-thread events at virtual times, so deterministic).
   uint64_t deltas_applied = 0;
   uint64_t deltas_rejected = 0;
+  /// SLO alert transitions this window and alerts burning at window
+  /// close (scenarios with Scenario::slos). Deterministic: ObsTick runs
+  /// at virtual times over counter-derived series, so the whole alert
+  /// trajectory replays bit-for-bit and is fingerprinted.
+  uint64_t alerts_fired = 0;
+  uint64_t alerts_resolved = 0;
+  uint64_t alerts_burning = 0;
   /// Chaos fires per armed driving-thread site, delta over this window.
   std::vector<std::pair<std::string, uint64_t>> fault_fires;
 

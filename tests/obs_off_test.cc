@@ -12,7 +12,10 @@
 #include <gtest/gtest.h>
 
 #include "obs/accuracy.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace xee::obs {
@@ -64,12 +67,76 @@ TEST(ObsOffTest, TraceApiCompilesAndNoOps) {
   EXPECT_FALSE(ring.IsSlow(1'000'000));
   TraceRecord rec;
   rec.total_ns = 5000;
+  rec.tail_class = "slow";  // tail routing is a no-op too
   ring.Record(rec);
   EXPECT_TRUE(ring.Recent().empty());
-  EXPECT_TRUE(ring.Slow().empty());
+  EXPECT_TRUE(ring.Tail().empty());
+  EXPECT_TRUE(ring.Exemplars().empty());
   EXPECT_EQ(ring.recorded(), 0u);
-  EXPECT_EQ(ring.ToJson(), "{\"recent\":[],\"slow\":[]}");
+  EXPECT_EQ(ring.tail_recorded(), 0u);
+  EXPECT_EQ(ring.ToJson(), "{\"recent\":[],\"tail\":[],\"exemplars\":[]}");
   EXPECT_EQ(StageName(Stage::kParse), "parse");
+}
+
+TEST(ObsOffTest, TimeSeriesApiCompilesAndNoOps) {
+  Registry reg;
+  TimeSeriesOptions opt;
+  opt.interval_us = 1000;
+  TimeSeriesStore ts(&reg, opt);
+  ts.WatchCounter("service.requests");
+  ts.WatchCounterPrefix("tenant.");
+  ts.WatchGauge("service.inflight");
+  ts.WatchGaugePrefix("service.");
+  Histogram& h = reg.GetHistogram("service.request_ns");
+  ts.WatchHistogram("service.request_ns", &h);
+  EXPECT_FALSE(ts.Sample(5000));  // stub never samples
+  EXPECT_EQ(ts.samples(), 0u);
+  EXPECT_EQ(ts.last_sample_us(), 0u);
+  EXPECT_EQ(ts.series_count(), 0u);
+  EXPECT_EQ(ts.dropped_series(), 0u);
+  EXPECT_TRUE(ts.SeriesNames().empty());
+  EXPECT_TRUE(ts.Points("service.requests").empty());
+  EXPECT_EQ(ts.SumOver("service.requests", 1000, 5000), 0.0);
+  EXPECT_EQ(ts.MaxOver("service.requests", 1000, 5000), 0.0);
+  EXPECT_EQ(ts.RatePerSec("service.requests", 1000, 5000), 0.0);
+  EXPECT_EQ(ts.ToJson(), "{\"enabled\":false,\"samples\":0,\"series\":{}}");
+  EXPECT_EQ(ts.options().interval_us, 1000u);
+}
+
+TEST(ObsOffTest, SloApiCompilesAndNoOps) {
+  Registry reg;
+  TimeSeriesStore ts(&reg, TimeSeriesOptions{});
+  SloSpec spec;
+  spec.name = "availability";
+  SloEngine slo(&ts, &reg, {spec});
+  slo.SetTransitionHook(
+      [](const SloSpec&, AlertState, AlertState, uint64_t) {});
+  slo.Evaluate(1'000'000);
+  EXPECT_EQ(slo.evaluations(), 0u);
+  EXPECT_TRUE(slo.Alerts().empty());
+  EXPECT_EQ(slo.TotalFired(), 0u);
+  EXPECT_EQ(slo.TotalResolved(), 0u);
+  EXPECT_EQ(slo.BurningCount(), 0u);
+  EXPECT_EQ(slo.ToJson(),
+            "{\"enabled\":false,\"evaluations\":0,\"alerts\":[]}");
+  // The spec/state vocabulary stays live in both modes (shared types).
+  EXPECT_EQ(SloKindName(SloKind::kAvailability), "availability");
+  EXPECT_EQ(AlertStateName(AlertState::kFiring), "firing");
+}
+
+TEST(ObsOffTest, FlightApiCompilesAndNoOps) {
+  FlightRecorder flight(1 << 16);
+  EXPECT_FALSE(flight.enabled());
+  EXPECT_EQ(flight.capacity(), 0u);
+  EXPECT_EQ(flight.Intern("tenant-a"), FlightRecorder::kOverflowId);
+  flight.Record(FlightEventType::kRequest, 1, 2, 3);
+  flight.Record(FlightEventType::kMark, 0, 0, 0, /*t_us=*/99);
+  EXPECT_EQ(flight.recorded(), 0u);
+  EXPECT_TRUE(flight.Dump().empty());
+  EXPECT_EQ(flight.ToJson(),
+            "{\"enabled\":false,\"recorded\":0,\"capacity\":0,"
+            "\"events\":[]}");
+  EXPECT_EQ(FlightEventTypeName(FlightEventType::kFaultFire), "fault");
 }
 
 TEST(ObsOffTest, AccuracyApiCompilesAndNoOps) {

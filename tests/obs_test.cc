@@ -246,26 +246,73 @@ TEST(ObsTest, RingWrapsKeepingTheNewestOldestFirst) {
   EXPECT_EQ(last2[1].total_ns, 10u);
 }
 
-TEST(ObsTest, SlowRingCapturesOnlyAboveThreshold) {
+TEST(ObsTest, TailClassRoutesToExactlyOneRing) {
   TraceRing ring(8, /*slow_threshold_ns=*/100);
   EXPECT_FALSE(ring.IsSlow(99));
   EXPECT_TRUE(ring.IsSlow(100));
-  ring.Record(Rec(50));
-  ring.Record(Rec(150));
-  ring.Record(Rec(99));
-  ring.Record(Rec(100));
-  const std::vector<TraceRecord> slow = ring.Slow();
-  ASSERT_EQ(slow.size(), 2u);
-  EXPECT_EQ(slow[0].total_ns, 150u);
-  EXPECT_EQ(slow[1].total_ns, 100u);
-  EXPECT_EQ(ring.Recent().size(), 4u);  // slow records land in both
+  ring.Record(Rec(50));  // routine: recent ring
+  TraceRecord slow_rec = Rec(150);
+  slow_rec.tail_class = "slow";
+  ring.Record(std::move(slow_rec));
+  TraceRecord shed_rec = Rec(0);
+  shed_rec.tail_class = "shed";
+  ring.Record(std::move(shed_rec));
+  const std::vector<TraceRecord> tail = ring.Tail();
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].tail_class, "slow");
+  EXPECT_EQ(tail[1].tail_class, "shed");
+  // Exactly one ring per record: tail records never shadow into the
+  // recent ring, so walking both never double-counts a request.
+  const std::vector<TraceRecord> recent = ring.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].total_ns, 50u);
+  EXPECT_EQ(ring.recorded(), 3u);
+  EXPECT_EQ(ring.tail_recorded(), 2u);
+  // Sequence numbers stay globally monotonic across the two rings.
+  EXPECT_EQ(recent[0].seq, 1u);
+  EXPECT_EQ(tail[0].seq, 2u);
+  EXPECT_EQ(tail[1].seq, 3u);
 }
 
-TEST(ObsTest, ZeroThresholdDisablesSlowCapture) {
+TEST(ObsTest, ZeroThresholdDisablesSlowClassification) {
   TraceRing ring(8, 0);
   EXPECT_FALSE(ring.IsSlow(std::numeric_limits<uint64_t>::max()));
-  ring.Record(Rec(1'000'000'000));
-  EXPECT_TRUE(ring.Slow().empty());
+  ring.Record(Rec(1'000'000'000));  // no class: routine
+  EXPECT_TRUE(ring.Tail().empty());
+  EXPECT_EQ(ring.tail_recorded(), 0u);
+}
+
+TEST(ObsTest, TailRingIsBoundedIndependently) {
+  TraceRing ring(4, 100);  // tail capacity = max(16, 4/2) = 16
+  for (uint64_t i = 1; i <= 40; ++i) {
+    TraceRecord r = Rec(100 + i);
+    r.tail_class = "slow";
+    ring.Record(std::move(r));
+  }
+  const std::vector<TraceRecord> tail = ring.Tail();
+  ASSERT_EQ(tail.size(), 16u);
+  EXPECT_EQ(tail.front().seq, 25u);  // newest 16 of 40, oldest first
+  EXPECT_EQ(tail.back().seq, 40u);
+  EXPECT_EQ(ring.tail_recorded(), 40u);
+  EXPECT_TRUE(ring.Recent().empty());
+}
+
+TEST(ObsTest, ExemplarsTrackLatestTracePerOctave) {
+  TraceRing ring(8, 0);
+  ring.Record(Rec(10));      // low octave
+  ring.Record(Rec(1000));    // higher octave
+  ring.Record(Rec(12));      // same octave as 10: replaces it
+  const std::vector<TraceExemplar> ex = ring.Exemplars();
+  ASSERT_EQ(ex.size(), 2u);
+  EXPECT_EQ(ex[0].total_ns, 12u);
+  EXPECT_EQ(ex[0].seq, 3u);
+  EXPECT_EQ(ex[1].total_ns, 1000u);
+  EXPECT_EQ(ex[1].seq, 2u);
+  // Untimed records (total_ns == 0) leave the exemplars untouched.
+  TraceRecord shed_rec = Rec(0);
+  shed_rec.tail_class = "shed";
+  ring.Record(std::move(shed_rec));
+  EXPECT_EQ(ring.Exemplars().size(), 2u);
 }
 
 TEST(ObsTest, TraceJsonRendersStagesAndCounters) {
@@ -274,6 +321,7 @@ TEST(ObsTest, TraceJsonRendersStagesAndCounters) {
   r.synopsis = "xmark";
   r.query = "//a/b";
   r.outcome = "miss";
+  r.tail_class = "slow";
   r.spans.stage_ns[static_cast<size_t>(Stage::kJoin)] = 42;
   r.spans.containment_tests = 7;
   ring.Record(std::move(r));
@@ -281,8 +329,10 @@ TEST(ObsTest, TraceJsonRendersStagesAndCounters) {
   EXPECT_NE(json.find("\"total_ns\":12345"), std::string::npos) << json;
   EXPECT_NE(json.find("\"join\":42"), std::string::npos) << json;
   EXPECT_NE(json.find("\"containment_tests\":7"), std::string::npos) << json;
-  // total >= threshold: present in both lists.
-  EXPECT_NE(json.find("\"slow\":[{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tail\":[{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tail\":\"slow\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exemplars\":[{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bucket_ns\":"), std::string::npos) << json;
 }
 
 TEST(ObsTest, StageNamesAreStable) {

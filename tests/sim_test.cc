@@ -465,6 +465,46 @@ TEST(SimulatorTest, LiveChurnScenarioIsDeterministicAndSelfHeals) {
   EXPECT_EQ(a.totals.deltas_applied, b.totals.deltas_applied);
 }
 
+TEST(SimulatorTest, SloBurnFiresResolvesAndConserves) {
+  // A quarter-scale slice still spans several burst on/off cycles, so
+  // the availability alert must actually fire — and alert conservation
+  // (fired == resolved + still-burning, the "alert-conservation" drain
+  // invariant) must close the books at drain.
+  sim::Scenario sc = sim::ScaledScenario(sim::SloBurn(), 0.25);
+  const sim::SimResult r = sim::RunScenario(sc);
+  EXPECT_TRUE(r.ok()) << r.invariants.Summary();
+  EXPECT_GT(r.totals.arrivals, 50u);
+  EXPECT_GT(r.totals.shed, 0u);
+#ifndef XEE_OBS_OFF
+  uint64_t fired = 0, resolved = 0;
+  for (const sim::WindowRow& w : r.trajectory) {
+    fired += w.alerts_fired;
+    resolved += w.alerts_resolved;
+  }
+  EXPECT_GE(fired, 1u);  // the burst burned the budget
+  EXPECT_EQ(fired, resolved + r.trajectory.back().alerts_burning);
+#endif
+}
+
+TEST(SimulatorTest, SloBurnAlertTrajectoryIsDeterministic) {
+  // The alert columns are fingerprinted: two runs must agree window by
+  // window on when alerts fired, resolved, and how many were burning.
+  sim::Scenario sc = sim::ScaledScenario(sim::SloBurn(), 0.25);
+  const sim::SimResult a = sim::RunScenario(sc);
+  const sim::SimResult b = sim::RunScenario(sc);
+  EXPECT_TRUE(a.ok()) << a.invariants.Summary();
+  EXPECT_TRUE(b.ok()) << b.invariants.Summary();
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  for (size_t i = 0; i < a.trajectory.size(); ++i) {
+    EXPECT_EQ(a.trajectory[i].alerts_fired, b.trajectory[i].alerts_fired);
+    EXPECT_EQ(a.trajectory[i].alerts_resolved,
+              b.trajectory[i].alerts_resolved);
+    EXPECT_EQ(a.trajectory[i].alerts_burning,
+              b.trajectory[i].alerts_burning);
+  }
+}
+
 TEST(SimulatorTest, ConcurrentModeHoldsInvariants) {
   sim::Scenario sc = sim::ScaledScenario(sim::PoissonSteady(), 0.05);
   sc.workers = 4;

@@ -40,6 +40,9 @@ class StatszSchemaTest : public ::testing::Test {
     opt.accuracy_sample = 1;
     opt.accuracy_max_pending = 1024;
     opt.drift_min_samples = 2;
+    // The flight-data surfaces: a generous p99 objective (nothing
+    // fires; the schema is what's under test) plus the full SLO set.
+    opt.slos = DefaultSloSpecs(0.999, 5'000'000'000, 4.0);
     svc_ = std::make_unique<EstimationService>(opt);
     auto doc = std::make_shared<const xml::Document>(
         testing::MakePaperDocument());
@@ -58,6 +61,10 @@ class StatszSchemaTest : public ::testing::Test {
     expired.deadline = Deadline::AlreadyExpired();
     ASSERT_FALSE(svc_->Estimate(expired).ok());              // deadline
     ASSERT_TRUE(svc_->DrainShadow());
+    // Two scrape ticks a full interval apart: the time-series gets real
+    // points and the SLO engine real evaluations.
+    svc_->ObsTick(1'000'000);
+    svc_->ObsTick(2'500'000);
   }
 
   const Value* MustFind(const Value& v, const std::string& key) {
@@ -217,10 +224,115 @@ TEST_F(StatszSchemaTest, TracezSchema) {
   ASSERT_FALSE(recent->items.empty());
   const Value& entry = recent->items[0];
   for (const char* field : {"seq", "total_ns", "synopsis", "query",
-                            "outcome", "degraded", "stages_ns"}) {
+                            "outcome", "tail", "degraded", "stages_ns"}) {
     EXPECT_TRUE(entry.Has(field)) << field;
   }
-  EXPECT_TRUE(MustFind(root, "slow")->is_array());
+  // The fixture's parse error and expired deadline are tail-retained.
+  const Value* tail = MustFind(root, "tail");
+  ASSERT_TRUE(tail->is_array());
+  ASSERT_FALSE(tail->items.empty());
+  EXPECT_TRUE(tail->items[0].Has("tail"));
+  // Exemplars link latency octaves to trace seqs.
+  const Value* exemplars = MustFind(root, "exemplars");
+  ASSERT_TRUE(exemplars->is_array());
+  ASSERT_FALSE(exemplars->items.empty());
+  for (const char* field : {"bucket_ns", "seq", "total_ns", "outcome"}) {
+    EXPECT_TRUE(exemplars->items[0].Has(field)) << field;
+  }
+}
+
+TEST_F(StatszSchemaTest, TszSchema) {
+  XEE_REQUIRES_OBS();
+  Result<Value> parsed = json::Parse(svc_->TszJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Value& root = parsed.value();
+  EXPECT_TRUE(MustFind(root, "enabled")->is_bool());
+  EXPECT_TRUE(MustFind(root, "interval_us")->is_number());
+  EXPECT_TRUE(MustFind(root, "samples")->is_number());
+  EXPECT_EQ(MustFind(root, "samples")->number, 2.0);
+  const Value& series = *MustFind(root, "series");
+  ASSERT_TRUE(series.is_object());
+  // Core series scrapers chart, including one per-tenant labeled row
+  // and the histogram sub-series.
+  for (const char* key :
+       {"service.requests", "tenant.requests{tenant=paper}",
+        "service.request_ns.count", "service.request_ns.p99"}) {
+    const Value* s = MustFind(series, key);
+    ASSERT_NE(s, nullptr) << key;
+    ASSERT_TRUE(s->is_array()) << key;
+    ASSERT_FALSE(s->items.empty()) << key;
+    // Each point is a [t_us, value] pair.
+    ASSERT_TRUE(s->items[0].is_array()) << key;
+    ASSERT_EQ(s->items[0].items.size(), 2u) << key;
+  }
+  // The first interval saw all six requests.
+  const Value& req = *series.Find("service.requests");
+  EXPECT_EQ(req.items[0].items[1].number, 6.0);
+}
+
+TEST_F(StatszSchemaTest, AlertzSchema) {
+  XEE_REQUIRES_OBS();
+  Result<Value> parsed = json::Parse(svc_->AlertzJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Value& root = parsed.value();
+  EXPECT_TRUE(MustFind(root, "enabled")->is_bool());
+  EXPECT_TRUE(MustFind(root, "evaluations")->is_number());
+  EXPECT_EQ(MustFind(root, "evaluations")->number, 2.0);
+  const Value* alerts = MustFind(root, "alerts");
+  ASSERT_TRUE(alerts->is_array());
+  ASSERT_EQ(alerts->items.size(), 3u);  // availability, latency, q-error
+  for (const Value& a : alerts->items) {
+    for (const char* field :
+         {"slo", "kind", "state", "objective", "fast_burn", "slow_burn",
+          "fast_window_us", "slow_window_us", "fired", "resolved",
+          "since_us"}) {
+      EXPECT_TRUE(a.Has(field)) << field;
+    }
+  }
+  // SLO transition counters export through STATSZ too.
+  Result<Value> statsz = json::Parse(svc_->StatszJson());
+  ASSERT_TRUE(statsz.ok());
+  const Value& counters = *MustFind(statsz.value(), "counters");
+  EXPECT_TRUE(counters.Has("slo.alert{slo=availability,transition=fired}"));
+  EXPECT_TRUE(
+      counters.Has("slo.alert{slo=availability,transition=resolved}"));
+}
+
+TEST_F(StatszSchemaTest, FlightzSchema) {
+  XEE_REQUIRES_OBS();
+  Result<Value> parsed = json::Parse(svc_->FlightzJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Value& root = parsed.value();
+  EXPECT_TRUE(MustFind(root, "enabled")->is_bool());
+  EXPECT_TRUE(MustFind(root, "recorded")->is_number());
+  EXPECT_TRUE(MustFind(root, "capacity")->is_number());
+  const Value* events = MustFind(root, "events");
+  ASSERT_TRUE(events->is_array());
+  // Six requests plus the first-publish epoch bump, at minimum.
+  ASSERT_GE(events->items.size(), 7u);
+  bool saw_request = false;
+  bool saw_epoch = false;
+  for (const Value& e : events->items) {
+    for (const char* field : {"seq", "t_us", "type", "a", "name", "b", "c"}) {
+      EXPECT_TRUE(e.Has(field)) << field;
+    }
+    if (e.Find("type")->str == "request") saw_request = true;
+    if (e.Find("type")->str == "epoch") saw_epoch = true;
+  }
+  EXPECT_TRUE(saw_request);
+  EXPECT_TRUE(saw_epoch);
+}
+
+TEST_F(StatszSchemaTest, TailRetentionCountersExport) {
+  XEE_REQUIRES_OBS();
+  Result<Value> parsed = json::Parse(svc_->StatszJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Value& counters = *MustFind(parsed.value(), "counters");
+  // The fixture produced one parse error and one expired deadline;
+  // both retained.
+  EXPECT_EQ(counters.Find("service.trace.tail{class=error}")->number, 1.0);
+  EXPECT_EQ(counters.Find("service.trace.tail{class=deadline}")->number,
+            1.0);
 }
 
 TEST_F(StatszSchemaTest, HealthzSchema) {
